@@ -1,0 +1,4 @@
+#include "catalog/catalog.h"
+
+// Catalog is header-only today; this translation unit anchors the library
+// target and reserves room for persistence of statistics.

@@ -1,0 +1,55 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathix {
+
+namespace {
+
+// Yao's product for integral t. Computed in log space when t is large to
+// avoid underflow; for the path lengths in question t is typically small.
+double YaoNpaIntegral(double t, double n, double m) {
+  if (t >= n) return m;
+  const double per_page = n / m;  // records per page
+  // prod_{i=0}^{t-1} (n - per_page - i) / (n - i)
+  double log_prod = 0.0;
+  for (double i = 0; i < t; i += 1.0) {
+    const double num = n - per_page - i;
+    const double den = n - i;
+    if (num <= 0.0 || den <= 0.0) return m;  // selection saturates all pages
+    log_prod += std::log(num) - std::log(den);
+  }
+  const double prod = std::exp(log_prod);
+  return m * (1.0 - prod);
+}
+
+}  // namespace
+
+double YaoNpa(double t, double n, double m) {
+  if (t <= 0.0 || n <= 0.0 || m <= 0.0) return 0.0;
+  if (m <= 1.0) return 1.0;
+  if (t >= n) return m;
+  const double lo = std::floor(t);
+  const double hi = std::ceil(t);
+  double result;
+  if (lo == hi) {
+    result = YaoNpaIntegral(t, n, m);
+  } else {
+    const double f = t - lo;
+    const double at_lo = (lo <= 0.0) ? 0.0 : YaoNpaIntegral(lo, n, m);
+    const double at_hi = YaoNpaIntegral(hi, n, m);
+    result = (1.0 - f) * at_lo + f * at_hi;
+  }
+  // npa <= min(t, m) analytically; guard against rounding drift.
+  return std::min(result, std::min(t, m));
+}
+
+double CeilDiv(double a, double b) {
+  if (b <= 0.0) return 0.0;
+  return std::ceil(a / b);
+}
+
+double CeilPos(double x) { return std::max(0.0, std::ceil(x)); }
+
+}  // namespace pathix

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file math.h
+/// \brief Numeric helpers for the analytic cost model, most importantly
+/// Yao's block-access estimate [Yao, CACM 1977], which the paper uses as
+/// `npa` throughout Section 3.
+
+namespace pathix {
+
+/// \brief Yao's formula: expected number of pages touched when selecting
+/// `t` records out of `n` records uniformly stored on `m` pages.
+///
+/// npa(t, n, m) = m * [1 - prod_{i=0}^{t-1} (n - n/m - i) / (n - i)]
+///
+/// Edge behaviour (all used by the cost model):
+///  - t <= 0 or n <= 0 or m <= 0  -> 0
+///  - t >= n                      -> m   (every page is touched)
+///  - m == 1                      -> 1
+///
+/// Fractional t is accepted (workload frequencies scale record counts);
+/// it is interpreted by linear interpolation between floor(t) and ceil(t).
+double YaoNpa(double t, double n, double m);
+
+/// Ceiling division for positive doubles, returned as double.
+double CeilDiv(double a, double b);
+
+/// ceil(x) guarded against negative/NaN inputs (clamped to >= 0).
+double CeilPos(double x);
+
+}  // namespace pathix

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// \brief RocksDB-style status / result types used for error handling in the
+/// PathIx public API. The library does not throw exceptions on expected
+/// failure paths; internal invariant violations use PATHIX_DCHECK.
+
+namespace pathix {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// \brief Lightweight success-or-error value.
+///
+/// Follows the RocksDB/Arrow idiom: functions that can fail for reasons the
+/// caller should handle return a Status (or a Result<T>), never throw.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: path is empty".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A minimal StatusOr. Accessing value() on an error aborts in debug builds;
+/// callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {     // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Aborts (in every build mode) if \p status is an error. For call sites
+/// that cannot fail by construction, e.g. building canned schemas.
+void CheckOk(const Status& status);
+
+}  // namespace pathix
+
+/// Debug-only invariant check for internal logic errors. Never put
+/// side-effecting expressions inside: the macro compiles out under NDEBUG.
+#define PATHIX_DCHECK(cond) assert(cond)
+
+/// Propagate an error Status from an expression returning Status.
+#define PATHIX_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::pathix::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.h
+/// \brief Fundamental identifier types shared across all PathIx modules.
+
+namespace pathix {
+
+/// Object identifier. The paper assumes system-generated, globally unique
+/// oids; we generate them sequentially per database instance.
+using Oid = std::uint64_t;
+
+/// Class identifier within a Schema. Dense, assigned at class creation.
+using ClassId = std::int32_t;
+
+/// Attribute position within a class definition.
+using AttrId = std::int32_t;
+
+/// Logical page identifier within a Pager.
+using PageId = std::uint32_t;
+
+inline constexpr Oid kInvalidOid = 0;
+inline constexpr ClassId kInvalidClass = -1;
+inline constexpr AttrId kInvalidAttr = -1;
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+}  // namespace pathix

@@ -1,0 +1,99 @@
+#include "core/cost_matrix.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pathix {
+
+CostMatrix CostMatrix::Build(const PathContext& ctx,
+                             std::vector<IndexOrg> orgs) {
+  CostMatrix m;
+  m.n_ = ctx.n();
+  m.orgs_ = std::move(orgs);
+  m.subpaths_ = EnumerateSubpaths(m.n_);
+  for (const Subpath& sp : m.subpaths_) {
+    std::vector<double> row;
+    row.reserve(m.orgs_.size());
+    for (IndexOrg org : m.orgs_) {
+      row.push_back(ComputeSubpathCost(ctx, sp.start, sp.end, org).total());
+    }
+    m.values_.push_back(std::move(row));
+    m.row_labels_.push_back(
+        ctx.path().SubpathBetween(sp.start, sp.end).ToString(ctx.schema()));
+  }
+  return m;
+}
+
+CostMatrix CostMatrix::FromValues(int n, std::vector<IndexOrg> orgs,
+                                  std::vector<std::vector<double>> values,
+                                  std::vector<std::string> row_labels) {
+  CostMatrix m;
+  m.n_ = n;
+  m.orgs_ = std::move(orgs);
+  m.subpaths_ = EnumerateSubpaths(n);
+  PATHIX_DCHECK(values.size() == m.subpaths_.size());
+  m.values_ = std::move(values);
+  if (row_labels.empty()) {
+    for (const Subpath& sp : m.subpaths_) {
+      row_labels.push_back(ToString(sp));
+    }
+  }
+  m.row_labels_ = std::move(row_labels);
+  return m;
+}
+
+int CostMatrix::OrgColumn(IndexOrg org) const {
+  for (std::size_t i = 0; i < orgs_.size(); ++i) {
+    if (orgs_[i] == org) return static_cast<int>(i);
+  }
+  PATHIX_DCHECK(false && "organization not part of this matrix");
+  return 0;
+}
+
+double CostMatrix::Cost(const Subpath& sp, IndexOrg org) const {
+  return values_[SubpathRowIndex(n_, sp)][OrgColumn(org)];
+}
+
+double CostMatrix::MinCost(const Subpath& sp) const {
+  const auto& row = values_[SubpathRowIndex(n_, sp)];
+  return *std::min_element(row.begin(), row.end());
+}
+
+IndexOrg CostMatrix::MinOrg(const Subpath& sp) const {
+  const auto& row = values_[SubpathRowIndex(n_, sp)];
+  const auto it = std::min_element(row.begin(), row.end());
+  return orgs_[static_cast<std::size_t>(it - row.begin())];
+}
+
+void CostMatrix::Print(std::ostream& os) const {
+  std::size_t label_width = 8;
+  for (const std::string& label : row_labels_) {
+    label_width = std::max(label_width, label.size());
+  }
+  os << std::left << std::setw(static_cast<int>(label_width) + 2) << "subpath";
+  for (IndexOrg org : orgs_) {
+    os << std::right << std::setw(12) << pathix::ToString(org);
+  }
+  os << "\n";
+  for (std::size_t row = 0; row < values_.size(); ++row) {
+    os << std::left << std::setw(static_cast<int>(label_width) + 2)
+       << row_labels_[row];
+    const double min_v =
+        *std::min_element(values_[row].begin(), values_[row].end());
+    for (double v : values_[row]) {
+      std::string cell;
+      {
+        std::ostringstream tmp;
+        tmp << std::fixed << std::setprecision(2) << v;
+        cell = tmp.str();
+      }
+      if (v == min_v) cell += "*";
+      os << std::right << std::setw(12) << cell;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace pathix

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/subpath.h"
+#include "costmodel/path_context.h"
+#include "costmodel/subpath_cost.h"
+
+/// \file cost_matrix.h
+/// \brief The Cost_Matrix and Min_Cost procedures of Section 5: processing
+/// cost of every subpath under every candidate organization, and per-row
+/// minima.
+
+namespace pathix {
+
+/// \brief Cost matrix: rows are the n(n+1)/2 subpaths (ordered by length,
+/// then start), columns the candidate organizations.
+class CostMatrix {
+ public:
+  /// Cost_Matrix: computes every entry from the analytic model.
+  static CostMatrix Build(const PathContext& ctx,
+                          std::vector<IndexOrg> orgs = {IndexOrg::kMX,
+                                                        IndexOrg::kMIX,
+                                                        IndexOrg::kNIX});
+
+  /// Builds a matrix from externally supplied values (e.g. the paper's
+  /// hypothetical Figure 6). \p values is indexed [row][org-column] in
+  /// EnumerateSubpaths(n) order.
+  static CostMatrix FromValues(int n, std::vector<IndexOrg> orgs,
+                               std::vector<std::vector<double>> values,
+                               std::vector<std::string> row_labels = {});
+
+  int path_length() const { return n_; }
+  const std::vector<IndexOrg>& orgs() const { return orgs_; }
+  const std::vector<Subpath>& subpaths() const { return subpaths_; }
+
+  double Cost(const Subpath& sp, IndexOrg org) const;
+
+  /// Min_Cost: the cheapest organization for \p sp and its cost.
+  double MinCost(const Subpath& sp) const;
+  IndexOrg MinOrg(const Subpath& sp) const;
+
+  const std::string& RowLabel(int row) const { return row_labels_[row]; }
+
+  /// Renders the matrix in the style of Figures 6/8; the per-row minimum is
+  /// marked with '*' (the paper underlines it).
+  void Print(std::ostream& os) const;
+
+ private:
+  int OrgColumn(IndexOrg org) const;
+
+  int n_ = 0;
+  std::vector<IndexOrg> orgs_;
+  std::vector<Subpath> subpaths_;
+  std::vector<std::vector<double>> values_;  // [row][col]
+  std::vector<std::string> row_labels_;
+};
+
+}  // namespace pathix

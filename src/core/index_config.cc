@@ -1,0 +1,51 @@
+#include "core/index_config.h"
+
+namespace pathix {
+
+Status IndexConfiguration::Validate(int n) const {
+  if (parts_.empty()) {
+    return Status::InvalidArgument("configuration has no subpaths");
+  }
+  int expected_start = 1;
+  for (const IndexedSubpath& part : parts_) {
+    if (part.subpath.start != expected_start) {
+      return Status::InvalidArgument("subpaths are not contiguous at level " +
+                                     std::to_string(expected_start));
+    }
+    if (part.subpath.end < part.subpath.start || part.subpath.end > n) {
+      return Status::InvalidArgument("subpath out of range: " +
+                                     pathix::ToString(part.subpath));
+    }
+    expected_start = part.subpath.end + 1;
+  }
+  if (expected_start != n + 1) {
+    return Status::InvalidArgument("configuration does not cover the path");
+  }
+  return Status::OK();
+}
+
+std::string IndexConfiguration::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(" + pathix::ToString(parts_[i].subpath) + ", " +
+           pathix::ToString(parts_[i].org) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+std::string IndexConfiguration::ToString(const Schema& schema,
+                                         const Path& path) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Subpath& sp = parts_[i].subpath;
+    out += "(" + path.SubpathBetween(sp.start, sp.end).ToString(schema) +
+           ", " + pathix::ToString(parts_[i].org) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pathix

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/subpath.h"
+#include "costmodel/index_org.h"
+#include "schema/path.h"
+
+/// \file index_config.h
+/// \brief Index configurations (Definition 4.1): a split of a path into
+/// consecutive subpaths, each allocated one index organization.
+
+namespace pathix {
+
+/// One (S_i, X_i) pair of Definition 4.1.
+struct IndexedSubpath {
+  Subpath subpath;
+  IndexOrg org = IndexOrg::kMX;
+
+  bool operator==(const IndexedSubpath& other) const {
+    return subpath == other.subpath && org == other.org;
+  }
+};
+
+/// \brief An index configuration IC_m(P): an ordered sequence of indexed
+/// subpaths whose concatenation is exactly the path.
+class IndexConfiguration {
+ public:
+  IndexConfiguration() = default;
+  explicit IndexConfiguration(std::vector<IndexedSubpath> parts)
+      : parts_(std::move(parts)) {}
+
+  const std::vector<IndexedSubpath>& parts() const { return parts_; }
+  int degree() const { return static_cast<int>(parts_.size()); }
+  bool empty() const { return parts_.empty(); }
+
+  /// Validates Definition 4.1 for a path of length \p n: parts are in order,
+  /// contiguous, and cover [1, n] exactly.
+  Status Validate(int n) const;
+
+  /// "{(S[1,1], MX), (S[2,4], NIX)}"
+  std::string ToString() const;
+
+  /// "{(Per.owns, MX), (Veh.man.divs.name, NIX)}" — resolves subpath labels
+  /// against the path/schema.
+  std::string ToString(const Schema& schema, const Path& path) const;
+
+  bool operator==(const IndexConfiguration& other) const {
+    return parts_ == other.parts_;
+  }
+
+ private:
+  std::vector<IndexedSubpath> parts_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,62 @@
+#include "core/multipath.h"
+
+#include <map>
+
+namespace pathix {
+
+Result<MultiPathRecommendation> AdviseMultiplePaths(
+    const Schema& schema, const Catalog& catalog,
+    const std::vector<PathWorkload>& paths, const AdvisorOptions& options) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no paths given");
+  }
+  MultiPathRecommendation out;
+
+  struct Occurrence {
+    int path_index;
+    double maintain_cost;  // maintenance + boundary share of the subpath
+  };
+  std::map<std::string, std::vector<Occurrence>> by_label;
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    Result<Recommendation> rec = AdviseIndexConfiguration(
+        schema, paths[i].path, catalog, paths[i].load, options);
+    if (!rec.ok()) return rec.status();
+    out.per_path.push_back(std::move(rec).value());
+    const Recommendation& r = out.per_path.back();
+    out.total_cost_independent += r.result.cost;
+
+    const auto& parts = r.result.config.parts();
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      const Subpath& sp = parts[p].subpath;
+      const std::string label =
+          paths[i].path.SubpathBetween(sp.start, sp.end).ToString(schema) +
+          " (" + std::string(ToString(parts[p].org)) + ")";
+      by_label[label].push_back(Occurrence{
+          static_cast<int>(i),
+          r.part_costs[p].maintain + r.part_costs[p].boundary});
+    }
+  }
+
+  // Duplicates: a physically identical index maintained once serves every
+  // path; keep the most expensive maintenance occurrence, save the rest.
+  out.total_cost_shared = out.total_cost_independent;
+  for (const auto& [label, occurrences] : by_label) {
+    if (occurrences.size() < 2) continue;
+    SharedIndex shared;
+    shared.label = label;
+    double max_maint = 0;
+    double sum_maint = 0;
+    for (const Occurrence& occ : occurrences) {
+      shared.path_indexes.push_back(occ.path_index);
+      max_maint = std::max(max_maint, occ.maintain_cost);
+      sum_maint += occ.maintain_cost;
+    }
+    shared.saved_cost = sum_maint - max_maint;
+    out.total_cost_shared -= shared.saved_cost;
+    out.shared.push_back(std::move(shared));
+  }
+  return out;
+}
+
+}  // namespace pathix

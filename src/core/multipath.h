@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+
+/// \file multipath.h
+/// \brief Extension (paper's Section 6, "further research"): index selection
+/// for a *set* of paths that may overlap. PathIx implements the greedy
+/// sharing heuristic described in DESIGN.md §7: optimize each path
+/// independently, then merge physically identical indexed subpaths (same
+/// class/attribute sequence, same organization) so their storage and
+/// maintenance are paid once.
+///
+/// This is a documented heuristic, not an algorithm from the paper.
+
+namespace pathix {
+
+/// One path with its own workload.
+struct PathWorkload {
+  Path path;
+  LoadDistribution load;
+};
+
+/// A physically shared index discovered across paths.
+struct SharedIndex {
+  std::string label;  ///< e.g. "Veh.man (MIX)"
+  std::vector<int> path_indexes;  ///< which inputs use it
+  double saved_cost = 0;          ///< maintenance counted once instead of k times
+};
+
+struct MultiPathRecommendation {
+  std::vector<Recommendation> per_path;
+  std::vector<SharedIndex> shared;
+  double total_cost_independent = 0;  ///< sum of per-path optimal costs
+  double total_cost_shared = 0;       ///< after merging duplicates
+};
+
+/// Runs the advisor per path and merges duplicate indexed subpaths.
+Result<MultiPathRecommendation> AdviseMultiplePaths(
+    const Schema& schema, const Catalog& catalog,
+    const std::vector<PathWorkload>& paths, const AdvisorOptions& options = {});
+
+}  // namespace pathix

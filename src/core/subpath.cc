@@ -1,0 +1,31 @@
+#include "core/subpath.h"
+
+namespace pathix {
+
+std::vector<Subpath> EnumerateSubpaths(int n) {
+  std::vector<Subpath> out;
+  out.reserve(NumSubpaths(n));
+  for (int len = 1; len <= n; ++len) {
+    for (int start = 1; start + len - 1 <= n; ++start) {
+      out.push_back(Subpath{start, start + len - 1});
+    }
+  }
+  return out;
+}
+
+int NumSubpaths(int n) { return n * (n + 1) / 2; }
+
+int SubpathRowIndex(int n, const Subpath& sp) {
+  PATHIX_DCHECK(1 <= sp.start && sp.start <= sp.end && sp.end <= n);
+  const int len = sp.length();
+  // Rows of lengths 1..len-1 precede: sum_{k=1}^{len-1} (n - k + 1).
+  int row = 0;
+  for (int k = 1; k < len; ++k) row += n - k + 1;
+  return row + (sp.start - 1);
+}
+
+std::string ToString(const Subpath& sp) {
+  return "S[" + std::to_string(sp.start) + "," + std::to_string(sp.end) + "]";
+}
+
+}  // namespace pathix

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file subpath.h
+/// \brief Subpath ranges over a path of length n and their enumeration.
+///
+/// A path of length n has n(n+1)/2 subpaths (n of length 1, n-1 of length 2,
+/// ...), which form the rows of the algorithm's Cost_Matrix (Section 5).
+
+namespace pathix {
+
+/// \brief A contiguous range [start, end] of path levels, 1-based inclusive,
+/// identifying the subpath C_start.A_start....A_end.
+struct Subpath {
+  int start = 1;
+  int end = 1;
+
+  int length() const { return end - start + 1; }
+  bool operator==(const Subpath& other) const {
+    return start == other.start && end == other.end;
+  }
+};
+
+/// All subpaths of a path of length \p n, ordered by (length, start) — the
+/// paper's S_1 ... S_{n(n+1)/2} numbering.
+std::vector<Subpath> EnumerateSubpaths(int n);
+
+/// Number of subpaths of a path of length \p n: n(n+1)/2.
+int NumSubpaths(int n);
+
+/// Dense row index of \p sp within EnumerateSubpaths(n).
+int SubpathRowIndex(int n, const Subpath& sp);
+
+/// "S[2,4]"-style rendering for diagnostics.
+std::string ToString(const Subpath& sp);
+
+}  // namespace pathix

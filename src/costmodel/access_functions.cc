@@ -1,0 +1,85 @@
+#include "costmodel/access_functions.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+
+namespace pathix {
+
+double CRL(const BTreeModel& ix) { return CRLWithPr(ix, ix.pr()); }
+
+double CRLWithPr(const BTreeModel& ix, double pr) {
+  const double h = ix.height();
+  if (!ix.multi_page_record()) return h;
+  return h - 1 + pr;
+}
+
+double CML(const BTreeModel& ix) { return CMLWithPm(ix, ix.pm()); }
+
+double CMLWithPm(const BTreeModel& ix, double pm) {
+  const double h = ix.height();
+  if (!ix.multi_page_record()) return h + 1;  // +1 rewrites the leaf page
+  return h - 1 + 2 * pm;                      // fetch + rewrite pm pages
+}
+
+namespace {
+
+/// Sum of npa over the non-leaf levels, propagating t upward
+/// (t_{k-1} = npa(t_k, n_k, p_k)). \p t_at_parent is the number of records
+/// needed at the level just above the leaves.
+double NonLeafTraversal(const BTreeModel& ix, double t_at_parent) {
+  const auto& levels = ix.levels();
+  double cost = 0;
+  double tk = t_at_parent;
+  // levels.back() is the leaf level; iterate the non-leaf levels upward.
+  for (int k = static_cast<int>(levels.size()) - 2; k >= 0; --k) {
+    const double a = YaoNpa(tk, levels[k].records, levels[k].pages);
+    cost += a;
+    tk = a;
+  }
+  return cost;
+}
+
+}  // namespace
+
+double CRT(const BTreeModel& ix, double t) {
+  return CRTWithPr(ix, t, ix.pr());
+}
+
+double CRTWithPr(const BTreeModel& ix, double t, double pr) {
+  if (t <= 0) return 0;
+  const auto& leaf = ix.levels().back();
+  if (!ix.multi_page_record()) {
+    const double leaf_cost = YaoNpa(t, leaf.records, leaf.pages);
+    return leaf_cost + NonLeafTraversal(ix, leaf_cost);
+  }
+  // Multi-page records: t_X * pr_X at the leaves; one parent entry per
+  // record start above.
+  return t * pr + NonLeafTraversal(ix, t);
+}
+
+double CMT(const BTreeModel& ix, double t) {
+  return CMTWithPm(ix, t, ix.pm());
+}
+
+double CMTWithPm(const BTreeModel& ix, double t, double pm) {
+  if (t <= 0) return 0;
+  const auto& leaf = ix.levels().back();
+  if (!ix.multi_page_record()) {
+    const double leaf_pages = YaoNpa(t, leaf.records, leaf.pages);
+    // Fetch the leaf pages, then rewrite each once all its records are done.
+    return 2 * leaf_pages + NonLeafTraversal(ix, leaf_pages);
+  }
+  return 2 * t * pm + NonLeafTraversal(ix, t);
+}
+
+double CRR(const BTreeModel& aux, double x) {
+  if (x <= 0) return 0;
+  const auto& leaf = aux.levels().back();
+  if (!aux.multi_page_record()) {
+    return YaoNpa(x, leaf.records, leaf.pages);
+  }
+  return x * aux.pm();
+}
+
+}  // namespace pathix

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "costmodel/btree_model.h"
+
+/// \file access_functions.h
+/// \brief The four access-cost functions of Section 3.1 (page accesses):
+///
+///  - CRL: retrieve one specified index record
+///  - CML: maintain one specified index record
+///  - CRT: retrieve a set of index records
+///  - CMT: maintain a set of index records
+///
+/// plus CRR, the auxiliary-record rewrite cost used by the NIX model.
+/// All costs are expected page accesses; fractional values arise from Yao's
+/// formula and fractional workload weights.
+
+namespace pathix {
+
+/// CRL(h_X, pr_X): h_X when the record fits one page, else h_X - 1 + pr_X
+/// (descend the non-leaf levels, then fetch pr_X pages of the record).
+double CRL(const BTreeModel& ix);
+
+/// CRL with an explicit pr (e.g. a partial NIX primary-record read).
+double CRLWithPr(const BTreeModel& ix, double pr);
+
+/// CML(h_X, pm_X): h_X + 1 when the record fits one page (the +1 rewrites
+/// the leaf page), else h_X - 1 + 2 pm_X (fetch and rewrite the modified
+/// pages of the record).
+double CML(const BTreeModel& ix);
+
+/// CML with an explicit pm. Definition 4.2 uses pm = ceil(ln/p) for CMD,
+/// since deleting a whole record touches every page it occupies.
+double CMLWithPm(const BTreeModel& ix, double pm);
+
+/// CRT(h_X, t_X, pr_X): retrieve t_X index records. Implemented as the
+/// paper's level recursion: t_h = t_X, t_{k-1} = npa(t_k, n_k, p_k),
+/// summing npa per level; multi-page records replace the leaf term with
+/// t_X * pr_X.
+double CRT(const BTreeModel& ix, double t);
+
+/// CRT with an explicit per-record pr (e.g. partial NIX primary reads).
+double CRTWithPr(const BTreeModel& ix, double t, double pr);
+
+/// CMT(h_X, t_X, pm_X): maintain t_X index records: CRT's traversal plus a
+/// rewrite of each touched leaf page (records <= page), else 2 t_X pm_X at
+/// the leaves.
+double CMT(const BTreeModel& ix, double t);
+
+/// CMT with an explicit per-record pm. Section 3.1 notes that the pages
+/// retrieved and rewritten to maintain a NIX primary record differ between
+/// insertion (append: the default pm) and deletion (locate the oid in the
+/// class slice: pmd_NIX = prd_NIX).
+double CMTWithPm(const BTreeModel& ix, double t, double pm);
+
+/// CRR(x): rewrite x auxiliary index records stored on an auxiliary index
+/// with \p aux geometry: npa(x, n_az, pl_az) page writes when records fit a
+/// page, else x * pm per record.
+double CRR(const BTreeModel& aux, double x);
+
+}  // namespace pathix

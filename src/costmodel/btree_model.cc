@@ -1,0 +1,59 @@
+#include "costmodel/btree_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+#include "common/status.h"
+
+namespace pathix {
+
+BTreeModel BTreeModel::Build(double num_records, double record_len,
+                             double key_len, const PhysicalParams& params) {
+  BTreeModel m;
+  m.page_size_ = params.page_size;
+  m.num_records_ = std::max(0.0, num_records);
+  m.record_len_ = std::max(1.0, record_len);
+
+  const double p = params.page_size;
+  double leaf_pages;
+  double parent_entries;  // entries the level above the leaves must hold
+  if (m.num_records_ < 1.0) {
+    // Empty or near-empty index: a single (possibly empty) leaf page.
+    m.levels_ = {{m.num_records_, 1}};
+    m.pr_ = 1;
+    m.pm_ = 1;
+    return m;
+  }
+  if (m.record_len_ <= p) {
+    const double per_page = std::max(1.0, std::floor(p / m.record_len_));
+    leaf_pages = CeilDiv(m.num_records_, per_page);
+    parent_entries = leaf_pages;
+  } else {
+    // Each record occupies its own chain of ceil(ln/p) pages; the level
+    // above addresses record starts.
+    leaf_pages = m.num_records_ * CeilDiv(m.record_len_, p);
+    parent_entries = m.num_records_;
+  }
+  m.levels_ = {{m.num_records_, leaf_pages}};
+
+  const double fanout =
+      std::max(2.0, std::floor(p / (key_len + params.ptr_len)));
+  double entries = parent_entries;
+  while (entries > 1.0) {
+    const double pages = CeilDiv(entries, fanout);
+    m.levels_.insert(m.levels_.begin(), BTreeLevelInfo{entries, pages});
+    if (pages <= 1.0) break;
+    entries = pages;
+  }
+
+  m.pr_ = params.pr_override > 0 ? params.pr_override : m.record_pages();
+  m.pm_ = params.pm_override > 0 ? params.pm_override : 1.0;
+  return m;
+}
+
+double BTreeModel::record_pages() const {
+  return std::max(1.0, CeilDiv(record_len_, page_size_));
+}
+
+}  // namespace pathix

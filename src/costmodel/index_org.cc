@@ -1,0 +1,23 @@
+#include "costmodel/index_org.h"
+
+namespace pathix {
+
+const char* ToString(IndexOrg org) {
+  switch (org) {
+    case IndexOrg::kMX:
+      return "MX";
+    case IndexOrg::kMIX:
+      return "MIX";
+    case IndexOrg::kNIX:
+      return "NIX";
+    case IndexOrg::kNone:
+      return "NONE";
+    case IndexOrg::kNX:
+      return "NX";
+    case IndexOrg::kPX:
+      return "PX";
+  }
+  return "?";
+}
+
+}  // namespace pathix

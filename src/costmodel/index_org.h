@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+/// \file index_org.h
+/// \brief The index organizations of Section 2.2.
+///
+/// SIX and IIX are degenerate cases of MX / MIX for subpaths of length one
+/// (the paper reduces the five techniques to three for the selection
+/// algorithm); kNone is the paper's future-work extension of allocating no
+/// index on a subpath.
+
+namespace pathix {
+
+enum class IndexOrg {
+  kMX,    ///< multi-index: one simple index per class in scope(P)
+  kMIX,   ///< multi-inherited index: one inherited index per class of class(P)
+  kNIX,   ///< nested inherited index: primary + auxiliary index on the path
+  kNone,  ///< no index (navigational scans); extension, off by default
+  // Section 6 extension: "the incorporation of path and nested indices
+  // [6,2] can be done straightforward". Model-only candidates (the paper's
+  // references are Bertino's nested/path indexes); see nx_model.h/px_model.h.
+  kNX,    ///< nested index: ending value -> starting-class oids only
+  kPX,    ///< path index: ending value -> full path instantiations
+};
+
+/// Short display name ("MX", "MIX", "NIX", "NONE").
+const char* ToString(IndexOrg org);
+
+/// The paper's three candidate organizations for the selection algorithm.
+inline constexpr IndexOrg kPaperOrgs[] = {IndexOrg::kMX, IndexOrg::kMIX,
+                                          IndexOrg::kNIX};
+
+}  // namespace pathix

@@ -1,0 +1,67 @@
+#include "costmodel/mix_model.h"
+
+namespace pathix {
+
+MIXCostModel::MIXCostModel(const PathContext& ctx, int a, int b)
+    : OrgCostModel(ctx, a, b) {
+  const PhysicalParams& pp = ctx.params();
+  for (int l = a; l <= b; ++l) {
+    // One record per distinct A_l value across the hierarchy; the record
+    // groups, per class of the hierarchy, the oids holding the value
+    // (class-hierarchy index of Kim et al.).
+    double oids_per_record = 0;
+    for (const LevelClassInfo& c : ctx.level(l)) oids_per_record += c.k;
+    const double ln = ctx.KeyLenAt(l) + pp.rec_overhead +
+                      ctx.nc(l) * pp.dir_entry_len +
+                      oids_per_record * pp.oid_len;
+    trees_.push_back(BTreeModel::Build(ctx.DistinctKeysLevel(l), ln,
+                                       ctx.KeyLenAt(l), pp));
+  }
+}
+
+double MIXCostModel::QueryCost(int l, int j) const {
+  (void)j;  // one index serves every class of the hierarchy
+  return QueryCostHierarchy(l);
+}
+
+double MIXCostModel::QueryCostHierarchy(int l) const {
+  // CRMIX (Section 3.1): sum_{i=l}^{b-1} CRT(h_i, noid+_{i+1}) + CRL(h_b);
+  // with an equality predicate noid+_{b+1} = 1 at the ending level, so the
+  // last term is CRT(.., 1) == CRL.
+  double cost = 0;
+  for (int i = l; i <= b_; ++i) {
+    cost += CRT(tree(i), ctx_.noidplus(i + 1));
+  }
+  return cost;
+}
+
+double MIXCostModel::InsertCost(int l, int j) const {
+  return CMT(tree(l), ctx_.level(l)[j].stats.nin);
+}
+
+double MIXCostModel::DeleteCost(int l, int j) const {
+  double cost = CMT(tree(l), ctx_.level(l)[j].stats.nin);
+  if (l > a_) {
+    // Remove the deleted oid's record from the single inherited index of
+    // the previous level (CMMIX, Section 3.1).
+    cost += CML(tree(l - 1));
+  }
+  return cost;
+}
+
+double MIXCostModel::BoundaryDeleteCost() const {
+  if (b_ == ctx_.n()) return 0;
+  return CMLWithPm(tree(b_), tree(b_).record_pages());
+}
+
+double MIXCostModel::StorageBytes() const {
+  double bytes = 0;
+  for (const BTreeModel& t : trees_) {
+    double pages = 0;
+    for (const BTreeLevelInfo& lvl : t.levels()) pages += lvl.pages;
+    bytes += pages * ctx_.params().page_size;
+  }
+  return bytes;
+}
+
+}  // namespace pathix

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "costmodel/access_functions.h"
+#include "costmodel/org_model.h"
+
+/// \file mix_model.h
+/// \brief Multi-inherited-index (MIX) cost model: one inherited index (IIX)
+/// per class of class(P) — a single B+-tree per level whose records hold the
+/// oids of the whole inheritance hierarchy, grouped per class. For a subpath
+/// of length one this degenerates to an IIX (or a SIX without subclasses).
+
+namespace pathix {
+
+class MIXCostModel : public OrgCostModel {
+ public:
+  MIXCostModel(const PathContext& ctx, int a, int b);
+
+  double QueryCost(int l, int j) const override;
+  double QueryCostHierarchy(int l) const override;
+  double InsertCost(int l, int j) const override;
+  double DeleteCost(int l, int j) const override;
+  double BoundaryDeleteCost() const override;
+  double StorageBytes() const override;
+
+  const BTreeModel& tree(int l) const { return trees_[l - a_]; }
+
+ private:
+  std::vector<BTreeModel> trees_;  // [l - a]
+};
+
+}  // namespace pathix

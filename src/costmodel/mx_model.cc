@@ -1,0 +1,89 @@
+#include "costmodel/mx_model.h"
+
+namespace pathix {
+
+MXCostModel::MXCostModel(const PathContext& ctx, int a, int b)
+    : OrgCostModel(ctx, a, b) {
+  const PhysicalParams& pp = ctx.params();
+  for (int l = a; l <= b; ++l) {
+    std::vector<BTreeModel> level_trees;
+    for (const LevelClassInfo& c : ctx.level(l)) {
+      // One index record per distinct value of A_l held by the class; the
+      // record associates the value with the k_{l,j} oids holding it.
+      const double ln = ctx.KeyLenAt(l) + pp.rec_overhead + c.k * pp.oid_len;
+      level_trees.push_back(
+          BTreeModel::Build(c.stats.d, ln, ctx.KeyLenAt(l), pp));
+    }
+    trees_.push_back(std::move(level_trees));
+  }
+}
+
+double MXCostModel::DownstreamChainCost(int l) const {
+  // For each level i below l, every class index of the level is probed with
+  // the noid+_{i+1} key values produced downstream (Section 3.1, CRMX).
+  double cost = 0;
+  for (int i = l + 1; i <= b_; ++i) {
+    const double keys = ctx_.noidplus(i + 1);
+    for (int j = 0; j < ctx_.nc(i); ++j) {
+      cost += CRT(tree(i, j), keys);
+    }
+  }
+  return cost;
+}
+
+double MXCostModel::QueryCost(int l, int j) const {
+  return CRT(tree(l, j), ctx_.noidplus(l + 1)) + DownstreamChainCost(l);
+}
+
+double MXCostModel::QueryCostHierarchy(int l) const {
+  double cost = 0;
+  const double keys = ctx_.noidplus(l + 1);
+  for (int j = 0; j < ctx_.nc(l); ++j) {
+    cost += CRT(tree(l, j), keys);
+  }
+  return cost + DownstreamChainCost(l);
+}
+
+double MXCostModel::InsertCost(int l, int j) const {
+  // The new object's nin_{l,j} attribute values gain one oid each; only the
+  // class's own index is touched (Section 3.1).
+  return CMT(tree(l, j), ctx_.level(l)[j].stats.nin);
+}
+
+double MXCostModel::DeleteCost(int l, int j) const {
+  double cost = CMT(tree(l, j), ctx_.level(l)[j].stats.nin);
+  if (l > a_) {
+    // The deleted oid is a key value in the indexes on A_{l-1} of the
+    // previous class and all its subclasses; its record is removed from
+    // each (Section 3.1: sum_j CML(h_{l-1,j})).
+    for (int j2 = 0; j2 < ctx_.nc(l - 1); ++j2) {
+      cost += CML(tree(l - 1, j2));
+    }
+  }
+  return cost;
+}
+
+double MXCostModel::BoundaryDeleteCost() const {
+  if (b_ == ctx_.n()) return 0;
+  // Definition 4.2 / CMD_MX: deleting an object of C_{b+1} removes its key
+  // record from the indexes on A_b; all pages of the record are touched.
+  double cost = 0;
+  for (int j = 0; j < ctx_.nc(b_); ++j) {
+    cost += CMLWithPm(tree(b_, j), tree(b_, j).record_pages());
+  }
+  return cost;
+}
+
+double MXCostModel::StorageBytes() const {
+  double bytes = 0;
+  for (const auto& level_trees : trees_) {
+    for (const BTreeModel& t : level_trees) {
+      double pages = 0;
+      for (const BTreeLevelInfo& lvl : t.levels()) pages += lvl.pages;
+      bytes += pages * ctx_.params().page_size;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace pathix

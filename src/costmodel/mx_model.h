@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "costmodel/access_functions.h"
+#include "costmodel/org_model.h"
+
+/// \file mx_model.h
+/// \brief Multi-index (MX) cost model: one simple index (SIX) on the path
+/// attribute of *each class in the scope* of the subpath. For a subpath of
+/// length one over a class without subclasses this degenerates to a SIX.
+
+namespace pathix {
+
+class MXCostModel : public OrgCostModel {
+ public:
+  MXCostModel(const PathContext& ctx, int a, int b);
+
+  double QueryCost(int l, int j) const override;
+  double QueryCostHierarchy(int l) const override;
+  double InsertCost(int l, int j) const override;
+  double DeleteCost(int l, int j) const override;
+  double BoundaryDeleteCost() const override;
+  double StorageBytes() const override;
+
+  /// The modelled B+-tree for class j of level l (testing / reporting).
+  const BTreeModel& tree(int l, int j) const {
+    return trees_[l - a_][j];
+  }
+
+ private:
+  /// Lookup cost for all levels strictly below \p l down to the subpath end
+  /// (the "chain" part shared by QueryCost and QueryCostHierarchy).
+  double DownstreamChainCost(int l) const;
+
+  std::vector<std::vector<BTreeModel>> trees_;  // [l - a][j]
+};
+
+}  // namespace pathix

@@ -1,0 +1,211 @@
+#include "costmodel/nix_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace pathix {
+
+NIXCostModel::NIXCostModel(const PathContext& ctx, int a, int b)
+    : OrgCostModel(ctx, a, b) {
+  const PhysicalParams& pp = ctx.params();
+
+  // ---- Primary index: keyed by values of A_b. One record per distinct key
+  // value; the record holds, per class in scope(S), the selected oids
+  // ((oid, numchild) pairs for classes with multi-valued path attributes).
+  int scope_classes = 0;
+  double entries_bytes = 0;
+  for (int l = a; l <= b; ++l) {
+    for (int j = 0; j < ctx.nc(l); ++j) {
+      const LevelClassInfo& c = ctx.level(l)[j];
+      const double entry_len =
+          pp.oid_len + (c.stats.nin > 1.0 ? pp.numchild_len : 0.0);
+      entries_bytes += ctx.NoidWithin(l, j, b) * entry_len;
+      ++scope_classes;
+    }
+  }
+  dir_bytes_ = scope_classes * pp.dir_entry_len;
+  const double ln_primary =
+      ctx.KeyLenAt(b) + pp.rec_overhead + dir_bytes_ + entries_bytes;
+  primary_ = BTreeModel::Build(ctx.DistinctKeysLevel(b), ln_primary,
+                               ctx.KeyLenAt(b), pp);
+
+  // ---- Auxiliary index: one 3-tuple per object of levels a+1..b (the
+  // subpath root hierarchy has no aggregation parents). Tuple length:
+  // oid + pointer array to the nbar primary records the object appears in
+  // + list of parent oids.
+  double tuples = 0;
+  double tuple_bytes = 0;
+  for (int l = a + 1; l <= b; ++l) {
+    for (int j = 0; j < ctx.nc(l); ++j) {
+      const LevelClassInfo& c = ctx.level(l)[j];
+      const double tlen = pp.oid_len + pp.rec_overhead +
+                          ctx.Nbar(l, j, b) * pp.ptr_len +
+                          ctx.Parents(l) * pp.oid_len;
+      tuples += c.stats.n;
+      tuple_bytes += c.stats.n * tlen;
+    }
+  }
+  has_aux_ = tuples > 0;
+  if (has_aux_) {
+    aux_ = BTreeModel::Build(tuples, tuple_bytes / tuples, pp.oid_len, pp);
+  }
+}
+
+double NIXCostModel::LevelPortionBytes(int l) const {
+  const PhysicalParams& pp = ctx_.params();
+  double bytes = 0;
+  for (int j = 0; j < ctx_.nc(l); ++j) {
+    const LevelClassInfo& c = ctx_.level(l)[j];
+    const double entry_len =
+        pp.oid_len + (c.stats.nin > 1.0 ? pp.numchild_len : 0.0);
+    bytes += ctx_.NoidWithin(l, j, b_) * entry_len;
+  }
+  return bytes;
+}
+
+double NIXCostModel::PartialReadPages(int l) const {
+  // Reading the directory plus one level's slice of the record; clamped to
+  // the record's page span.
+  const double needed = ctx_.KeyLenAt(b_) + ctx_.params().rec_overhead +
+                        dir_bytes_ + LevelPortionBytes(l);
+  const double pages = CeilDiv(needed, ctx_.params().page_size);
+  return std::clamp(pages, 1.0, primary_.record_pages());
+}
+
+double NIXCostModel::AncestorSlicePages(int l) const {
+  // A deletion's propagation modifies the slices of the deleted class's
+  // level and of every ancestor level within the subpath.
+  double needed =
+      ctx_.KeyLenAt(b_) + ctx_.params().rec_overhead + dir_bytes_;
+  for (int i = a_; i <= l; ++i) needed += LevelPortionBytes(i);
+  const double pages = CeilDiv(needed, ctx_.params().page_size);
+  return std::clamp(pages, 1.0, primary_.record_pages());
+}
+
+double NIXCostModel::QueryCost(int l, int j) const {
+  (void)j;  // the primary record serves every scope class
+  // One probe per key value delivered by the downstream subpaths
+  // (noid+_{b+1} = 1 when b == n: the single primary lookup of Section 3.1).
+  return CRTWithPr(primary_, ctx_.noidplus(b_ + 1), PartialReadPages(l));
+}
+
+double NIXCostModel::QueryCostHierarchy(int l) const {
+  return CRTWithPr(primary_, ctx_.noidplus(b_ + 1), PartialReadPages(l));
+}
+
+double NIXCostModel::NarNextLevel(int l, int j) const {
+  if (l >= b_) return 0;  // children of level b live outside the subpath
+  const double nin = ctx_.level(l)[j].stats.nin;
+  return std::min<double>(ctx_.nc(l + 1), nin);
+}
+
+double NIXCostModel::InsertCost(int l, int j) const {
+  const LevelClassInfo& c = ctx_.level(l)[j];
+  const bool has_own_tuple = l > a_;
+  const bool has_children_tuples = l < b_;
+
+  // Steps 2+4 (CSI24): access the children's 3-tuples to register the new
+  // parent, and insert the new object's own 3-tuple (a B+-tree insertion
+  // into the auxiliary index).
+  double csi24 = 0;
+  if (has_aux_) {
+    if (has_children_tuples) {
+      csi24 += CRT(aux_, c.stats.nin) + CRR(aux_, NarNextLevel(l, j));
+    }
+    if (has_own_tuple) csi24 += CML(aux_);
+  }
+  // Step 3 (CSI3): add the oid to the nbar primary records it now reaches.
+  const double csi3 = CMT(primary_, ctx_.Nbar(l, j, b_));
+  return csi24 + csi3;
+}
+
+double NIXCostModel::DeleteCost(int l, int j) const {
+  const LevelClassInfo& c = ctx_.level(l)[j];
+  const bool has_own_tuple = l > a_;
+  const bool has_children_tuples = l < b_;
+
+  // Step 2 (CSD2): fetch the children's 3-tuples (drop the parent link),
+  // rewrite the modified auxiliary records, and remove the object's own
+  // 3-tuple (a B+-tree deletion from the auxiliary index).
+  double csd2 = 0;
+  if (has_aux_) {
+    if (has_children_tuples) {
+      csd2 += CRT(aux_, c.stats.nin) + CRR(aux_, NarNextLevel(l, j));
+    }
+    if (has_own_tuple) csd2 += CML(aux_);
+  }
+
+  // Step 3a (CS3a): maintain the nbar primary records containing the oid.
+  // Deleting an oid locates it in its class slice AND decrements the
+  // numchild counters of its ancestors in the same records (step 3(a)ii):
+  // pmd_NIX = prd_NIX covers the slices of levels a..l (Section 3.1).
+  const double cs3a =
+      CMTWithPm(primary_, ctx_.Nbar(l, j, b_), AncestorSlicePages(l));
+
+  // Steps 3b/3c (CU3bc + min(SA1, SA2)): propagate numchild decrements up
+  // the parent chain; parents at levels a+1..l-1 own auxiliary 3-tuples.
+  double cu3bc = 0;
+  double total_parent_tuples = 0;
+  double total_parent_records = 0;
+  if (has_aux_ && has_own_tuple) {
+    double par = ctx_.Parents(l);  // parents at level l-1
+    for (int i = l - 1; i >= a_; --i) {
+      if (i > a_) {
+        const double narp = std::min<double>(ctx_.nc(i), par);
+        cu3bc += CRR(aux_, narp);
+        total_parent_tuples += par;
+        total_parent_records += narp;
+      }
+      if (i > 1) par *= ctx_.S(i - 1) > 0 ? ctx_.S(i - 1) : 0;
+    }
+  }
+  double locate = 0;
+  if (total_parent_tuples > 0) {
+    // SA1: scan the auxiliary leaf level for the parent tuples; SA2: reach
+    // them through the pointers stored in the primary records.
+    const auto& leaf = aux_.levels().back();
+    const double sa1 = YaoNpa(total_parent_tuples, leaf.records, leaf.pages);
+    const double sa2 = aux_.multi_page_record()
+                           ? total_parent_records
+                           : YaoNpa(total_parent_records, leaf.records,
+                                    leaf.pages);
+    locate = std::min(sa1, sa2);
+  }
+  return csd2 + cs3a + cu3bc + locate;
+}
+
+double NIXCostModel::BoundaryDeleteCost() const {
+  if (b_ == ctx_.n()) return 0;
+  // CMD_NIX (Definition 4.2): delete the whole primary record keyed by the
+  // removed oid, then delete the pointers to it from the auxiliary 3-tuples
+  // of every scope object listed in it (delpoint).
+  double cost = CMLWithPm(primary_, primary_.record_pages());
+  if (has_aux_) {
+    double tuples = 0;
+    for (int l = a_ + 1; l <= b_; ++l) {
+      for (int j = 0; j < ctx_.nc(l); ++j) {
+        tuples += ctx_.NoidWithin(l, j, b_);
+      }
+    }
+    if (tuples > 0) {
+      const auto& leaf = aux_.levels().back();
+      tuples = std::min(tuples, leaf.records);
+      // Fetch + rewrite the touched auxiliary pages.
+      cost += 2 * YaoNpa(tuples, leaf.records, leaf.pages);
+    }
+  }
+  return cost;
+}
+
+double NIXCostModel::StorageBytes() const {
+  double pages = 0;
+  for (const BTreeLevelInfo& lvl : primary_.levels()) pages += lvl.pages;
+  if (has_aux_) {
+    for (const BTreeLevelInfo& lvl : aux_.levels()) pages += lvl.pages;
+  }
+  return pages * ctx_.params().page_size;
+}
+
+}  // namespace pathix

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "costmodel/access_functions.h"
+#include "costmodel/org_model.h"
+
+/// \file nix_model.h
+/// \brief Nested-inherited-index (NIX) cost model (Section 3.1, Figures
+/// 3-5): a *primary* B+-tree keyed by the subpath's ending-attribute values
+/// whose records list, per class in scope, the oids of all objects reaching
+/// the key value; plus an *auxiliary* index mapping each object (of every
+/// scope class except the subpath root hierarchy) to a 3-tuple
+/// (oid, pointers to primary records, list of aggregation parents).
+///
+/// Queries are a single primary lookup regardless of the class queried;
+/// maintenance pays for primary-record surgery plus the parent-chain
+/// propagation through the auxiliary index (steps CSD2/CSD3 for deletion,
+/// CSI24/CSI3 for insertion).
+///
+/// For a subpath of length one the auxiliary index is empty and the
+/// organization degenerates to an inherited index, exactly as Example 5.1
+/// prescribes.
+
+namespace pathix {
+
+class NIXCostModel : public OrgCostModel {
+ public:
+  NIXCostModel(const PathContext& ctx, int a, int b);
+
+  double QueryCost(int l, int j) const override;
+  double QueryCostHierarchy(int l) const override;
+  double InsertCost(int l, int j) const override;
+  double DeleteCost(int l, int j) const override;
+  double BoundaryDeleteCost() const override;
+  double StorageBytes() const override;
+
+  const BTreeModel& primary() const { return primary_; }
+  const BTreeModel& aux() const { return aux_; }
+  bool has_aux() const { return has_aux_; }
+
+ private:
+  /// Bytes of one primary record devoted to the classes of level l
+  /// (hierarchy slice), used for partial-record retrieval (pr_NIX).
+  double LevelPortionBytes(int l) const;
+
+  /// Pages retrieved when the query needs only level \p l's slice of a
+  /// multi-page primary record.
+  double PartialReadPages(int l) const;
+
+  /// Pages maintained when a deletion at level \p l propagates through the
+  /// slices of levels a..l (pmd_NIX = prd_NIX).
+  double AncestorSlicePages(int l) const;
+
+  /// nar_{l+1}: auxiliary records touched when distributing nin_{l,j}
+  /// child references over the classes of level l+1 (paper's abs() sum,
+  /// assuming an even spread).
+  double NarNextLevel(int l, int j) const;
+
+  BTreeModel primary_;
+  BTreeModel aux_;
+  bool has_aux_ = false;
+  double dir_bytes_ = 0;  ///< class-directory bytes of one primary record
+};
+
+}  // namespace pathix

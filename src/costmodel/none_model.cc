@@ -1,0 +1,44 @@
+#include "costmodel/none_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace pathix {
+
+double NoneCostModel::ClassPages(int l, int j) const {
+  const LevelClassInfo& c = ctx_.level(l)[j];
+  const double per_page = std::max(
+      1.0, std::floor(ctx_.params().page_size / std::max(1.0, c.stats.obj_len)));
+  return CeilDiv(c.stats.n, per_page);
+}
+
+double NoneCostModel::DownstreamPages(int l) const {
+  // With only forward references and no index, evaluating the predicate for
+  // the objects of level l requires materializing the referenced objects of
+  // every deeper level of the subpath (class-at-a-time scan).
+  double pages = 0;
+  for (int i = l + 1; i <= b_; ++i) {
+    for (int j = 0; j < ctx_.nc(i); ++j) pages += ClassPages(i, j);
+  }
+  return pages;
+}
+
+double NoneCostModel::QueryCost(int l, int j) const {
+  return ClassPages(l, j) + DownstreamPages(l);
+}
+
+double NoneCostModel::QueryCostHierarchy(int l) const {
+  double pages = 0;
+  for (int j = 0; j < ctx_.nc(l); ++j) pages += ClassPages(l, j);
+  return pages + DownstreamPages(l);
+}
+
+double NoneCostModel::DeleteCost(int l, int j) const {
+  (void)l;
+  (void)j;
+  return 0;
+}
+
+}  // namespace pathix

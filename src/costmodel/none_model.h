@@ -1,0 +1,31 @@
+#pragma once
+
+#include "costmodel/org_model.h"
+
+/// \file none_model.h
+/// \brief The "no index on this subpath" organization — the paper's stated
+/// future-work extension (Section 6). Queries fall back to navigational
+/// scans (the naive evaluation of the introduction): scan the queried
+/// class's pages, then every downstream class's pages to follow the forward
+/// references. Maintenance is free.
+
+namespace pathix {
+
+class NoneCostModel : public OrgCostModel {
+ public:
+  NoneCostModel(const PathContext& ctx, int a, int b)
+      : OrgCostModel(ctx, a, b) {}
+
+  double QueryCost(int l, int j) const override;
+  double QueryCostHierarchy(int l) const override;
+  double InsertCost(int /*l*/, int /*j*/) const override { return 0; }
+  double DeleteCost(int l, int j) const override;
+  double BoundaryDeleteCost() const override { return 0; }
+  double StorageBytes() const override { return 0; }
+
+ private:
+  double ClassPages(int l, int j) const;
+  double DownstreamPages(int l) const;
+};
+
+}  // namespace pathix

@@ -1,0 +1,78 @@
+#include "costmodel/nx_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+
+namespace pathix {
+
+NXCostModel::NXCostModel(const PathContext& ctx, int a, int b)
+    : OrgCostModel(ctx, a, b) {
+  const PhysicalParams& pp = ctx.params();
+  // One record per distinct ending value; only starting-hierarchy oids.
+  double start_oids = 0;
+  for (int j = 0; j < ctx.nc(a); ++j) {
+    start_oids += ctx.NoidWithin(a, j, b);
+  }
+  const double ln = ctx.KeyLenAt(b) + pp.rec_overhead +
+                    ctx.nc(a) * pp.dir_entry_len + start_oids * pp.oid_len;
+  primary_ = BTreeModel::Build(ctx.DistinctKeysLevel(b), ln, ctx.KeyLenAt(b),
+                               pp);
+}
+
+double NXCostModel::QueryCost(int l, int j) const {
+  (void)j;
+  if (l != a_) {
+    // Interior classes are not represented in the index.
+    return std::numeric_limits<double>::infinity();
+  }
+  return CRT(primary_, ctx_.noidplus(b_ + 1));
+}
+
+double NXCostModel::QueryCostHierarchy(int l) const { return QueryCost(l, 0); }
+
+double NXCostModel::StartSegmentPages() const {
+  double pages = 0;
+  for (const LevelClassInfo& c : ctx_.level(a_)) {
+    const double per_page = std::max(
+        1.0,
+        std::floor(ctx_.params().page_size / std::max(1.0, c.stats.obj_len)));
+    pages += CeilDiv(c.stats.n, per_page);
+  }
+  return pages;
+}
+
+double NXCostModel::InsertCost(int l, int j) const {
+  if (l == a_) {
+    // A new starting-class object: add its oid under every reachable
+    // ending value (found by forward navigation, whose object fetches the
+    // update itself already performs).
+    return CMT(primary_, ctx_.Nbar(a_, j, b_));
+  }
+  // Interior insertion: the affected starting-class objects can only be
+  // found by scanning the starting segment and re-navigating.
+  return StartSegmentPages() + CMT(primary_, ctx_.Nbar(l, j, b_));
+}
+
+double NXCostModel::DeleteCost(int l, int j) const {
+  if (l == a_) {
+    return CMTWithPm(primary_, ctx_.Nbar(a_, j, b_),
+                     primary_.record_pages());
+  }
+  return StartSegmentPages() +
+         CMTWithPm(primary_, ctx_.Nbar(l, j, b_), primary_.record_pages());
+}
+
+double NXCostModel::BoundaryDeleteCost() const {
+  if (b_ == ctx_.n()) return 0;
+  return CMLWithPm(primary_, primary_.record_pages());
+}
+
+double NXCostModel::StorageBytes() const {
+  double pages = 0;
+  for (const BTreeLevelInfo& lvl : primary_.levels()) pages += lvl.pages;
+  return pages * ctx_.params().page_size;
+}
+
+}  // namespace pathix

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "costmodel/access_functions.h"
+#include "costmodel/org_model.h"
+
+/// \file nx_model.h
+/// \brief Nested-index (NX) cost model — the Section 6 extension covering
+/// Bertino/Kim's *nested index* [2]: one B+-tree mapping each ending-
+/// attribute value of the subpath directly to the oids of the *starting
+/// class hierarchy* whose objects reach it. No intermediate classes, no
+/// auxiliary structure.
+///
+/// Consequences modelled here:
+///  - queries w.r.t. the starting hierarchy are a single probe (cheapest
+///    possible, smaller records than NIX);
+///  - queries w.r.t. interior classes are NOT supported: the cost is
+///    infinite, so Min_Cost never selects NX for a subpath whose interior
+///    classes carry query load;
+///  - maintenance is expensive: without an auxiliary index, an interior
+///    update cannot locate the affected starting-class objects by forward
+///    references alone — the model charges a starting-segment scan plus the
+///    primary-record maintenance (the known weakness of nested indexes that
+///    motivated the NIX design).
+
+namespace pathix {
+
+class NXCostModel : public OrgCostModel {
+ public:
+  NXCostModel(const PathContext& ctx, int a, int b);
+
+  double QueryCost(int l, int j) const override;
+  double QueryCostHierarchy(int l) const override;
+  double InsertCost(int l, int j) const override;
+  double DeleteCost(int l, int j) const override;
+  double BoundaryDeleteCost() const override;
+  double StorageBytes() const override;
+
+  const BTreeModel& primary() const { return primary_; }
+
+ private:
+  /// Pages of the starting hierarchy's object segments (the locate scan).
+  double StartSegmentPages() const;
+
+  BTreeModel primary_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,33 @@
+#include "costmodel/org_model.h"
+
+#include "costmodel/mix_model.h"
+#include "costmodel/mx_model.h"
+#include "costmodel/nix_model.h"
+#include "costmodel/none_model.h"
+#include "costmodel/nx_model.h"
+#include "costmodel/px_model.h"
+
+namespace pathix {
+
+std::unique_ptr<OrgCostModel> MakeOrgCostModel(IndexOrg org,
+                                               const PathContext& ctx, int a,
+                                               int b) {
+  switch (org) {
+    case IndexOrg::kMX:
+      return std::make_unique<MXCostModel>(ctx, a, b);
+    case IndexOrg::kMIX:
+      return std::make_unique<MIXCostModel>(ctx, a, b);
+    case IndexOrg::kNIX:
+      return std::make_unique<NIXCostModel>(ctx, a, b);
+    case IndexOrg::kNone:
+      return std::make_unique<NoneCostModel>(ctx, a, b);
+    case IndexOrg::kNX:
+      return std::make_unique<NXCostModel>(ctx, a, b);
+    case IndexOrg::kPX:
+      return std::make_unique<PXCostModel>(ctx, a, b);
+  }
+  PATHIX_DCHECK(false);
+  return nullptr;
+}
+
+}  // namespace pathix

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+
+#include "costmodel/index_org.h"
+#include "costmodel/path_context.h"
+
+/// \file org_model.h
+/// \brief Per-organization analytic cost models (Section 3.1) for an index
+/// allocated on the subpath C_a.A_a....A_b of the context's path.
+///
+/// All retrieval costs are for a query with an equality predicate against
+/// the *path's* ending attribute A_n; the number of key values that reach
+/// this subpath's index from downstream subpaths is the global noid+ of the
+/// context, which makes subpath costs composable (Proposition 4.1).
+
+namespace pathix {
+
+/// \brief Cost model of one organization on one subpath.
+class OrgCostModel {
+ public:
+  OrgCostModel(const PathContext& ctx, int a, int b)
+      : ctx_(ctx), a_(a), b_(b) {
+    PATHIX_DCHECK(1 <= a && a <= b && b <= ctx.n());
+  }
+  virtual ~OrgCostModel() = default;
+
+  int start() const { return a_; }
+  int end() const { return b_; }
+
+  /// CR_X(C_{l,j}): searching cost of the objects of class C_{l,j}
+  /// satisfying the predicate, using this subpath's index. l in [a, b].
+  virtual double QueryCost(int l, int j) const = 0;
+
+  /// CR+_X(C_l): same, with respect to the whole hierarchy rooted at C_l.
+  /// Used for downstream subpaths in a configuration and for the derived
+  /// prefix load of Section 3.2.
+  virtual double QueryCostHierarchy(int l) const = 0;
+
+  /// Maintenance cost of this subpath's index due to the insertion of one
+  /// object into C_{l,j}.
+  virtual double InsertCost(int l, int j) const = 0;
+
+  /// Maintenance cost due to the deletion of one object from C_{l,j}
+  /// (within-subpath effects only; the cross-subpath effect is
+  /// BoundaryDeleteCost of the *preceding* subpath, per Definition 4.2).
+  virtual double DeleteCost(int l, int j) const = 0;
+
+  /// CMD_X(A_b): cost of removing the key record of a deleted object of
+  /// class C_{b+1} from this subpath's index. Zero when b == n (the ending
+  /// attribute of the whole path is not oid-valued).
+  virtual double BoundaryDeleteCost() const = 0;
+
+  /// Estimated bytes occupied by the index structures (leaf levels);
+  /// reported by the advisor as a space ablation. Extension, not in paper.
+  virtual double StorageBytes() const = 0;
+
+ protected:
+  const PathContext& ctx_;
+  int a_;
+  int b_;
+};
+
+/// Factory for the models of index_org.h.
+std::unique_ptr<OrgCostModel> MakeOrgCostModel(IndexOrg org,
+                                               const PathContext& ctx, int a,
+                                               int b);
+
+}  // namespace pathix

@@ -1,0 +1,127 @@
+#include "costmodel/path_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathix {
+
+Result<PathContext> PathContext::Build(const Schema& schema, const Path& path,
+                                       const Catalog& catalog,
+                                       const LoadDistribution& load,
+                                       QueryProfile profile) {
+  if (profile.matching_keys < 1) {
+    return Status::InvalidArgument("matching_keys must be >= 1");
+  }
+  PathContext ctx;
+  ctx.schema_ = &schema;
+  ctx.path_ = &path;
+  ctx.params_ = catalog.params();
+  ctx.profile_ = profile;
+  for (int l = 1; l <= path.length(); ++l) {
+    std::vector<LevelClassInfo> level;
+    for (ClassId cls : schema.HierarchyOf(path.class_at(l))) {
+      LevelClassInfo info;
+      info.cls = cls;
+      info.stats = catalog.GetClassStats(cls);
+      info.load = load.Get(cls);
+      info.k = info.stats.k();
+      const bool has_load = info.load.query > 0 || info.load.insert > 0 ||
+                            info.load.del > 0;
+      if (!catalog.HasClassStats(cls) && has_load) {
+        return Status::FailedPrecondition(
+            "class '" + schema.GetClass(cls).name() +
+            "' carries workload but has no statistics in the catalog");
+      }
+      level.push_back(info);
+    }
+    ctx.levels_.push_back(std::move(level));
+  }
+  return ctx;
+}
+
+double PathContext::S(int l) const {
+  double s = 0;
+  for (const LevelClassInfo& c : level(l)) s += c.k;
+  return s;
+}
+
+double PathContext::noidplus(int l) const {
+  PATHIX_DCHECK(l >= 1 && l <= n() + 1);
+  double prod = profile_.matching_keys;
+  for (int i = l; i <= n(); ++i) prod *= S(i);
+  return prod;
+}
+
+double PathContext::noid(int l, int j) const {
+  return level(l)[j].k * noidplus(l + 1);
+}
+
+double PathContext::NoidPlusWithin(int l, int b) const {
+  PATHIX_DCHECK(b <= n());
+  double prod = 1;
+  for (int i = l; i <= b; ++i) prod *= S(i);
+  return prod;
+}
+
+double PathContext::NoidWithin(int l, int j, int b) const {
+  return level(l)[j].k * NoidPlusWithin(l + 1, b);
+}
+
+double PathContext::KeyLenAt(int l) const {
+  const Attribute& attr = path_->attribute_at(l);
+  return attr.kind == AttrKind::kReference ? params_.oid_len
+                                           : params_.key_len;
+}
+
+double PathContext::DistinctKeysLevel(int l) const {
+  double sum_d = 0;
+  for (const LevelClassInfo& c : level(l)) sum_d += c.stats.d;
+  sum_d = std::max(1.0, sum_d);
+  // Reference attribute: values are oids of the next level's hierarchy, so
+  // the union of distinct values cannot exceed that population.
+  if (l < n()) {
+    return std::min(sum_d, std::max(1.0, TotalObjects(l + 1)));
+  }
+  return sum_d;
+}
+
+double PathContext::Nbar(int l, int j, int b) const {
+  PATHIX_DCHECK(l <= b && b <= n());
+  if (l == b) return level(l)[j].stats.nin;
+  // Average reachability of the next level, weighted by class population.
+  double next = 0;
+  double total_n = 0;
+  const auto& down = level(l + 1);
+  for (int jj = 0; jj < static_cast<int>(down.size()); ++jj) {
+    next += down[jj].stats.n * Nbar(l + 1, jj, b);
+    total_n += down[jj].stats.n;
+  }
+  next = total_n > 0 ? next / total_n : 0;
+  const double reach = level(l)[j].stats.nin * next;
+  return std::min(reach, DistinctKeysLevel(b));
+}
+
+double PathContext::Parents(int l) const {
+  PATHIX_DCHECK(l >= 2 && l <= n());
+  return S(l - 1);
+}
+
+double PathContext::TotalObjects(int l) const {
+  double total = 0;
+  for (const LevelClassInfo& c : level(l)) total += c.stats.n;
+  return total;
+}
+
+double PathContext::PrefixAlpha(int a) const {
+  double total = 0;
+  for (int l = 1; l < a; ++l) total += AlphaLevel(l);
+  return total;
+}
+
+double PathContext::AlphaLevel(int l) const {
+  double total = 0;
+  for (const LevelClassInfo& c : level(l)) total += c.load.query;
+  return total;
+}
+
+}  // namespace pathix

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "schema/path.h"
+#include "workload/load.h"
+
+/// \file path_context.h
+/// \brief All per-path derived statistics the organization cost models need:
+/// the hierarchy of classes per level, fan-ins k_{l,x}, the selectivity
+/// products noid/noid+ of Section 3.1, reachability fan-outs nbar, and the
+/// prefix query load of the workload model (Section 3.2).
+
+namespace pathix {
+
+/// Statistics and load for one class of one path level's hierarchy.
+struct LevelClassInfo {
+  ClassId cls = kInvalidClass;
+  ClassStats stats;
+  OpLoad load;
+  double k = 0;  ///< stats.k(): objects of the class sharing an A_l value
+};
+
+/// \brief Shape of the query predicate against the ending attribute.
+///
+/// The paper restricts Section 3 to equality predicates and notes the
+/// "extension to range predicates is straightforward": a range predicate
+/// matches `matching_keys` distinct A_n values, which seeds the selectivity
+/// recursion (noid+_{n+1} = matching_keys instead of 1).
+struct QueryProfile {
+  double matching_keys = 1;
+};
+
+/// \brief Immutable bundle of derived statistics for one path.
+///
+/// Levels are 1-based like the paper (l in [1, n]); within a level, index 0
+/// is the root class C_l and the rest are its transitive subclasses
+/// (the C_{l,x} of the paper).
+class PathContext {
+ public:
+  /// Binds \p path to schema, catalog and workload. Fails if statistics are
+  /// missing for a scope class with nonzero load.
+  static Result<PathContext> Build(const Schema& schema, const Path& path,
+                                   const Catalog& catalog,
+                                   const LoadDistribution& load,
+                                   QueryProfile profile = {});
+
+  int n() const { return static_cast<int>(levels_.size()); }
+  const Schema& schema() const { return *schema_; }
+  const Path& path() const { return *path_; }
+  const PhysicalParams& params() const { return params_; }
+
+  /// The inheritance hierarchy of level \p l (1-based); [0] is the root.
+  const std::vector<LevelClassInfo>& level(int l) const {
+    PATHIX_DCHECK(l >= 1 && l <= n());
+    return levels_[l - 1];
+  }
+  /// nc_l: classes in the hierarchy rooted at C_l.
+  int nc(int l) const { return static_cast<int>(level(l).size()); }
+
+  /// S(l) = sum_j k_{l,j}: oids fanned out per key value at level l.
+  double S(int l) const;
+
+  /// noid+_{l}: oids of the level-l hierarchy selected by the predicate on
+  /// A_n, for l in [1, n+1]; noid+_{n+1} = QueryProfile::matching_keys
+  /// (1 for the paper's equality predicates, Section 3.1).
+  double noidplus(int l) const;
+
+  /// noid_{l,j} = k_{l,j} * noid+_{l+1}: selected oids of class C_{l,j}.
+  double noid(int l, int j) const;
+
+  /// Same products restricted to a subpath ending at level \p b (used to
+  /// size NIX primary records): prod_{i=l..b} within the subpath.
+  double NoidPlusWithin(int l, int b) const;
+  double NoidWithin(int l, int j, int b) const;
+
+  /// Key length of values of A_l: oid_len for reference attributes, the
+  /// atomic key length for the ending attribute of the full path.
+  double KeyLenAt(int l) const;
+
+  /// Distinct values of A_l across the whole level hierarchy (clamped by
+  /// the domain cardinality for reference attributes).
+  double DistinctKeysLevel(int l) const;
+
+  /// nbar_{l,j} w.r.t. level b: average number of distinct A_b values
+  /// reachable from one object of C_{l,j} (primary records an object of
+  /// C_{l,j} appears in, for a NIX whose subpath ends at b).
+  double Nbar(int l, int j, int b) const;
+
+  /// par at level l: average number of aggregation parents (objects of the
+  /// level l-1 hierarchy referencing a given object) = S(l-1).
+  double Parents(int l) const;
+
+  /// Total objects of the level hierarchy.
+  double TotalObjects(int l) const;
+
+  /// Sum of query frequencies of all classes at levels < a (the derived
+  /// subpath load of Section 3.2).
+  double PrefixAlpha(int a) const;
+
+  /// Sum of query frequencies at level \p l.
+  double AlphaLevel(int l) const;
+
+  const QueryProfile& profile() const { return profile_; }
+
+ private:
+  PathContext() = default;
+
+  const Schema* schema_ = nullptr;
+  const Path* path_ = nullptr;
+  PhysicalParams params_;
+  QueryProfile profile_;
+  std::vector<std::vector<LevelClassInfo>> levels_;
+};
+
+}  // namespace pathix

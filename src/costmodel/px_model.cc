@@ -1,0 +1,73 @@
+#include "costmodel/px_model.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+
+namespace pathix {
+
+PXCostModel::PXCostModel(const PathContext& ctx, int a, int b)
+    : OrgCostModel(ctx, a, b) {
+  const PhysicalParams& pp = ctx.params();
+  // Instantiations per key value: one tuple per distinct path, i.e. the
+  // product of the per-level fan-ins S(a)...S(b).
+  const double inst_per_key = ctx.NoidPlusWithin(a, b);
+  inst_len_ = (b - a + 1) * pp.oid_len;
+  const double ln =
+      ctx.KeyLenAt(b) + pp.rec_overhead + inst_per_key * inst_len_;
+  primary_ = BTreeModel::Build(ctx.DistinctKeysLevel(b), ln, ctx.KeyLenAt(b),
+                               pp);
+}
+
+double PXCostModel::QueryCost(int l, int j) const {
+  (void)l;
+  (void)j;
+  // One probe per delivered key; the whole record is read (instantiation
+  // tuples are not grouped per class).
+  return CRT(primary_, ctx_.noidplus(b_ + 1));
+}
+
+double PXCostModel::QueryCostHierarchy(int l) const { return QueryCost(l, 0); }
+
+double PXCostModel::TuplesThroughObject(int l, int j) const {
+  (void)j;
+  // Paths above the object: product of fan-ins of levels a..l-1 (times the
+  // object's own fan-in k share); paths below: its nbar spread over the
+  // reachable keys. Averaged per key, an object of C_{l,j} appears in
+  // (paths through it) / (distinct keys it reaches) tuples of each record.
+  double above = 1;
+  for (int i = a_; i < l; ++i) above *= std::max(1.0, ctx_.S(i));
+  // Each of its nin children chains independently below; per reachable key
+  // the object contributes at least one tuple.
+  return std::max(1.0, above);
+}
+
+double PXCostModel::InsertCost(int l, int j) const {
+  // New instantiations appear in every record the object reaches; the
+  // affected tuples multiply the fan-in above the object.
+  const double records = ctx_.Nbar(l, j, b_);
+  const double tuples = TuplesThroughObject(l, j);
+  const double pages_per_record = std::clamp(
+      CeilDiv(tuples * inst_len_, ctx_.params().page_size), 1.0,
+      primary_.record_pages());
+  return CMTWithPm(primary_, records, pages_per_record);
+}
+
+double PXCostModel::DeleteCost(int l, int j) const {
+  // Deletion removes the same tuples but must locate them within the whole
+  // record (no class grouping): the full record span is touched.
+  return CMTWithPm(primary_, ctx_.Nbar(l, j, b_), primary_.record_pages());
+}
+
+double PXCostModel::BoundaryDeleteCost() const {
+  if (b_ == ctx_.n()) return 0;
+  return CMLWithPm(primary_, primary_.record_pages());
+}
+
+double PXCostModel::StorageBytes() const {
+  double pages = 0;
+  for (const BTreeLevelInfo& lvl : primary_.levels()) pages += lvl.pages;
+  return pages * ctx_.params().page_size;
+}
+
+}  // namespace pathix

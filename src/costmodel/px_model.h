@@ -1,0 +1,47 @@
+#pragma once
+
+#include "costmodel/access_functions.h"
+#include "costmodel/org_model.h"
+
+/// \file px_model.h
+/// \brief Path-index (PX) cost model — the Section 6 extension covering
+/// Bertino/Guglielmina's *path index* [6]: one B+-tree mapping each ending
+/// value to the set of full **path instantiations** (o_a, o_{a+1}, ..., o_b)
+/// reaching it.
+///
+/// Consequences modelled here:
+///  - queries w.r.t. *any* class are a single probe (the instantiation
+///    tuples project onto every position), at the price of records that
+///    grow with the product of the fan-ins — the largest of all
+///    organizations;
+///  - maintenance rewrites instantiation tuples: an update at level l
+///    invalidates every instantiation through the object. Locating them is
+///    direct (the record is keyed by the reachable ending values), but the
+///    number of affected tuples multiplies the fan-ins above *and* below
+///    the object.
+
+namespace pathix {
+
+class PXCostModel : public OrgCostModel {
+ public:
+  PXCostModel(const PathContext& ctx, int a, int b);
+
+  double QueryCost(int l, int j) const override;
+  double QueryCostHierarchy(int l) const override;
+  double InsertCost(int l, int j) const override;
+  double DeleteCost(int l, int j) const override;
+  double BoundaryDeleteCost() const override;
+  double StorageBytes() const override;
+
+  const BTreeModel& primary() const { return primary_; }
+
+ private:
+  /// Average instantiation tuples through one object of C_{l,j}, per
+  /// reachable ending value.
+  double TuplesThroughObject(int l, int j) const;
+
+  BTreeModel primary_;
+  double inst_len_ = 0;  ///< bytes of one instantiation tuple
+};
+
+}  // namespace pathix

@@ -1,0 +1,43 @@
+#include "costmodel/subpath_cost.h"
+
+namespace pathix {
+
+SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
+                               IndexOrg org) {
+  const std::unique_ptr<OrgCostModel> model = MakeOrgCostModel(org, ctx, a, b);
+  SubpathCost cost;
+
+  for (int l = a; l <= b; ++l) {
+    const auto& level = ctx.level(l);
+    for (int j = 0; j < static_cast<int>(level.size()); ++j) {
+      const OpLoad& load = level[j].load;
+      if (load.query > 0) cost.query += load.query * model->QueryCost(l, j);
+      if (load.insert > 0) {
+        cost.maintain += load.insert * model->InsertCost(l, j);
+      }
+      if (load.del > 0) cost.maintain += load.del * model->DeleteCost(l, j);
+    }
+  }
+
+  // Queries with respect to classes upstream of the subpath traverse it
+  // with respect to its root hierarchy (derived load, Section 3.2).
+  if (a > 1) {
+    const double prefix_alpha = ctx.PrefixAlpha(a);
+    if (prefix_alpha > 0) {
+      cost.prefix = prefix_alpha * model->QueryCostHierarchy(a);
+    }
+  }
+
+  // Deletions of objects of the next subpath's root hierarchy remove their
+  // key record from this subpath's index (Definition 4.2, CMD).
+  if (b < ctx.n()) {
+    double gamma_next = 0;
+    for (const LevelClassInfo& c : ctx.level(b + 1)) gamma_next += c.load.del;
+    if (gamma_next > 0) {
+      cost.boundary = gamma_next * model->BoundaryDeleteCost();
+    }
+  }
+  return cost;
+}
+
+}  // namespace pathix

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "costmodel/org_model.h"
+
+/// \file subpath_cost.h
+/// \brief The processing cost of one subpath under one organization — the
+/// quantity stored in the algorithm's Cost_Matrix (Sections 4 and 5).
+
+namespace pathix {
+
+/// Breakdown of a subpath's processing cost (all in page accesses,
+/// workload-weighted).
+struct SubpathCost {
+  double query = 0;     ///< searching cost of the subpath's own query load
+  double prefix = 0;    ///< searching cost of queries w.r.t. upstream classes
+  double maintain = 0;  ///< insert/delete maintenance within the subpath
+  double boundary = 0;  ///< CMD: deletions of the next subpath's root class
+
+  double total() const { return query + prefix + maintain + boundary; }
+};
+
+/// \brief Computes the processing cost of indexing the subpath [a, b] of the
+/// context's path with organization \p org (DESIGN.md §4.5):
+///
+///   PC(S, X) = sum_{C_{l,x} in scope(S)} alpha CR_X(C_{l,x})
+///            + prefix_alpha(S) * CR+_X(C_a)
+///            + sum_{C_{l,x}} [beta CMins_X + gamma CMdel_X]
+///            + [b < n] sum_{x in C+_{b+1}} gamma CMD_X(A_b)
+///
+/// The decomposition follows Propositions 4.1/4.2 and Definition 4.2, which
+/// make configuration costs the sum of their subpath costs.
+SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
+                               IndexOrg org);
+
+}  // namespace pathix

@@ -1,0 +1,71 @@
+#include "datagen/generator.h"
+
+#include <random>
+
+namespace pathix {
+
+std::string EndingValue(int i) { return "val-" + std::to_string(i); }
+
+std::map<ClassId, std::vector<Oid>> PathDataGenerator::Populate(
+    SimDatabase* db, const Path& path,
+    const std::vector<ClassGenSpec>& specs) {
+  std::mt19937 rng(seed_);
+  std::map<ClassId, const ClassGenSpec*> by_class;
+  for (const ClassGenSpec& spec : specs) by_class[spec.cls] = &spec;
+
+  std::map<ClassId, std::vector<Oid>> created;
+
+  // Bottom-up so that references point at existing objects.
+  for (int l = path.length(); l >= 1; --l) {
+    const std::string& attr = path.attribute_at(l).name;
+    const bool ending = (l == path.length());
+
+    // The reference pool: every object of the next level's hierarchy.
+    std::vector<Oid> pool;
+    if (!ending) {
+      for (ClassId cls : db->schema().HierarchyOf(path.class_at(l + 1))) {
+        const auto it = created.find(cls);
+        if (it != created.end()) {
+          pool.insert(pool.end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+
+    for (ClassId cls : db->schema().HierarchyOf(path.class_at(l))) {
+      const auto spec_it = by_class.find(cls);
+      if (spec_it == by_class.end()) continue;
+      const ClassGenSpec& spec = *spec_it->second;
+
+      std::uniform_int_distribution<int> value_dist(
+          0, std::max(1, spec.distinct_values) - 1);
+      std::uniform_real_distribution<double> frac(0.0, 1.0);
+
+      for (int i = 0; i < spec.count; ++i) {
+        // nin values on average: floor(nin) plus one more with the
+        // fractional probability.
+        int nvals = static_cast<int>(spec.nin);
+        if (frac(rng) < spec.nin - nvals) ++nvals;
+        nvals = std::max(1, nvals);
+
+        AttrValues attrs;
+        std::vector<Value>& values = attrs[attr];
+        if (ending) {
+          for (int v = 0; v < nvals; ++v) {
+            values.push_back(Value::Str(EndingValue(value_dist(rng))));
+          }
+        } else if (!pool.empty()) {
+          std::uniform_int_distribution<std::size_t> ref_dist(
+              0, pool.size() - 1);
+          for (int v = 0; v < nvals; ++v) {
+            values.push_back(Value::Ref(pool[ref_dist(rng)]));
+          }
+        }
+        created[cls].push_back(db->Insert(cls, std::move(attrs)));
+      }
+    }
+  }
+  db->pager().ResetStats();
+  return created;
+}
+
+}  // namespace pathix

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "exec/database.h"
+#include "schema/path.h"
+
+/// \file generator.h
+/// \brief Synthetic data generation: populates a SimDatabase so that each
+/// class along a path matches target statistics (object count, distinct
+/// path-attribute values, multi-value fan-out) — the knobs of Figure 7.
+
+namespace pathix {
+
+/// Generation targets for one class.
+struct ClassGenSpec {
+  ClassId cls = kInvalidClass;
+  int count = 0;          ///< n: objects to create
+  int distinct_values = 1;///< d: distinct values of the path attribute
+                          ///< (meaningful for ending-level classes)
+  double nin = 1.0;       ///< average values per object for the path attr
+};
+
+/// \brief Deterministic generator (seeded Mersenne twister).
+class PathDataGenerator {
+ public:
+  explicit PathDataGenerator(std::uint32_t seed) : seed_(seed) {}
+
+  /// Populates \p db along \p path: ending-level classes draw atomic values
+  /// from a pool of `distinct_values` strings; inner levels reference the
+  /// next level's objects uniformly, `nin` refs per object on average.
+  /// Returns the generated oids per class. Page-access counters are reset
+  /// afterwards (loading is not part of any experiment).
+  std::map<ClassId, std::vector<Oid>> Populate(
+      SimDatabase* db, const Path& path,
+      const std::vector<ClassGenSpec>& specs);
+
+ private:
+  std::uint32_t seed_;
+};
+
+/// Value pool helper: the i-th distinct ending-attribute value.
+std::string EndingValue(int i);
+
+}  // namespace pathix

@@ -1,0 +1,114 @@
+#include "datagen/paper_schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pathix {
+
+Schema MakePaperSchema(ClassId* person, ClassId* vehicle, ClassId* bus,
+                       ClassId* truck, ClassId* company, ClassId* division) {
+  Schema s;
+  const ClassId per = s.AddClass("Person").value();
+  const ClassId veh = s.AddClass("Vehicle").value();
+  const ClassId bus_c = s.AddClass("Bus", veh).value();
+  const ClassId truck_c = s.AddClass("Truck", veh).value();
+  const ClassId comp = s.AddClass("Company").value();
+  const ClassId divi = s.AddClass("Division").value();
+
+  // Person
+  CheckOk(s.AddAtomicAttribute(per, "name", AtomicType::kString));
+  CheckOk(s.AddAtomicAttribute(per, "age", AtomicType::kInt));
+  CheckOk(s.AddReferenceAttribute(per, "owns", veh, /*multi_valued=*/true));
+  // Vehicle (+ subclasses)
+  CheckOk(s.AddAtomicAttribute(veh, "id", AtomicType::kInt));
+  CheckOk(s.AddAtomicAttribute(veh, "color", AtomicType::kString));
+  CheckOk(s.AddAtomicAttribute(veh, "max-speed", AtomicType::kInt));
+  CheckOk(s.AddReferenceAttribute(veh, "man", comp, /*multi_valued=*/true));
+  CheckOk(s.AddAtomicAttribute(bus_c, "seats", AtomicType::kInt));
+  CheckOk(s.AddAtomicAttribute(truck_c, "height", AtomicType::kInt));
+  CheckOk(s.AddAtomicAttribute(truck_c, "availability", AtomicType::kString));
+  // Company
+  CheckOk(s.AddAtomicAttribute(comp, "name", AtomicType::kString));
+  CheckOk(s.AddAtomicAttribute(comp, "location", AtomicType::kString));
+  CheckOk(s.AddReferenceAttribute(comp, "divs", divi, /*multi_valued=*/true));
+  // Division
+  CheckOk(s.AddAtomicAttribute(divi, "name", AtomicType::kString));
+  CheckOk(s.AddAtomicAttribute(divi, "movings", AtomicType::kInt));
+
+  if (person != nullptr) *person = per;
+  if (vehicle != nullptr) *vehicle = veh;
+  if (bus != nullptr) *bus = bus_c;
+  if (truck != nullptr) *truck = truck_c;
+  if (company != nullptr) *company = comp;
+  if (division != nullptr) *division = divi;
+  return s;
+}
+
+namespace {
+
+ClassStats Scaled(double n, double d, double nin, double obj_len,
+                  double scale) {
+  ClassStats st;
+  st.n = std::max(1.0, std::floor(n / scale));
+  st.d = std::max(1.0, std::floor(d / scale));
+  st.nin = nin;
+  st.obj_len = obj_len;
+  return st;
+}
+
+}  // namespace
+
+PaperSetup MakeExample51Setup(double scale) {
+  PATHIX_DCHECK(scale >= 1.0);
+  PaperSetup setup;
+  setup.schema =
+      MakePaperSchema(&setup.person, &setup.vehicle, &setup.bus, &setup.truck,
+                      &setup.company, &setup.division);
+  setup.path = Path::Create(setup.schema, setup.person,
+                            {"owns", "man", "divs", "name"})
+                   .value();
+
+  // Figure 7: database characteristics (n, d, nin).
+  setup.catalog.SetClassStats(setup.person, Scaled(200000, 20000, 1, 64, scale));
+  setup.catalog.SetClassStats(setup.vehicle, Scaled(10000, 5000, 3, 64, scale));
+  setup.catalog.SetClassStats(setup.bus, Scaled(5000, 2500, 2, 64, scale));
+  setup.catalog.SetClassStats(setup.truck, Scaled(5000, 2500, 2, 64, scale));
+  setup.catalog.SetClassStats(setup.company, Scaled(1000, 1000, 4, 64, scale));
+  setup.catalog.SetClassStats(setup.division, Scaled(1000, 1000, 1, 64, scale));
+
+  // Figure 7: load distribution (alpha, beta, gamma).
+  setup.load.Set(setup.person, 0.3, 0.1, 0.1);
+  setup.load.Set(setup.vehicle, 0.3, 0.0, 0.05);
+  setup.load.Set(setup.bus, 0.05, 0.05, 0.1);
+  setup.load.Set(setup.truck, 0.0, 0.1, 0.0);
+  setup.load.Set(setup.company, 0.1, 0.1, 0.1);
+  setup.load.Set(setup.division, 0.2, 0.2, 0.1);
+  return setup;
+}
+
+CostMatrix MakeFigure6Matrix() {
+  const int n = 4;
+  const std::vector<IndexOrg> orgs = {IndexOrg::kMX, IndexOrg::kMIX,
+                                      IndexOrg::kNIX};
+  // Rows in EnumerateSubpaths(4) order: [1,1] [2,2] [3,3] [4,4]
+  // [1,2] [2,3] [3,4] [1,3] [2,4] [1,4].
+  const std::vector<std::vector<double>> values = {
+      {3, 4, 6},    // C1.A1           min 3 (MX)
+      {4, 4, 4},    // C2.A2           min 4
+      {2, 3, 4},    // C3.A3           min 2 (MX)
+      {4, 5, 5},    // C4.A4           min 4 (MX)
+      {7, 6, 8},    // C1.A1.A2        min 6 (MIX)
+      {6, 5, 6},    // C2.A2.A3        min 5 (MIX)
+      {8, 7, 6},    // C3.A3.A4        min 6 (NIX)
+      {9, 8, 10},   // C1.A1.A2.A3     min 8 (MIX)
+      {7, 6, 5},    // C2.A2.A3.A4     min 5 (NIX)
+      {12, 10, 9},  // C1.A1.A2.A3.A4  min 9 (NIX)
+  };
+  const std::vector<std::string> labels = {
+      "C1.A1",       "C2.A2",    "C3.A3",       "C4.A4",
+      "C1.A1..A2",   "C2.A2..A3", "C3.A3..A4",  "C1.A1..A3",
+      "C2.A2..A4",   "C1.A1..A4"};
+  return CostMatrix::FromValues(n, orgs, values, labels);
+}
+
+}  // namespace pathix

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/cost_matrix.h"
+#include "schema/path.h"
+#include "workload/load.h"
+
+/// \file paper_schema.h
+/// \brief Canned setups from the paper: the vehicle schema of Figure 1, the
+/// database/workload characteristics of Figure 7, and the hypothetical cost
+/// matrix of Figure 6.
+
+namespace pathix {
+
+/// The Figure 1 / Figure 7 experimental setup bundled together.
+struct PaperSetup {
+  Schema schema;
+  Path path;  ///< Pexa = Per.owns.man.divs.name
+  Catalog catalog;
+  LoadDistribution load;
+
+  ClassId person = kInvalidClass;
+  ClassId vehicle = kInvalidClass;
+  ClassId bus = kInvalidClass;
+  ClassId truck = kInvalidClass;
+  ClassId company = kInvalidClass;
+  ClassId division = kInvalidClass;
+};
+
+/// \brief Builds the logical schema of Figure 1.
+///
+/// Classes: Person, Vehicle (subclasses Bus, Truck), Company, Division.
+/// Part-of: Person.owns+ -> Vehicle, Vehicle.man -> Company,
+/// Company.divs+ -> Division; plus the atomic attributes of the figure
+/// (name, age, color, max-speed, seats, height, availability, location).
+Schema MakePaperSchema(ClassId* person, ClassId* vehicle, ClassId* bus,
+                       ClassId* truck, ClassId* company, ClassId* division);
+
+/// \brief The full Example 5.1 setup: Figure 1 schema, path Pexa, Figure 7
+/// statistics and load distribution.
+///
+/// Statistics (n, d, nin) per Figure 7: Per(200000, 20000, 1),
+/// Veh(10000, 5000, 3), Bus(5000, 2500, 2), Truck(5000, 2500, 2),
+/// Comp(1000, 1000, 4), Div(1000, 1000, 1). Loads (alpha, beta, gamma):
+/// Per(.3,.1,.1), Veh(.3,0,.05), Bus(.05,.05,.1), Truck(0,.1,0),
+/// Comp(.1,.1,.1), Div(.2,.2,.1).
+///
+/// \param scale divides every n and d (floor 1) so the physical simulator
+/// can run the same shape at laptop scale; 1 reproduces the paper's values.
+PaperSetup MakeExample51Setup(double scale = 1.0);
+
+/// \brief The hypothetical cost matrix of Figure 6 for
+/// Pex = C1.A1.A2.A3.A4.
+///
+/// Only a few entries are printed in the paper; the remaining values are
+/// reconstructed to satisfy every constraint of the Section 5 walkthrough
+/// (row minima: S[1,1]=3 MX, S[2,2]=4, S[3,3]=2 MX, S[4,4]=4 MX,
+/// S[1,2]=6 MIX, S[2,3]=5, S[3,4]=6 NIX, S[1,3]=8 MIX, S[2,4]=5 NIX,
+/// S[1,4]=9 NIX), so the branch-and-bound trace of the paper is reproduced
+/// verbatim.
+CostMatrix MakeFigure6Matrix();
+
+}  // namespace pathix

@@ -1,0 +1,45 @@
+#include "exec/analyze.h"
+
+#include <algorithm>
+#include <set>
+
+#include "index/key.h"
+
+namespace pathix {
+
+Catalog CollectStatistics(const ObjectStore& store, const Schema& schema,
+                          const Path& path, const PhysicalParams& params) {
+  Catalog catalog(params);
+  for (int l = 1; l <= path.length(); ++l) {
+    const std::string& attr = path.attribute_at(l).name;
+    for (ClassId cls : schema.HierarchyOf(path.class_at(l))) {
+      const std::vector<Oid> oids = store.PeekAll(cls);
+      ClassStats stats;
+      stats.n = static_cast<double>(oids.size());
+      std::set<std::string> distinct;
+      double total_values = 0;
+      double total_bytes = 0;
+      for (Oid oid : oids) {
+        const Object* obj = store.Peek(oid);
+        total_bytes += static_cast<double>(obj->bytes());
+        for (const Value& v : obj->values(attr)) {
+          // Dangling references do not select anything; skip them like the
+          // evaluators do.
+          if (v.kind() == Value::Kind::kRef &&
+              store.Peek(v.as_ref()) == nullptr) {
+            continue;
+          }
+          total_values += 1;
+          distinct.insert(Key::FromValue(v).ToString());
+        }
+      }
+      stats.d = std::max<double>(1.0, static_cast<double>(distinct.size()));
+      stats.nin = stats.n > 0 ? std::max(1.0, total_values / stats.n) : 1.0;
+      stats.obj_len = stats.n > 0 ? total_bytes / stats.n : 64.0;
+      catalog.SetClassStats(cls, stats);
+    }
+  }
+  return catalog;
+}
+
+}  // namespace pathix

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "catalog/catalog.h"
+#include "schema/path.h"
+#include "storage/object_store.h"
+
+/// \file analyze.h
+/// \brief Statistics collection ("ANALYZE"): derives the catalog statistics
+/// the cost model needs (n, d, nin per class along a path) from the actual
+/// contents of an object store, so that analytic predictions can be
+/// compared against measured page accesses on the same data.
+
+namespace pathix {
+
+/// Computes ClassStats for every class in the scope of \p path from the
+/// store's live objects. \p params seeds the catalog's physical parameters
+/// (they must match the store's pager).
+Catalog CollectStatistics(const ObjectStore& store, const Schema& schema,
+                          const Path& path, const PhysicalParams& params);
+
+}  // namespace pathix

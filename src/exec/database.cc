@@ -1,0 +1,85 @@
+#include "exec/database.h"
+
+#include "index/nix_index.h"
+
+namespace pathix {
+
+Oid SimDatabase::Insert(ClassId cls, AttrValues attrs) {
+  Object obj;
+  obj.cls = cls;
+  obj.attrs = std::move(attrs);
+  const Oid oid = store_.Insert(std::move(obj));
+  if (physical_.has_value()) {
+    physical_->OnInsert(*store_.Peek(oid));
+  }
+  return oid;
+}
+
+Status SimDatabase::Delete(Oid oid) {
+  const Object* obj = store_.Peek(oid);
+  if (obj == nullptr) {
+    return Status::NotFound("object " + std::to_string(oid));
+  }
+  // Index maintenance first: it needs the pre-deletion image.
+  if (physical_.has_value()) {
+    physical_->OnDelete(*obj);
+  }
+  return store_.Delete(oid);
+}
+
+Status SimDatabase::ConfigureIndexes(const Path& path,
+                                     IndexConfiguration config) {
+  // The physical configuration keeps pointers into this database; bind it
+  // to our own stable copy of the path, not the caller's.
+  path_ = path;
+  Result<PhysicalConfiguration> phys = PhysicalConfiguration::Create(
+      &pager_, schema_, *path_, std::move(config));
+  if (!phys.ok()) {
+    path_.reset();
+    physical_.reset();
+    return phys.status();
+  }
+  physical_.emplace(std::move(phys).value());
+  physical_->Build(store_);
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> SimDatabase::Query(const Key& ending_value,
+                                            ClassId target_class,
+                                            bool include_subclasses) {
+  if (!physical_.has_value()) {
+    return Status::FailedPrecondition("no index configuration installed");
+  }
+  return physical_->Evaluate(ending_value, target_class, include_subclasses);
+}
+
+Result<std::vector<Oid>> SimDatabase::QueryNaive(const Key& ending_value,
+                                                 ClassId target_class,
+                                                 bool include_subclasses) {
+  if (!path_.has_value()) {
+    return Status::FailedPrecondition(
+        "no path configured (naive evaluation follows the configured path)");
+  }
+  NaiveEvaluator eval(&store_, &schema_, &*path_);
+  return eval.Evaluate(ending_value, target_class, include_subclasses,
+                       &pager_);
+}
+
+Status SimDatabase::ValidateIndexes() const {
+  if (!physical_.has_value()) return Status::OK();
+  return physical_->Validate();
+}
+
+Status SimDatabase::ValidateIndexesDeep() const {
+  if (!physical_.has_value()) return Status::OK();
+  PATHIX_RETURN_IF_ERROR(physical_->Validate());
+  for (const auto& index : physical_->indexes()) {
+    if (index->org() == IndexOrg::kNIX) {
+      const auto* nix = static_cast<const NIXIndex*>(index.get());
+      PATHIX_RETURN_IF_ERROR(nix->ValidateAgainstStore(store_));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pathix

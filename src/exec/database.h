@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "catalog/catalog.h"
+#include "exec/naive_evaluator.h"
+#include "index/physical_config.h"
+
+/// \file database.h
+/// \brief SimDatabase: the simulated object database — schema + paged object
+/// store + (optionally) a physical index configuration on one path. Every
+/// operation counts page accesses, the paper's cost metric.
+
+namespace pathix {
+
+class SimDatabase {
+ public:
+  SimDatabase(Schema schema, PhysicalParams params)
+      : schema_(std::move(schema)),
+        pager_(static_cast<std::size_t>(params.page_size)),
+        store_(&pager_) {}
+
+  // The physical configuration holds pointers into this object; pin it.
+  SimDatabase(const SimDatabase&) = delete;
+  SimDatabase& operator=(const SimDatabase&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  Pager& pager() { return pager_; }
+  ObjectStore& store() { return store_; }
+
+  // ------------------------------------------------------------- updates
+
+  /// Stores a new object and maintains the configured indexes. Returns the
+  /// assigned oid.
+  Oid Insert(ClassId cls, AttrValues attrs);
+
+  /// Deletes an object, maintaining the configured indexes (including the
+  /// preceding subpath's key record, Definition 4.2).
+  Status Delete(Oid oid);
+
+  // ------------------------------------------------------------- indexing
+
+  /// Builds the physical indexes of \p config on \p path from the current
+  /// store contents (uncounted). Replaces any previous configuration.
+  Status ConfigureIndexes(const Path& path, IndexConfiguration config);
+
+  bool has_indexes() const { return physical_.has_value(); }
+  const PhysicalConfiguration& physical() const { return *physical_; }
+
+  // -------------------------------------------------------------- queries
+
+  /// Evaluates "A_n = value" w.r.t. \p target_class via the configured
+  /// indexes. Counted (index pages only — the searching cost of Section 4).
+  Result<std::vector<Oid>> Query(const Key& ending_value,
+                                 ClassId target_class,
+                                 bool include_subclasses = false);
+
+  /// The same query evaluated by scanning and navigating (no indexes).
+  Result<std::vector<Oid>> QueryNaive(const Key& ending_value,
+                                      ClassId target_class,
+                                      bool include_subclasses = false);
+
+  // ------------------------------------------------------------ integrity
+
+  /// Structural invariants of every configured index.
+  Status ValidateIndexes() const;
+
+  /// Deep check: NIX contents against ground-truth reachability, and the
+  /// MX/MIX trees' structure. Slow; tests only.
+  Status ValidateIndexesDeep() const;
+
+ private:
+  Schema schema_;
+  Pager pager_;
+  ObjectStore store_;
+  std::optional<Path> path_;
+  std::optional<PhysicalConfiguration> physical_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,9 @@
+#include "index/btree.h"
+
+namespace pathix {
+
+// Explicit instantiations of the two record shapes used by the library.
+template class BTree<PostingRecord>;
+template class BTree<AuxRecord>;
+
+}  // namespace pathix

@@ -1,0 +1,582 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/math.h"
+#include "common/status.h"
+#include "index/key.h"
+#include "storage/pager.h"
+
+/// \file btree.h
+/// \brief Paged B+-tree with chained leaves and record-overflow chains —
+/// the physical index structure underlying every organization of Section 3.
+///
+/// The tree is generic over the leaf-record type so the same structure
+/// backs posting-list indexes (SIX/IIX/MX/MIX, NIX primary) and the NIX
+/// auxiliary index of 3-tuples. A Record must expose:
+///   const Key& key() const;
+///   std::size_t bytes() const;
+///
+/// Pages: each node occupies one page; a record larger than a page is kept
+/// out-of-node in an overflow chain of ceil(bytes/p) pages, with only a
+/// (key, pointer) stub in the leaf — matching the cost model's multi-page
+/// index records. Node splits occur when a node's byte occupancy exceeds
+/// the page size. Deletions shrink nodes without merging (standard lazy
+/// deletion).
+///
+/// Every public operation counts page traffic through the Pager; *Peek*
+/// operations are uncounted and intended for builds and test assertions.
+
+namespace pathix {
+
+/// \brief Page-charge deduplication for batched operations.
+///
+/// Yao's formula — the cost model's backbone — charges each page once per
+/// batched access, however many records on it are touched. Batched probes
+/// and per-round maintenance pass a BatchCharge so the simulator counts the
+/// same way (sorted batch probes are standard practice in real systems).
+struct BatchCharge {
+  std::set<PageId> reads;
+  std::set<PageId> writes;
+  /// Overflow-chain pages, identified by (record key hash, page index):
+  /// within one batched operation a record's chain is buffered after the
+  /// first fetch ("a page will be fetched only once", Section 3.1).
+  std::set<std::pair<std::size_t, std::size_t>> chain_reads;
+  std::set<std::pair<std::size_t, std::size_t>> chain_writes;
+};
+
+/// Posting entry of an index record: an object holding the record's key
+/// value, with the NIX numchild counter (Figure 3; 1 elsewhere).
+struct Posting {
+  ClassId cls = kInvalidClass;
+  Oid oid = kInvalidOid;
+  std::int32_t numchild = 1;
+
+  static constexpr std::size_t kBytes = 16;  // cls + oid + numchild
+  bool operator==(const Posting& other) const {
+    return cls == other.cls && oid == other.oid &&
+           numchild == other.numchild;
+  }
+};
+
+/// Leaf record of the posting-list indexes: key value -> postings.
+struct PostingRecord {
+  Key key_value;
+  std::vector<Posting> postings;
+
+  const Key& key() const { return key_value; }
+  std::size_t bytes() const {
+    return key_value.bytes() + 8 + postings.size() * Posting::kBytes;
+  }
+};
+
+/// Leaf record of the NIX auxiliary index: the 3-tuple of Figure 4 —
+/// object oid, pointers to the primary records listing the object, and the
+/// object's aggregation parents.
+struct AuxRecord {
+  Key key_value;  ///< Key::FromOid(oid of the object)
+  std::set<Key> primary_keys;
+  std::vector<Oid> parents;
+
+  const Key& key() const { return key_value; }
+  std::size_t bytes() const {
+    std::size_t b = key_value.bytes() + 16;
+    for (const Key& k : primary_keys) b += k.bytes() + 8;
+    b += parents.size() * 8;
+    return b;
+  }
+};
+
+/// \brief The tree.
+template <typename Record>
+class BTree {
+ public:
+  BTree(Pager* pager, std::string name)
+      : pager_(pager), name_(std::move(name)) {
+    root_ = std::make_unique<Node>(/*leaf=*/true, pager_->Allocate());
+  }
+
+  const std::string& name() const { return name_; }
+
+  // ------------------------------------------------------------- counted
+
+  /// Retrieves the record for \p key, reading the root-to-leaf path and the
+  /// whole overflow chain of a multi-page record. nullptr if absent.
+  /// \p batch deduplicates page charges across a batched operation.
+  const Record* Lookup(const Key& key, BatchCharge* batch = nullptr) {
+    Node* leaf = DescendCounted(key, batch);
+    Record* rec = FindInLeaf(leaf, key);
+    if (rec != nullptr) {
+      CountChainReads(*rec, ChainPages(*rec), batch);
+    }
+    return rec;
+  }
+
+  /// As Lookup, but reads at most \p needed_bytes of a multi-page record
+  /// (partial retrieval, e.g. one class's slice of a NIX primary record).
+  const Record* LookupPartial(const Key& key, std::size_t needed_bytes) {
+    return LookupPartialFn(key,
+                           [needed_bytes](const Record&) { return needed_bytes; });
+  }
+
+  /// As LookupPartial with the needed bytes computed from the record (the
+  /// record's directory is inspected on its first page before the chain is
+  /// followed).
+  template <typename NeedFn>
+  const Record* LookupPartialFn(const Key& key, NeedFn&& needed_bytes_fn,
+                                BatchCharge* batch = nullptr) {
+    Node* leaf = DescendCounted(key, batch);
+    Record* rec = FindInLeaf(leaf, key);
+    if (rec != nullptr) {
+      const std::size_t chain = ChainPages(*rec);
+      if (chain > 0) {
+        const std::size_t needed_bytes = needed_bytes_fn(*rec);
+        const std::size_t needed = static_cast<std::size_t>(
+            CeilDiv(static_cast<double>(needed_bytes),
+                    static_cast<double>(pager_->page_size())));
+        CountChainReads(*rec,
+                        std::min(chain, std::max<std::size_t>(needed, 1)),
+                        batch);
+      }
+    }
+    return rec;
+  }
+
+  /// Applies \p fn to the record for \p key, creating it with \p make if
+  /// absent. Counts the descent, the leaf write, \p touched_chain_pages
+  /// read+written pages of a multi-page record, and any split writes.
+  template <typename Make, typename Fn>
+  void Upsert(const Key& key, Make&& make, Fn&& fn,
+              std::size_t touched_chain_pages = 1,
+              BatchCharge* batch = nullptr) {
+    Node* leaf = DescendCounted(key, batch);
+    Record* rec = FindInLeaf(leaf, key);
+    if (rec == nullptr) {
+      Record fresh = make();
+      PATHIX_DCHECK(fresh.key() == key);
+      fn(&fresh);
+      InsertRecord(std::move(fresh));
+      return;
+    }
+    fn(rec);
+    TouchRecord(leaf, *rec, touched_chain_pages, batch);
+    // The mutation may have grown the record past the node budget.
+    if (NodeBytes(leaf) > pager_->page_size()) {
+      RebalanceAfterGrowth(key);
+    }
+  }
+
+  /// Applies \p fn to an existing record; returns false (counting only the
+  /// descent) if the key is absent.
+  template <typename Fn>
+  bool Mutate(const Key& key, Fn&& fn, std::size_t touched_chain_pages = 1,
+              BatchCharge* batch = nullptr) {
+    Node* leaf = DescendCounted(key, batch);
+    Record* rec = FindInLeaf(leaf, key);
+    if (rec == nullptr) return false;
+    fn(rec);
+    TouchRecord(leaf, *rec, touched_chain_pages, batch);
+    if (NodeBytes(leaf) > pager_->page_size()) {
+      RebalanceAfterGrowth(key);
+    }
+    return true;
+  }
+
+  /// As Mutate, with the touched chain pages computed from the record after
+  /// the mutation (e.g. the page span of one class's slice).
+  template <typename Fn, typename TouchFn>
+  bool MutateWithTouch(const Key& key, Fn&& fn, TouchFn&& touched_fn,
+                       BatchCharge* batch = nullptr) {
+    Node* leaf = DescendCounted(key, batch);
+    Record* rec = FindInLeaf(leaf, key);
+    if (rec == nullptr) return false;
+    fn(rec);
+    TouchRecord(leaf, *rec, touched_fn(*rec), batch);
+    if (NodeBytes(leaf) > pager_->page_size()) {
+      RebalanceAfterGrowth(key);
+    }
+    return true;
+  }
+
+  /// Removes the record for \p key (counting descent, chain, leaf write).
+  bool Remove(const Key& key) {
+    Node* leaf = DescendCounted(key);
+    auto it = LowerBound(leaf->records, key);
+    if (it == leaf->records.end() || !(it->key() == key)) return false;
+    const std::size_t chain = ChainPages(*it);
+    CountChainReads(*it, chain);  // all record pages are discarded
+    if (chain > 0) pager_->NoteWrite(0);
+    leaf->records.erase(it);
+    pager_->NoteWrite(leaf->page);
+    --num_records_;
+    return true;
+  }
+
+  // ----------------------------------------------------------- uncounted
+
+  /// Uncounted exact-match access (builds, assertions).
+  const Record* Peek(const Key& key) const {
+    const Node* node = root_.get();
+    while (!node->leaf) node = Child(node, key);
+    auto it = LowerBound(const_cast<Node*>(node)->records, key);
+    if (it == node->records.end() || !(it->key() == key)) return nullptr;
+    return &*it;
+  }
+
+  /// Uncounted insert-or-modify used while building an index from a
+  /// populated store (index creation cost is not part of any experiment).
+  template <typename Make, typename Fn>
+  void UpsertUncounted(const Key& key, Make&& make, Fn&& fn) {
+    const AccessStats before = pager_->stats();
+    Upsert(key, std::forward<Make>(make), std::forward<Fn>(fn));
+    RewindStats(before);  // builds are free
+  }
+
+  /// Visits every record in key order (uncounted).
+  void ForEach(const std::function<void(const Record&)>& fn) const {
+    ForEachNode(root_.get(), fn);
+  }
+
+  // ----------------------------------------------------------------- stats
+
+  int height() const {
+    int h = 1;
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      node = node->children.front().get();
+      ++h;
+    }
+    return h;
+  }
+
+  std::size_t num_records() const { return num_records_; }
+
+  std::size_t leaf_pages() const {
+    std::size_t pages = 0;
+    CountLeafPages(root_.get(), &pages);
+    return pages;
+  }
+
+  std::size_t total_pages() const {
+    std::size_t pages = 0;
+    CountAllPages(root_.get(), &pages);
+    return pages;
+  }
+
+  /// Structural invariants: sorted keys, uniform leaf depth, separator
+  /// consistency, node occupancy within a page (stubs for big records).
+  Status ValidateStructure() const {
+    int leaf_depth = -1;
+    const Key* prev = nullptr;
+    return ValidateNode(root_.get(), 0, &leaf_depth, &prev);
+  }
+
+ private:
+  struct Node {
+    Node(bool is_leaf, PageId pid) : leaf(is_leaf), page(pid) {}
+    bool leaf;
+    PageId page;
+    std::vector<Key> seps;  // inner: seps[i] = min key of children[i+1]
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<Record> records;
+    Node* next = nullptr;  // leaf chain
+  };
+
+  // Bytes a record occupies inside its node: full size if it fits a page,
+  // otherwise a (key, pointer) stub with content in the overflow chain.
+  std::size_t InNodeBytes(const Record& rec) const {
+    const std::size_t b = rec.bytes();
+    return b <= pager_->page_size() ? b : rec.key().bytes() + 8;
+  }
+
+  std::size_t ChainPages(const Record& rec) const {
+    const std::size_t b = rec.bytes();
+    if (b <= pager_->page_size()) return 0;
+    return static_cast<std::size_t>(CeilDiv(
+        static_cast<double>(b), static_cast<double>(pager_->page_size())));
+  }
+
+  std::size_t NodeBytes(const Node* node) const {
+    std::size_t b = 0;
+    if (node->leaf) {
+      for (const Record& r : node->records) b += InNodeBytes(r);
+    } else {
+      for (const Key& k : node->seps) b += k.bytes() + 8;
+      b += 8;
+    }
+    return b;
+  }
+
+  static typename std::vector<Record>::iterator LowerBound(
+      std::vector<Record>& records, const Key& key) {
+    return std::lower_bound(
+        records.begin(), records.end(), key,
+        [](const Record& r, const Key& k) { return r.key() < k; });
+  }
+
+  static const Node* Child(const Node* node, const Key& key) {
+    auto it = std::upper_bound(node->seps.begin(), node->seps.end(), key);
+    return node->children[it - node->seps.begin()].get();
+  }
+
+  Node* DescendCounted(const Key& key, BatchCharge* batch = nullptr) {
+    Node* node = root_.get();
+    ChargeRead(node->page, batch);
+    while (!node->leaf) {
+      node = const_cast<Node*>(Child(node, key));
+      ChargeRead(node->page, batch);
+    }
+    return node;
+  }
+
+  void ChargeRead(PageId page, BatchCharge* batch) {
+    if (batch != nullptr && !batch->reads.insert(page).second) return;
+    pager_->NoteRead(page);
+  }
+
+  void ChargeWrite(PageId page, BatchCharge* batch) {
+    if (batch != nullptr && !batch->writes.insert(page).second) return;
+    pager_->NoteWrite(page);
+  }
+
+  static Record* FindInLeaf(Node* leaf, const Key& key) {
+    auto it = LowerBound(leaf->records, key);
+    if (it == leaf->records.end() || !(it->key() == key)) return nullptr;
+    return &*it;
+  }
+
+  static std::size_t RecordIdentity(const Record& rec) {
+    return std::hash<std::string>{}(rec.key().ToString());
+  }
+
+  void CountChainReads(const Record& rec, std::size_t pages,
+                       BatchCharge* batch = nullptr) {
+    if (batch == nullptr) {
+      pager_->NoteReads(pages);
+      return;
+    }
+    const std::size_t id = RecordIdentity(rec);
+    for (std::size_t i = 0; i < pages; ++i) {
+      if (batch->chain_reads.insert({id, i}).second) pager_->NoteReads(1);
+    }
+  }
+
+  void TouchRecord(Node* leaf, const Record& rec,
+                   std::size_t touched_chain_pages,
+                   BatchCharge* batch = nullptr) {
+    const std::size_t chain = ChainPages(rec);
+    if (chain == 0) {
+      ChargeWrite(leaf->page, batch);
+      return;
+    }
+    const std::size_t touched =
+        std::max<std::size_t>(1, std::min(chain, touched_chain_pages));
+    CountChainReads(rec, touched, batch);
+    if (batch == nullptr) {
+      for (std::size_t i = 0; i < touched; ++i) pager_->NoteWrite(leaf->page);
+      return;
+    }
+    const std::size_t id = RecordIdentity(rec);
+    for (std::size_t i = 0; i < touched; ++i) {
+      if (batch->chain_writes.insert({id, i}).second) {
+        pager_->NoteWrite(leaf->page);
+      }
+    }
+  }
+
+  void RewindStats(const AccessStats& to) {
+    // Builds run through the counted paths; reset to the captured snapshot.
+    PATHIX_DCHECK(pager_->stats().reads >= to.reads &&
+                  pager_->stats().writes >= to.writes);
+    pager_->ResetStats();
+    pager_->NoteReads(to.reads);
+    for (std::uint64_t i = 0; i < to.writes; ++i) pager_->NoteWrite(0);
+  }
+
+  // --------------------------------------------------------------- insert
+
+  struct SplitResult {
+    bool split = false;
+    Key sep;
+    std::unique_ptr<Node> right;
+  };
+
+  void InsertRecord(Record rec) {
+    const Key key = rec.key();
+    SplitResult top = InsertRec(root_.get(), std::move(rec));
+    if (top.split) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false,
+                                             pager_->Allocate());
+      new_root->seps.push_back(top.sep);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(top.right));
+      root_ = std::move(new_root);
+      pager_->NoteWrite(root_->page);
+    }
+    ++num_records_;
+    (void)key;
+  }
+
+  SplitResult InsertRec(Node* node, Record rec) {
+    if (node->leaf) {
+      auto it = LowerBound(node->records, rec.key());
+      PATHIX_DCHECK(it == node->records.end() || !(it->key() == rec.key()));
+      const std::size_t chain = ChainPages(rec);
+      node->records.insert(it, std::move(rec));
+      pager_->NoteWrite(node->page);
+      if (chain > 0) {
+        for (std::size_t i = 0; i < chain; ++i) pager_->NoteWrite(node->page);
+      }
+      return MaybeSplit(node);
+    }
+    auto cit = std::upper_bound(node->seps.begin(), node->seps.end(),
+                                rec.key());
+    const std::size_t idx = cit - node->seps.begin();
+    SplitResult child_split =
+        InsertRec(node->children[idx].get(), std::move(rec));
+    if (!child_split.split) return SplitResult{};
+    node->seps.insert(node->seps.begin() + idx, child_split.sep);
+    node->children.insert(node->children.begin() + idx + 1,
+                          std::move(child_split.right));
+    pager_->NoteWrite(node->page);
+    return MaybeSplit(node);
+  }
+
+  SplitResult MaybeSplit(Node* node) {
+    if (NodeBytes(node) <= pager_->page_size()) return SplitResult{};
+    const std::size_t count =
+        node->leaf ? node->records.size() : node->children.size();
+    if (count < 2) return SplitResult{};  // a single stub may exceed a page
+    SplitResult out;
+    out.split = true;
+    out.right = std::make_unique<Node>(node->leaf, pager_->Allocate());
+    if (node->leaf) {
+      const std::size_t mid = node->records.size() / 2;
+      out.right->records.assign(
+          std::make_move_iterator(node->records.begin() + mid),
+          std::make_move_iterator(node->records.end()));
+      node->records.resize(mid);
+      out.sep = out.right->records.front().key();
+      out.right->next = node->next;
+      node->next = out.right.get();
+    } else {
+      const std::size_t mid = node->children.size() / 2;
+      out.sep = node->seps[mid - 1];
+      out.right->seps.assign(node->seps.begin() + mid, node->seps.end());
+      out.right->children.assign(
+          std::make_move_iterator(node->children.begin() + mid),
+          std::make_move_iterator(node->children.end()));
+      node->seps.resize(mid - 1);
+      node->children.resize(mid);
+    }
+    pager_->NoteWrite(node->page);
+    pager_->NoteWrite(out.right->page);
+    return out;
+  }
+
+  /// An in-place record mutation grew its leaf past a page: reinsert the
+  /// affected leaf's split through the root path. Simplest correct
+  /// approach: locate the leaf and split upward via a fresh descent.
+  void RebalanceAfterGrowth(const Key& key) {
+    SplitResult top = SplitPathRec(root_.get(), key);
+    if (top.split) {
+      auto new_root =
+          std::make_unique<Node>(/*leaf=*/false, pager_->Allocate());
+      new_root->seps.push_back(top.sep);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(top.right));
+      root_ = std::move(new_root);
+      pager_->NoteWrite(root_->page);
+    }
+  }
+
+  SplitResult SplitPathRec(Node* node, const Key& key) {
+    if (node->leaf) return MaybeSplit(node);
+    auto cit = std::upper_bound(node->seps.begin(), node->seps.end(), key);
+    const std::size_t idx = cit - node->seps.begin();
+    SplitResult child_split = SplitPathRec(node->children[idx].get(), key);
+    if (!child_split.split) return SplitResult{};
+    node->seps.insert(node->seps.begin() + idx, child_split.sep);
+    node->children.insert(node->children.begin() + idx + 1,
+                          std::move(child_split.right));
+    pager_->NoteWrite(node->page);
+    return MaybeSplit(node);
+  }
+
+  // ---------------------------------------------------------------- stats
+
+  void ForEachNode(const Node* node,
+                   const std::function<void(const Record&)>& fn) const {
+    if (node->leaf) {
+      for (const Record& r : node->records) fn(r);
+      return;
+    }
+    for (const auto& child : node->children) ForEachNode(child.get(), fn);
+  }
+
+  void CountLeafPages(const Node* node, std::size_t* pages) const {
+    if (node->leaf) {
+      *pages += 1;
+      for (const Record& r : node->records) *pages += ChainPages(r);
+      return;
+    }
+    for (const auto& child : node->children) CountLeafPages(child.get(), pages);
+  }
+
+  void CountAllPages(const Node* node, std::size_t* pages) const {
+    *pages += 1;
+    if (node->leaf) {
+      for (const Record& r : node->records) *pages += ChainPages(r);
+      return;
+    }
+    for (const auto& child : node->children) CountAllPages(child.get(), pages);
+  }
+
+  Status ValidateNode(const Node* node, int depth, int* leaf_depth,
+                      const Key** prev) const {
+    if (node->leaf) {
+      if (*leaf_depth == -1) *leaf_depth = depth;
+      if (*leaf_depth != depth) {
+        return Status::Internal("leaves at differing depths");
+      }
+      for (const Record& r : node->records) {
+        if (*prev != nullptr && !(**prev < r.key())) {
+          return Status::Internal("keys out of order at " +
+                                  r.key().ToString());
+        }
+        *prev = &r.key();
+      }
+      if (node->records.size() > 1 &&
+          NodeBytes(node) > pager_->page_size()) {
+        return Status::Internal("leaf overflows a page");
+      }
+      return Status::OK();
+    }
+    if (node->children.size() != node->seps.size() + 1) {
+      return Status::Internal("inner node arity mismatch");
+    }
+    for (std::size_t i = 0; i < node->children.size(); ++i) {
+      PATHIX_RETURN_IF_ERROR(
+          ValidateNode(node->children[i].get(), depth + 1, leaf_depth, prev));
+      if (i < node->seps.size() && *prev != nullptr &&
+          node->seps[i] < **prev) {
+        return Status::Internal("separator below subtree maximum");
+      }
+    }
+    return Status::OK();
+  }
+
+  Pager* pager_;
+  std::string name_;
+  std::unique_ptr<Node> root_;
+  std::size_t num_records_ = 0;
+};
+
+using PostingTree = BTree<PostingRecord>;
+using AuxTree = BTree<AuxRecord>;
+
+}  // namespace pathix

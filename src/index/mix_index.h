@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+
+#include "index/single_index.h"
+#include "index/subpath_index.h"
+
+/// \file mix_index.h
+/// \brief Physical multi-inherited index (MIX): one inherited index per
+/// class of class(P) — a single B+-tree per path level whose records hold
+/// the oids of the whole inheritance hierarchy (Section 2.2).
+
+namespace pathix {
+
+class MIXIndex : public SubpathIndex {
+ public:
+  MIXIndex(Pager* pager, SubpathIndexContext ctx);
+
+  IndexOrg org() const override { return IndexOrg::kMIX; }
+  void Build(const ObjectStore& store) override;
+  std::vector<Oid> Probe(const std::vector<Key>& keys, int target_level,
+                         const std::vector<ClassId>& target_classes) override;
+  void OnInsert(const Object& obj, int level) override;
+  void OnDelete(const Object& obj, int level) override;
+  void OnBoundaryDelete(Oid oid) override;
+  Status Validate() const override;
+  std::size_t total_pages() const override;
+
+  AttrIndex* tree_for(int level);
+
+ private:
+  Pager* pager_;
+  std::map<int, std::unique_ptr<AttrIndex>> trees_;  // one per level
+};
+
+}  // namespace pathix

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+
+#include "index/single_index.h"
+#include "index/subpath_index.h"
+
+/// \file mx_index.h
+/// \brief Physical multi-index (MX): one simple index per class in the
+/// scope of the subpath, on that class's path attribute (Section 2.2).
+
+namespace pathix {
+
+class MXIndex : public SubpathIndex {
+ public:
+  MXIndex(Pager* pager, SubpathIndexContext ctx);
+
+  IndexOrg org() const override { return IndexOrg::kMX; }
+  void Build(const ObjectStore& store) override;
+  std::vector<Oid> Probe(const std::vector<Key>& keys, int target_level,
+                         const std::vector<ClassId>& target_classes) override;
+  void OnInsert(const Object& obj, int level) override;
+  void OnDelete(const Object& obj, int level) override;
+  void OnBoundaryDelete(Oid oid) override;
+  Status Validate() const override;
+  std::size_t total_pages() const override;
+
+  /// The per-class tree (testing / reporting).
+  AttrIndex* tree_for(int level, ClassId cls);
+
+ private:
+  Pager* pager_;
+  // One AttrIndex per (level, class in the level's hierarchy).
+  std::map<std::pair<int, ClassId>, std::unique_ptr<AttrIndex>> trees_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,462 @@
+#include "index/nix_index.h"
+
+#include <algorithm>
+
+namespace pathix {
+
+namespace {
+
+PostingRecord MakePostingRecord(const Key& key) {
+  PostingRecord rec;
+  rec.key_value = key;
+  return rec;
+}
+
+AuxRecord MakeAuxRecord(Oid oid) {
+  AuxRecord rec;
+  rec.key_value = Key::FromOid(oid);
+  return rec;
+}
+
+void AddOrBumpPosting(PostingRecord* rec, ClassId cls, Oid oid,
+                      std::int32_t numchild) {
+  for (Posting& p : rec->postings) {
+    if (p.oid == oid && p.cls == cls) {
+      p.numchild += numchild;
+      return;
+    }
+  }
+  rec->postings.push_back(Posting{cls, oid, numchild});
+}
+
+/// Bytes of the slice of \p rec holding the postings of \p classes, plus
+/// the record header/directory (what a partial read must fetch).
+template <typename ClassContainer>
+std::size_t SliceBytes(const PostingRecord& rec,
+                       const ClassContainer& classes) {
+  std::size_t bytes = rec.key_value.bytes() + 16;
+  for (const Posting& p : rec.postings) {
+    if (std::find(classes.begin(), classes.end(), p.cls) != classes.end()) {
+      bytes += Posting::kBytes;
+    }
+  }
+  return bytes;
+}
+
+/// Chain pages a class-slice maintenance touches (pmd_NIX = prd_NIX).
+template <typename ClassContainer>
+std::size_t SlicePages(const PostingRecord& rec,
+                       const ClassContainer& classes, double page_size) {
+  return static_cast<std::size_t>(
+      CeilDiv(static_cast<double>(SliceBytes(rec, classes)), page_size));
+}
+
+}  // namespace
+
+NIXIndex::NIXIndex(Pager* pager, SubpathIndexContext ctx)
+    : SubpathIndex(std::move(ctx)),
+      pager_(pager),
+      primary_(pager, "nix.primary"),
+      aux_(pager, "nix.aux") {}
+
+// --------------------------------------------------------------- reach
+
+NIXIndex::ReachSet NIXIndex::ComputeReachFromStore(const ObjectStore& store,
+                                                   const Object& obj,
+                                                   int level) const {
+  ReachSet reach;
+  const std::string& attr = ctx_.attr_name(level);
+  if (level == ctx_.range.end) {
+    for (const Value& v : obj.values(attr)) {
+      // A reference to a deleted object is dangling: the key record was
+      // dropped by the boundary deletion (Definition 4.2) and must not be
+      // counted as reachable.
+      if (v.kind() == Value::Kind::kRef &&
+          store.Peek(v.as_ref()) == nullptr) {
+        continue;
+      }
+      reach[Key::FromValue(v)] += 1;
+    }
+    return reach;
+  }
+  for (Oid child : obj.refs(attr)) {
+    const Object* child_obj = store.Peek(child);
+    if (child_obj == nullptr) continue;
+    const ReachSet child_reach =
+        ComputeReachFromStore(store, *child_obj, level + 1);
+    for (const auto& [key, nc] : child_reach) {
+      (void)nc;
+      reach[key] += 1;  // numchild counts children, not paths
+    }
+  }
+  return reach;
+}
+
+NIXIndex::ReachSet NIXIndex::ComputeReach(const Object& obj, int level) {
+  ReachSet reach;
+  const std::string& attr = ctx_.attr_name(level);
+  if (level == ctx_.range.end) {
+    for (const Value& v : obj.values(attr)) {
+      reach[Key::FromValue(v)] += 1;
+    }
+    return reach;
+  }
+  // Inner level: the children's aux 3-tuples hold their primary-record
+  // pointers, i.e. exactly their reach sets (Section 3.1, insertion step 2).
+  for (Oid child : obj.refs(attr)) {
+    if (const AuxRecord* tuple = aux_.Lookup(Key::FromOid(child))) {
+      for (const Key& key : tuple->primary_keys) {
+        reach[key] += 1;
+      }
+    }
+  }
+  return reach;
+}
+
+// --------------------------------------------------------------- build
+
+void NIXIndex::Build(const ObjectStore& store) {
+  // Ground-truth reachability per object, bottom-up; parents via the
+  // forward references of the level above.
+  std::unordered_map<Oid, ReachSet> reach;
+  std::unordered_map<Oid, std::vector<Oid>> parents;
+
+  for (int l = ctx_.range.end; l >= ctx_.range.start; --l) {
+    for (ClassId cls : ctx_.hierarchy(l)) {
+      for (Oid oid : store.PeekAll(cls)) {
+        const Object* obj = store.Peek(oid);
+        if (l == ctx_.range.end) {
+          reach[oid] = ComputeReachFromStore(store, *obj, l);
+        } else {
+          ReachSet mine;
+          for (Oid child : obj->refs(ctx_.attr_name(l))) {
+            auto it = reach.find(child);
+            if (it == reach.end()) continue;
+            for (const auto& [key, nc] : it->second) {
+              (void)nc;
+              mine[key] += 1;
+            }
+            parents[child].push_back(oid);
+          }
+          reach[oid] = std::move(mine);
+        }
+      }
+    }
+  }
+
+  for (int l = ctx_.range.start; l <= ctx_.range.end; ++l) {
+    for (ClassId cls : ctx_.hierarchy(l)) {
+      for (Oid oid : store.PeekAll(cls)) {
+        const ReachSet& mine = reach[oid];
+        for (const auto& [key, nc] : mine) {
+          primary_.UpsertUncounted(
+              key, [&] { return MakePostingRecord(key); },
+              [&](PostingRecord* rec) {
+                rec->postings.push_back(Posting{cls, oid, nc});
+              });
+        }
+        if (HasAuxTuple(l)) {
+          const Key akey = Key::FromOid(oid);
+          aux_.UpsertUncounted(
+              akey, [&] { return MakeAuxRecord(oid); },
+              [&](AuxRecord* tuple) {
+                for (const auto& [key, nc] : mine) {
+                  (void)nc;
+                  tuple->primary_keys.insert(key);
+                }
+                tuple->parents = parents[oid];
+              });
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- probe
+
+std::vector<Oid> NIXIndex::Probe(const std::vector<Key>& keys,
+                                 int target_level,
+                                 const std::vector<ClassId>& target_classes) {
+  (void)target_level;
+  BatchCharge batch;
+  std::vector<Oid> oids;
+  for (const Key& key : keys) {
+    const PostingRecord* rec = primary_.LookupPartialFn(
+        key,
+        [&](const PostingRecord& r) { return SliceBytes(r, target_classes); },
+        &batch);
+    if (rec == nullptr) continue;
+    for (const Posting& p : rec->postings) {
+      if (std::find(target_classes.begin(), target_classes.end(), p.cls) !=
+          target_classes.end()) {
+        oids.push_back(p.oid);
+      }
+    }
+  }
+  std::sort(oids.begin(), oids.end());
+  oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+  return oids;
+}
+
+// --------------------------------------------------------------- insert
+
+void NIXIndex::OnInsert(const Object& obj, int level) {
+  // Steps 1-2: determine the reachable key values; for inner levels this
+  // walks the children's 3-tuples, which also gain the new parent.
+  const ReachSet reach = ComputeReach(obj, level);
+  if (HasChildTuples(level)) {
+    BatchCharge aux_batch;
+    for (Oid child : obj.refs(ctx_.attr_name(level))) {
+      aux_.Mutate(
+          Key::FromOid(child),
+          [&](AuxRecord* tuple) { tuple->parents.push_back(obj.oid); },
+          /*touched_chain_pages=*/1, &aux_batch);
+    }
+  }
+  // Step 3: register the oid in every reached primary record (insertion
+  // appends to the class slice: one touched page per record, pmi_NIX).
+  BatchCharge primary_batch;
+  for (const auto& [key, nc] : reach) {
+    primary_.Upsert(
+        key, [&] { return MakePostingRecord(key); },
+        [&](PostingRecord* rec) {
+          AddOrBumpPosting(rec, obj.cls, obj.oid, nc);
+        },
+        /*touched_chain_pages=*/1, &primary_batch);
+  }
+  // Step 4: the new object's own 3-tuple (no parents yet: references are
+  // forward-only, nothing can point at a brand-new object).
+  if (HasAuxTuple(level)) {
+    const Key akey = Key::FromOid(obj.oid);
+    aux_.Upsert(
+        akey, [&] { return MakeAuxRecord(obj.oid); },
+        [&](AuxRecord* tuple) {
+          for (const auto& [key, nc] : reach) {
+            (void)nc;
+            tuple->primary_keys.insert(key);
+          }
+        });
+  }
+}
+
+// --------------------------------------------------------------- delete
+
+void NIXIndex::OnDelete(const Object& obj, int level) {
+  const double page_size = static_cast<double>(pager_->page_size());
+
+  // Step 2: drop the parent link from the children's 3-tuples; fetch the
+  // object's own 3-tuple (pointer set S and parents), then remove it.
+  std::set<Key> pointer_keys;
+  std::vector<Oid> parent_oids;
+  if (HasChildTuples(level)) {
+    BatchCharge aux_batch;
+    for (Oid child : obj.refs(ctx_.attr_name(level))) {
+      aux_.Mutate(
+          Key::FromOid(child),
+          [&](AuxRecord* tuple) {
+            auto it = std::find(tuple->parents.begin(), tuple->parents.end(),
+                                obj.oid);
+            if (it != tuple->parents.end()) tuple->parents.erase(it);
+          },
+          /*touched_chain_pages=*/1, &aux_batch);
+    }
+  }
+  if (HasAuxTuple(level)) {
+    if (const AuxRecord* tuple = aux_.Lookup(Key::FromOid(obj.oid))) {
+      pointer_keys = tuple->primary_keys;
+      parent_oids = tuple->parents;
+    }
+    aux_.Remove(Key::FromOid(obj.oid));
+  } else {
+    // The subpath root has no 3-tuple; S comes from its reachability.
+    for (const auto& [key, nc] : ComputeReach(obj, level)) {
+      (void)nc;
+      pointer_keys.insert(key);
+    }
+  }
+
+  // Step 3, round 0: remove the object from every primary record in S.
+  // Deletion locates the oid inside its class slice, so the slice's page
+  // span is fetched and rewritten (pmd_NIX = prd_NIX, Section 3.1). The
+  // records in S stay buffered across the propagation rounds ("a page will
+  // be fetched only once"): one charge batch covers the whole deletion.
+  BatchCharge primary_op_batch;
+  {
+    const ClassId cls = obj.cls;
+    for (const Key& key : pointer_keys) {
+      primary_.MutateWithTouch(
+          key,
+          [&](PostingRecord* rec) {
+            rec->postings.erase(
+                std::remove_if(rec->postings.begin(), rec->postings.end(),
+                               [&](const Posting& p) {
+                                 return p.oid == obj.oid;
+                               }),
+                rec->postings.end());
+          },
+          [&](const PostingRecord& rec) {
+            return SlicePages(rec, std::vector<ClassId>{cls}, page_size);
+          },
+          &primary_op_batch);
+    }
+  }
+
+  // Rounds 1..: propagate numchild decrements up the parent chain
+  // ("then step 3 is executed again").
+  std::map<Oid, std::map<Key, int>> frontier;
+  for (Oid parent : parent_oids) {
+    for (const Key& key : pointer_keys) frontier[parent][key] += 1;
+  }
+  int frontier_level = level - 1;
+  while (!frontier.empty() && frontier_level >= ctx_.range.start) {
+    // Group the decrements by key: one primary-record access per key per
+    // round, as in the paper's step 3(a).
+    std::map<Key, std::vector<std::pair<Oid, int>>> by_key;
+    for (const auto& [parent, decs] : frontier) {
+      for (const auto& [key, count] : decs) {
+        by_key[key].push_back({parent, count});
+      }
+    }
+    std::map<Oid, std::set<Key>> zeroed;  // parent -> keys it fell out of
+    for (const auto& [key, decs] : by_key) {
+      std::set<ClassId> touched_classes;
+      primary_.MutateWithTouch(
+          key,
+          [&](PostingRecord* rec) {
+            for (const auto& [parent, count] : decs) {
+              for (auto it = rec->postings.begin();
+                   it != rec->postings.end(); ++it) {
+                if (it->oid == parent) {
+                  touched_classes.insert(it->cls);
+                  it->numchild -= count;
+                  if (it->numchild <= 0) {
+                    rec->postings.erase(it);
+                    zeroed[parent].insert(key);
+                  }
+                  break;
+                }
+              }
+            }
+          },
+          [&](const PostingRecord& rec) {
+            return SlicePages(rec, touched_classes, page_size);
+          },
+          &primary_op_batch);
+    }
+    // Steps 3(b)/(c): the zeroed parents' 3-tuples lose pointers; their own
+    // parents enter the next round.
+    std::map<Oid, std::map<Key, int>> next;
+    BatchCharge aux_batch;
+    for (const auto& [parent, keys] : zeroed) {
+      if (frontier_level > ctx_.range.start) {
+        aux_.Mutate(
+            Key::FromOid(parent),
+            [&](AuxRecord* tuple) {
+              for (const Key& key : keys) tuple->primary_keys.erase(key);
+              for (Oid grand : tuple->parents) {
+                for (const Key& key : keys) next[grand][key] += 1;
+              }
+            },
+            /*touched_chain_pages=*/1, &aux_batch);
+      }
+      // frontier_level == range.start: roots have no 3-tuple and no
+      // in-subpath parents; propagation ends below them.
+    }
+    frontier = std::move(next);
+    --frontier_level;
+  }
+}
+
+// --------------------------------------------------- boundary delete (CMD)
+
+void NIXIndex::OnBoundaryDelete(Oid oid) {
+  const Key key = Key::FromOid(oid);
+  std::vector<Posting> postings;
+  if (const PostingRecord* rec = primary_.Lookup(key)) {
+    postings = rec->postings;
+  } else {
+    return;
+  }
+  primary_.Remove(key);
+  // delpoint: every listed object's 3-tuple drops its pointer to the
+  // removed record (batched: tuples share auxiliary leaf pages).
+  BatchCharge aux_batch;
+  for (const Posting& p : postings) {
+    const int level = ctx_.LevelOfClass(p.cls);
+    if (level > ctx_.range.start) {
+      aux_.Mutate(
+          Key::FromOid(p.oid),
+          [&](AuxRecord* tuple) { tuple->primary_keys.erase(key); },
+          /*touched_chain_pages=*/1, &aux_batch);
+    }
+  }
+}
+
+// --------------------------------------------------------------- validate
+
+Status NIXIndex::Validate() const {
+  PATHIX_RETURN_IF_ERROR(primary_.ValidateStructure());
+  PATHIX_RETURN_IF_ERROR(aux_.ValidateStructure());
+
+  // Cross-consistency: every aux pointer must resolve to a primary record
+  // listing the object, and vice versa for non-root postings.
+  Status status = Status::OK();
+  std::map<Key, std::set<Oid>> primary_members;
+  primary_.ForEach([&](const PostingRecord& rec) {
+    for (const Posting& p : rec.postings) {
+      primary_members[rec.key_value].insert(p.oid);
+    }
+  });
+  aux_.ForEach([&](const AuxRecord& tuple) {
+    if (!status.ok()) return;
+    for (const Key& key : tuple.primary_keys) {
+      auto it = primary_members.find(key);
+      if (it == primary_members.end() ||
+          it->second.count(tuple.key_value.oid()) == 0) {
+        status = Status::Internal(
+            "aux tuple points at a primary record not listing it: oid " +
+            std::to_string(tuple.key_value.oid()));
+        return;
+      }
+    }
+  });
+  return status;
+}
+
+Status NIXIndex::ValidateAgainstStore(const ObjectStore& store) const {
+  // Recompute ground truth and compare with the primary contents.
+  std::map<Key, std::map<Oid, std::int32_t>> truth;
+  for (int l = ctx_.range.start; l <= ctx_.range.end; ++l) {
+    for (ClassId cls : ctx_.hierarchy(l)) {
+      for (Oid oid : store.PeekAll(cls)) {
+        const Object* obj = store.Peek(oid);
+        for (const auto& [key, nc] : ComputeReachFromStore(store, *obj, l)) {
+          truth[key][oid] = nc;
+        }
+      }
+    }
+  }
+  std::map<Key, std::map<Oid, std::int32_t>> actual;
+  primary_.ForEach([&](const PostingRecord& rec) {
+    for (const Posting& p : rec.postings) {
+      if (p.numchild > 0) actual[rec.key_value][p.oid] = p.numchild;
+    }
+  });
+  // Empty records may linger (lazy deletion); drop them for comparison.
+  for (auto it = actual.begin(); it != actual.end();) {
+    it = it->second.empty() ? actual.erase(it) : std::next(it);
+  }
+  for (auto it = truth.begin(); it != truth.end();) {
+    it = it->second.empty() ? truth.erase(it) : std::next(it);
+  }
+  if (truth != actual) {
+    return Status::Internal("NIX primary diverges from store ground truth");
+  }
+  return Status::OK();
+}
+
+std::size_t NIXIndex::total_pages() const {
+  return primary_.total_pages() + aux_.total_pages();
+}
+
+}  // namespace pathix

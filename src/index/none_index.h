@@ -1,0 +1,54 @@
+#pragma once
+
+#include <set>
+
+#include "index/subpath_index.h"
+
+/// \file none_index.h
+/// \brief Physical counterpart of the kNone organization (the paper's
+/// "no index on a subpath" future-work extension): the subpath is evaluated
+/// navigationally against the object store — scan the target classes, follow
+/// the forward references, test membership of the boundary keys.
+///
+/// Maintenance is free (there is nothing to maintain); queries pay the scan,
+/// exactly as the NoneCostModel predicts.
+
+namespace pathix {
+
+class NoneIndex : public SubpathIndex {
+ public:
+  NoneIndex(Pager* pager, SubpathIndexContext ctx)
+      : SubpathIndex(std::move(ctx)), pager_(pager) {}
+
+  IndexOrg org() const override { return IndexOrg::kNone; }
+
+  void Build(const ObjectStore& store) override { store_ = &store; }
+
+  std::vector<Oid> Probe(const std::vector<Key>& keys, int target_level,
+                         const std::vector<ClassId>& target_classes) override;
+
+  void OnInsert(const Object& obj, int level) override {
+    (void)obj;
+    (void)level;
+  }
+  void OnDelete(const Object& obj, int level) override {
+    (void)obj;
+    (void)level;
+  }
+  void OnBoundaryDelete(Oid oid) override { (void)oid; }
+
+  Status Validate() const override { return Status::OK(); }
+  std::size_t total_pages() const override { return 0; }
+
+ private:
+  /// True if \p oid (an object at \p level) reaches one of \p keys at the
+  /// subpath's ending attribute. Charges object pages through the per-query
+  /// cache.
+  bool Reaches(Oid oid, int level, const std::vector<Key>& keys,
+               std::set<PageId>* charged);
+
+  Pager* pager_;
+  const ObjectStore* store_ = nullptr;
+};
+
+}  // namespace pathix

@@ -1,0 +1,125 @@
+#include "index/physical_config.h"
+
+#include "index/mix_index.h"
+#include "index/mx_index.h"
+#include "index/nix_index.h"
+#include "index/none_index.h"
+
+namespace pathix {
+
+Result<PhysicalConfiguration> PhysicalConfiguration::Create(
+    Pager* pager, const Schema& schema, const Path& path,
+    IndexConfiguration config) {
+  PATHIX_RETURN_IF_ERROR(config.Validate(path.length()));
+  PhysicalConfiguration out;
+  out.schema_ = &schema;
+  out.path_ = &path;
+  out.config_ = std::move(config);
+  for (const IndexedSubpath& part : out.config_.parts()) {
+    SubpathIndexContext ctx;
+    ctx.schema = &schema;
+    ctx.path = &path;
+    ctx.range = part.subpath;
+    switch (part.org) {
+      case IndexOrg::kMX:
+        out.indexes_.push_back(std::make_unique<MXIndex>(pager, ctx));
+        break;
+      case IndexOrg::kMIX:
+        out.indexes_.push_back(std::make_unique<MIXIndex>(pager, ctx));
+        break;
+      case IndexOrg::kNIX:
+        out.indexes_.push_back(std::make_unique<NIXIndex>(pager, ctx));
+        break;
+      case IndexOrg::kNone:
+        out.indexes_.push_back(std::make_unique<NoneIndex>(pager, ctx));
+        break;
+      case IndexOrg::kNX:
+      case IndexOrg::kPX:
+        return Status::InvalidArgument(
+            "NX/PX are model-only selection candidates (Section 6 "
+            "extension); no physical implementation");
+    }
+  }
+  return out;
+}
+
+void PhysicalConfiguration::Build(const ObjectStore& store) {
+  for (const auto& index : indexes_) index->Build(store);
+}
+
+int PhysicalConfiguration::LevelOf(ClassId cls) const {
+  for (int l = 1; l <= path_->length(); ++l) {
+    if (schema_->IsSameOrSubclassOf(cls, path_->class_at(l))) return l;
+  }
+  return 0;
+}
+
+int PhysicalConfiguration::PartOfLevel(int level) const {
+  for (std::size_t i = 0; i < indexes_.size(); ++i) {
+    const Subpath& range = indexes_[i]->range();
+    if (range.start <= level && level <= range.end) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<Oid> PhysicalConfiguration::Evaluate(const Key& ending_value,
+                                                 ClassId target_class,
+                                                 bool include_subclasses) {
+  const int target_level = LevelOf(target_class);
+  PATHIX_DCHECK(target_level > 0);
+  const int target_part = PartOfLevel(target_level);
+  PATHIX_DCHECK(target_part >= 0);
+
+  std::vector<Key> keys{ending_value};
+  // Downstream subpaths resolve with respect to their root hierarchy; the
+  // resulting oids are the key values of the preceding subpath's index.
+  for (int i = static_cast<int>(indexes_.size()) - 1; i > target_part; --i) {
+    SubpathIndex& index = *indexes_[i];
+    const std::vector<Oid> oids = index.Probe(
+        keys, index.range().start, index.context().hierarchy(index.range().start));
+    keys.clear();
+    keys.reserve(oids.size());
+    for (Oid oid : oids) keys.push_back(Key::FromOid(oid));
+    if (keys.empty()) return {};
+  }
+  std::vector<ClassId> targets =
+      include_subclasses ? schema_->HierarchyOf(target_class)
+                         : std::vector<ClassId>{target_class};
+  return indexes_[target_part]->Probe(keys, target_level, targets);
+}
+
+void PhysicalConfiguration::OnInsert(const Object& obj) {
+  const int level = LevelOf(obj.cls);
+  if (level == 0) return;  // class not on this path
+  const int part = PartOfLevel(level);
+  indexes_[part]->OnInsert(obj, level);
+}
+
+void PhysicalConfiguration::OnDelete(const Object& obj) {
+  const int level = LevelOf(obj.cls);
+  if (level == 0) return;
+  const int part = PartOfLevel(level);
+  indexes_[part]->OnDelete(obj, level);
+  // Definition 4.2: the deleted oid is a key value of the preceding
+  // subpath's index; its record is dropped there.
+  if (level == indexes_[part]->range().start && part > 0) {
+    indexes_[part - 1]->OnBoundaryDelete(obj.oid);
+  }
+}
+
+Status PhysicalConfiguration::Validate() const {
+  for (const auto& index : indexes_) {
+    PATHIX_RETURN_IF_ERROR(index->Validate());
+  }
+  return Status::OK();
+}
+
+std::size_t PhysicalConfiguration::total_pages() const {
+  std::size_t pages = 0;
+  for (const auto& index : indexes_) pages += index->total_pages();
+  return pages;
+}
+
+}  // namespace pathix

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/index_config.h"
+#include "index/subpath_index.h"
+
+/// \file physical_config.h
+/// \brief The physical realization of an index configuration: one
+/// SubpathIndex per (S_i, X_i) pair, plus the cross-subpath query
+/// evaluation and maintenance dispatch (including Definition 4.2's
+/// boundary deletions).
+
+namespace pathix {
+
+class PhysicalConfiguration {
+ public:
+  /// Instantiates (empty) physical indexes for \p config on \p path.
+  static Result<PhysicalConfiguration> Create(Pager* pager,
+                                              const Schema& schema,
+                                              const Path& path,
+                                              IndexConfiguration config);
+
+  /// Populates every index from the store (uncounted).
+  void Build(const ObjectStore& store);
+
+  /// Evaluates "A_n = value" with respect to \p target_class: probes the
+  /// subpath indexes from the ending attribute backwards, feeding each
+  /// subpath's result oids as key values into the previous one
+  /// (Proposition 4.1's decomposition). Counted.
+  ///
+  /// \param include_subclasses true evaluates w.r.t. the hierarchy rooted
+  /// at target_class (the paper's C+ variant).
+  std::vector<Oid> Evaluate(const Key& ending_value, ClassId target_class,
+                            bool include_subclasses);
+
+  /// Index maintenance for an object insertion / deletion. For deletions
+  /// of a subpath's root-hierarchy object, the preceding subpath's index
+  /// drops the corresponding key record (CMD).
+  void OnInsert(const Object& obj);
+  void OnDelete(const Object& obj);
+
+  Status Validate() const;
+  std::size_t total_pages() const;
+
+  const IndexConfiguration& config() const { return config_; }
+  const std::vector<std::unique_ptr<SubpathIndex>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  PhysicalConfiguration() = default;
+
+  /// Path level of \p cls (1-based) or 0 if the class is not in scope.
+  int LevelOf(ClassId cls) const;
+  /// Index of the configuration part containing path level \p level.
+  int PartOfLevel(int level) const;
+
+  const Schema* schema_ = nullptr;
+  const Path* path_ = nullptr;
+  IndexConfiguration config_;
+  std::vector<std::unique_ptr<SubpathIndex>> indexes_;
+};
+
+}  // namespace pathix

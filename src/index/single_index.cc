@@ -1,0 +1,71 @@
+#include "index/single_index.h"
+
+namespace pathix {
+
+namespace {
+
+PostingRecord MakeRecord(const Key& key) {
+  PostingRecord rec;
+  rec.key_value = key;
+  return rec;
+}
+
+void AddPosting(PostingRecord* rec, ClassId cls, Oid oid) {
+  for (Posting& p : rec->postings) {
+    if (p.cls == cls && p.oid == oid) {
+      ++p.numchild;  // multi-valued attribute holding the value twice
+      return;
+    }
+  }
+  rec->postings.push_back(Posting{cls, oid, 1});
+}
+
+}  // namespace
+
+void AttrIndex::AddEntryUncounted(const Key& key, ClassId cls, Oid oid) {
+  tree_.UpsertUncounted(
+      key, [&] { return MakeRecord(key); },
+      [&](PostingRecord* rec) { AddPosting(rec, cls, oid); });
+}
+
+void AttrIndex::AddEntry(const Key& key, ClassId cls, Oid oid) {
+  tree_.Upsert(
+      key, [&] { return MakeRecord(key); },
+      [&](PostingRecord* rec) { AddPosting(rec, cls, oid); });
+}
+
+void AttrIndex::RemoveEntry(const Key& key, ClassId cls, Oid oid) {
+  tree_.Mutate(key, [&](PostingRecord* rec) {
+    for (auto it = rec->postings.begin(); it != rec->postings.end(); ++it) {
+      if (it->cls == cls && it->oid == oid) {
+        if (--it->numchild <= 0) rec->postings.erase(it);
+        return;
+      }
+    }
+  });
+}
+
+void AttrIndex::RemoveKey(const Key& key) { tree_.Remove(key); }
+
+std::vector<Posting> AttrIndex::Lookup(const Key& key) {
+  std::vector<Posting> out;
+  if (const PostingRecord* rec = tree_.Lookup(key)) {
+    out = rec->postings;
+  }
+  return out;
+}
+
+std::vector<Posting> AttrIndex::LookupMany(const std::vector<Key>& keys) {
+  // Batched probe: a page shared by several keys is charged once, matching
+  // Yao's accounting in the analytic model (CRT).
+  BatchCharge batch;
+  std::vector<Posting> out;
+  for (const Key& key : keys) {
+    if (const PostingRecord* rec = tree_.Lookup(key, &batch)) {
+      out.insert(out.end(), rec->postings.begin(), rec->postings.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace pathix

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/subpath.h"
+#include "costmodel/index_org.h"
+#include "index/key.h"
+#include "schema/path.h"
+#include "storage/object_store.h"
+
+/// \file subpath_index.h
+/// \brief Interface of a physical index allocated on one subpath of a path
+/// (the physical counterpart of one (S_i, X_i) pair of Definition 4.1).
+
+namespace pathix {
+
+/// \brief Shared context of a physical subpath index.
+struct SubpathIndexContext {
+  const Schema* schema = nullptr;
+  const Path* path = nullptr;
+  Subpath range;
+
+  /// Name of attribute A_l (1-based path level).
+  const std::string& attr_name(int l) const {
+    return path->attribute_at(l).name;
+  }
+  /// The inheritance hierarchy of level l (root first).
+  std::vector<ClassId> hierarchy(int l) const {
+    return schema->HierarchyOf(path->class_at(l));
+  }
+  /// The path level within [range.start, range.end] whose hierarchy
+  /// contains \p cls, or 0 if none.
+  int LevelOfClass(ClassId cls) const {
+    for (int l = range.start; l <= range.end; ++l) {
+      if (schema->IsSameOrSubclassOf(cls, path->class_at(l))) return l;
+    }
+    return 0;
+  }
+};
+
+/// \brief A physical index on one subpath.
+///
+/// Page traffic of Probe/On* calls is counted through the Pager; Build is
+/// uncounted (index creation is not part of any experiment).
+class SubpathIndex {
+ public:
+  virtual ~SubpathIndex() = default;
+
+  virtual IndexOrg org() const = 0;
+  const Subpath& range() const { return ctx_.range; }
+  const SubpathIndexContext& context() const { return ctx_; }
+
+  /// Populates the index from a loaded store (uncounted).
+  virtual void Build(const ObjectStore& store) = 0;
+
+  /// Evaluates the subpath: \p keys are values of the subpath's ending
+  /// attribute A_b (the query constant, or oids delivered by the next
+  /// subpath); returns the oids of objects of \p target_classes at
+  /// \p target_level that reach one of the keys.
+  virtual std::vector<Oid> Probe(const std::vector<Key>& keys,
+                                 int target_level,
+                                 const std::vector<ClassId>& target_classes) = 0;
+
+  /// Index maintenance for an object of path level \p level (within range)
+  /// being inserted / having been deleted. The object carries its
+  /// attribute values; for deletion it is the pre-deletion image.
+  virtual void OnInsert(const Object& obj, int level) = 0;
+  virtual void OnDelete(const Object& obj, int level) = 0;
+
+  /// Definition 4.2's boundary maintenance: an object of class C_{b+1}
+  /// (the next subpath's root hierarchy) was deleted; its oid is a key
+  /// value of this index and its record must go.
+  virtual void OnBoundaryDelete(Oid oid) = 0;
+
+  /// Structural invariants (tests).
+  virtual Status Validate() const = 0;
+
+  /// Pages occupied (storage ablations).
+  virtual std::size_t total_pages() const = 0;
+
+ protected:
+  explicit SubpathIndex(SubpathIndexContext ctx) : ctx_(std::move(ctx)) {}
+  SubpathIndexContext ctx_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,188 @@
+#include "io/spec_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pathix {
+
+namespace {
+
+Status LineError(int line, const std::string& msg) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " + msg);
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  std::size_t used = 0;
+  try {
+    *out = std::stod(token, &used);
+  } catch (...) {
+    return false;
+  }
+  return used == token.size();
+}
+
+Result<IndexOrg> ParseOrg(const std::string& token) {
+  if (token == "MX") return IndexOrg::kMX;
+  if (token == "MIX") return IndexOrg::kMIX;
+  if (token == "NIX") return IndexOrg::kNIX;
+  if (token == "NX") return IndexOrg::kNX;
+  if (token == "PX") return IndexOrg::kPX;
+  if (token == "NONE") return IndexOrg::kNone;
+  return Status::InvalidArgument("unknown organization '" + token + "'");
+}
+
+}  // namespace
+
+Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
+  AdvisorSpec spec;
+  bool have_path = false;
+  ClassId path_start = kInvalidClass;
+  std::vector<std::string> path_attrs;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::vector<std::string> tok;
+    for (std::string t; line >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+    const std::string& cmd = tok[0];
+
+    if (cmd == "page_size" || cmd == "oid_len" || cmd == "key_len") {
+      double v;
+      if (tok.size() != 2 || !ParseDouble(tok[1], &v) || v <= 0) {
+        return LineError(line_no, cmd + " expects one positive number");
+      }
+      PhysicalParams* pp = spec.catalog.mutable_params();
+      if (cmd == "page_size") pp->page_size = v;
+      if (cmd == "oid_len") pp->oid_len = v;
+      if (cmd == "key_len") pp->key_len = v;
+    } else if (cmd == "class") {
+      // class NAME [: SUPER] n d nin [obj_len]
+      if (tok.size() < 5) {
+        return LineError(line_no, "class NAME [: SUPER] n d nin [obj_len]");
+      }
+      std::size_t i = 1;
+      const std::string name = tok[i++];
+      ClassId super = kInvalidClass;
+      if (tok[i] == ":") {
+        if (tok.size() < 7) {
+          return LineError(line_no, "subclass declaration needs n d nin");
+        }
+        super = spec.schema.FindClass(tok[i + 1]);
+        if (super == kInvalidClass) {
+          return LineError(line_no, "unknown superclass '" + tok[i + 1] + "'");
+        }
+        i += 2;
+      }
+      double n, d, nin, obj_len = 64;
+      if (tok.size() < i + 3 || !ParseDouble(tok[i], &n) ||
+          !ParseDouble(tok[i + 1], &d) || !ParseDouble(tok[i + 2], &nin)) {
+        return LineError(line_no, "class statistics must be numeric");
+      }
+      if (tok.size() > i + 3 && !ParseDouble(tok[i + 3], &obj_len)) {
+        return LineError(line_no, "obj_len must be numeric");
+      }
+      Result<ClassId> cls = spec.schema.AddClass(name, super);
+      if (!cls.ok()) return LineError(line_no, cls.status().message());
+      spec.catalog.SetClassStats(cls.value(), ClassStats{n, d, nin, obj_len});
+    } else if (cmd == "ref") {
+      if (tok.size() < 4) {
+        return LineError(line_no, "ref CLASS ATTR DOMAIN [multi]");
+      }
+      const ClassId cls = spec.schema.FindClass(tok[1]);
+      const ClassId domain = spec.schema.FindClass(tok[3]);
+      if (cls == kInvalidClass || domain == kInvalidClass) {
+        return LineError(line_no, "unknown class in ref");
+      }
+      const bool multi = tok.size() > 4 && tok[4] == "multi";
+      const Status s =
+          spec.schema.AddReferenceAttribute(cls, tok[2], domain, multi);
+      if (!s.ok()) return LineError(line_no, s.message());
+    } else if (cmd == "attr") {
+      if (tok.size() < 4) {
+        return LineError(line_no, "attr CLASS NAME string|int [multi]");
+      }
+      const ClassId cls = spec.schema.FindClass(tok[1]);
+      if (cls == kInvalidClass) {
+        return LineError(line_no, "unknown class '" + tok[1] + "'");
+      }
+      AtomicType type;
+      if (tok[3] == "string") {
+        type = AtomicType::kString;
+      } else if (tok[3] == "int") {
+        type = AtomicType::kInt;
+      } else {
+        return LineError(line_no, "atomic type must be string or int");
+      }
+      const bool multi = tok.size() > 4 && tok[4] == "multi";
+      const Status s = spec.schema.AddAtomicAttribute(cls, tok[2], type, multi);
+      if (!s.ok()) return LineError(line_no, s.message());
+    } else if (cmd == "path") {
+      if (have_path) return LineError(line_no, "only one path per spec");
+      if (tok.size() < 3) return LineError(line_no, "path CLASS attr...");
+      path_start = spec.schema.FindClass(tok[1]);
+      if (path_start == kInvalidClass) {
+        return LineError(line_no, "unknown class '" + tok[1] + "'");
+      }
+      path_attrs.assign(tok.begin() + 2, tok.end());
+      have_path = true;
+    } else if (cmd == "load") {
+      if (tok.size() != 5) {
+        return LineError(line_no, "load CLASS alpha beta gamma");
+      }
+      const ClassId cls = spec.schema.FindClass(tok[1]);
+      if (cls == kInvalidClass) {
+        return LineError(line_no, "unknown class '" + tok[1] + "'");
+      }
+      double a, b, g;
+      if (!ParseDouble(tok[2], &a) || !ParseDouble(tok[3], &b) ||
+          !ParseDouble(tok[4], &g) || a < 0 || b < 0 || g < 0) {
+        return LineError(line_no, "load frequencies must be >= 0");
+      }
+      spec.load.Set(cls, a, b, g);
+    } else if (cmd == "orgs") {
+      if (tok.size() < 2) return LineError(line_no, "orgs needs at least one");
+      spec.options.orgs.clear();
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        Result<IndexOrg> org = ParseOrg(tok[i]);
+        if (!org.ok()) return LineError(line_no, org.status().message());
+        spec.options.orgs.push_back(org.value());
+      }
+    } else if (cmd == "matching_keys") {
+      double v;
+      if (tok.size() != 2 || !ParseDouble(tok[1], &v) || v < 1) {
+        return LineError(line_no, "matching_keys expects a number >= 1");
+      }
+      spec.options.query_profile.matching_keys = v;
+    } else {
+      return LineError(line_no, "unknown directive '" + cmd + "'");
+    }
+  }
+
+  if (!have_path) {
+    return Status::InvalidArgument("spec declares no path");
+  }
+  PATHIX_RETURN_IF_ERROR(spec.schema.Validate());
+  Result<Path> path = Path::Create(spec.schema, path_start, path_attrs);
+  if (!path.ok()) return path.status();
+  spec.path = std::move(path).value();
+  return spec;
+}
+
+Result<AdvisorSpec> ParseAdvisorSpecFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open spec file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseAdvisorSpec(buf.str());
+}
+
+}  // namespace pathix

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "core/advisor.h"
+
+/// \file spec_parser.h
+/// \brief Text format for advisor inputs, so the selection pipeline can be
+/// driven without writing C++ (the `pathix_advise` example tool).
+///
+/// Line-based; '#' starts a comment. Directives:
+///
+///   page_size 4096            # physical parameters (optional)
+///   oid_len 8
+///   key_len 8
+///   class Person 200000 20000 1        # name n d nin [obj_len]
+///   class Bus : Vehicle 5000 2500 2    # subclass declaration
+///   ref Person owns Vehicle multi      # reference attribute [multi]
+///   attr Division name string          # atomic attribute (string|int)
+///   path Person owns man divs name     # exactly one path
+///   load Person 0.3 0.1 0.1            # alpha beta gamma
+///   orgs MX MIX NIX NX PX NONE         # candidate set (optional)
+///   matching_keys 1                    # range-predicate width (optional)
+///
+/// Classes must be declared before use; the path must come after the
+/// attributes it navigates.
+
+namespace pathix {
+
+/// Everything the advisor needs, parsed from one spec.
+struct AdvisorSpec {
+  Schema schema;
+  Catalog catalog;
+  LoadDistribution load;
+  Path path;
+  AdvisorOptions options;
+};
+
+/// Parses a spec from text. Errors carry the offending line number.
+Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text);
+
+/// Reads \p path and parses it.
+Result<AdvisorSpec> ParseAdvisorSpecFile(const std::string& path);
+
+}  // namespace pathix

@@ -1,0 +1,150 @@
+#include "schema/schema.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace pathix {
+
+Result<ClassId> Schema::AddClass(const std::string& name, ClassId superclass) {
+  if (name.empty()) {
+    return Status::InvalidArgument("class name must not be empty");
+  }
+  if (FindClass(name) != kInvalidClass) {
+    return Status::AlreadyExists("class '" + name + "' already defined");
+  }
+  if (superclass != kInvalidClass && !IsValidClass(superclass)) {
+    return Status::InvalidArgument("superclass id out of range for class '" +
+                                   name + "'");
+  }
+  const ClassId id = static_cast<ClassId>(classes_.size());
+  classes_.emplace_back(id, name, superclass);
+  if (superclass != kInvalidClass) {
+    classes_[superclass].subclasses_.push_back(id);
+  }
+  return id;
+}
+
+Status Schema::AddAtomicAttribute(ClassId cls, const std::string& name,
+                                  AtomicType type, bool multi_valued) {
+  if (!IsValidClass(cls)) {
+    return Status::InvalidArgument("invalid class id");
+  }
+  if (ResolveAttribute(cls, name) != nullptr) {
+    return Status::AlreadyExists("attribute '" + name + "' already defined");
+  }
+  Attribute a;
+  a.name = name;
+  a.kind = AttrKind::kAtomic;
+  a.atomic_type = type;
+  a.multi_valued = multi_valued;
+  classes_[cls].attrs_.push_back(std::move(a));
+  return Status::OK();
+}
+
+Status Schema::AddReferenceAttribute(ClassId cls, const std::string& name,
+                                     ClassId domain, bool multi_valued) {
+  if (!IsValidClass(cls)) {
+    return Status::InvalidArgument("invalid class id");
+  }
+  if (!IsValidClass(domain)) {
+    return Status::InvalidArgument("invalid domain class id for attribute '" +
+                                   name + "'");
+  }
+  if (ResolveAttribute(cls, name) != nullptr) {
+    return Status::AlreadyExists("attribute '" + name + "' already defined");
+  }
+  Attribute a;
+  a.name = name;
+  a.kind = AttrKind::kReference;
+  a.domain = domain;
+  a.multi_valued = multi_valued;
+  classes_[cls].attrs_.push_back(std::move(a));
+  return Status::OK();
+}
+
+const ClassDef& Schema::GetClass(ClassId id) const {
+  PATHIX_DCHECK(IsValidClass(id));
+  return classes_[id];
+}
+
+ClassId Schema::FindClass(const std::string& name) const {
+  for (const ClassDef& c : classes_) {
+    if (c.name() == name) return c.id();
+  }
+  return kInvalidClass;
+}
+
+const Attribute* Schema::ResolveAttribute(ClassId cls,
+                                          const std::string& attr_name) const {
+  ClassId cur = cls;
+  while (cur != kInvalidClass) {
+    const ClassDef& c = GetClass(cur);
+    for (const Attribute& a : c.own_attributes()) {
+      if (a.name == attr_name) return &a;
+    }
+    cur = c.superclass();
+  }
+  return nullptr;
+}
+
+bool Schema::IsSameOrSubclassOf(ClassId cls, ClassId ancestor) const {
+  ClassId cur = cls;
+  while (cur != kInvalidClass) {
+    if (cur == ancestor) return true;
+    cur = GetClass(cur).superclass();
+  }
+  return false;
+}
+
+std::vector<ClassId> Schema::HierarchyOf(ClassId root) const {
+  PATHIX_DCHECK(IsValidClass(root));
+  std::vector<ClassId> out;
+  std::deque<ClassId> queue{root};
+  while (!queue.empty()) {
+    const ClassId cur = queue.front();
+    queue.pop_front();
+    out.push_back(cur);
+    for (ClassId sub : GetClass(cur).subclasses()) {
+      queue.push_back(sub);
+    }
+  }
+  return out;
+}
+
+Status Schema::Validate() const {
+  for (const ClassDef& c : classes_) {
+    // Inheritance chains must terminate (no cycles).
+    std::unordered_set<ClassId> seen;
+    ClassId cur = c.id();
+    while (cur != kInvalidClass) {
+      if (!seen.insert(cur).second) {
+        return Status::FailedPrecondition("inheritance cycle through class '" +
+                                          c.name() + "'");
+      }
+      if (!IsValidClass(cur)) {
+        return Status::FailedPrecondition("dangling superclass id");
+      }
+      cur = GetClass(cur).superclass();
+    }
+    // Attribute domains must be valid; names unique along the chain.
+    std::unordered_set<std::string> names;
+    ClassId walk = c.id();
+    while (walk != kInvalidClass) {
+      for (const Attribute& a : GetClass(walk).own_attributes()) {
+        if (!names.insert(a.name).second) {
+          return Status::FailedPrecondition(
+              "attribute '" + a.name + "' multiply defined along hierarchy of '" +
+              c.name() + "'");
+        }
+        if (a.kind == AttrKind::kReference && !IsValidClass(a.domain)) {
+          return Status::FailedPrecondition("attribute '" + a.name +
+                                            "' has an invalid domain class");
+        }
+      }
+      walk = GetClass(walk).superclass();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pathix

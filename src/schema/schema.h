@@ -1,0 +1,119 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+/// \file schema.h
+/// \brief Object-oriented logical schema: classes with attributes, part-of
+/// (aggregation) relationships and inheritance hierarchies, mirroring the
+/// data model of Section 1 of the paper.
+
+namespace pathix {
+
+/// Kind of attribute domain.
+enum class AttrKind {
+  kAtomic,     ///< integer / string valued
+  kReference,  ///< domain is another class (part-of relationship)
+};
+
+/// Atomic value type of an atomic attribute.
+enum class AtomicType {
+  kInt,
+  kString,
+};
+
+/// \brief One attribute of a class.
+///
+/// A reference attribute establishes a part-of relationship: its domain is
+/// another class (and, implicitly, that class's inheritance hierarchy).
+/// Multi-valued attributes (marked '+' in Figure 1) hold a set of values.
+struct Attribute {
+  std::string name;
+  AttrKind kind = AttrKind::kAtomic;
+  AtomicType atomic_type = AtomicType::kString;  ///< meaningful iff kAtomic
+  ClassId domain = kInvalidClass;                ///< meaningful iff kReference
+  bool multi_valued = false;
+};
+
+/// \brief A class definition: named attributes plus an optional superclass.
+class ClassDef {
+ public:
+  ClassDef(ClassId id, std::string name, ClassId superclass)
+      : id_(id), name_(std::move(name)), superclass_(superclass) {}
+
+  ClassId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ClassId superclass() const { return superclass_; }
+  const std::vector<ClassId>& subclasses() const { return subclasses_; }
+  /// Attributes declared directly on this class (inherited ones excluded).
+  const std::vector<Attribute>& own_attributes() const { return attrs_; }
+
+ private:
+  friend class Schema;
+
+  ClassId id_;
+  std::string name_;
+  ClassId superclass_ = kInvalidClass;
+  std::vector<ClassId> subclasses_;  // direct subclasses
+  std::vector<Attribute> attrs_;
+};
+
+/// \brief A database schema: the set of classes with their aggregation and
+/// inheritance relationships.
+///
+/// Built programmatically:
+/// \code
+///   Schema s;
+///   ClassId person = s.AddClass("Person").value();
+///   ClassId vehicle = s.AddClass("Vehicle").value();
+///   ClassId bus = s.AddClass("Bus", vehicle).value();
+///   s.AddReferenceAttribute(person, "owns", vehicle, /*multi_valued=*/true);
+///   s.AddAtomicAttribute(vehicle, "color", AtomicType::kString);
+/// \endcode
+class Schema {
+ public:
+  /// Creates a class; \p superclass links it into an inheritance hierarchy.
+  Result<ClassId> AddClass(const std::string& name,
+                           ClassId superclass = kInvalidClass);
+
+  /// Adds an atomic attribute to \p cls.
+  Status AddAtomicAttribute(ClassId cls, const std::string& name,
+                            AtomicType type, bool multi_valued = false);
+
+  /// Adds a reference (part-of) attribute to \p cls with domain \p domain.
+  Status AddReferenceAttribute(ClassId cls, const std::string& name,
+                               ClassId domain, bool multi_valued = false);
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+  bool IsValidClass(ClassId id) const {
+    return id >= 0 && id < num_classes();
+  }
+  const ClassDef& GetClass(ClassId id) const;
+  /// Returns kInvalidClass if no class has this name.
+  ClassId FindClass(const std::string& name) const;
+
+  /// Resolves \p attr_name on \p cls, searching superclasses (inheritance).
+  /// Returns the attribute or nullptr.
+  const Attribute* ResolveAttribute(ClassId cls,
+                                    const std::string& attr_name) const;
+
+  /// True if \p cls equals \p ancestor or transitively specializes it.
+  bool IsSameOrSubclassOf(ClassId cls, ClassId ancestor) const;
+
+  /// The inheritance hierarchy rooted at \p root: root first, then all
+  /// transitive subclasses in discovery (BFS) order. This is the paper's
+  /// C+ notation.
+  std::vector<ClassId> HierarchyOf(ClassId root) const;
+
+  /// Verifies referential integrity of the schema (valid domains, no
+  /// inheritance cycles, unique attribute names per class).
+  Status Validate() const;
+
+ private:
+  std::vector<ClassDef> classes_;
+};
+
+}  // namespace pathix

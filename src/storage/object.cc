@@ -1,0 +1,74 @@
+#include "storage/object.h"
+
+namespace pathix {
+
+Value Value::Int(std::int64_t v) {
+  Value out;
+  out.kind_ = Kind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Str(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+Value Value::Ref(Oid v) {
+  Value out;
+  out.kind_ = Kind::kRef;
+  out.ref_ = v;
+  return out;
+}
+
+std::size_t Value::bytes() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return 8;
+    case Kind::kString:
+      return str_.size() + 2;
+    case Kind::kRef:
+      return 8;
+  }
+  return 8;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kInt:
+      return int_ == other.int_;
+    case Kind::kString:
+      return str_ == other.str_;
+    case Kind::kRef:
+      return ref_ == other.ref_;
+  }
+  return false;
+}
+
+const std::vector<Value>& Object::values(const std::string& attr) const {
+  static const std::vector<Value> kEmpty;
+  auto it = attrs.find(attr);
+  return it == attrs.end() ? kEmpty : it->second;
+}
+
+std::vector<Oid> Object::refs(const std::string& attr) const {
+  std::vector<Oid> out;
+  for (const Value& v : values(attr)) {
+    if (v.kind() == Value::Kind::kRef) out.push_back(v.as_ref());
+  }
+  return out;
+}
+
+std::size_t Object::bytes() const {
+  std::size_t total = 8 /*oid*/ + 4 /*class*/;
+  for (const auto& [name, vals] : attrs) {
+    total += name.size() + 2;
+    for (const Value& v : vals) total += v.bytes();
+  }
+  return total;
+}
+
+}  // namespace pathix

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+/// \file object.h
+/// \brief Objects of the simulated database: oid + class + attribute values.
+/// Values are scalars (int, string, or oid reference); multi-valued
+/// attributes hold several scalars per attribute name.
+
+namespace pathix {
+
+/// \brief One scalar attribute value.
+class Value {
+ public:
+  enum class Kind { kInt, kString, kRef };
+
+  static Value Int(std::int64_t v);
+  static Value Str(std::string v);
+  static Value Ref(Oid v);
+
+  Kind kind() const { return kind_; }
+  std::int64_t as_int() const { return int_; }
+  const std::string& as_string() const { return str_; }
+  Oid as_ref() const { return ref_; }
+
+  /// Serialized footprint in bytes (for page occupancy accounting).
+  std::size_t bytes() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Kind kind_ = Kind::kInt;
+  std::int64_t int_ = 0;
+  std::string str_;
+  Oid ref_ = kInvalidOid;
+};
+
+/// Attribute name -> values (singletons for single-valued attributes).
+using AttrValues = std::map<std::string, std::vector<Value>>;
+
+/// \brief A stored object.
+struct Object {
+  Oid oid = kInvalidOid;
+  ClassId cls = kInvalidClass;
+  AttrValues attrs;
+
+  /// The values of \p attr (empty if absent — the paper assumes no NULLs,
+  /// but the store tolerates sparse objects for fault-injection tests).
+  const std::vector<Value>& values(const std::string& attr) const;
+
+  /// References held under \p attr.
+  std::vector<Oid> refs(const std::string& attr) const;
+
+  std::size_t bytes() const;
+};
+
+}  // namespace pathix

@@ -1,0 +1,90 @@
+#include "storage/object_store.h"
+
+#include <algorithm>
+
+namespace pathix {
+
+Oid ObjectStore::Insert(Object obj) {
+  obj.oid = next_oid_++;
+  const std::size_t need = obj.bytes();
+
+  std::vector<SegmentPage>& segment = segments_[obj.cls];
+  if (segment.empty() ||
+      segment.back().used_bytes + need > pager_->page_size()) {
+    SegmentPage page;
+    page.page = pager_->Allocate();
+    segment.push_back(page);
+  }
+  SegmentPage& page = segment.back();
+  page.used_bytes += need;
+  page.oids.push_back(obj.oid);
+  pager_->NoteWrite(page.page);
+
+  locations_[obj.oid] = Location{obj.cls, segment.size() - 1};
+  const Oid oid = obj.oid;
+  objects_.emplace(oid, std::move(obj));
+  return oid;
+}
+
+Status ObjectStore::Delete(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(oid));
+  }
+  const Location loc = locations_[oid];
+  SegmentPage& page = segments_[loc.cls][loc.page_index];
+  pager_->NoteRead(page.page);
+  page.used_bytes -= std::min(page.used_bytes, it->second.bytes());
+  page.oids.erase(std::remove(page.oids.begin(), page.oids.end(), oid),
+                  page.oids.end());
+  pager_->NoteWrite(page.page);
+  objects_.erase(it);
+  locations_.erase(oid);
+  return Status::OK();
+}
+
+const Object* ObjectStore::Get(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return nullptr;
+  pager_->NoteRead(segments_[it->second.cls][locations_[oid].page_index].page);
+  return &it->second;
+}
+
+const Object* ObjectStore::Peek(Oid oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::vector<Oid> ObjectStore::Scan(ClassId cls) {
+  std::vector<Oid> out;
+  auto it = segments_.find(cls);
+  if (it == segments_.end()) return out;
+  for (const SegmentPage& page : it->second) {
+    pager_->NoteRead(page.page);
+    out.insert(out.end(), page.oids.begin(), page.oids.end());
+  }
+  return out;
+}
+
+std::vector<Oid> ObjectStore::PeekAll(ClassId cls) const {
+  std::vector<Oid> out;
+  auto it = segments_.find(cls);
+  if (it == segments_.end()) return out;
+  for (const SegmentPage& page : it->second) {
+    out.insert(out.end(), page.oids.begin(), page.oids.end());
+  }
+  return out;
+}
+
+std::size_t ObjectStore::SegmentPages(ClassId cls) const {
+  auto it = segments_.find(cls);
+  return it == segments_.end() ? 0 : it->second.size();
+}
+
+PageId ObjectStore::PageOf(Oid oid) const {
+  auto it = locations_.find(oid);
+  if (it == locations_.end()) return kInvalidPage;
+  return segments_.at(it->second.cls)[it->second.page_index].page;
+}
+
+}  // namespace pathix

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/object.h"
+#include "storage/pager.h"
+
+/// \file object_store.h
+/// \brief Page-organized object store.
+///
+/// Mirrors the paper's storage assumptions: a page contains objects of only
+/// one class, and objects hold only forward references. Objects are placed
+/// into the last non-full page of their class segment; deletion leaves a
+/// hole (no compaction), as in most real stores.
+
+namespace pathix {
+
+/// \brief The object heap of one simulated database.
+class ObjectStore {
+ public:
+  explicit ObjectStore(Pager* pager) : pager_(pager) {}
+
+  /// Stores \p obj (oid assigned by the store) and returns its oid.
+  /// Costs one page write.
+  Oid Insert(Object obj);
+
+  /// Removes the object. Costs one page read + one write.
+  Status Delete(Oid oid);
+
+  /// Fetches an object; counts one page read. nullptr if absent.
+  const Object* Get(Oid oid);
+
+  /// Fetch without page accounting (for test assertions and index builds
+  /// whose cost is not part of an experiment).
+  const Object* Peek(Oid oid) const;
+
+  /// All live oids of \p cls, counting one read per segment page (the
+  /// class-scan a naive evaluation performs).
+  std::vector<Oid> Scan(ClassId cls);
+
+  /// As Scan but uncounted.
+  std::vector<Oid> PeekAll(ClassId cls) const;
+
+  /// Number of pages in the class segment.
+  std::size_t SegmentPages(ClassId cls) const;
+
+  /// Page holding \p oid (kInvalidPage if absent).
+  PageId PageOf(Oid oid) const;
+
+  std::size_t live_objects() const { return objects_.size(); }
+
+ private:
+  struct SegmentPage {
+    PageId page = kInvalidPage;
+    std::size_t used_bytes = 0;
+    std::vector<Oid> oids;
+  };
+  struct Location {
+    ClassId cls = kInvalidClass;
+    std::size_t page_index = 0;
+  };
+
+  Pager* pager_;
+  Oid next_oid_ = 1;  // oid 0 is kInvalidOid
+  std::unordered_map<Oid, Object> objects_;
+  std::unordered_map<Oid, Location> locations_;
+  std::unordered_map<ClassId, std::vector<SegmentPage>> segments_;
+};
+
+}  // namespace pathix

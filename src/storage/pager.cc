@@ -1,0 +1,29 @@
+#include "storage/pager.h"
+
+namespace pathix {
+
+void Pager::EnableBuffer(std::size_t capacity_pages) {
+  buffer_capacity_ = capacity_pages;
+  lru_.clear();
+  lru_index_.clear();
+}
+
+bool Pager::Touch(PageId page) {
+  auto it = lru_index_.find(page);
+  if (it == lru_index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void Pager::Admit(PageId page) {
+  if (buffer_capacity_ == 0) return;
+  if (Touch(page)) return;
+  lru_.push_front(page);
+  lru_index_[page] = lru_.begin();
+  while (lru_.size() > buffer_capacity_) {
+    lru_index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace pathix

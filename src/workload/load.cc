@@ -1,0 +1,17 @@
+#include "workload/load.h"
+
+namespace pathix {
+
+double LoadDistribution::TotalQueryLoad() const {
+  double total = 0;
+  for (const auto& [cls, load] : loads_) total += load.query;
+  return total;
+}
+
+double LoadDistribution::TotalUpdateLoad() const {
+  double total = 0;
+  for (const auto& [cls, load] : loads_) total += load.insert + load.del;
+  return total;
+}
+
+}  // namespace pathix

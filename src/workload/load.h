@@ -1,0 +1,45 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+
+/// \file load.h
+/// \brief The workload model of Section 3.2: per class C_{l,x} in scope(P) a
+/// triplet (alpha, beta, gamma) — frequencies of queries against the ending
+/// attribute with respect to that class, of insertions, and of deletions.
+
+namespace pathix {
+
+/// \brief One (alpha_{l,x}, beta_{l,x}, gamma_{l,x}) triplet.
+struct OpLoad {
+  double query = 0;   ///< alpha: queries against A_n w.r.t. this class
+  double insert = 0;  ///< beta: object insertions into this class
+  double del = 0;     ///< gamma: object deletions from this class
+};
+
+/// \brief Load distribution LD_{A_n}(scope(P)): triplets per class.
+///
+/// Frequencies are relative weights (the paper's examples use fractions of
+/// an operation mix); classes not set carry zero load.
+class LoadDistribution {
+ public:
+  void Set(ClassId cls, OpLoad load) { loads_[cls] = load; }
+  void Set(ClassId cls, double query, double insert, double del) {
+    loads_[cls] = OpLoad{query, insert, del};
+  }
+
+  OpLoad Get(ClassId cls) const {
+    auto it = loads_.find(cls);
+    return it == loads_.end() ? OpLoad{} : it->second;
+  }
+
+  /// Sum of all query frequencies (used for sanity checks and reporting).
+  double TotalQueryLoad() const;
+  double TotalUpdateLoad() const;
+
+ private:
+  std::unordered_map<ClassId, OpLoad> loads_;
+};
+
+}  // namespace pathix

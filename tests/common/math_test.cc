@@ -1,0 +1,75 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+namespace pathix {
+namespace {
+
+TEST(YaoNpaTest, DegenerateInputsReturnZero) {
+  EXPECT_EQ(YaoNpa(0, 100, 10), 0);
+  EXPECT_EQ(YaoNpa(-1, 100, 10), 0);
+  EXPECT_EQ(YaoNpa(5, 0, 10), 0);
+  EXPECT_EQ(YaoNpa(5, 100, 0), 0);
+}
+
+TEST(YaoNpaTest, SinglePageAlwaysCostsOne) {
+  EXPECT_EQ(YaoNpa(1, 100, 1), 1);
+  EXPECT_EQ(YaoNpa(50, 100, 1), 1);
+}
+
+TEST(YaoNpaTest, SelectingEverythingTouchesAllPages) {
+  EXPECT_EQ(YaoNpa(100, 100, 10), 10);
+  EXPECT_EQ(YaoNpa(150, 100, 10), 10);  // oversaturated
+}
+
+TEST(YaoNpaTest, OneOfManyTouchesOnePage) {
+  EXPECT_NEAR(YaoNpa(1, 1000, 100), 1.0, 1e-9);
+}
+
+TEST(YaoNpaTest, MatchesClosedFormSmallCase) {
+  // n=4 records on m=2 pages (2 per page), t=2:
+  // npa = 2 * (1 - C(2,2)/C(4,2)) = 2 * (1 - 1/6) = 5/3.
+  EXPECT_NEAR(YaoNpa(2, 4, 2), 5.0 / 3.0, 1e-9);
+}
+
+TEST(YaoNpaTest, MonotoneInT) {
+  double prev = 0;
+  for (int t = 1; t <= 50; ++t) {
+    const double v = YaoNpa(t, 1000, 50);
+    EXPECT_GE(v, prev) << "t=" << t;
+    prev = v;
+  }
+}
+
+TEST(YaoNpaTest, BoundedByTAndM) {
+  for (int t = 1; t <= 200; t += 13) {
+    const double v = YaoNpa(t, 1000, 50);
+    EXPECT_LE(v, 50.0);
+    EXPECT_LE(v, static_cast<double>(t));
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(YaoNpaTest, FractionalTInterpolates) {
+  const double lo = YaoNpa(3, 1000, 50);
+  const double hi = YaoNpa(4, 1000, 50);
+  const double mid = YaoNpa(3.5, 1000, 50);
+  EXPECT_GT(mid, lo);
+  EXPECT_LT(mid, hi);
+  EXPECT_NEAR(mid, (lo + hi) / 2, 1e-9);
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(10, 5), 2);
+  EXPECT_EQ(CeilDiv(11, 5), 3);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(5, 0), 0);  // guarded
+}
+
+TEST(CeilPosTest, ClampsNegative) {
+  EXPECT_EQ(CeilPos(-3.2), 0);
+  EXPECT_EQ(CeilPos(3.2), 4);
+}
+
+}  // namespace
+}  // namespace pathix

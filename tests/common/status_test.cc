@@ -1,0 +1,60 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pathix {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad path");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad path");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad path");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status FailingHelper() { return Status::OutOfRange("boom"); }
+Status Propagating() {
+  PATHIX_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagating().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,83 @@
+#include "core/cost_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+TEST(CostMatrixTest, FromValuesRoundTrips) {
+  const CostMatrix m = CostMatrix::FromValues(
+      2, {IndexOrg::kMX, IndexOrg::kNIX}, {{5, 7}, {3, 2}, {9, 8}});
+  EXPECT_EQ(m.path_length(), 2);
+  EXPECT_EQ(m.subpaths().size(), 3u);
+  EXPECT_DOUBLE_EQ(m.Cost(Subpath{1, 1}, IndexOrg::kMX), 5);
+  EXPECT_DOUBLE_EQ(m.Cost(Subpath{2, 2}, IndexOrg::kNIX), 2);
+  EXPECT_DOUBLE_EQ(m.Cost(Subpath{1, 2}, IndexOrg::kNIX), 8);
+  EXPECT_EQ(m.MinOrg(Subpath{1, 1}), IndexOrg::kMX);
+  EXPECT_EQ(m.MinOrg(Subpath{2, 2}), IndexOrg::kNIX);
+}
+
+TEST(CostMatrixTest, DefaultRowLabelsAreSubpathNames) {
+  const CostMatrix m = CostMatrix::FromValues(
+      2, {IndexOrg::kMX}, {{1}, {2}, {3}});
+  EXPECT_EQ(m.RowLabel(0), "S[1,1]");
+  EXPECT_EQ(m.RowLabel(2), "S[1,2]");
+}
+
+TEST(CostMatrixTest, BuildUsesSchemaLabels) {
+  const PaperSetup setup = MakeExample51Setup();
+  const PathContext ctx =
+      PathContext::Build(setup.schema, setup.path, setup.catalog, setup.load)
+          .value();
+  const CostMatrix m = CostMatrix::Build(ctx);
+  EXPECT_EQ(m.RowLabel(0), "Person.owns");
+  EXPECT_EQ(m.RowLabel(9), "Person.owns.man.divs.name");
+}
+
+TEST(CostMatrixTest, PrintMarksRowMinima) {
+  const CostMatrix m = CostMatrix::FromValues(
+      2, {IndexOrg::kMX, IndexOrg::kNIX}, {{5, 7}, {3, 2}, {9, 8}});
+  std::ostringstream os;
+  m.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("5.00*"), std::string::npos);
+  EXPECT_NE(out.find("2.00*"), std::string::npos);
+  EXPECT_NE(out.find("8.00*"), std::string::npos);
+  // Non-minimal cells carry no star.
+  EXPECT_EQ(out.find("7.00*"), std::string::npos);
+  EXPECT_NE(out.find("MX"), std::string::npos);
+  EXPECT_NE(out.find("NIX"), std::string::npos);
+}
+
+TEST(CostMatrixTest, InfiniteEntriesRenderAndNeverWin) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const CostMatrix m = CostMatrix::FromValues(
+      1, {IndexOrg::kNX, IndexOrg::kMX}, {{inf, 4}});
+  EXPECT_EQ(m.MinOrg(Subpath{1, 1}), IndexOrg::kMX);
+  EXPECT_DOUBLE_EQ(m.MinCost(Subpath{1, 1}), 4);
+  std::ostringstream os;
+  m.Print(os);
+  EXPECT_NE(os.str().find("inf"), std::string::npos);
+}
+
+TEST(CostMatrixTest, TiedMinimaAllStarred) {
+  const CostMatrix m =
+      CostMatrix::FromValues(1, {IndexOrg::kMX, IndexOrg::kMIX}, {{4, 4}});
+  std::ostringstream os;
+  m.Print(os);
+  const std::string out = os.str();
+  std::size_t stars = 0;
+  for (std::size_t pos = out.find("4.00*"); pos != std::string::npos;
+       pos = out.find("4.00*", pos + 1)) {
+    ++stars;
+  }
+  EXPECT_EQ(stars, 2u);
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,63 @@
+// Golden regression guard for the calibrated Figure 8 reproduction: the
+// cost-matrix values for Example 5.1 under the default physical parameters.
+// These are OUR values, not the paper's (whose constants are in the
+// unavailable report [7]); the test exists so that any model change that
+// silently breaks the Example 5.1 reproduction fails loudly here first.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_matrix.h"
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+TEST(Figure8GoldenTest, MatrixValuesAreStable) {
+  const PaperSetup setup = MakeExample51Setup();
+  const PathContext ctx =
+      PathContext::Build(setup.schema, setup.path, setup.catalog, setup.load)
+          .value();
+  const CostMatrix m = CostMatrix::Build(ctx);
+
+  // Rows in EnumerateSubpaths(4) order; columns MX, MIX, NIX. 1% relative
+  // tolerance: small npa refinements are fine, structural changes are not.
+  const struct {
+    Subpath sp;
+    double mx, mix, nix;
+  } golden[] = {
+      {{1, 1}, 18.19, 18.55, 18.55},
+      {{2, 2}, 8.56, 5.04, 5.07},
+      {{3, 3}, 3.41, 3.44, 3.47},
+      {{4, 4}, 2.80, 2.80, 2.80},
+      {{1, 2}, 26.75, 23.59, 13.22},
+      {{2, 3}, 11.97, 8.47, 11.62},
+      {{3, 4}, 6.21, 6.24, 6.52},
+      {{1, 3}, 30.16, 27.03, 39.49},
+      {{2, 4}, 14.77, 11.27, 14.13},
+      {{1, 4}, 32.96, 29.83, 32.99},
+  };
+  for (const auto& row : golden) {
+    EXPECT_NEAR(m.Cost(row.sp, IndexOrg::kMX), row.mx, 0.01 * row.mx + 0.02)
+        << ToString(row.sp);
+    EXPECT_NEAR(m.Cost(row.sp, IndexOrg::kMIX), row.mix,
+                0.01 * row.mix + 0.02)
+        << ToString(row.sp);
+    EXPECT_NEAR(m.Cost(row.sp, IndexOrg::kNIX), row.nix,
+                0.01 * row.nix + 0.02)
+        << ToString(row.sp);
+  }
+}
+
+TEST(Figure8GoldenTest, StructuralWinnersAreStable) {
+  const PaperSetup setup = MakeExample51Setup();
+  const PathContext ctx =
+      PathContext::Build(setup.schema, setup.path, setup.catalog, setup.load)
+          .value();
+  const CostMatrix m = CostMatrix::Build(ctx);
+  // The cells that decide the Example 5.1 reproduction.
+  EXPECT_EQ(m.MinOrg(Subpath{1, 2}), IndexOrg::kNIX);  // the NIX prefix
+  EXPECT_EQ(m.MinOrg(Subpath{3, 4}), IndexOrg::kMX);   // the MX tail
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,59 @@
+#include "core/index_config.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+TEST(IndexConfigTest, ValidConfiguration) {
+  IndexConfiguration cfg({{Subpath{1, 2}, IndexOrg::kNIX},
+                          {Subpath{3, 4}, IndexOrg::kMX}});
+  EXPECT_TRUE(cfg.Validate(4).ok());
+  EXPECT_EQ(cfg.degree(), 2);
+}
+
+TEST(IndexConfigTest, WholePathIsDegreeOne) {
+  IndexConfiguration cfg({{Subpath{1, 4}, IndexOrg::kNIX}});
+  EXPECT_TRUE(cfg.Validate(4).ok());
+  EXPECT_EQ(cfg.degree(), 1);
+}
+
+TEST(IndexConfigTest, EmptyRejected) {
+  EXPECT_FALSE(IndexConfiguration().Validate(4).ok());
+}
+
+TEST(IndexConfigTest, GapRejected) {
+  IndexConfiguration cfg({{Subpath{1, 1}, IndexOrg::kMX},
+                          {Subpath{3, 4}, IndexOrg::kMX}});
+  EXPECT_FALSE(cfg.Validate(4).ok());
+}
+
+TEST(IndexConfigTest, OverlapRejected) {
+  IndexConfiguration cfg({{Subpath{1, 2}, IndexOrg::kMX},
+                          {Subpath{2, 4}, IndexOrg::kMX}});
+  EXPECT_FALSE(cfg.Validate(4).ok());
+}
+
+TEST(IndexConfigTest, ShortCoverRejected) {
+  IndexConfiguration cfg({{Subpath{1, 3}, IndexOrg::kMX}});
+  EXPECT_FALSE(cfg.Validate(4).ok());
+}
+
+TEST(IndexConfigTest, OverrunRejected) {
+  IndexConfiguration cfg({{Subpath{1, 5}, IndexOrg::kMX}});
+  EXPECT_FALSE(cfg.Validate(4).ok());
+}
+
+TEST(IndexConfigTest, RendersWithSchemaLabels) {
+  const PaperSetup setup = MakeExample51Setup();
+  IndexConfiguration cfg({{Subpath{1, 2}, IndexOrg::kNIX},
+                          {Subpath{3, 4}, IndexOrg::kMX}});
+  EXPECT_EQ(cfg.ToString(setup.schema, setup.path),
+            "{(Person.owns.man, NIX), (Company.divs.name, MX)}");
+  EXPECT_EQ(cfg.ToString(), "{(S[1,2], NIX), (S[3,4], MX)}");
+}
+
+}  // namespace
+}  // namespace pathix

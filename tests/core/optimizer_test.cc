@@ -1,0 +1,142 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+// ------------------------------------------------ Figure 6 walkthrough (E4)
+
+class Figure6Test : public ::testing::Test {
+ protected:
+  CostMatrix m_ = MakeFigure6Matrix();
+};
+
+TEST_F(Figure6Test, RowMinimaMatchTheUnderlinedValues) {
+  EXPECT_EQ(m_.MinCost(Subpath{1, 1}), 3);
+  EXPECT_EQ(m_.MinOrg(Subpath{1, 1}), IndexOrg::kMX);
+  EXPECT_EQ(m_.MinCost(Subpath{3, 3}), 2);
+  EXPECT_EQ(m_.MinCost(Subpath{4, 4}), 4);
+  EXPECT_EQ(m_.MinCost(Subpath{1, 2}), 6);
+  EXPECT_EQ(m_.MinOrg(Subpath{1, 2}), IndexOrg::kMIX);
+  EXPECT_EQ(m_.MinCost(Subpath{2, 4}), 5);
+  EXPECT_EQ(m_.MinOrg(Subpath{2, 4}), IndexOrg::kNIX);
+  EXPECT_EQ(m_.MinCost(Subpath{1, 4}), 9);
+  EXPECT_EQ(m_.MinOrg(Subpath{1, 4}), IndexOrg::kNIX);
+}
+
+TEST_F(Figure6Test, BranchAndBoundFindsThePaperOptimum) {
+  const OptimizeResult r = SelectBranchAndBound(m_);
+  // Section 5: {(C1.A1, MX), (C2.A2.A3.A4, NIX)} with processing cost 8.
+  EXPECT_DOUBLE_EQ(r.cost, 8);
+  ASSERT_EQ(r.config.degree(), 2);
+  EXPECT_EQ(r.config.parts()[0],
+            (IndexedSubpath{Subpath{1, 1}, IndexOrg::kMX}));
+  EXPECT_EQ(r.config.parts()[1],
+            (IndexedSubpath{Subpath{2, 4}, IndexOrg::kNIX}));
+}
+
+TEST_F(Figure6Test, WalkthroughTraceMatchesThePaperNarrative) {
+  const OptimizeResult r = SelectBranchAndBound(m_, /*capture_trace=*/true);
+  // The narrative costs, in order: initial 9; candidates 12 ({13|4}),
+  // 12 ({12|34}), 12 ({12|3|4}), 8 ({1|234}, improvement), prune at 8
+  // ({1|23...}), 13 ({1|2|34}), prune at 9 ({1|2|3...}).
+  std::vector<std::pair<OptimizerTraceEvent::Kind, double>> got;
+  for (const OptimizerTraceEvent& ev : r.trace) {
+    got.emplace_back(ev.kind, ev.cost);
+  }
+  using K = OptimizerTraceEvent::Kind;
+  const std::vector<std::pair<K, double>> expected = {
+      {K::kInitial, 9},   {K::kEvaluated, 12}, {K::kEvaluated, 12},
+      {K::kEvaluated, 12}, {K::kEvaluated, 8},  {K::kImproved, 8},
+      {K::kPruned, 8},    {K::kEvaluated, 13}, {K::kPruned, 9},
+  };
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(Figure6Test, PruningCounters) {
+  const OptimizeResult r = SelectBranchAndBound(m_);
+  EXPECT_EQ(r.evaluated, 6);  // 1 initial + 5 candidates
+  EXPECT_EQ(r.pruned, 2);
+  const OptimizeResult ex = SelectExhaustive(m_);
+  EXPECT_EQ(ex.evaluated, 8);  // 2^(4-1)
+  EXPECT_DOUBLE_EQ(ex.cost, r.cost);
+}
+
+// -------------------------------------------------- cross-method agreement
+
+CostMatrix RandomMatrix(int n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(1.0, 100.0);
+  std::vector<std::vector<double>> values;
+  for (int i = 0; i < NumSubpaths(n); ++i) {
+    values.push_back({dist(rng), dist(rng), dist(rng)});
+  }
+  return CostMatrix::FromValues(
+      n, {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX}, std::move(values));
+}
+
+class OptimizerAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerAgreementTest, BnBAndDPMatchExhaustiveOnRandomMatrices) {
+  const int n = GetParam();
+  for (std::uint32_t seed = 0; seed < 25; ++seed) {
+    const CostMatrix m = RandomMatrix(n, seed * 7919 + n);
+    const OptimizeResult ex = SelectExhaustive(m);
+    const OptimizeResult bb = SelectBranchAndBound(m);
+    const OptimizeResult dp = SelectDP(m);
+    ASSERT_NEAR(bb.cost, ex.cost, 1e-9) << "n=" << n << " seed=" << seed;
+    ASSERT_NEAR(dp.cost, ex.cost, 1e-9) << "n=" << n << " seed=" << seed;
+    // The chosen configurations must be valid covers with the stated cost.
+    ASSERT_TRUE(bb.config.Validate(n).ok());
+    ASSERT_TRUE(dp.config.Validate(n).ok());
+    double check = 0;
+    for (const IndexedSubpath& part : bb.config.parts()) {
+      check += m.Cost(part.subpath, part.org);
+    }
+    ASSERT_NEAR(check, bb.cost, 1e-9);
+    // Branch and bound never explores more than the exhaustive search.
+    ASSERT_LE(bb.evaluated, ex.evaluated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PathLengths, OptimizerAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+TEST(OptimizerTest, LengthOnePathHasSingleConfiguration) {
+  const CostMatrix m = CostMatrix::FromValues(
+      1, {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX}, {{5, 4, 6}});
+  const OptimizeResult r = SelectBranchAndBound(m);
+  EXPECT_DOUBLE_EQ(r.cost, 4);
+  EXPECT_EQ(r.config.degree(), 1);
+  EXPECT_EQ(r.config.parts()[0].org, IndexOrg::kMIX);
+  EXPECT_EQ(r.evaluated, 1);
+}
+
+TEST(OptimizerTest, TiesKeepFirstFoundOptimum) {
+  // All entries equal: splitting never helps; the degree-1 seed must win
+  // (the paper prunes on >=).
+  std::vector<std::vector<double>> values(NumSubpaths(4),
+                                          std::vector<double>{1, 1, 1});
+  const CostMatrix m = CostMatrix::FromValues(
+      4, {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX}, std::move(values));
+  const OptimizeResult r = SelectBranchAndBound(m);
+  EXPECT_EQ(r.config.degree(), 1);
+  EXPECT_DOUBLE_EQ(r.cost, 1);
+  EXPECT_EQ(r.evaluated, 1);  // every split prunes at the first block
+}
+
+TEST(OptimizerTest, TraceEventToStringMentionsKindAndCost) {
+  const CostMatrix m = MakeFigure6Matrix();
+  const OptimizeResult r = SelectBranchAndBound(m, true);
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_NE(r.trace.front().ToString().find("initial"), std::string::npos);
+  EXPECT_NE(r.trace.front().ToString().find("cost=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathix

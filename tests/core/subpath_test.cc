@@ -1,0 +1,41 @@
+#include "core/subpath.h"
+
+#include <gtest/gtest.h>
+
+namespace pathix {
+namespace {
+
+TEST(SubpathTest, CountMatchesClosedForm) {
+  // The paper: a path of length n splits into n(n+1)/2 subpaths.
+  for (int n = 1; n <= 12; ++n) {
+    EXPECT_EQ(static_cast<int>(EnumerateSubpaths(n).size()), NumSubpaths(n));
+    EXPECT_EQ(NumSubpaths(n), n * (n + 1) / 2);
+  }
+}
+
+TEST(SubpathTest, OrderedByLengthThenStart) {
+  const std::vector<Subpath> subs = EnumerateSubpaths(4);
+  ASSERT_EQ(subs.size(), 10u);
+  EXPECT_EQ(subs[0], (Subpath{1, 1}));
+  EXPECT_EQ(subs[3], (Subpath{4, 4}));
+  EXPECT_EQ(subs[4], (Subpath{1, 2}));
+  EXPECT_EQ(subs[9], (Subpath{1, 4}));
+}
+
+TEST(SubpathTest, RowIndexIsDense) {
+  for (int n = 1; n <= 9; ++n) {
+    const std::vector<Subpath> subs = EnumerateSubpaths(n);
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      EXPECT_EQ(SubpathRowIndex(n, subs[i]), static_cast<int>(i));
+    }
+  }
+}
+
+TEST(SubpathTest, LengthAndToString) {
+  const Subpath sp{2, 4};
+  EXPECT_EQ(sp.length(), 3);
+  EXPECT_EQ(ToString(sp), "S[2,4]");
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,110 @@
+#include "costmodel/access_functions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace pathix {
+namespace {
+
+PhysicalParams DefaultParams() { return PhysicalParams{}; }
+
+class AccessFunctionsTest : public ::testing::Test {
+ protected:
+  // 1000 single-page records, height 2.
+  BTreeModel small_ = BTreeModel::Build(1000, 50, 8, DefaultParams());
+  // 100 records of 3 pages each, multi-page branch.
+  BTreeModel big_ = BTreeModel::Build(100, 10000, 8, DefaultParams());
+};
+
+TEST_F(AccessFunctionsTest, CRLIsHeightForSmallRecords) {
+  EXPECT_EQ(CRL(small_), small_.height());
+}
+
+TEST_F(AccessFunctionsTest, CRLMultiPageAddsPr) {
+  // h - 1 + pr with pr = record_pages = 3.
+  EXPECT_EQ(CRL(big_), big_.height() - 1 + 3);
+}
+
+TEST_F(AccessFunctionsTest, CMLAddsRewritePage) {
+  EXPECT_EQ(CML(small_), small_.height() + 1);
+}
+
+TEST_F(AccessFunctionsTest, CMLMultiPageFetchesAndRewrites) {
+  // h - 1 + 2 * pm with pm defaulting to 1.
+  EXPECT_EQ(CML(big_), big_.height() - 1 + 2);
+  // Definition 4.2's CMD variant: all record pages are maintained.
+  EXPECT_EQ(CMLWithPm(big_, big_.record_pages()), big_.height() - 1 + 6);
+}
+
+TEST_F(AccessFunctionsTest, CRTOfOneEqualsCRL) {
+  EXPECT_NEAR(CRT(small_, 1), CRL(small_), 1e-9);
+  EXPECT_NEAR(CRT(big_, 1), CRL(big_), 1e-9);
+}
+
+TEST_F(AccessFunctionsTest, CRTZeroIsFree) {
+  EXPECT_EQ(CRT(small_, 0), 0);
+  EXPECT_EQ(CMT(small_, 0), 0);
+}
+
+TEST_F(AccessFunctionsTest, CRTMonotoneInT) {
+  double prev = 0;
+  for (double t = 1; t <= 200; t += 7) {
+    const double v = CRT(small_, t);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST_F(AccessFunctionsTest, CRTBoundedByFullScan) {
+  // Retrieving every record cannot cost more than all pages once per level.
+  double all_pages = 0;
+  for (const auto& lvl : small_.levels()) all_pages += lvl.pages;
+  EXPECT_LE(CRT(small_, 1000), all_pages);
+}
+
+TEST_F(AccessFunctionsTest, CMTExceedsCRTForSinglePageRecords) {
+  // Maintenance rewrites what retrieval only reads.
+  for (double t : {1.0, 5.0, 50.0}) {
+    EXPECT_GT(CMT(small_, t), CRT(small_, t));
+  }
+}
+
+TEST_F(AccessFunctionsTest, CMTMultiPageTouchesOnlyModifiedPages) {
+  // "In the case a record occupies more than one page we assume that only
+  // the pages which should be modified are retrieved and updated"
+  // (Section 3.1): 2 * t * pm at the leaves, pm defaulting to 1 page.
+  const double t = 50;
+  EXPECT_GT(CMT(big_, t), 2 * t * big_.pm());
+  EXPECT_LT(CMT(big_, t), 2 * t * big_.pm() + big_.height());
+  // Full-record retrieval (pr = 3 pages) can therefore cost more.
+  EXPECT_GT(CRT(big_, t), CMT(big_, t));
+}
+
+TEST_F(AccessFunctionsTest, CRTMultiPageLinearInT) {
+  const double c1 = CRTWithPr(big_, 1, 3);
+  const double c10 = CRTWithPr(big_, 10, 3);
+  // Leaf share grows by 3 pages per extra record.
+  EXPECT_NEAR(c10 - c1, 9 * 3 + (YaoNpa(10, 100, big_.levels()[0].pages) -
+                                 YaoNpa(1, 100, big_.levels()[0].pages)),
+              1e-6);
+}
+
+TEST_F(AccessFunctionsTest, PartialPrReducesCost) {
+  EXPECT_LT(CRTWithPr(big_, 5, 1), CRTWithPr(big_, 5, 3));
+  EXPECT_LT(CRLWithPr(big_, 1), CRL(big_));
+}
+
+TEST_F(AccessFunctionsTest, CRRSmallRecordsShareLeafPages) {
+  // Rewriting x small records costs at most x pages and at least 1.
+  const double v = CRR(small_, 10);
+  EXPECT_GE(v, 1);
+  EXPECT_LE(v, 10);
+}
+
+TEST_F(AccessFunctionsTest, CRRMultiPagePerRecord) {
+  EXPECT_EQ(CRR(big_, 4), 4 * big_.pm());
+}
+
+}  // namespace
+}  // namespace pathix

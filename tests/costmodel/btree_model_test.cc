@@ -1,0 +1,86 @@
+#include "costmodel/btree_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pathix {
+namespace {
+
+PhysicalParams DefaultParams() { return PhysicalParams{}; }
+
+TEST(BTreeModelTest, EmptyIndexHasOneLeafPage) {
+  const BTreeModel m = BTreeModel::Build(0, 50, 8, DefaultParams());
+  EXPECT_EQ(m.height(), 1);
+  EXPECT_EQ(m.leaf_pages(), 1);
+}
+
+TEST(BTreeModelTest, SmallIndexIsOneLevel) {
+  // 10 records of 50 bytes fit a single 4096-byte page.
+  const BTreeModel m = BTreeModel::Build(10, 50, 8, DefaultParams());
+  EXPECT_EQ(m.height(), 1);
+  EXPECT_EQ(m.leaf_pages(), 1);
+  EXPECT_FALSE(m.multi_page_record());
+}
+
+TEST(BTreeModelTest, TwoLevelShape) {
+  // 1000 records of 50 bytes: 81 per page -> 13 leaf pages -> 1 root.
+  const BTreeModel m = BTreeModel::Build(1000, 50, 8, DefaultParams());
+  EXPECT_EQ(m.height(), 2);
+  EXPECT_EQ(m.leaf_pages(), 13);
+  EXPECT_EQ(m.levels().front().pages, 1);
+  EXPECT_EQ(m.levels().front().records, 13);
+}
+
+TEST(BTreeModelTest, ThreeLevelShape) {
+  // 200000 records of 50 bytes: 2470 leaf pages; fanout 256 -> 10 pages ->
+  // 1 root: height 3.
+  const BTreeModel m = BTreeModel::Build(200000, 50, 8, DefaultParams());
+  EXPECT_EQ(m.height(), 3);
+  EXPECT_EQ(m.leaf_pages(), 2470);
+}
+
+TEST(BTreeModelTest, MultiPageRecordChainsLeafPages) {
+  // 100 records of 10000 bytes: 3 pages per record, 300 leaf pages.
+  const BTreeModel m = BTreeModel::Build(100, 10000, 8, DefaultParams());
+  EXPECT_TRUE(m.multi_page_record());
+  EXPECT_EQ(m.record_pages(), 3);
+  EXPECT_EQ(m.leaf_pages(), 300);
+  // Parent level addresses the 100 record starts, not the 300 pages.
+  ASSERT_GE(m.height(), 2);
+  EXPECT_EQ(m.levels()[m.height() - 2].records, 100);
+}
+
+TEST(BTreeModelTest, PrDefaultsToWholeRecord) {
+  const BTreeModel m = BTreeModel::Build(100, 10000, 8, DefaultParams());
+  EXPECT_EQ(m.pr(), 3);
+  EXPECT_EQ(m.pm(), 1);
+}
+
+TEST(BTreeModelTest, OverridesRespected) {
+  PhysicalParams pp;
+  pp.pr_override = 2;
+  pp.pm_override = 1.5;
+  const BTreeModel m = BTreeModel::Build(100, 10000, 8, pp);
+  EXPECT_EQ(m.pr(), 2);
+  EXPECT_EQ(m.pm(), 1.5);
+}
+
+TEST(BTreeModelTest, HeightGrowsMonotonicallyWithRecords) {
+  int prev_height = 0;
+  for (double n : {1.0, 100.0, 10000.0, 1e6, 1e8}) {
+    const BTreeModel m = BTreeModel::Build(n, 50, 8, DefaultParams());
+    EXPECT_GE(m.height(), prev_height);
+    prev_height = m.height();
+  }
+  EXPECT_GE(prev_height, 3);
+}
+
+TEST(BTreeModelTest, LevelsShrinkUpward) {
+  const BTreeModel m = BTreeModel::Build(1e7, 100, 8, DefaultParams());
+  for (std::size_t i = 1; i < m.levels().size(); ++i) {
+    EXPECT_LT(m.levels()[i - 1].pages, m.levels()[i].pages);
+  }
+  EXPECT_EQ(m.levels().front().pages, 1);  // root
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,151 @@
+// Property tests for the cost decomposition of Section 4: configuration
+// costs are sums of independent subpath costs (Propositions 4.1/4.2), and
+// the model behaves monotonically in the knobs the formulas say it should.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/cost_matrix.h"
+#include "core/optimizer.h"
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+class ConfigCostPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setup_ = MakeExample51Setup();
+    ctx_ = std::make_unique<PathContext>(
+        PathContext::Build(setup_.schema, setup_.path, setup_.catalog,
+                           setup_.load)
+            .value());
+  }
+
+  PaperSetup setup_;
+  std::unique_ptr<PathContext> ctx_;
+};
+
+TEST_F(ConfigCostPropertyTest, EverySubpathCostIsFiniteAndNonNegative) {
+  for (const Subpath& sp : EnumerateSubpaths(4)) {
+    for (IndexOrg org : {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX,
+                         IndexOrg::kNone}) {
+      const SubpathCost c = ComputeSubpathCost(*ctx_, sp.start, sp.end, org);
+      EXPECT_GE(c.query, 0) << ToString(sp) << " " << ToString(org);
+      EXPECT_GE(c.prefix, 0);
+      EXPECT_GE(c.maintain, 0);
+      EXPECT_GE(c.boundary, 0);
+      EXPECT_TRUE(std::isfinite(c.total()));
+    }
+  }
+}
+
+TEST_F(ConfigCostPropertyTest, MatrixEntriesEqualDirectComputation) {
+  const CostMatrix m = CostMatrix::Build(*ctx_);
+  for (const Subpath& sp : m.subpaths()) {
+    for (IndexOrg org : m.orgs()) {
+      EXPECT_DOUBLE_EQ(
+          m.Cost(sp, org),
+          ComputeSubpathCost(*ctx_, sp.start, sp.end, org).total());
+    }
+  }
+}
+
+TEST_F(ConfigCostPropertyTest, ConfigurationCostIsSumOfParts) {
+  // Every composition's cost (as the optimizer computes it from the
+  // matrix) equals the direct sum of its parts — Proposition 4.2.
+  const CostMatrix m = CostMatrix::Build(*ctx_);
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    std::vector<Subpath> blocks;
+    int start = 1;
+    for (int i = 1; i < 4; ++i) {
+      if (mask & (1u << (i - 1))) {
+        blocks.push_back(Subpath{start, i});
+        start = i + 1;
+      }
+    }
+    blocks.push_back(Subpath{start, 4});
+    double via_matrix = 0;
+    double direct = 0;
+    for (const Subpath& sp : blocks) {
+      via_matrix += m.MinCost(sp);
+      direct += ComputeSubpathCost(*ctx_, sp.start, sp.end, m.MinOrg(sp))
+                    .total();
+    }
+    EXPECT_NEAR(via_matrix, direct, 1e-9) << "mask=" << mask;
+  }
+}
+
+TEST_F(ConfigCostPropertyTest, CostsScaleLinearlyWithLoad) {
+  // All costs are load-weighted sums: doubling every frequency doubles
+  // every matrix entry.
+  LoadDistribution doubled;
+  for (ClassId cls : {setup_.person, setup_.vehicle, setup_.bus,
+                      setup_.truck, setup_.company, setup_.division}) {
+    const OpLoad l = setup_.load.Get(cls);
+    doubled.Set(cls, 2 * l.query, 2 * l.insert, 2 * l.del);
+  }
+  const PathContext ctx2 = PathContext::Build(setup_.schema, setup_.path,
+                                              setup_.catalog, doubled)
+                               .value();
+  const CostMatrix m1 = CostMatrix::Build(*ctx_);
+  const CostMatrix m2 = CostMatrix::Build(ctx2);
+  for (const Subpath& sp : m1.subpaths()) {
+    for (IndexOrg org : m1.orgs()) {
+      EXPECT_NEAR(m2.Cost(sp, org), 2 * m1.Cost(sp, org), 1e-9)
+          << ToString(sp) << " " << ToString(org);
+    }
+  }
+}
+
+TEST_F(ConfigCostPropertyTest, MoreObjectsNeverCheapenAnIndex) {
+  // Scaling the Person population up cannot reduce any cost involving the
+  // Person level.
+  PaperSetup big = MakeExample51Setup();
+  ClassStats stats = big.catalog.GetClassStats(big.person);
+  stats.n *= 4;
+  stats.d *= 4;
+  big.catalog.SetClassStats(big.person, stats);
+  const PathContext big_ctx =
+      PathContext::Build(big.schema, big.path, big.catalog, big.load).value();
+  for (IndexOrg org : kPaperOrgs) {
+    const double small_cost =
+        ComputeSubpathCost(*ctx_, 1, 2, org).total();
+    const double big_cost = ComputeSubpathCost(big_ctx, 1, 2, org).total();
+    EXPECT_GE(big_cost, small_cost * 0.999) << ToString(org);
+  }
+}
+
+TEST_F(ConfigCostPropertyTest, OptimumNeverExceedsAnyWholePathIndex) {
+  const CostMatrix m = CostMatrix::Build(*ctx_);
+  const OptimizeResult best = SelectExhaustive(m);
+  for (IndexOrg org : m.orgs()) {
+    EXPECT_LE(best.cost, m.Cost(Subpath{1, 4}, org) + 1e-9);
+  }
+}
+
+TEST_F(ConfigCostPropertyTest, RandomLoadsKeepOptimizersInAgreement) {
+  std::mt19937 rng(2718);
+  std::uniform_real_distribution<double> f(0.0, 0.5);
+  for (int trial = 0; trial < 20; ++trial) {
+    LoadDistribution load;
+    for (ClassId cls : {setup_.person, setup_.vehicle, setup_.bus,
+                        setup_.truck, setup_.company, setup_.division}) {
+      load.Set(cls, f(rng), f(rng), f(rng));
+    }
+    const PathContext ctx = PathContext::Build(setup_.schema, setup_.path,
+                                               setup_.catalog, load)
+                                .value();
+    const CostMatrix m = CostMatrix::Build(ctx);
+    const OptimizeResult bb = SelectBranchAndBound(m);
+    const OptimizeResult ex = SelectExhaustive(m);
+    const OptimizeResult dp = SelectDP(m);
+    ASSERT_NEAR(bb.cost, ex.cost, 1e-9) << "trial " << trial;
+    ASSERT_NEAR(dp.cost, ex.cost, 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace pathix

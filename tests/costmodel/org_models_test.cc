@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "costmodel/mix_model.h"
+#include "costmodel/mx_model.h"
+#include "costmodel/nix_model.h"
+#include "costmodel/none_model.h"
+#include "costmodel/org_model.h"
+#include "costmodel/subpath_cost.h"
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+class OrgModelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setup_ = MakeExample51Setup();
+    Result<PathContext> ctx = PathContext::Build(setup_.schema, setup_.path,
+                                                 setup_.catalog, setup_.load);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = std::make_unique<PathContext>(std::move(ctx).value());
+  }
+
+  PaperSetup setup_;
+  std::unique_ptr<PathContext> ctx_;
+};
+
+// ---------------------------------------------------------------- MX / MIX
+
+TEST_F(OrgModelsTest, MXQueryChainsThroughEveryScopeIndex) {
+  const MXCostModel mx(*ctx_, 1, 4);
+  // Cost w.r.t. Person must strictly exceed the cost w.r.t. Company: the
+  // chain is longer (1 + sum nc_i lookups, Section 3.1).
+  EXPECT_GT(mx.QueryCost(1, 0), mx.QueryCost(3, 0));
+  EXPECT_GT(mx.QueryCost(3, 0), mx.QueryCost(4, 0));
+}
+
+TEST_F(OrgModelsTest, MXQueryAtEndingClassIsSingleLookup) {
+  const MXCostModel mx(*ctx_, 1, 4);
+  EXPECT_NEAR(mx.QueryCost(4, 0), CRL(mx.tree(4, 0)), 1e-9);
+}
+
+TEST_F(OrgModelsTest, MXHierarchyQueryCoversAllSubclassIndexes) {
+  const MXCostModel mx(*ctx_, 2, 4);
+  // w.r.t. the Vehicle hierarchy: three level-2 indexes instead of one.
+  EXPECT_GT(mx.QueryCostHierarchy(2), mx.QueryCost(2, 0));
+}
+
+TEST_F(OrgModelsTest, MIXHierarchyQueryCostsSameAsSingleClass) {
+  const MIXCostModel mix(*ctx_, 2, 4);
+  // One inherited index serves the whole hierarchy: the MIX advantage.
+  EXPECT_DOUBLE_EQ(mix.QueryCostHierarchy(2), mix.QueryCost(2, 1));
+}
+
+TEST_F(OrgModelsTest, MIXBeatsMXOnHierarchyQueries) {
+  const MXCostModel mx(*ctx_, 2, 4);
+  const MIXCostModel mix(*ctx_, 2, 4);
+  EXPECT_LT(mix.QueryCostHierarchy(2), mx.QueryCostHierarchy(2));
+}
+
+TEST_F(OrgModelsTest, MXDeleteTouchesPreviousLevelIndexes) {
+  const MXCostModel mx(*ctx_, 1, 4);
+  // Deleting a Vehicle updates level-2 indexes plus Person's level-1 index.
+  EXPECT_GT(mx.DeleteCost(2, 0), mx.InsertCost(2, 0));
+  // Deleting a Person (subpath root) has no previous level inside.
+  EXPECT_DOUBLE_EQ(mx.DeleteCost(1, 0), mx.InsertCost(1, 0));
+}
+
+TEST_F(OrgModelsTest, BoundaryCMDOnlyForReferenceEndings) {
+  // Subpath [1,2] ends at `man` (reference): CMD applies.
+  const MXCostModel cut(*ctx_, 1, 2);
+  EXPECT_GT(cut.BoundaryDeleteCost(), 0);
+  // The full path ends at the atomic `name`: no CMD.
+  const MXCostModel full(*ctx_, 1, 4);
+  EXPECT_DOUBLE_EQ(full.BoundaryDeleteCost(), 0);
+}
+
+// --------------------------------------------------------------------- NIX
+
+TEST_F(OrgModelsTest, NIXQueryIsOneProbeRegardlessOfClass) {
+  const NIXCostModel nix(*ctx_, 1, 4);
+  // Every class resolves with the same single primary lookup (+- partial
+  // record reads), so costs are within one record span of each other.
+  const double q1 = nix.QueryCost(1, 0);
+  const double q4 = nix.QueryCost(4, 0);
+  EXPECT_GE(q1, q4);  // Person's slice is the biggest (560 oids)
+  EXPECT_LE(q1 - q4, nix.primary().record_pages());
+}
+
+TEST_F(OrgModelsTest, NIXBeatsEveryoneOnDeepQueries) {
+  const MXCostModel mx(*ctx_, 1, 4);
+  const MIXCostModel mix(*ctx_, 1, 4);
+  const NIXCostModel nix(*ctx_, 1, 4);
+  EXPECT_LT(nix.QueryCost(1, 0), mix.QueryCost(1, 0));
+  EXPECT_LT(mix.QueryCost(1, 0), mx.QueryCostHierarchy(1));
+}
+
+TEST_F(OrgModelsTest, NIXMaintenancePaysForPropagation) {
+  const MXCostModel mx(*ctx_, 1, 4);
+  const NIXCostModel nix(*ctx_, 1, 4);
+  // Deleting a deep object (Division) must propagate through the auxiliary
+  // index under NIX; MX only touches two index levels.
+  EXPECT_GT(nix.DeleteCost(4, 0), mx.DeleteCost(4, 0));
+}
+
+TEST_F(OrgModelsTest, NIXLengthOneDegeneratesToInheritedIndex) {
+  // Example 5.1: on a length-1 subpath NIX is organized as an IIX.
+  const NIXCostModel nix(*ctx_, 2, 2);
+  const MIXCostModel mix(*ctx_, 2, 2);
+  EXPECT_FALSE(nix.has_aux());
+  EXPECT_NEAR(nix.QueryCost(2, 0), mix.QueryCost(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(nix.DeleteCost(2, 0) - nix.InsertCost(2, 0), 0);
+}
+
+TEST_F(OrgModelsTest, NIXAuxiliaryCoversNonRootClasses) {
+  const NIXCostModel nix(*ctx_, 1, 4);
+  ASSERT_TRUE(nix.has_aux());
+  // 3-tuples: levels 2..4 -> 10000+5000+5000+1000+1000 objects... levels
+  // are Veh-hierarchy (20000), Comp (1000), Div (1000).
+  EXPECT_DOUBLE_EQ(nix.aux().num_records(), 22000);
+}
+
+TEST_F(OrgModelsTest, NIXBoundaryDeleteIncludesDelpoint) {
+  const NIXCostModel nix(*ctx_, 1, 2);
+  const MIXCostModel mix(*ctx_, 1, 2);
+  // CMD_NIX = CML + delpoint > CMD_MIX = CML (similar tree heights).
+  EXPECT_GT(nix.BoundaryDeleteCost(), mix.BoundaryDeleteCost());
+}
+
+// ------------------------------------------------------------------- NONE
+
+TEST_F(OrgModelsTest, NoneQueriesScanDownstreamPages) {
+  const NoneCostModel none(*ctx_, 1, 4);
+  const NIXCostModel nix(*ctx_, 1, 4);
+  EXPECT_GT(none.QueryCost(1, 0), 100 * nix.QueryCost(1, 0));
+  EXPECT_DOUBLE_EQ(none.InsertCost(2, 0), 0);
+  EXPECT_DOUBLE_EQ(none.DeleteCost(2, 0), 0);
+  EXPECT_DOUBLE_EQ(none.BoundaryDeleteCost(), 0);
+}
+
+// ------------------------------------------------------------ subpath cost
+
+TEST_F(OrgModelsTest, SubpathCostDecomposes) {
+  const SubpathCost c = ComputeSubpathCost(*ctx_, 2, 4, IndexOrg::kMIX);
+  EXPECT_GT(c.query, 0);
+  EXPECT_GT(c.prefix, 0);    // Person's queries traverse this subpath
+  EXPECT_GT(c.maintain, 0);
+  EXPECT_DOUBLE_EQ(c.boundary, 0);  // ends at A_n
+  EXPECT_NEAR(c.total(), c.query + c.prefix + c.maintain + c.boundary, 1e-12);
+}
+
+TEST_F(OrgModelsTest, FirstSubpathHasNoPrefixLoad) {
+  const SubpathCost c = ComputeSubpathCost(*ctx_, 1, 2, IndexOrg::kMX);
+  EXPECT_DOUBLE_EQ(c.prefix, 0);
+  EXPECT_GT(c.boundary, 0);  // Company deletions remove key records
+}
+
+TEST_F(OrgModelsTest, FactoryCoversAllOrganizations) {
+  for (IndexOrg org : {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX,
+                       IndexOrg::kNone}) {
+    const std::unique_ptr<OrgCostModel> m = MakeOrgCostModel(org, *ctx_, 1, 4);
+    ASSERT_NE(m, nullptr);
+    EXPECT_GE(m->QueryCost(1, 0), 0);
+    EXPECT_GE(m->StorageBytes(), 0);
+  }
+}
+
+TEST_F(OrgModelsTest, StorageFootprintsArePositiveForRealIndexes) {
+  for (IndexOrg org : kPaperOrgs) {
+    const std::unique_ptr<OrgCostModel> m = MakeOrgCostModel(org, *ctx_, 1, 4);
+    EXPECT_GT(m->StorageBytes(), 0) << ToString(org);
+  }
+}
+
+}  // namespace
+}  // namespace pathix

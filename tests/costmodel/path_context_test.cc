@@ -1,0 +1,126 @@
+#include "costmodel/path_context.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+class PathContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setup_ = MakeExample51Setup();
+    Result<PathContext> ctx = PathContext::Build(setup_.schema, setup_.path,
+                                                 setup_.catalog, setup_.load);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = std::make_unique<PathContext>(std::move(ctx).value());
+  }
+
+  PaperSetup setup_;
+  std::unique_ptr<PathContext> ctx_;
+};
+
+TEST_F(PathContextTest, LevelsFollowThePath) {
+  ASSERT_EQ(ctx_->n(), 4);
+  EXPECT_EQ(ctx_->nc(1), 1);  // Person
+  EXPECT_EQ(ctx_->nc(2), 3);  // Vehicle, Bus, Truck
+  EXPECT_EQ(ctx_->nc(3), 1);  // Company
+  EXPECT_EQ(ctx_->nc(4), 1);  // Division
+  EXPECT_EQ(ctx_->level(2)[0].cls, setup_.vehicle);
+  EXPECT_EQ(ctx_->level(2)[1].cls, setup_.bus);
+  EXPECT_EQ(ctx_->level(2)[2].cls, setup_.truck);
+}
+
+TEST_F(PathContextTest, FanInsMatchFigure7) {
+  // k = n * nin / d: Per 10, Veh 6, Bus 4, Truck 4, Comp 4, Div 1.
+  EXPECT_DOUBLE_EQ(ctx_->level(1)[0].k, 10);
+  EXPECT_DOUBLE_EQ(ctx_->level(2)[0].k, 6);
+  EXPECT_DOUBLE_EQ(ctx_->level(2)[1].k, 4);
+  EXPECT_DOUBLE_EQ(ctx_->level(2)[2].k, 4);
+  EXPECT_DOUBLE_EQ(ctx_->level(3)[0].k, 4);
+  EXPECT_DOUBLE_EQ(ctx_->level(4)[0].k, 1);
+}
+
+TEST_F(PathContextTest, SelectivityProducts) {
+  // S(1)=10, S(2)=14, S(3)=4, S(4)=1.
+  EXPECT_DOUBLE_EQ(ctx_->S(1), 10);
+  EXPECT_DOUBLE_EQ(ctx_->S(2), 14);
+  EXPECT_DOUBLE_EQ(ctx_->S(3), 4);
+  EXPECT_DOUBLE_EQ(ctx_->S(4), 1);
+  // noid+_{n+1} = 1 (equality predicate); noid+ multiplies upward.
+  EXPECT_DOUBLE_EQ(ctx_->noidplus(5), 1);
+  EXPECT_DOUBLE_EQ(ctx_->noidplus(4), 1);
+  EXPECT_DOUBLE_EQ(ctx_->noidplus(3), 4);
+  EXPECT_DOUBLE_EQ(ctx_->noidplus(2), 56);
+  EXPECT_DOUBLE_EQ(ctx_->noidplus(1), 560);
+  // noid_{l,j} = k_{l,j} * noid+_{l+1}.
+  EXPECT_DOUBLE_EQ(ctx_->noid(1, 0), 560);
+  EXPECT_DOUBLE_EQ(ctx_->noid(2, 0), 24);
+  EXPECT_DOUBLE_EQ(ctx_->noid(4, 0), 1);
+}
+
+TEST_F(PathContextTest, WithinSubpathProductsStopAtB) {
+  // Subpath [1,2]: noid within for Person = k_1 * S(2) = 140.
+  EXPECT_DOUBLE_EQ(ctx_->NoidWithin(1, 0, 2), 140);
+  // Level 2 classes keyed directly by A_2 values: just k.
+  EXPECT_DOUBLE_EQ(ctx_->NoidWithin(2, 0, 2), 6);
+}
+
+TEST_F(PathContextTest, KeyLengthsFollowAttributeKind) {
+  EXPECT_DOUBLE_EQ(ctx_->KeyLenAt(1), ctx_->params().oid_len);
+  EXPECT_DOUBLE_EQ(ctx_->KeyLenAt(4), ctx_->params().key_len);
+}
+
+TEST_F(PathContextTest, DistinctKeysClampedByDomainPopulation) {
+  // Level 2 (man): sum d = 10000 but only 1000 Company objects exist.
+  EXPECT_DOUBLE_EQ(ctx_->DistinctKeysLevel(2), 1000);
+  // Level 4 (name, atomic): d = 1000.
+  EXPECT_DOUBLE_EQ(ctx_->DistinctKeysLevel(4), 1000);
+}
+
+TEST_F(PathContextTest, NbarBaseCaseIsNin) {
+  EXPECT_DOUBLE_EQ(ctx_->Nbar(4, 0, 4), 1);
+  EXPECT_DOUBLE_EQ(ctx_->Nbar(3, 0, 3), 4);
+  EXPECT_DOUBLE_EQ(ctx_->Nbar(2, 0, 2), 3);
+}
+
+TEST_F(PathContextTest, NbarMultipliesReachability) {
+  // From Company through divs to name: 4 divisions, 1 name each -> 4.
+  EXPECT_DOUBLE_EQ(ctx_->Nbar(3, 0, 4), 4);
+  // From Vehicle: 3 manufacturers * 4 = 12.
+  EXPECT_DOUBLE_EQ(ctx_->Nbar(2, 0, 4), 12);
+}
+
+TEST_F(PathContextTest, NbarClampedByDistinctEndingValues) {
+  // Reachability can never exceed the number of distinct A_b values.
+  for (int l = 1; l <= 4; ++l) {
+    for (int j = 0; j < ctx_->nc(l); ++j) {
+      EXPECT_LE(ctx_->Nbar(l, j, 4), ctx_->DistinctKeysLevel(4));
+    }
+  }
+}
+
+TEST_F(PathContextTest, PrefixAlphaAccumulates) {
+  EXPECT_DOUBLE_EQ(ctx_->PrefixAlpha(1), 0.0);
+  EXPECT_DOUBLE_EQ(ctx_->PrefixAlpha(2), 0.3);
+  EXPECT_NEAR(ctx_->PrefixAlpha(3), 0.3 + 0.35, 1e-12);
+  EXPECT_NEAR(ctx_->PrefixAlpha(4), 0.3 + 0.35 + 0.1, 1e-12);
+}
+
+TEST_F(PathContextTest, ParentsIsPreviousLevelFanIn) {
+  EXPECT_DOUBLE_EQ(ctx_->Parents(2), 10);
+  EXPECT_DOUBLE_EQ(ctx_->Parents(3), 14);
+  EXPECT_DOUBLE_EQ(ctx_->Parents(4), 4);
+}
+
+TEST_F(PathContextTest, MissingStatsWithLoadFails) {
+  Catalog empty_catalog;
+  Result<PathContext> ctx = PathContext::Build(setup_.schema, setup_.path,
+                                               empty_catalog, setup_.load);
+  EXPECT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace pathix

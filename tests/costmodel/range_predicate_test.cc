@@ -1,0 +1,87 @@
+// The range-predicate extension (Section 3: "The extension to range
+// predicates is straightforward"): a predicate matching m ending values
+// seeds noid+_{n+1} = m and scales every retrieval term.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+class RangePredicateTest : public ::testing::Test {
+ protected:
+  PathContext Ctx(double matching_keys) {
+    return PathContext::Build(setup_.schema, setup_.path, setup_.catalog,
+                              setup_.load, QueryProfile{matching_keys})
+        .value();
+  }
+  PaperSetup setup_ = MakeExample51Setup();
+};
+
+TEST_F(RangePredicateTest, MatchingKeysSeedTheSelectivityRecursion) {
+  const PathContext eq = Ctx(1);
+  const PathContext range = Ctx(10);
+  EXPECT_DOUBLE_EQ(eq.noidplus(5), 1);
+  EXPECT_DOUBLE_EQ(range.noidplus(5), 10);
+  EXPECT_DOUBLE_EQ(range.noidplus(1), 10 * eq.noidplus(1));
+}
+
+TEST_F(RangePredicateTest, InvalidMatchingKeysRejected) {
+  Result<PathContext> bad =
+      PathContext::Build(setup_.schema, setup_.path, setup_.catalog,
+                         setup_.load, QueryProfile{0.5});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(RangePredicateTest, WiderPredicatesCostMoreEverywhere) {
+  const PathContext eq = Ctx(1);
+  const PathContext range = Ctx(20);
+  for (IndexOrg org : kPaperOrgs) {
+    const double eq_cost = ComputeSubpathCost(eq, 1, 4, org).total();
+    const double range_cost = ComputeSubpathCost(range, 1, 4, org).total();
+    EXPECT_GT(range_cost, eq_cost) << ToString(org);
+  }
+}
+
+TEST_F(RangePredicateTest, MaintenanceIsUnaffectedByPredicateWidth) {
+  const PathContext eq = Ctx(1);
+  const PathContext range = Ctx(20);
+  for (IndexOrg org : kPaperOrgs) {
+    const SubpathCost a = ComputeSubpathCost(eq, 1, 4, org);
+    const SubpathCost b = ComputeSubpathCost(range, 1, 4, org);
+    EXPECT_NEAR(a.maintain, b.maintain, 1e-9) << ToString(org);
+    EXPECT_NEAR(a.boundary, b.boundary, 1e-9) << ToString(org);
+  }
+}
+
+TEST_F(RangePredicateTest, AdvisorAcceptsProfiles) {
+  AdvisorOptions opts;
+  opts.query_profile.matching_keys = 25;
+  const Recommendation rec =
+      AdviseIndexConfiguration(setup_.schema, setup_.path, setup_.catalog,
+                               setup_.load, opts)
+          .value();
+  EXPECT_TRUE(rec.result.config.Validate(4).ok());
+  // A 25-key range still leaves NIX ahead for the query-heavy prefix: one
+  // probe per key vs a widening chain.
+  const Recommendation eq =
+      AdviseIndexConfiguration(setup_.schema, setup_.path, setup_.catalog,
+                               setup_.load)
+          .value();
+  EXPECT_GT(rec.result.cost, eq.result.cost);
+}
+
+TEST_F(RangePredicateTest, OptimizersAgreeUnderRangeLoads) {
+  for (double keys : {1.0, 5.0, 50.0}) {
+    const PathContext ctx = Ctx(keys);
+    const CostMatrix m = CostMatrix::Build(ctx);
+    EXPECT_NEAR(SelectBranchAndBound(m).cost, SelectExhaustive(m).cost, 1e-9)
+        << keys;
+    EXPECT_NEAR(SelectDP(m).cost, SelectExhaustive(m).cost, 1e-9) << keys;
+  }
+}
+
+}  // namespace
+}  // namespace pathix

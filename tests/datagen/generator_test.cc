@@ -1,0 +1,113 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+TEST(GeneratorTest, HitsObjectCounts) {
+  PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  PathDataGenerator gen(42);
+  auto created = gen.Populate(&db, setup.path,
+                              {
+                                  {setup.division, 25, 10, 1.0},
+                                  {setup.company, 20, 0, 2.0},
+                                  {setup.vehicle, 30, 0, 1.0},
+                                  {setup.person, 50, 0, 2.0},
+                              });
+  EXPECT_EQ(created[setup.division].size(), 25u);
+  EXPECT_EQ(created[setup.company].size(), 20u);
+  EXPECT_EQ(created[setup.vehicle].size(), 30u);
+  EXPECT_EQ(created[setup.person].size(), 50u);
+  EXPECT_EQ(db.store().live_objects(), 125u);
+}
+
+TEST(GeneratorTest, EndingValuesComeFromPool) {
+  PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  PathDataGenerator gen(42);
+  auto created = gen.Populate(&db, setup.path,
+                              {{setup.division, 200, 7, 1.0}});
+  std::set<std::string> seen;
+  for (Oid oid : created[setup.division]) {
+    for (const Value& v : db.store().Peek(oid)->values("name")) {
+      seen.insert(v.as_string());
+    }
+  }
+  EXPECT_LE(seen.size(), 7u);
+  EXPECT_GE(seen.size(), 5u);  // 200 draws over 7 values covers most
+}
+
+TEST(GeneratorTest, ReferencesPointAtLiveNextLevelObjects) {
+  PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  PathDataGenerator gen(43);
+  auto created = gen.Populate(&db, setup.path,
+                              {
+                                  {setup.division, 10, 5, 1.0},
+                                  {setup.company, 10, 0, 1.5},
+                                  {setup.vehicle, 10, 0, 1.0},
+                                  {setup.bus, 10, 0, 2.0},
+                                  {setup.person, 20, 0, 1.0},
+                              });
+  for (Oid oid : created[setup.person]) {
+    const std::vector<Oid> owns = db.store().Peek(oid)->refs("owns");
+    ASSERT_FALSE(owns.empty());
+    for (Oid ref : owns) {
+      const Object* target = db.store().Peek(ref);
+      ASSERT_NE(target, nullptr);
+      EXPECT_TRUE(db.schema().IsSameOrSubclassOf(target->cls, setup.vehicle));
+    }
+  }
+}
+
+TEST(GeneratorTest, AverageFanOutApproximatesNin) {
+  PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  PathDataGenerator gen(44);
+  auto created = gen.Populate(&db, setup.path,
+                              {
+                                  {setup.division, 10, 5, 1.0},
+                                  {setup.company, 400, 0, 2.5},
+                              });
+  double total = 0;
+  for (Oid oid : created[setup.company]) {
+    total += db.store().Peek(oid)->refs("divs").size();
+  }
+  EXPECT_NEAR(total / 400.0, 2.5, 0.2);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  PaperSetup setup = MakeExample51Setup();
+  auto run = [&](std::uint32_t seed) {
+    SimDatabase db(setup.schema, PhysicalParams{});
+    PathDataGenerator gen(seed);
+    gen.Populate(&db, setup.path,
+                 {{setup.division, 20, 5, 1.0}, {setup.company, 20, 0, 2.0}});
+    std::vector<Oid> shape;
+    for (Oid oid : db.store().PeekAll(setup.company)) {
+      for (Oid ref : db.store().Peek(oid)->refs("divs")) {
+        shape.push_back(ref);
+      }
+    }
+    return shape;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(GeneratorTest, LoadingResetsCounters) {
+  PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  PathDataGenerator gen(45);
+  gen.Populate(&db, setup.path, {{setup.division, 50, 5, 1.0}});
+  EXPECT_EQ(db.pager().stats().total(), 0u);
+}
+
+}  // namespace
+}  // namespace pathix

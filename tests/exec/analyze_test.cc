@@ -1,0 +1,98 @@
+#include "exec/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/paper_schema.h"
+#include "exec/database.h"
+
+namespace pathix {
+namespace {
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  AnalyzeTest() : setup_(MakeExample51Setup()),
+                  db_(setup_.schema, PhysicalParams{}) {}
+
+  PaperSetup setup_;
+  SimDatabase db_;
+};
+
+TEST_F(AnalyzeTest, CountsMatchThePopulation) {
+  PathDataGenerator gen(5);
+  gen.Populate(&db_, setup_.path,
+               {
+                   {setup_.division, 30, 10, 1.0},
+                   {setup_.company, 20, 0, 2.0},
+                   {setup_.vehicle, 40, 0, 1.0},
+                   {setup_.person, 80, 0, 1.0},
+               });
+  const Catalog catalog = CollectStatistics(db_.store(), setup_.schema,
+                                            setup_.path, PhysicalParams{});
+  EXPECT_DOUBLE_EQ(catalog.GetClassStats(setup_.division).n, 30);
+  EXPECT_DOUBLE_EQ(catalog.GetClassStats(setup_.company).n, 20);
+  EXPECT_DOUBLE_EQ(catalog.GetClassStats(setup_.vehicle).n, 40);
+  EXPECT_DOUBLE_EQ(catalog.GetClassStats(setup_.person).n, 80);
+  // Unpopulated subclasses exist with zero objects.
+  EXPECT_DOUBLE_EQ(catalog.GetClassStats(setup_.bus).n, 0);
+}
+
+TEST_F(AnalyzeTest, DistinctAndFanOutFollowTheData) {
+  PathDataGenerator gen(6);
+  gen.Populate(&db_, setup_.path,
+               {
+                   {setup_.division, 200, 10, 1.0},
+                   {setup_.company, 100, 0, 3.0},
+               });
+  const Catalog catalog = CollectStatistics(db_.store(), setup_.schema,
+                                            setup_.path, PhysicalParams{});
+  const ClassStats div = catalog.GetClassStats(setup_.division);
+  EXPECT_LE(div.d, 10);
+  EXPECT_GE(div.d, 8);  // 200 draws over 10 values
+  EXPECT_DOUBLE_EQ(div.nin, 1);
+  const ClassStats comp = catalog.GetClassStats(setup_.company);
+  EXPECT_NEAR(comp.nin, 3.0, 0.01);  // integral nin is exact
+  EXPECT_GT(comp.obj_len, 8);
+}
+
+TEST_F(AnalyzeTest, DanglingReferencesAreIgnored) {
+  const Oid d1 =
+      db_.Insert(setup_.division, {{"name", {Value::Str("alpha")}}});
+  const Oid d2 =
+      db_.Insert(setup_.division, {{"name", {Value::Str("beta")}}});
+  db_.Insert(setup_.company,
+             {{"divs", {Value::Ref(d1), Value::Ref(d2)}}});
+  CheckOk(db_.store().Delete(d2));
+  const Catalog catalog = CollectStatistics(db_.store(), setup_.schema,
+                                            setup_.path, PhysicalParams{});
+  const ClassStats comp = catalog.GetClassStats(setup_.company);
+  // Only the live reference counts towards d and nin.
+  EXPECT_DOUBLE_EQ(comp.d, 1);
+  EXPECT_DOUBLE_EQ(comp.nin, 1);
+}
+
+TEST_F(AnalyzeTest, CollectedStatsDriveTheAdvisor) {
+  PathDataGenerator gen(7);
+  gen.Populate(&db_, setup_.path,
+               {
+                   {setup_.division, 50, 25, 1.0},
+                   {setup_.company, 40, 0, 2.0},
+                   {setup_.vehicle, 60, 0, 1.5},
+                   {setup_.bus, 30, 0, 1.0},
+                   {setup_.truck, 30, 0, 1.0},
+                   {setup_.person, 300, 0, 1.5},
+               });
+  const Catalog catalog = CollectStatistics(db_.store(), setup_.schema,
+                                            setup_.path, PhysicalParams{});
+  Result<PathContext> ctx = PathContext::Build(setup_.schema, setup_.path,
+                                               catalog, setup_.load);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  // Derived statistics are finite and positive end to end.
+  for (int l = 1; l <= 4; ++l) {
+    EXPECT_GT(ctx.value().S(l), 0) << l;
+  }
+  EXPECT_GT(ctx.value().noidplus(1), 0);
+}
+
+}  // namespace
+}  // namespace pathix

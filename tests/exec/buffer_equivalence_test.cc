@@ -1,0 +1,86 @@
+// The buffer pool is a pure accounting device: enabling it must never
+// change query results or index contents, only the counted page traffic.
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/paper_schema.h"
+#include "exec/database.h"
+
+namespace pathix {
+namespace {
+
+TEST(BufferEquivalenceTest, ResultsIdenticalWithAndWithoutBuffer) {
+  const PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  PathDataGenerator gen(321);
+  gen.Populate(&db, setup.path,
+               {
+                   {setup.division, 30, 15, 1.0},
+                   {setup.company, 30, 0, 2.0},
+                   {setup.vehicle, 60, 0, 1.5},
+                   {setup.bus, 30, 0, 1.0},
+                   {setup.person, 400, 0, 1.5},
+               });
+  CheckOk(db.ConfigureIndexes(
+      setup.path, IndexConfiguration({{Subpath{1, 2}, IndexOrg::kNIX},
+                                      {Subpath{3, 4}, IndexOrg::kMX}})));
+
+  for (int i = 0; i < 15; ++i) {
+    const Key value = Key::FromString(EndingValue(i));
+    db.pager().EnableBuffer(0);
+    const std::vector<Oid> cold = db.Query(value, setup.person).value();
+    db.pager().EnableBuffer(64);
+    const std::vector<Oid> warm = db.Query(value, setup.person).value();
+    EXPECT_EQ(cold, warm) << i;
+  }
+  db.pager().EnableBuffer(0);
+  CheckOk(db.ValidateIndexesDeep());
+}
+
+TEST(BufferEquivalenceTest, WarmRepeatIsCheaperThanCold) {
+  const PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  PathDataGenerator gen(654);
+  gen.Populate(&db, setup.path,
+               {
+                   {setup.division, 30, 15, 1.0},
+                   {setup.company, 30, 0, 2.0},
+                   {setup.vehicle, 120, 0, 1.5},
+                   {setup.person, 800, 0, 1.5},
+               });
+  CheckOk(db.ConfigureIndexes(
+      setup.path, IndexConfiguration({{Subpath{1, 4}, IndexOrg::kMIX}})));
+  const Key value = Key::FromString(EndingValue(3));
+
+  db.pager().ResetStats();
+  CheckOk(db.Query(value, setup.person).status());
+  const std::uint64_t cold = db.pager().stats().total();
+
+  db.pager().EnableBuffer(256);
+  CheckOk(db.Query(value, setup.person).status());  // warms the pool
+  db.pager().ResetStats();
+  CheckOk(db.Query(value, setup.person).status());
+  const std::uint64_t warm = db.pager().stats().total();
+  EXPECT_LT(warm, cold);
+  EXPECT_GT(db.pager().stats().buffer_hits, 0u);
+}
+
+TEST(BufferEquivalenceTest, MaintenanceStaysCorrectUnderBuffering) {
+  const PaperSetup setup = MakeExample51Setup();
+  SimDatabase db(setup.schema, PhysicalParams{});
+  const Oid d = db.Insert(setup.division, {{"name", {Value::Str("x")}}});
+  const Oid c = db.Insert(setup.company, {{"divs", {Value::Ref(d)}}});
+  const Oid v = db.Insert(setup.vehicle, {{"man", {Value::Ref(c)}}});
+  const Oid p = db.Insert(setup.person, {{"owns", {Value::Ref(v)}}});
+  CheckOk(db.ConfigureIndexes(
+      setup.path, IndexConfiguration({{Subpath{1, 4}, IndexOrg::kNIX}})));
+  db.pager().EnableBuffer(32);
+  CheckOk(db.Delete(v));
+  CheckOk(db.ValidateIndexesDeep());
+  EXPECT_TRUE(db.Query(Key::FromString("x"), setup.person).value().empty());
+  (void)p;
+}
+
+}  // namespace
+}  // namespace pathix

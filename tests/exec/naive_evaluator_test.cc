@@ -1,0 +1,93 @@
+#include "exec/naive_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_schema.h"
+#include "exec/database.h"
+
+namespace pathix {
+namespace {
+
+class NaiveEvaluatorTest : public ::testing::Test {
+ protected:
+  NaiveEvaluatorTest()
+      : setup_(MakeExample51Setup()), db_(setup_.schema, PhysicalParams{}) {
+    d1_ = db_.Insert(setup_.division, {{"name", {Value::Str("alpha")}}});
+    d2_ = db_.Insert(setup_.division, {{"name", {Value::Str("beta")}}});
+    c1_ = db_.Insert(setup_.company, {{"divs", {Value::Ref(d1_)}}});
+    c2_ = db_.Insert(setup_.company, {{"divs", {Value::Ref(d2_)}}});
+    v1_ = db_.Insert(setup_.vehicle, {{"man", {Value::Ref(c1_)}}});
+    b1_ = db_.Insert(setup_.bus, {{"man", {Value::Ref(c2_)}}});
+    p1_ = db_.Insert(setup_.person, {{"owns", {Value::Ref(v1_)}}});
+    p2_ = db_.Insert(setup_.person, {{"owns", {Value::Ref(b1_)}}});
+    eval_ = std::make_unique<NaiveEvaluator>(&db_.store(), &setup_.schema,
+                                             &setup_.path);
+  }
+
+  std::vector<Oid> Run(const std::string& value, ClassId target,
+                       bool subclasses = false) {
+    return eval_->Evaluate(Key::FromString(value), target, subclasses,
+                           &db_.pager());
+  }
+
+  PaperSetup setup_;
+  SimDatabase db_;
+  std::unique_ptr<NaiveEvaluator> eval_;
+  Oid d1_, d2_, c1_, c2_, v1_, b1_, p1_, p2_;
+};
+
+TEST_F(NaiveEvaluatorTest, FindsOwnersThroughTheWholePath) {
+  EXPECT_EQ(Run("alpha", setup_.person), (std::vector<Oid>{p1_}));
+  EXPECT_EQ(Run("beta", setup_.person), (std::vector<Oid>{p2_}));
+  EXPECT_TRUE(Run("gamma", setup_.person).empty());
+}
+
+TEST_F(NaiveEvaluatorTest, EvaluatesMidPathClasses) {
+  EXPECT_EQ(Run("alpha", setup_.vehicle), (std::vector<Oid>{v1_}));
+  EXPECT_TRUE(Run("alpha", setup_.bus).empty());
+  EXPECT_EQ(Run("beta", setup_.bus), (std::vector<Oid>{b1_}));
+  EXPECT_EQ(Run("alpha", setup_.division), (std::vector<Oid>{d1_}));
+}
+
+TEST_F(NaiveEvaluatorTest, SubclassFlagWidensTheScan) {
+  EXPECT_TRUE(Run("beta", setup_.vehicle, false).empty());
+  EXPECT_EQ(Run("beta", setup_.vehicle, true), (std::vector<Oid>{b1_}));
+}
+
+TEST_F(NaiveEvaluatorTest, DanglingReferencesAreSkipped) {
+  CheckOk(db_.store().Delete(c1_));
+  EXPECT_TRUE(Run("alpha", setup_.person).empty());
+  // The other chain is untouched.
+  EXPECT_EQ(Run("beta", setup_.person), (std::vector<Oid>{p2_}));
+}
+
+TEST_F(NaiveEvaluatorTest, PagesChargedOncePerQuery) {
+  db_.pager().ResetStats();
+  Run("alpha", setup_.person);
+  const std::uint64_t first = db_.pager().stats().reads;
+  // Everything fits a handful of pages; each charged at most once.
+  EXPECT_GT(first, 0u);
+  EXPECT_LE(first, 8u);
+}
+
+TEST_F(NaiveEvaluatorTest, SharedChildrenAreMemoized) {
+  // Two more persons owning the same vehicle: the vehicle's page is charged
+  // once, not three times.
+  db_.Insert(setup_.person, {{"owns", {Value::Ref(v1_)}}});
+  db_.Insert(setup_.person, {{"owns", {Value::Ref(v1_)}}});
+  db_.pager().ResetStats();
+  const std::vector<Oid> owners = Run("alpha", setup_.person);
+  EXPECT_EQ(owners.size(), 3u);
+  EXPECT_LE(db_.pager().stats().reads, 8u);
+}
+
+TEST_F(NaiveEvaluatorTest, MultiValuedPathsAnyMatchSemantics) {
+  // A person owning vehicles from both companies matches both values.
+  const Oid p3 = db_.Insert(
+      setup_.person, {{"owns", {Value::Ref(v1_), Value::Ref(b1_)}}});
+  EXPECT_EQ(Run("alpha", setup_.person), (std::vector<Oid>{p1_, p3}));
+  EXPECT_EQ(Run("beta", setup_.person), (std::vector<Oid>{p2_, p3}));
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,126 @@
+// Randomized stress of the paged B+-tree across page sizes: mixed
+// insert/mutate/remove workloads, string and integer keys, records that
+// oscillate across the overflow threshold. Invariants are re-validated
+// continuously and final contents checked against a reference map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "index/btree.h"
+
+namespace pathix {
+namespace {
+
+class BTreeFuzzTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BTreeFuzzTest, MixedWorkloadKeepsInvariants) {
+  Pager pager(GetParam());
+  PostingTree tree(&pager, "fuzz");
+  std::mt19937 rng(GetParam() * 31 + 7);
+  std::map<std::string, std::size_t> reference;  // key -> posting count
+
+  auto key_of = [](int i) { return "k" + std::to_string(i); };
+
+  for (int step = 0; step < 4000; ++step) {
+    const int ki = static_cast<int>(rng() % 150);
+    const Key key = Key::FromString(key_of(ki));
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // add a posting (insert-heavy mix)
+        tree.Upsert(
+            key,
+            [&] {
+              PostingRecord rec;
+              rec.key_value = key;
+              return rec;
+            },
+            [&](PostingRecord* rec) {
+              rec->postings.push_back(
+                  Posting{0, static_cast<Oid>(step + 1), 1});
+            });
+        reference[key_of(ki)] += 1;
+        break;
+      }
+      case 2: {  // shrink a record
+        tree.Mutate(key, [&](PostingRecord* rec) {
+          if (!rec->postings.empty()) rec->postings.pop_back();
+        });
+        auto it = reference.find(key_of(ki));
+        if (it != reference.end() && it->second > 0) it->second -= 1;
+        break;
+      }
+      case 3: {  // drop the record
+        tree.Remove(key);
+        reference.erase(key_of(ki));
+        break;
+      }
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(tree.ValidateStructure().ok())
+          << "page=" << GetParam() << " step=" << step << ": "
+          << tree.ValidateStructure().ToString();
+    }
+  }
+
+  ASSERT_TRUE(tree.ValidateStructure().ok());
+  EXPECT_EQ(tree.num_records(), reference.size());
+  for (const auto& [k, count] : reference) {
+    const PostingRecord* rec = tree.Peek(Key::FromString(k));
+    ASSERT_NE(rec, nullptr) << k;
+    EXPECT_EQ(rec->postings.size(), count) << k;
+  }
+  // Key order is total and ascending.
+  std::string prev;
+  bool first = true;
+  tree.ForEach([&](const PostingRecord& rec) {
+    const std::string cur = rec.key_value.ToString();
+    if (!first) {
+      EXPECT_LT(prev, cur);
+    }
+    prev = cur;
+    first = false;
+  });
+}
+
+TEST_P(BTreeFuzzTest, AuxTreeSurvivesChurn) {
+  Pager pager(GetParam());
+  AuxTree tree(&pager, "aux-fuzz");
+  std::mt19937 rng(GetParam());
+  std::map<Oid, std::size_t> reference;  // oid -> pointer count
+  for (int step = 0; step < 2000; ++step) {
+    const Oid oid = 1 + rng() % 80;
+    const Key key = Key::FromOid(oid);
+    if (rng() % 3 != 0) {
+      tree.Upsert(
+          key,
+          [&] {
+            AuxRecord rec;
+            rec.key_value = key;
+            return rec;
+          },
+          [&](AuxRecord* rec) {
+            rec->primary_keys.insert(
+                Key::FromString("v" + std::to_string(step % 37)));
+            rec->parents.push_back(step);
+          });
+      reference[oid] = 1;  // presence marker
+    } else {
+      tree.Remove(key);
+      reference.erase(oid);
+    }
+  }
+  ASSERT_TRUE(tree.ValidateStructure().ok())
+      << tree.ValidateStructure().ToString();
+  EXPECT_EQ(tree.num_records(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BTreeFuzzTest,
+                         ::testing::Values(160, 256, 512, 1024, 4096),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "p" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace pathix

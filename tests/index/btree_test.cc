@@ -1,0 +1,203 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace pathix {
+namespace {
+
+PostingRecord Rec(std::int64_t key, int n_postings) {
+  PostingRecord rec;
+  rec.key_value = Key::FromInt(key);
+  for (int i = 0; i < n_postings; ++i) {
+    rec.postings.push_back(Posting{0, static_cast<Oid>(100 + i), 1});
+  }
+  return rec;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  Pager pager_{256};  // small pages force splits quickly
+  PostingTree tree_{&pager_, "t"};
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_.height(), 1);
+  EXPECT_EQ(tree_.num_records(), 0u);
+  EXPECT_EQ(tree_.Lookup(Key::FromInt(1)), nullptr);
+  EXPECT_TRUE(tree_.ValidateStructure().ok());
+}
+
+TEST_F(BTreeTest, InsertAndLookup) {
+  tree_.Upsert(Key::FromInt(5), [] { return Rec(5, 1); },
+               [](PostingRecord*) {});
+  const PostingRecord* rec = tree_.Lookup(Key::FromInt(5));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->postings.size(), 1u);
+  EXPECT_EQ(tree_.num_records(), 1u);
+}
+
+TEST_F(BTreeTest, LookupCountsHeightPages) {
+  for (int i = 0; i < 200; ++i) {
+    tree_.Upsert(Key::FromInt(i), [&] { return Rec(i, 1); },
+                 [](PostingRecord*) {});
+  }
+  ASSERT_GT(tree_.height(), 1);
+  pager_.ResetStats();
+  tree_.Lookup(Key::FromInt(42));
+  EXPECT_EQ(pager_.stats().reads, static_cast<std::uint64_t>(tree_.height()));
+  EXPECT_EQ(pager_.stats().writes, 0u);
+}
+
+TEST_F(BTreeTest, SplitsKeepOrderAndStructure) {
+  std::mt19937 rng(7);
+  std::vector<int> keys(500);
+  for (int i = 0; i < 500; ++i) keys[i] = i;
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int k : keys) {
+    tree_.Upsert(Key::FromInt(k), [&] { return Rec(k, 2); },
+                 [](PostingRecord*) {});
+  }
+  EXPECT_EQ(tree_.num_records(), 500u);
+  EXPECT_TRUE(tree_.ValidateStructure().ok())
+      << tree_.ValidateStructure().ToString();
+  EXPECT_GE(tree_.height(), 3);
+  // Everything findable.
+  for (int k : keys) {
+    ASSERT_NE(tree_.Peek(Key::FromInt(k)), nullptr) << k;
+  }
+  // Key order via ForEach.
+  std::int64_t prev = -1;
+  tree_.ForEach([&](const PostingRecord& rec) {
+    const std::int64_t cur = std::stoll(rec.key_value.ToString());
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  });
+}
+
+TEST_F(BTreeTest, MatchesReferenceMapUnderRandomOps) {
+  std::mt19937 rng(99);
+  std::map<int, int> reference;  // key -> posting count
+  for (int step = 0; step < 3000; ++step) {
+    const int k = static_cast<int>(rng() % 120);
+    const int op = static_cast<int>(rng() % 3);
+    if (op == 0 || reference.find(k) == reference.end()) {
+      tree_.Upsert(Key::FromInt(k), [&] { return Rec(k, 0); },
+                   [&](PostingRecord* rec) {
+                     rec->postings.push_back(
+                         Posting{0, static_cast<Oid>(step), 1});
+                   });
+      reference[k] += 1;
+    } else if (op == 1) {
+      tree_.Mutate(Key::FromInt(k), [&](PostingRecord* rec) {
+        if (!rec->postings.empty()) rec->postings.pop_back();
+      });
+      if (reference[k] > 0) reference[k] -= 1;
+    } else {
+      tree_.Remove(Key::FromInt(k));
+      reference.erase(k);
+    }
+  }
+  ASSERT_TRUE(tree_.ValidateStructure().ok());
+  for (const auto& [k, count] : reference) {
+    const PostingRecord* rec = tree_.Peek(Key::FromInt(k));
+    ASSERT_NE(rec, nullptr) << k;
+    EXPECT_EQ(rec->postings.size(), static_cast<std::size_t>(count)) << k;
+  }
+  EXPECT_EQ(tree_.num_records(), reference.size());
+}
+
+TEST_F(BTreeTest, RemoveAbsentKeyIsFalse) {
+  EXPECT_FALSE(tree_.Remove(Key::FromInt(1)));
+  tree_.Upsert(Key::FromInt(1), [] { return Rec(1, 1); },
+               [](PostingRecord*) {});
+  EXPECT_TRUE(tree_.Remove(Key::FromInt(1)));
+  EXPECT_EQ(tree_.num_records(), 0u);
+}
+
+TEST_F(BTreeTest, MultiPageRecordGetsOverflowChain) {
+  // 256-byte pages; 30 postings * 16B = 480B record -> 2-page chain.
+  tree_.Upsert(Key::FromInt(1), [] { return Rec(1, 30); },
+               [](PostingRecord*) {});
+  EXPECT_GE(tree_.leaf_pages(), 3u);  // leaf node + 2 chain pages
+  pager_.ResetStats();
+  tree_.Lookup(Key::FromInt(1));
+  // Full read: height + chain.
+  EXPECT_EQ(pager_.stats().reads,
+            static_cast<std::uint64_t>(tree_.height()) + 2);
+}
+
+TEST_F(BTreeTest, PartialReadStopsEarly) {
+  tree_.Upsert(Key::FromInt(1), [] { return Rec(1, 30); },
+               [](PostingRecord*) {});
+  pager_.ResetStats();
+  tree_.LookupPartial(Key::FromInt(1), 100);  // one page is enough
+  EXPECT_EQ(pager_.stats().reads,
+            static_cast<std::uint64_t>(tree_.height()) + 1);
+}
+
+TEST_F(BTreeTest, StubRecordsDoNotBlockSplits) {
+  // Interleave big and small records; structure must stay valid.
+  for (int i = 0; i < 60; ++i) {
+    const int postings = (i % 7 == 0) ? 40 : 2;
+    tree_.Upsert(Key::FromInt(i), [&] { return Rec(i, postings); },
+                 [](PostingRecord*) {});
+  }
+  EXPECT_TRUE(tree_.ValidateStructure().ok())
+      << tree_.ValidateStructure().ToString();
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_NE(tree_.Peek(Key::FromInt(i)), nullptr);
+  }
+}
+
+TEST_F(BTreeTest, GrowingARecordPastAPageRebalances) {
+  for (int i = 0; i < 10; ++i) {
+    tree_.Upsert(Key::FromInt(i), [&] { return Rec(i, 2); },
+                 [](PostingRecord*) {});
+  }
+  // Grow record 5 far past the page size through repeated mutation.
+  for (int g = 0; g < 50; ++g) {
+    tree_.Mutate(Key::FromInt(5), [&](PostingRecord* rec) {
+      rec->postings.push_back(Posting{0, static_cast<Oid>(1000 + g), 1});
+    });
+  }
+  EXPECT_TRUE(tree_.ValidateStructure().ok())
+      << tree_.ValidateStructure().ToString();
+  const PostingRecord* rec = tree_.Peek(Key::FromInt(5));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->postings.size(), 52u);
+}
+
+TEST_F(BTreeTest, AuxTreeRoundTrip) {
+  AuxTree aux(&pager_, "aux");
+  const Key k = Key::FromOid(42);
+  aux.Upsert(
+      k,
+      [&] {
+        AuxRecord rec;
+        rec.key_value = k;
+        return rec;
+      },
+      [](AuxRecord* rec) {
+        rec->primary_keys.insert(Key::FromString("fiat"));
+        rec->parents.push_back(7);
+      });
+  const AuxRecord* rec = aux.Lookup(k);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->primary_keys.size(), 1u);
+  EXPECT_EQ(rec->parents, (std::vector<Oid>{7}));
+}
+
+TEST(BTreeKeyTest, OrderingAcrossKinds) {
+  EXPECT_TRUE(Key::FromInt(1) < Key::FromInt(2));
+  EXPECT_TRUE(Key::FromString("a") < Key::FromString("b"));
+  EXPECT_TRUE(Key::FromOid(5) == Key::FromOid(5));
+  EXPECT_FALSE(Key::FromOid(5) == Key::FromInt(5));  // kinds differ
+  EXPECT_EQ(Key::FromValue(Value::Ref(9)), Key::FromOid(9));
+  EXPECT_EQ(Key::FromValue(Value::Str("x")), Key::FromString("x"));
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,127 @@
+#include "io/spec_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace pathix {
+namespace {
+
+constexpr const char* kGoodSpec = R"(
+# comment line
+page_size 2048
+class A 1000 100 1
+class B 500 50 2
+class B2 : B 250 25 1
+class C 100 100 1
+ref A to_b B multi
+ref B to_c C
+attr C name string
+path A to_b to_c name
+load A 0.5 0.1 0.1
+load B 0.2 0.1 0.1   # trailing comment
+load C 0.1 0.1 0.1
+)";
+
+TEST(SpecParserTest, ParsesACompleteSpec) {
+  Result<AdvisorSpec> spec = ParseAdvisorSpec(kGoodSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  AdvisorSpec& s = spec.value();
+  EXPECT_EQ(s.schema.num_classes(), 4);
+  EXPECT_EQ(s.path.length(), 3);
+  EXPECT_EQ(s.path.ToString(s.schema), "A.to_b.to_c.name");
+  EXPECT_DOUBLE_EQ(s.catalog.params().page_size, 2048);
+  EXPECT_DOUBLE_EQ(s.catalog.GetClassStats(s.schema.FindClass("B")).nin, 2);
+  EXPECT_DOUBLE_EQ(s.load.Get(s.schema.FindClass("A")).query, 0.5);
+  // Subclass wiring.
+  EXPECT_EQ(s.schema.GetClass(s.schema.FindClass("B2")).superclass(),
+            s.schema.FindClass("B"));
+}
+
+TEST(SpecParserTest, ParsedSpecDrivesTheAdvisor) {
+  AdvisorSpec s = ParseAdvisorSpec(kGoodSpec).value();
+  Result<Recommendation> rec =
+      AdviseIndexConfiguration(s.schema, s.path, s.catalog, s.load, s.options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec.value().result.config.Validate(3).ok());
+}
+
+TEST(SpecParserTest, OrgsAndMatchingKeysDirectives) {
+  std::string text = kGoodSpec;
+  text += "\norgs MX NIX PX\nmatching_keys 12\n";
+  AdvisorSpec s = ParseAdvisorSpec(text).value();
+  ASSERT_EQ(s.options.orgs.size(), 3u);
+  EXPECT_EQ(s.options.orgs[2], IndexOrg::kPX);
+  EXPECT_DOUBLE_EQ(s.options.query_profile.matching_keys, 12);
+}
+
+TEST(SpecParserTest, ErrorsCarryLineNumbers) {
+  const char* bad = "class A 10 10 1\nbogus directive\n";
+  Result<AdvisorSpec> spec = ParseAdvisorSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SpecParserTest, UnknownClassInRefRejected) {
+  const char* bad = "class A 10 10 1\nref A to_b Ghost\npath A to_b\n";
+  EXPECT_FALSE(ParseAdvisorSpec(bad).ok());
+}
+
+TEST(SpecParserTest, UnknownSuperclassRejected) {
+  EXPECT_FALSE(ParseAdvisorSpec("class B : Ghost 10 10 1\n").ok());
+}
+
+TEST(SpecParserTest, MissingPathRejected) {
+  EXPECT_FALSE(ParseAdvisorSpec("class A 10 10 1\n").ok());
+}
+
+TEST(SpecParserTest, DuplicatePathRejected) {
+  const char* bad =
+      "class A 10 10 1\nclass C 5 5 1\nref A to_c C\nattr C n string\n"
+      "path A to_c n\npath A to_c n\n";
+  EXPECT_FALSE(ParseAdvisorSpec(bad).ok());
+}
+
+TEST(SpecParserTest, NonNumericStatisticsRejected) {
+  EXPECT_FALSE(ParseAdvisorSpec("class A ten 10 1\npath A x\n").ok());
+}
+
+TEST(SpecParserTest, NegativeLoadRejected) {
+  const char* bad =
+      "class A 10 10 1\nattr A n string\npath A n\nload A -1 0 0\n";
+  EXPECT_FALSE(ParseAdvisorSpec(bad).ok());
+}
+
+TEST(SpecParserTest, BadOrgTokenRejected) {
+  const char* bad =
+      "class A 10 10 1\nattr A n string\npath A n\norgs HASH\n";
+  EXPECT_FALSE(ParseAdvisorSpec(bad).ok());
+}
+
+TEST(SpecParserTest, InvalidPathAttributeRejected) {
+  const char* bad = "class A 10 10 1\npath A ghost\n";
+  Result<AdvisorSpec> spec = ParseAdvisorSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(SpecParserTest, MissingFileIsNotFound) {
+  Result<AdvisorSpec> spec = ParseAdvisorSpecFile("/nonexistent/x.pix");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SpecParserTest, VehicleSpecFileMatchesExample51) {
+  // The shipped spec reproduces the canned Example 5.1 recommendation.
+  Result<AdvisorSpec> spec =
+      ParseAdvisorSpecFile(std::string(PATHIX_SOURCE_DIR) +
+                           "/examples/specs/vehicle.pix");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  AdvisorSpec& s = spec.value();
+  const Recommendation rec =
+      AdviseIndexConfiguration(s.schema, s.path, s.catalog, s.load, s.options)
+          .value();
+  EXPECT_EQ(rec.result.config.ToString(s.schema, s.path),
+            "{(Person.owns.man, NIX), (Company.divs.name, MX)}");
+}
+
+}  // namespace
+}  // namespace pathix

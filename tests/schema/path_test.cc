@@ -1,0 +1,99 @@
+#include "schema/path.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+class PathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakePaperSchema(&per_, &veh_, &bus_, &truck_, &comp_, &div_);
+  }
+  Schema schema_;
+  ClassId per_, veh_, bus_, truck_, comp_, div_;
+};
+
+TEST_F(PathTest, CreatesPexa) {
+  Result<Path> p =
+      Path::Create(schema_, per_, {"owns", "man", "divs", "name"});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Path& path = p.value();
+  EXPECT_EQ(path.length(), 4);
+  EXPECT_EQ(path.class_at(1), per_);
+  EXPECT_EQ(path.class_at(2), veh_);
+  EXPECT_EQ(path.class_at(3), comp_);
+  EXPECT_EQ(path.class_at(4), div_);
+  EXPECT_EQ(path.attribute_at(1).name, "owns");
+  EXPECT_EQ(path.attribute_at(4).name, "name");
+  EXPECT_FALSE(path.ends_in_reference());
+  EXPECT_EQ(path.ToString(schema_), "Person.owns.man.divs.name");
+}
+
+TEST_F(PathTest, ScopeIncludesSubclasses) {
+  // Example 2.1 of the paper: scope(Pe) = {Per, Veh, Bus, Truck, Comp}.
+  const Path path =
+      Path::Create(schema_, per_, {"owns", "man", "name"}).value();
+  EXPECT_EQ(path.length(), 3);
+  const std::vector<ClassId> scope = path.Scope(schema_);
+  EXPECT_EQ(scope, (std::vector<ClassId>{per_, veh_, bus_, truck_, comp_}));
+}
+
+TEST_F(PathTest, UnknownAttributeRejected) {
+  Result<Path> p = Path::Create(schema_, per_, {"wheels"});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PathTest, AtomicAttributeCannotBeNavigated) {
+  Result<Path> p = Path::Create(schema_, per_, {"name", "man"});
+  EXPECT_FALSE(p.ok());
+}
+
+TEST_F(PathTest, EmptyAttributeListRejected) {
+  EXPECT_FALSE(Path::Create(schema_, per_, {}).ok());
+}
+
+TEST_F(PathTest, InvalidStartingClassRejected) {
+  EXPECT_FALSE(Path::Create(schema_, 99, {"owns"}).ok());
+}
+
+TEST_F(PathTest, SubpathEndingInReferenceIsValid) {
+  Result<Path> p = Path::Create(schema_, per_, {"owns", "man"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().ends_in_reference());
+}
+
+TEST_F(PathTest, SubpathBetweenExtractsRange) {
+  const Path path =
+      Path::Create(schema_, per_, {"owns", "man", "divs", "name"}).value();
+  const Path sub = path.SubpathBetween(2, 3);
+  EXPECT_EQ(sub.length(), 2);
+  EXPECT_EQ(sub.class_at(1), veh_);
+  EXPECT_EQ(sub.attribute_at(2).name, "divs");
+  EXPECT_EQ(sub.ToString(schema_), "Vehicle.man.divs");
+}
+
+TEST_F(PathTest, PathLengthOne) {
+  const Path p = Path::Create(schema_, div_, {"name"}).value();
+  EXPECT_EQ(p.length(), 1);
+  EXPECT_EQ(p.Scope(schema_), std::vector<ClassId>{div_});
+}
+
+TEST_F(PathTest, ClassRepetitionRejected) {
+  // Build a cyclic aggregation A -> B -> A; Def. 2.1 forbids revisiting A.
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  const ClassId b = s.AddClass("B").value();
+  ASSERT_TRUE(s.AddReferenceAttribute(a, "to_b", b).ok());
+  ASSERT_TRUE(s.AddReferenceAttribute(b, "to_a", a).ok());
+  ASSERT_TRUE(s.AddAtomicAttribute(a, "x", AtomicType::kInt).ok());
+  EXPECT_TRUE(Path::Create(s, a, {"to_b", "to_a"}).ok());  // ends at A: ok
+  Result<Path> cyc = Path::Create(s, a, {"to_b", "to_a", "to_b"});
+  EXPECT_FALSE(cyc.ok());  // would use A twice as a navigated class
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,109 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+TEST(SchemaTest, AddAndFindClasses) {
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  const ClassId b = s.AddClass("B").value();
+  EXPECT_EQ(s.num_classes(), 2);
+  EXPECT_EQ(s.FindClass("A"), a);
+  EXPECT_EQ(s.FindClass("B"), b);
+  EXPECT_EQ(s.FindClass("C"), kInvalidClass);
+}
+
+TEST(SchemaTest, DuplicateClassNameRejected) {
+  Schema s;
+  ASSERT_TRUE(s.AddClass("A").ok());
+  Result<ClassId> dup = s.AddClass("A");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, EmptyClassNameRejected) {
+  Schema s;
+  EXPECT_FALSE(s.AddClass("").ok());
+}
+
+TEST(SchemaTest, InvalidSuperclassRejected) {
+  Schema s;
+  EXPECT_FALSE(s.AddClass("A", 42).ok());
+}
+
+TEST(SchemaTest, SubclassLinksBothWays) {
+  Schema s;
+  const ClassId veh = s.AddClass("Vehicle").value();
+  const ClassId bus = s.AddClass("Bus", veh).value();
+  EXPECT_EQ(s.GetClass(bus).superclass(), veh);
+  ASSERT_EQ(s.GetClass(veh).subclasses().size(), 1u);
+  EXPECT_EQ(s.GetClass(veh).subclasses()[0], bus);
+}
+
+TEST(SchemaTest, AttributeResolutionSearchesSuperclasses) {
+  Schema s;
+  const ClassId veh = s.AddClass("Vehicle").value();
+  const ClassId bus = s.AddClass("Bus", veh).value();
+  ASSERT_TRUE(s.AddAtomicAttribute(veh, "color", AtomicType::kString).ok());
+  const Attribute* inherited = s.ResolveAttribute(bus, "color");
+  ASSERT_NE(inherited, nullptr);
+  EXPECT_EQ(inherited->name, "color");
+  EXPECT_EQ(s.ResolveAttribute(bus, "missing"), nullptr);
+}
+
+TEST(SchemaTest, DuplicateAttributeRejected) {
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  ASSERT_TRUE(s.AddAtomicAttribute(a, "x", AtomicType::kInt).ok());
+  EXPECT_FALSE(s.AddAtomicAttribute(a, "x", AtomicType::kInt).ok());
+}
+
+TEST(SchemaTest, ReferenceAttributeNeedsValidDomain) {
+  Schema s;
+  const ClassId a = s.AddClass("A").value();
+  EXPECT_FALSE(s.AddReferenceAttribute(a, "ref", 99).ok());
+}
+
+TEST(SchemaTest, HierarchyOfReturnsRootFirst) {
+  Schema s;
+  const ClassId veh = s.AddClass("Vehicle").value();
+  const ClassId bus = s.AddClass("Bus", veh).value();
+  const ClassId truck = s.AddClass("Truck", veh).value();
+  const ClassId minibus = s.AddClass("Minibus", bus).value();
+  const std::vector<ClassId> h = s.HierarchyOf(veh);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], veh);
+  EXPECT_EQ(h[1], bus);
+  EXPECT_EQ(h[2], truck);
+  EXPECT_EQ(h[3], minibus);
+}
+
+TEST(SchemaTest, IsSameOrSubclassOf) {
+  Schema s;
+  const ClassId veh = s.AddClass("Vehicle").value();
+  const ClassId bus = s.AddClass("Bus", veh).value();
+  const ClassId comp = s.AddClass("Company").value();
+  EXPECT_TRUE(s.IsSameOrSubclassOf(bus, veh));
+  EXPECT_TRUE(s.IsSameOrSubclassOf(veh, veh));
+  EXPECT_FALSE(s.IsSameOrSubclassOf(veh, bus));
+  EXPECT_FALSE(s.IsSameOrSubclassOf(comp, veh));
+}
+
+TEST(SchemaTest, PaperSchemaValidates) {
+  ClassId per, veh, bus, truck, comp, divi;
+  Schema s = MakePaperSchema(&per, &veh, &bus, &truck, &comp, &divi);
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.GetClass(bus).superclass(), veh);
+  EXPECT_EQ(s.GetClass(truck).superclass(), veh);
+  // Inheritance: Bus sees Vehicle's reference attribute `man`.
+  const Attribute* man = s.ResolveAttribute(bus, "man");
+  ASSERT_NE(man, nullptr);
+  EXPECT_EQ(man->domain, comp);
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "storage/object_store.h"
+
+namespace pathix {
+namespace {
+
+TEST(PagerTest, CountsReadsAndWrites) {
+  Pager pager(4096);
+  const PageId a = pager.Allocate();
+  const PageId b = pager.Allocate();
+  EXPECT_NE(a, b);
+  pager.NoteRead(a);
+  pager.NoteRead(b);
+  pager.NoteWrite(a);
+  EXPECT_EQ(pager.stats().reads, 2u);
+  EXPECT_EQ(pager.stats().writes, 1u);
+  EXPECT_EQ(pager.stats().total(), 3u);
+  pager.ResetStats();
+  EXPECT_EQ(pager.stats().total(), 0u);
+}
+
+TEST(PagerTest, ProbeCapturesDelta) {
+  Pager pager(4096);
+  pager.NoteReads(5);
+  AccessProbe probe(pager);
+  pager.NoteReads(3);
+  pager.NoteWrite(0);
+  EXPECT_EQ(probe.Delta().reads, 3u);
+  EXPECT_EQ(probe.Delta().writes, 1u);
+}
+
+TEST(PagerBufferTest, RepeatedReadsHitTheBuffer) {
+  Pager pager(4096);
+  pager.EnableBuffer(4);
+  pager.NoteRead(1);
+  pager.NoteRead(1);
+  pager.NoteRead(1);
+  EXPECT_EQ(pager.stats().reads, 1u);
+  EXPECT_EQ(pager.stats().buffer_hits, 2u);
+}
+
+TEST(PagerBufferTest, LruEvictsColdestPage) {
+  Pager pager(4096);
+  pager.EnableBuffer(2);
+  pager.NoteRead(1);  // miss, {1}
+  pager.NoteRead(2);  // miss, {2,1}
+  pager.NoteRead(1);  // hit,  {1,2}
+  pager.NoteRead(3);  // miss, evicts 2 -> {3,1}
+  pager.NoteRead(2);  // miss again
+  EXPECT_EQ(pager.stats().reads, 4u);
+  EXPECT_EQ(pager.stats().buffer_hits, 1u);
+}
+
+TEST(PagerBufferTest, WritesAreWriteThroughAndAdmit) {
+  Pager pager(4096);
+  pager.EnableBuffer(4);
+  pager.NoteWrite(7);
+  pager.NoteWrite(7);
+  EXPECT_EQ(pager.stats().writes, 2u);  // write-through: always counted
+  pager.NoteRead(7);                    // admitted by the writes
+  EXPECT_EQ(pager.stats().reads, 0u);
+  EXPECT_EQ(pager.stats().buffer_hits, 1u);
+}
+
+TEST(PagerBufferTest, DisablingRestoresColdCounting) {
+  Pager pager(4096);
+  pager.EnableBuffer(4);
+  pager.NoteRead(1);
+  pager.NoteRead(1);
+  pager.EnableBuffer(0);
+  pager.NoteRead(1);
+  pager.NoteRead(1);
+  EXPECT_EQ(pager.stats().reads, 3u);  // 1 cold + 2 after disable
+}
+
+TEST(PagerBufferTest, BulkReadsBypassTheBuffer) {
+  Pager pager(4096);
+  pager.EnableBuffer(4);
+  pager.NoteReads(5);
+  pager.NoteReads(5);
+  EXPECT_EQ(pager.stats().reads, 10u);
+  EXPECT_EQ(pager.stats().buffer_hits, 0u);
+}
+
+TEST(ValueTest, KindsAndEquality) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) == Value::Int(6));
+  EXPECT_FALSE(Value::Int(5) == Value::Str("5"));
+  EXPECT_EQ(Value::Ref(9).as_ref(), 9u);
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+}
+
+TEST(ObjectTest, RefsFilterReferenceValues) {
+  Object obj;
+  obj.attrs["owns"] = {Value::Ref(3), Value::Ref(4)};
+  obj.attrs["name"] = {Value::Str("rossi")};
+  EXPECT_EQ(obj.refs("owns"), (std::vector<Oid>{3, 4}));
+  EXPECT_TRUE(obj.refs("name").empty());
+  EXPECT_TRUE(obj.values("missing").empty());
+  EXPECT_GT(obj.bytes(), 20u);
+}
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  Pager pager_{256};  // tiny pages force multi-page segments
+  ObjectStore store_{&pager_};
+
+  Oid Put(ClassId cls, std::int64_t tag) {
+    Object obj;
+    obj.cls = cls;
+    obj.attrs["tag"] = {Value::Int(tag)};
+    return store_.Insert(std::move(obj));
+  }
+};
+
+TEST_F(ObjectStoreTest, InsertAssignsDistinctOids) {
+  const Oid a = Put(0, 1);
+  const Oid b = Put(0, 2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kInvalidOid);
+  EXPECT_EQ(store_.live_objects(), 2u);
+}
+
+TEST_F(ObjectStoreTest, GetCountsOneRead) {
+  const Oid a = Put(0, 1);
+  pager_.ResetStats();
+  ASSERT_NE(store_.Get(a), nullptr);
+  EXPECT_EQ(pager_.stats().reads, 1u);
+  EXPECT_EQ(store_.Get(a)->values("tag")[0].as_int(), 1);
+}
+
+TEST_F(ObjectStoreTest, PagesHoldOnlyOneClass) {
+  const Oid a = Put(0, 1);
+  const Oid b = Put(1, 2);
+  EXPECT_NE(store_.PageOf(a), store_.PageOf(b));
+}
+
+TEST_F(ObjectStoreTest, SegmentGrowsByPage) {
+  // ~30 bytes per object, 256-byte pages -> several objects per page.
+  for (int i = 0; i < 50; ++i) Put(0, i);
+  EXPECT_GT(store_.SegmentPages(0), 3u);
+  EXPECT_EQ(store_.PeekAll(0).size(), 50u);
+}
+
+TEST_F(ObjectStoreTest, ScanCountsSegmentPages) {
+  for (int i = 0; i < 50; ++i) Put(0, i);
+  pager_.ResetStats();
+  const std::vector<Oid> oids = store_.Scan(0);
+  EXPECT_EQ(oids.size(), 50u);
+  EXPECT_EQ(pager_.stats().reads, store_.SegmentPages(0));
+}
+
+TEST_F(ObjectStoreTest, DeleteRemovesAndCounts) {
+  const Oid a = Put(0, 1);
+  pager_.ResetStats();
+  ASSERT_TRUE(store_.Delete(a).ok());
+  EXPECT_EQ(pager_.stats().reads, 1u);
+  EXPECT_EQ(pager_.stats().writes, 1u);
+  EXPECT_EQ(store_.Peek(a), nullptr);
+  EXPECT_FALSE(store_.Delete(a).ok());  // double delete
+  EXPECT_TRUE(store_.PeekAll(0).empty());
+}
+
+TEST_F(ObjectStoreTest, PeekIsUncounted) {
+  const Oid a = Put(0, 1);
+  pager_.ResetStats();
+  ASSERT_NE(store_.Peek(a), nullptr);
+  EXPECT_EQ(pager_.stats().total(), 0u);
+}
+
+}  // namespace
+}  // namespace pathix

@@ -1,0 +1,69 @@
+#include "workload/load.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/path_context.h"
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+TEST(LoadDistributionTest, UnsetClassesCarryZeroLoad) {
+  LoadDistribution load;
+  const OpLoad l = load.Get(7);
+  EXPECT_EQ(l.query, 0);
+  EXPECT_EQ(l.insert, 0);
+  EXPECT_EQ(l.del, 0);
+}
+
+TEST(LoadDistributionTest, SetAndGet) {
+  LoadDistribution load;
+  load.Set(3, 0.5, 0.25, 0.125);
+  const OpLoad l = load.Get(3);
+  EXPECT_DOUBLE_EQ(l.query, 0.5);
+  EXPECT_DOUBLE_EQ(l.insert, 0.25);
+  EXPECT_DOUBLE_EQ(l.del, 0.125);
+}
+
+TEST(LoadDistributionTest, TotalsAggregate) {
+  LoadDistribution load;
+  load.Set(1, 0.3, 0.1, 0.1);
+  load.Set(2, 0.2, 0.0, 0.05);
+  EXPECT_NEAR(load.TotalQueryLoad(), 0.5, 1e-12);
+  EXPECT_NEAR(load.TotalUpdateLoad(), 0.25, 1e-12);
+}
+
+TEST(LoadDistributionTest, OverwriteReplaces) {
+  LoadDistribution load;
+  load.Set(1, 1, 1, 1);
+  load.Set(1, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(load.Get(1).query, 2);
+  EXPECT_DOUBLE_EQ(load.TotalQueryLoad(), 2);
+}
+
+TEST(LoadDistributionTest, Figure7TotalsAreAFullMix) {
+  const PaperSetup setup = MakeExample51Setup();
+  // alpha: .3+.3+.05+0+.1+.2 = 0.95; beta+gamma: .2+.05+.15+.1+.2+.3 = 1.0.
+  EXPECT_NEAR(setup.load.TotalQueryLoad(), 0.95, 1e-12);
+  EXPECT_NEAR(setup.load.TotalUpdateLoad(), 1.0, 1e-12);
+}
+
+// Section 3.2: the derived subpath workload adds upstream query mass to the
+// subpath's starting hierarchy. PathContext::PrefixAlpha implements it; the
+// cost layer's behaviour is covered in org_models_test. Here: invariants.
+TEST(SubpathWorkloadTest, PrefixAlphaIsMonotoneInStartLevel) {
+  const PaperSetup setup = MakeExample51Setup();
+  const PathContext ctx = PathContext::Build(setup.schema, setup.path,
+                                             setup.catalog, setup.load)
+                              .value();
+  double prev = -1;
+  for (int a = 1; a <= ctx.n(); ++a) {
+    const double v = ctx.PrefixAlpha(a);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(ctx.PrefixAlpha(1), 0);
+}
+
+}  // namespace
+}  // namespace pathix
