@@ -1,0 +1,29 @@
+# Resolves GoogleTest for the test suite and sets PATHIX_GTEST_TARGETS in
+# the caller's scope. Resolution order:
+#
+#   1. An installed GTest package (config or FindGTest module) — covers
+#      distro libgtest-dev, conda, vcpkg, brew.
+#   2. The Debian/Ubuntu source package under /usr/src/googletest, built as
+#      part of this tree.
+#   3. FetchContent from GitHub — the only option that needs network; last
+#      so that offline builds of the first two never attempt a download.
+macro(pathix_resolve_gtest)
+  set(PATHIX_GTEST_TARGETS "")
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    set(PATHIX_GTEST_TARGETS GTest::gtest GTest::gtest_main)
+  elseif(EXISTS /usr/src/googletest/CMakeLists.txt)
+    add_subdirectory(/usr/src/googletest
+                     ${CMAKE_BINARY_DIR}/googletest EXCLUDE_FROM_ALL)
+    set(PATHIX_GTEST_TARGETS GTest::gtest GTest::gtest_main)
+  else()
+    include(FetchContent)
+    FetchContent_Declare(
+      googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    )
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+    set(PATHIX_GTEST_TARGETS GTest::gtest GTest::gtest_main)
+  endif()
+endmacro()

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Compiles every header under the given source root as its own translation
+# unit, failing if any header is not self-contained (relies on a transitive
+# include). Registered as the `header_hygiene` ctest.
+#
+#   usage: check_header_hygiene.sh [SRC_DIR] [CXX]
+set -u
+
+SRC_DIR="${1:-src}"
+CXX="${2:-c++}"
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+fail=0
+for header in $(find "$SRC_DIR" -name '*.h' | sort); do
+  rel="${header#"$SRC_DIR"/}"
+  tu="$tmp_dir/check.cc"
+  printf '#include "%s"\nint main() { return 0; }\n' "$rel" > "$tu"
+  if ! "$CXX" -std=c++20 -I"$SRC_DIR" -Wall -Wextra -Werror -fsyntax-only \
+       "$tu" 2> "$tmp_dir/err.txt"; then
+    echo "NOT SELF-CONTAINED: $rel"
+    cat "$tmp_dir/err.txt"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "header hygiene check failed"
+  exit 1
+fi
+echo "all headers under $SRC_DIR are self-contained"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/status.h"
+
 namespace pathix {
 
 namespace {
@@ -46,7 +48,15 @@ double YaoNpa(double t, double n, double m) {
 }
 
 double CeilDiv(double a, double b) {
-  if (b <= 0.0) return 0.0;
+  // A non-positive divisor is a caller bug: every use divides a byte or
+  // record count by a capacity (page size, fanout, records per page).
+  // Returning 0 here would silently propagate (e.g. a 0-page B-tree from
+  // BTreeModel::Build); instead trip the debug check, and in release
+  // builds degrade to ceil(a) — one unit per record, the most conservative
+  // positive answer — rather than "nothing exists".
+  PATHIX_DCHECK(b > 0.0);
+  if (b <= 0.0) return CeilPos(a);
+  if (a <= 0.0) return 0.0;
   return std::ceil(a / b);
 }
 

@@ -50,6 +50,13 @@ std::string OptimizerTraceEvent::ToString() const {
 OptimizeResult SelectExhaustive(const CostMatrix& matrix) {
   const int n = matrix.path_length();
   OptimizeResult result;
+  // An empty path has exactly one (empty) configuration of cost 0; the
+  // shift below would be UB for n <= 0.
+  if (n <= 0) return result;
+  // The 2^(n-1) mask enumeration overflows std::uint64_t beyond 64 levels
+  // (and is intractable long before); hand such paths to the O(n^2) DP,
+  // which returns the same optimal cost.
+  if (n > 63) return SelectDP(matrix);
   result.cost = std::numeric_limits<double>::infinity();
   // Each bit of `mask` decides whether to split after level i+1.
   const std::uint64_t combos = std::uint64_t{1} << (n - 1);

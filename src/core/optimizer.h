@@ -34,8 +34,10 @@ struct OptimizeResult {
   IndexConfiguration config;
   double cost = 0;
   /// Complete configurations whose cost was computed ("explored" in the
-  /// paper's Example 5.1 accounting; the exhaustive search always explores
-  /// 2^(n-1)).
+  /// paper's Example 5.1 accounting). The exhaustive search explores
+  /// 2^(n-1) for 1 <= n <= 63; outside that range it returns the trivial
+  /// result (n <= 0) or delegates to SelectDP, whose count is the number
+  /// of DP cell evaluations.
   int evaluated = 0;
   /// Prefixes cut off by the bound (branch-and-bound only).
   int pruned = 0;

@@ -62,8 +62,34 @@ TEST(YaoNpaTest, FractionalTInterpolates) {
 TEST(CeilDivTest, Basics) {
   EXPECT_EQ(CeilDiv(10, 5), 2);
   EXPECT_EQ(CeilDiv(11, 5), 3);
+}
+
+TEST(CeilDivTest, ZeroNumerator) {
   EXPECT_EQ(CeilDiv(0, 5), 0);
-  EXPECT_EQ(CeilDiv(5, 0), 0);  // guarded
+  EXPECT_EQ(CeilDiv(0, 0.5), 0);
+  EXPECT_EQ(CeilDiv(-3, 5), 0);  // negative byte counts clamp to nothing
+}
+
+TEST(CeilDivTest, NonIntegralInputs) {
+  EXPECT_EQ(CeilDiv(10.5, 5), 3);
+  EXPECT_EQ(CeilDiv(1.0, 0.3), 4);
+  EXPECT_EQ(CeilDiv(7.5, 2.5), 3);
+  EXPECT_EQ(CeilDiv(0.1, 100), 1);  // any positive remainder costs a unit
+}
+
+TEST(CeilDivTest, NonPositiveDivisorIsACallerBug) {
+  // A divisor <= 0 trips PATHIX_DCHECK in debug builds. In release builds
+  // it must NOT silently report 0 units (a 0-page B-tree); it degrades to
+  // "one record per unit", the most conservative positive answer.
+#ifdef NDEBUG
+  EXPECT_EQ(CeilDiv(5, 0), 5);
+  EXPECT_EQ(CeilDiv(5, -2), 5);
+  EXPECT_EQ(CeilDiv(2.5, 0), 3);
+  EXPECT_EQ(CeilDiv(0, 0), 0);
+#else
+  EXPECT_DEATH(CeilDiv(5, 0), "");
+  EXPECT_DEATH(CeilDiv(5, -2), "");
+#endif
 }
 
 TEST(CeilPosTest, ClampsNegative) {

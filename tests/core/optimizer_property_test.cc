@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/optimizer.h"
+
+/// \file optimizer_property_test.cc
+/// \brief Cross-algorithm property test: SelectExhaustive,
+/// SelectBranchAndBound and SelectDP must report the *same optimal cost* on
+/// any cost matrix. The exhaustive search is ground truth; this keeps the
+/// three solvers from drifting apart as they are optimized independently.
+
+namespace pathix {
+namespace {
+
+/// Fills an n-path cost matrix with draws from `dist` (seeded — every run
+/// sees the same matrices).
+template <typename Dist>
+CostMatrix RandomMatrix(int n, std::uint32_t seed,
+                        const std::vector<IndexOrg>& orgs, Dist dist) {
+  std::mt19937 rng(seed);
+  std::vector<std::vector<double>> values;
+  values.reserve(static_cast<std::size_t>(NumSubpaths(n)));
+  for (int row = 0; row < NumSubpaths(n); ++row) {
+    std::vector<double> cols;
+    cols.reserve(orgs.size());
+    for (std::size_t c = 0; c < orgs.size(); ++c) {
+      cols.push_back(static_cast<double>(dist(rng)));
+    }
+    values.push_back(std::move(cols));
+  }
+  return CostMatrix::FromValues(n, orgs, std::move(values));
+}
+
+void ExpectAllSolversAgree(const CostMatrix& m, const char* what,
+                           std::uint32_t seed) {
+  const int n = m.path_length();
+  const OptimizeResult ex = SelectExhaustive(m);
+  const OptimizeResult bb = SelectBranchAndBound(m);
+  const OptimizeResult dp = SelectDP(m);
+  ASSERT_NEAR(ex.cost, bb.cost, 1e-9)
+      << what << ": exhaustive vs branch-and-bound, n=" << n
+      << " seed=" << seed;
+  ASSERT_NEAR(ex.cost, dp.cost, 1e-9)
+      << what << ": exhaustive vs DP, n=" << n << " seed=" << seed;
+  // Each solver's reported cost must equal the cost of the configuration it
+  // actually returned (no bookkeeping drift), and the configuration must be
+  // a valid cover of [1, n].
+  for (const OptimizeResult* r : {&ex, &bb, &dp}) {
+    ASSERT_TRUE(r->config.Validate(n).ok()) << what << ": n=" << n;
+    double recomputed = 0;
+    for (const IndexedSubpath& part : r->config.parts()) {
+      recomputed += m.Cost(part.subpath, part.org);
+    }
+    ASSERT_NEAR(recomputed, r->cost, 1e-9) << what << ": n=" << n;
+  }
+}
+
+class SolverAgreementPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreementPropertyTest, ContinuousCosts) {
+  const int n = GetParam();
+  const std::vector<IndexOrg> orgs = {IndexOrg::kMX, IndexOrg::kMIX,
+                                      IndexOrg::kNIX};
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    const CostMatrix m = RandomMatrix(
+        n, 1000003u * n + seed, orgs,
+        std::uniform_real_distribution<double>(0.5, 50.0));
+    ExpectAllSolversAgree(m, "continuous", seed);
+  }
+}
+
+TEST_P(SolverAgreementPropertyTest, TieHeavyIntegerCosts) {
+  // Small integer costs force many exact ties between configurations; the
+  // solvers may pick different optimal configurations, but the optimal cost
+  // must still be identical.
+  const int n = GetParam();
+  const std::vector<IndexOrg> orgs = {IndexOrg::kMX, IndexOrg::kNIX};
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    const CostMatrix m =
+        RandomMatrix(n, 7919u * n + seed, orgs,
+                     std::uniform_int_distribution<int>(1, 4));
+    ExpectAllSolversAgree(m, "tie-heavy", seed);
+  }
+}
+
+TEST_P(SolverAgreementPropertyTest, SingleOrganization) {
+  const int n = GetParam();
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    const CostMatrix m = RandomMatrix(
+        n, 104729u * n + seed, {IndexOrg::kMIX},
+        std::uniform_real_distribution<double>(1.0, 10.0));
+    ExpectAllSolversAgree(m, "single-org", seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PathLengths1To10, SolverAgreementPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace pathix

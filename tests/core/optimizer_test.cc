@@ -130,6 +130,38 @@ TEST(OptimizerTest, TiesKeepFirstFoundOptimum) {
   EXPECT_EQ(r.evaluated, 1);  // every split prunes at the first block
 }
 
+TEST(OptimizerTest, EmptyPathYieldsEmptyConfiguration) {
+  // Regression: `1 << (n - 1)` was UB for n = 0; the exhaustive search must
+  // return the trivial result instead of shifting by a negative amount.
+  const CostMatrix m = CostMatrix::FromValues(
+      0, {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX}, {});
+  const OptimizeResult r = SelectExhaustive(m);
+  EXPECT_TRUE(r.config.empty());
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.evaluated, 0);
+}
+
+TEST(OptimizerTest, PathsBeyond63LevelsFallBackToDP) {
+  // Regression: `1 << (n - 1)` overflows std::uint64_t for n > 64 (and the
+  // 2^(n-1) walk is intractable anyway). SelectExhaustive must delegate to
+  // the DP, which still finds the optimum in O(n^2).
+  const int n = 70;
+  std::vector<std::vector<double>> values;
+  for (const Subpath& sp : EnumerateSubpaths(n)) {
+    // Cost grows quadratically in block length, so the unique optimum is
+    // all-singletons with total cost n.
+    values.push_back({static_cast<double>(sp.length()) * sp.length()});
+  }
+  const CostMatrix m =
+      CostMatrix::FromValues(n, {IndexOrg::kNIX}, std::move(values));
+  const OptimizeResult ex = SelectExhaustive(m);
+  const OptimizeResult dp = SelectDP(m);
+  EXPECT_DOUBLE_EQ(ex.cost, static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(ex.cost, dp.cost);
+  EXPECT_EQ(ex.config.degree(), n);
+  ASSERT_TRUE(ex.config.Validate(n).ok());
+}
+
 TEST(OptimizerTest, TraceEventToStringMentionsKindAndCost) {
   const CostMatrix m = MakeFigure6Matrix();
   const OptimizeResult r = SelectBranchAndBound(m, true);

@@ -120,9 +120,9 @@ TEST_P(NIXModelTest, StorageIncludesBothTrees) {
 INSTANTIATE_TEST_SUITE_P(PageSizes, NIXModelTest,
                          ::testing::Values(512.0, 1024.0, 2048.0, 4096.0,
                                            8192.0),
-                         [](const ::testing::TestParamInfo<double>& info) {
+                         [](const ::testing::TestParamInfo<double>& param) {
                            return "p" + std::to_string(
-                                            static_cast<int>(info.param));
+                                            static_cast<int>(param.param));
                          });
 
 }  // namespace

@@ -156,8 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
                                           {Subpath{4, 4}, IndexOrg::kNIX}}),
                       IndexConfiguration({{Subpath{1, 2}, IndexOrg::kNone},
                                           {Subpath{3, 4}, IndexOrg::kMIX}})),
-    [](const ::testing::TestParamInfo<IndexConfiguration>& info) {
-      std::string name = info.param.ToString();
+    [](const ::testing::TestParamInfo<IndexConfiguration>& param_info) {
+      std::string name = param_info.param.ToString();
       std::string out;
       for (char c : name) {
         if (std::isalnum(static_cast<unsigned char>(c))) out += c;

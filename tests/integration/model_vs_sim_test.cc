@@ -84,8 +84,8 @@ TEST_P(ModelVsSimTest, QueryPredictionsWithinTolerance) {
 INSTANTIATE_TEST_SUITE_P(Orgs, ModelVsSimTest,
                          ::testing::Values(IndexOrg::kMX, IndexOrg::kMIX,
                                            IndexOrg::kNIX),
-                         [](const ::testing::TestParamInfo<IndexOrg>& info) {
-                           return ToString(info.param);
+                         [](const ::testing::TestParamInfo<IndexOrg>& param_info) {
+                           return ToString(param_info.param);
                          });
 
 TEST(ModelVsSimRankingTest, DeepQueryRankingAgrees) {

@@ -123,5 +123,18 @@ TEST(SpecParserTest, VehicleSpecFileMatchesExample51) {
             "{(Person.owns.man, NIX), (Company.divs.name, MX)}");
 }
 
+TEST(SpecParserTest, DocumentStoreSpecFileParsesAndAdvises) {
+  Result<AdvisorSpec> spec =
+      ParseAdvisorSpecFile(std::string(PATHIX_SOURCE_DIR) +
+                           "/examples/specs/document_store.pix");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  AdvisorSpec& s = spec.value();
+  EXPECT_EQ(s.path.ToString(s.schema), "Submission.review.forum.name");
+  Result<Recommendation> rec =
+      AdviseIndexConfiguration(s.schema, s.path, s.catalog, s.load, s.options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec.value().result.config.Validate(s.path.length()).ok());
+}
+
 }  // namespace
 }  // namespace pathix
