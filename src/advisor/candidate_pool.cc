@@ -1,0 +1,111 @@
+#include "advisor/candidate_pool.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "costmodel/org_model.h"
+
+namespace pathix {
+
+Result<CandidatePool> CandidatePool::Build(
+    const Schema& schema, const Catalog& catalog,
+    const std::vector<PathWorkload>& paths, const AdvisorOptions& options) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no paths given");
+  }
+  if (options.orgs.empty()) {
+    return Status::InvalidArgument("no candidate organizations given");
+  }
+
+  CandidatePool pool;
+  pool.orgs_ = options.orgs;
+  std::map<StructuralKey, int> entry_ids;
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    Result<PathContext> ctx =
+        PathContext::Build(schema, paths[i].path, catalog, paths[i].load,
+                           options.query_profile);
+    if (!ctx.ok()) return ctx.status();
+    const int n = ctx.value().n();
+    pool.path_lengths_.push_back(n);
+
+    const std::vector<Subpath> subpaths = EnumerateSubpaths(n);
+    std::vector<std::vector<std::pair<int, int>>> path_lookup(
+        subpaths.size(),
+        std::vector<std::pair<int, int>>(options.orgs.size(), {-1, -1}));
+
+    for (std::size_t row = 0; row < subpaths.size(); ++row) {
+      const Subpath& sp = subpaths[row];
+      for (std::size_t col = 0; col < options.orgs.size(); ++col) {
+        const IndexOrg org = options.orgs[col];
+        StructuralKey key =
+            StructuralKey::ForSubpath(paths[i].path, sp.start, sp.end, org);
+
+        CandidateUse use;
+        use.path_index = static_cast<int>(i);
+        use.subpath = sp;
+        use.breakdown =
+            ComputeSubpathCost(ctx.value(), sp.start, sp.end, org);
+        use.query_prefix = use.breakdown.query + use.breakdown.prefix;
+        use.maintain = use.breakdown.maintain + use.breakdown.boundary;
+        const double bytes =
+            MakeOrgCostModel(org, ctx.value(), sp.start, sp.end)
+                ->StorageBytes();
+
+        auto [it, inserted] =
+            entry_ids.emplace(key, static_cast<int>(pool.entries_.size()));
+        if (inserted) {
+          CandidateEntry entry;
+          entry.key = std::move(key);
+          entry.label = entry.key.Label(schema);
+          pool.entries_.push_back(std::move(entry));
+        }
+        CandidateEntry& entry =
+            pool.entries_[static_cast<std::size_t>(it->second)];
+        entry.storage_bytes = std::max(entry.storage_bytes, bytes);
+        path_lookup[row][col] = {it->second,
+                                 static_cast<int>(entry.uses.size())};
+        entry.uses.push_back(use);
+      }
+    }
+    pool.lookup_.push_back(std::move(path_lookup));
+  }
+
+  for (CandidateEntry& entry : pool.entries_) {
+    std::set<int> distinct;
+    for (const CandidateUse& use : entry.uses) distinct.insert(use.path_index);
+    entry.shareable = distinct.size() >= 2;
+  }
+  return pool;
+}
+
+int CandidatePool::EntryFor(int path_index, const Subpath& sp,
+                            IndexOrg org) const {
+  PATHIX_DCHECK(path_index >= 0 && path_index < num_paths());
+  const auto col_it = std::find(orgs_.begin(), orgs_.end(), org);
+  if (col_it == orgs_.end()) return -1;
+  const int row = SubpathRowIndex(path_length(path_index), sp);
+  return lookup_[static_cast<std::size_t>(path_index)]
+                [static_cast<std::size_t>(row)]
+                [static_cast<std::size_t>(col_it - orgs_.begin())]
+                    .first;
+}
+
+const CandidateUse& CandidatePool::UseFor(int path_index, const Subpath& sp,
+                                          IndexOrg org) const {
+  PATHIX_DCHECK(path_index >= 0 && path_index < num_paths());
+  const auto col_it = std::find(orgs_.begin(), orgs_.end(), org);
+  PATHIX_DCHECK(col_it != orgs_.end());
+  const int row = SubpathRowIndex(path_length(path_index), sp);
+  const auto [entry, use] = lookup_[static_cast<std::size_t>(path_index)]
+                                   [static_cast<std::size_t>(row)]
+                                   [static_cast<std::size_t>(
+                                       col_it - orgs_.begin())];
+  PATHIX_DCHECK(entry >= 0);
+  return entries_[static_cast<std::size_t>(entry)]
+      .uses[static_cast<std::size_t>(use)];
+}
+
+}  // namespace pathix

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/multipath.h"
+#include "core/structural_key.h"
+#include "costmodel/subpath_cost.h"
+
+/// \file candidate_pool.h
+/// \brief The shared candidate pool of the workload advisor.
+///
+/// Joint selection across a workload of overlapping paths (the paper's
+/// Section 6 "further research"; CoPhy-style in spirit) starts from one
+/// pool of *physical* index candidates: every subpath of every workload
+/// path under every candidate organization, structurally deduplicated via
+/// StructuralKey. Each distinct candidate is priced once for storage and
+/// once per using path for benefit:
+///
+///  - query_prefix (per use): the retrieval share of the subpath cost —
+///    what the using path pays whether or not anybody else uses the index;
+///  - maintain (per use): the maintenance + boundary share attributed by
+///    that path's load. Occurrences of one entry describe the same physical
+///    update stream, so a shared entry charges the *maximum* occurrence
+///    (paid once), matching the greedy merge's accounting;
+///  - storage_bytes (per entry): structure-determined, charged once.
+///
+/// The pool is plain data after Build(): the joint optimizer never needs to
+/// re-evaluate the cost model.
+
+namespace pathix {
+
+/// One workload path's use of a pool entry.
+struct CandidateUse {
+  int path_index = 0;  ///< which workload path
+  Subpath subpath;     ///< the levels of that path the entry covers
+  double query_prefix = 0;  ///< query + prefix share of the subpath cost
+  double maintain = 0;      ///< maintain + boundary share (paid once if shared)
+  SubpathCost breakdown;    ///< full decomposition, for reporting
+};
+
+/// One distinct physical index candidate across the workload.
+struct CandidateEntry {
+  StructuralKey key;
+  std::string label;         ///< rendered from key — reporting only
+  double storage_bytes = 0;  ///< estimated index bytes (max across uses)
+  std::vector<CandidateUse> uses;
+  bool shareable = false;  ///< used by >= 2 distinct workload paths
+};
+
+/// \brief Every indexable subpath of every workload path, structurally
+/// deduplicated and priced.
+class CandidatePool {
+ public:
+  /// An empty pool; usable only as an assignment target.
+  CandidatePool() = default;
+
+  /// Binds each path to the schema/catalog/load and prices all candidates.
+  /// Fails when any per-path context fails to build (missing statistics) or
+  /// \p paths is empty.
+  static Result<CandidatePool> Build(const Schema& schema,
+                                     const Catalog& catalog,
+                                     const std::vector<PathWorkload>& paths,
+                                     const AdvisorOptions& options = {});
+
+  int num_paths() const { return static_cast<int>(path_lengths_.size()); }
+  int path_length(int path_index) const {
+    PATHIX_DCHECK(path_index >= 0 && path_index < num_paths());
+    return path_lengths_[static_cast<std::size_t>(path_index)];
+  }
+  const std::vector<IndexOrg>& orgs() const { return orgs_; }
+  const std::vector<CandidateEntry>& entries() const { return entries_; }
+
+  /// Pool entry covering \p sp of path \p path_index with \p org, or -1 when
+  /// \p org is not among the candidate organizations.
+  int EntryFor(int path_index, const Subpath& sp, IndexOrg org) const;
+
+  /// The priced use behind EntryFor (which must not be -1).
+  const CandidateUse& UseFor(int path_index, const Subpath& sp,
+                             IndexOrg org) const;
+
+ private:
+  std::vector<CandidateEntry> entries_;
+  std::vector<int> path_lengths_;
+  std::vector<IndexOrg> orgs_;
+  /// Per path: [subpath row][org column] -> {entry id, use index}.
+  std::vector<std::vector<std::vector<std::pair<int, int>>>> lookup_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "advisor/candidate_pool.h"
+#include "core/index_config.h"
+
+/// \file joint_optimizer.h
+/// \brief Joint, storage-budgeted index selection over the shared candidate
+/// pool: one index configuration per workload path, minimizing the
+/// *workload* cost in which a physically shared index pays maintenance and
+/// storage once.
+///
+/// Cost of an assignment (one configuration c_i per path):
+///
+///   sum_i QP_i(c_i)  +  sum_{distinct entries E used}  max over uses of E
+///                                                       of its maintenance
+///
+/// subject to  sum_{distinct entries E used} storage(E) <= budget.
+///
+/// This generalizes the greedy merge of AdviseMultiplePaths: evaluating the
+/// per-path standalone optima under this accounting reproduces exactly the
+/// greedy `total_cost_shared`, so the joint optimum is <= greedy <= the sum
+/// of independent optima by construction (the search is seeded with the
+/// greedy assignment and the space contains it).
+///
+/// The search is a branch-and-bound over paths. The admissible lower bound
+/// for the unassigned paths is each path's optimum with maintenance (and
+/// storage, for budget pruning) discounted to zero on *shareable* candidates
+/// — a path can never beat its own unshared optimum on the candidates only
+/// it can use, and on shared candidates another path may already have paid.
+/// Small instances fall back to exhaustive enumeration (also the testing
+/// ground truth).
+
+namespace pathix {
+
+struct JointOptions {
+  /// Maximum total bytes across the distinct chosen indexes; infinity (the
+  /// default) disables the constraint.
+  double storage_budget_bytes = std::numeric_limits<double>::infinity();
+
+  enum class Algorithm {
+    kAuto,             ///< exhaustive when small, else branch-and-bound
+    kExhaustive,       ///< full enumeration (ground truth for tests)
+    kBranchAndBound,   ///< bounded search, greedy-seeded
+  };
+  Algorithm algorithm = Algorithm::kAuto;
+
+  /// kAuto uses exhaustive enumeration when the product of per-path
+  /// configuration counts is at most this.
+  long exhaustive_limit = 20000;
+
+  /// Hard cap on the number of enumerated configurations per path; a path
+  /// beyond it fails with FailedPrecondition (shorten the path or trim the
+  /// candidate organizations).
+  long max_configs_per_path = 500000;
+};
+
+/// The configuration chosen for one workload path.
+struct JointPathSelection {
+  IndexConfiguration config;
+  double query_prefix_cost = 0;  ///< retrieval share this path always pays
+  double standalone_cost = 0;    ///< unshared cost of the same configuration
+};
+
+/// One distinct physical index of the joint solution.
+struct ChosenIndex {
+  int entry_id = -1;              ///< index into CandidatePool::entries()
+  std::vector<int> path_indexes;  ///< paths whose configuration uses it
+  double charged_maintain = 0;    ///< the (single) maintenance charge
+};
+
+struct JointSelectionResult {
+  std::vector<JointPathSelection> per_path;  ///< one per workload path
+  std::vector<ChosenIndex> chosen;           ///< distinct physical indexes
+  double total_cost = 0;           ///< shared-aware workload cost
+  double total_storage_bytes = 0;  ///< sum over distinct chosen indexes
+  long nodes_explored = 0;
+  long nodes_pruned = 0;
+  bool used_branch_and_bound = false;
+};
+
+/// Selects one configuration per path over the pool. Fails with
+/// FailedPrecondition when no assignment fits the storage budget.
+Result<JointSelectionResult> SelectJointConfiguration(
+    const CandidatePool& pool, const JointOptions& options = {});
+
+}  // namespace pathix

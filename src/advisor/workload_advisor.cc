@@ -1,0 +1,32 @@
+#include "advisor/workload_advisor.h"
+
+namespace pathix {
+
+Result<WorkloadRecommendation> AdviseWorkload(
+    const Schema& schema, const Catalog& catalog,
+    const std::vector<PathWorkload>& paths, const AdvisorOptions& options,
+    const JointOptions& joint_options) {
+  WorkloadRecommendation rec;
+
+  Result<CandidatePool> pool =
+      CandidatePool::Build(schema, catalog, paths, options);
+  if (!pool.ok()) return pool.status();
+  rec.pool = std::move(pool).value();
+
+  Result<MultiPathRecommendation> greedy =
+      AdviseMultiplePaths(schema, catalog, paths, options);
+  if (!greedy.ok()) return greedy.status();
+  rec.greedy = std::move(greedy).value();
+
+  Result<JointSelectionResult> joint =
+      SelectJointConfiguration(rec.pool, joint_options);
+  if (!joint.ok()) return joint.status();
+  rec.joint = std::move(joint).value();
+
+  rec.total_cost_joint = rec.joint.total_cost;
+  rec.total_cost_greedy = rec.greedy.total_cost_shared;
+  rec.total_cost_independent = rec.greedy.total_cost_independent;
+  return rec;
+}
+
+}  // namespace pathix

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "advisor/joint_optimizer.h"
+#include "core/multipath.h"
+
+/// \file workload_advisor.h
+/// \brief High-level facade of the workload advisor: builds the shared
+/// candidate pool, runs the joint optimizer, and reports the two baselines
+/// it must beat — the greedy label-merge of AdviseMultiplePaths and the sum
+/// of independent per-path optima.
+///
+/// Invariant (verified by the tests):
+///   total_cost_joint <= total_cost_greedy <= total_cost_independent.
+/// With a finite storage budget the joint result additionally respects
+/// sum of distinct index bytes <= budget (or the call fails with a clear
+/// FailedPrecondition when nothing feasible exists).
+
+namespace pathix {
+
+struct WorkloadRecommendation {
+  CandidatePool pool;            ///< priced candidates, kept for reporting
+  JointSelectionResult joint;    ///< the jointly optimal assignment
+  MultiPathRecommendation greedy;  ///< baseline: per-path optima + merge
+
+  double total_cost_joint = 0;        ///< == joint.total_cost
+  double total_cost_greedy = 0;       ///< == greedy.total_cost_shared
+  double total_cost_independent = 0;  ///< == greedy.total_cost_independent
+};
+
+/// Runs the full workload pipeline: candidate pool, greedy baseline, joint
+/// selection under \p joint_options.
+Result<WorkloadRecommendation> AdviseWorkload(
+    const Schema& schema, const Catalog& catalog,
+    const std::vector<PathWorkload>& paths,
+    const AdvisorOptions& options = {},
+    const JointOptions& joint_options = {});
+
+}  // namespace pathix

@@ -16,7 +16,7 @@ Result<MultiPathRecommendation> AdviseMultiplePaths(
     int path_index;
     double maintain_cost;  // maintenance + boundary share of the subpath
   };
-  std::map<std::string, std::vector<Occurrence>> by_label;
+  std::map<StructuralKey, std::vector<Occurrence>> by_key;
 
   for (std::size_t i = 0; i < paths.size(); ++i) {
     Result<Recommendation> rec = AdviseIndexConfiguration(
@@ -29,10 +29,9 @@ Result<MultiPathRecommendation> AdviseMultiplePaths(
     const auto& parts = r.result.config.parts();
     for (std::size_t p = 0; p < parts.size(); ++p) {
       const Subpath& sp = parts[p].subpath;
-      const std::string label =
-          paths[i].path.SubpathBetween(sp.start, sp.end).ToString(schema) +
-          " (" + std::string(ToString(parts[p].org)) + ")";
-      by_label[label].push_back(Occurrence{
+      const StructuralKey key = StructuralKey::ForSubpath(
+          paths[i].path, sp.start, sp.end, parts[p].org);
+      by_key[key].push_back(Occurrence{
           static_cast<int>(i),
           r.part_costs[p].maintain + r.part_costs[p].boundary});
     }
@@ -41,10 +40,11 @@ Result<MultiPathRecommendation> AdviseMultiplePaths(
   // Duplicates: a physically identical index maintained once serves every
   // path; keep the most expensive maintenance occurrence, save the rest.
   out.total_cost_shared = out.total_cost_independent;
-  for (const auto& [label, occurrences] : by_label) {
+  for (const auto& [key, occurrences] : by_key) {
     if (occurrences.size() < 2) continue;
     SharedIndex shared;
-    shared.label = label;
+    shared.key = key;
+    shared.label = key.Label(schema);
     double max_maint = 0;
     double sum_maint = 0;
     for (const Occurrence& occ : occurrences) {

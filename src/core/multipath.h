@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "core/structural_key.h"
 
 /// \file multipath.h
 /// \brief Extension (paper's Section 6, "further research"): index selection
@@ -23,9 +24,12 @@ struct PathWorkload {
   LoadDistribution load;
 };
 
-/// A physically shared index discovered across paths.
+/// A physically shared index discovered across paths. Identity is the
+/// structural key (class ids + attribute sequence + organization); the label
+/// is rendered from it for reporting only.
 struct SharedIndex {
-  std::string label;  ///< e.g. "Veh.man (MIX)"
+  StructuralKey key;              ///< physical identity of the shared index
+  std::string label;              ///< e.g. "Veh.man (MIX)" — reporting only
   std::vector<int> path_indexes;  ///< which inputs use it
   double saved_cost = 0;          ///< maintenance counted once instead of k times
 };

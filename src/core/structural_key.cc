@@ -1,0 +1,43 @@
+#include "core/structural_key.h"
+
+#include <tuple>
+
+namespace pathix {
+
+StructuralKey StructuralKey::ForSubpath(const Path& path, int a, int b,
+                                        IndexOrg org) {
+  PATHIX_DCHECK(1 <= a && a <= b && b <= path.length());
+  StructuralKey key;
+  key.org = org;
+  key.classes.reserve(static_cast<std::size_t>(b - a + 1));
+  key.attrs.reserve(static_cast<std::size_t>(b - a + 1));
+  for (int l = a; l <= b; ++l) {
+    key.classes.push_back(path.class_at(l));
+    key.attrs.push_back(path.attribute_at(l).name);
+  }
+  return key;
+}
+
+bool StructuralKey::operator==(const StructuralKey& other) const {
+  return org == other.org && classes == other.classes && attrs == other.attrs;
+}
+
+bool StructuralKey::operator<(const StructuralKey& other) const {
+  return std::tie(classes, attrs, org) <
+         std::tie(other.classes, other.attrs, other.org);
+}
+
+std::string StructuralKey::Label(const Schema& schema) const {
+  std::string out =
+      classes.empty() ? "?" : schema.GetClass(classes.front()).name();
+  for (const std::string& attr : attrs) {
+    out += ".";
+    out += attr;
+  }
+  out += " (";
+  out += ToString(org);
+  out += ")";
+  return out;
+}
+
+}  // namespace pathix

@@ -1,6 +1,8 @@
 #include "io/spec_parser.h"
 
 #include <fstream>
+#include <limits>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -32,13 +34,24 @@ Result<IndexOrg> ParseOrg(const std::string& token) {
   return Status::InvalidArgument("unknown organization '" + token + "'");
 }
 
-}  // namespace
+/// A `path` directive with the `load` lines bound to it.
+struct PendingPath {
+  int line = 0;  // of the path directive, for late errors
+  ClassId start = kInvalidClass;
+  std::vector<std::string> attrs;
+  LoadDistribution load;
+  std::set<ClassId> loaded_classes;  // duplicate detection
+};
 
-Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
-  AdvisorSpec spec;
-  bool have_path = false;
-  ClassId path_start = kInvalidClass;
-  std::vector<std::string> path_attrs;
+/// Shared parser for both spec flavors; \p workload_mode permits multiple
+/// paths, per-path load sections and the budget directive.
+Result<WorkloadSpec> ParseSpecImpl(const std::string& text,
+                                   bool workload_mode) {
+  WorkloadSpec spec;
+  std::vector<PendingPath> pending;
+  LoadDistribution default_load;       // loads before the first path
+  std::set<ClassId> default_loaded;    // duplicate detection
+  bool have_orgs = false;
 
   std::istringstream in(text);
   std::string raw;
@@ -55,7 +68,8 @@ Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
 
     if (cmd == "page_size" || cmd == "oid_len" || cmd == "key_len") {
       double v;
-      if (tok.size() != 2 || !ParseDouble(tok[1], &v) || v <= 0) {
+      // Bounds are checked in negated form so NaN fails them too.
+      if (tok.size() != 2 || !ParseDouble(tok[1], &v) || !(v > 0)) {
         return LineError(line_no, cmd + " expects one positive number");
       }
       PhysicalParams* pp = spec.catalog.mutable_params();
@@ -124,14 +138,18 @@ Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
       const Status s = spec.schema.AddAtomicAttribute(cls, tok[2], type, multi);
       if (!s.ok()) return LineError(line_no, s.message());
     } else if (cmd == "path") {
-      if (have_path) return LineError(line_no, "only one path per spec");
+      if (!workload_mode && !pending.empty()) {
+        return LineError(line_no, "only one path per spec");
+      }
       if (tok.size() < 3) return LineError(line_no, "path CLASS attr...");
-      path_start = spec.schema.FindClass(tok[1]);
-      if (path_start == kInvalidClass) {
+      PendingPath p;
+      p.line = line_no;
+      p.start = spec.schema.FindClass(tok[1]);
+      if (p.start == kInvalidClass) {
         return LineError(line_no, "unknown class '" + tok[1] + "'");
       }
-      path_attrs.assign(tok.begin() + 2, tok.end());
-      have_path = true;
+      p.attrs.assign(tok.begin() + 2, tok.end());
+      pending.push_back(std::move(p));
     } else if (cmd == "load") {
       if (tok.size() != 5) {
         return LineError(line_no, "load CLASS alpha beta gamma");
@@ -142,12 +160,28 @@ Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
       }
       double a, b, g;
       if (!ParseDouble(tok[2], &a) || !ParseDouble(tok[3], &b) ||
-          !ParseDouble(tok[4], &g) || a < 0 || b < 0 || g < 0) {
+          !ParseDouble(tok[4], &g) || !(a >= 0) || !(b >= 0) || !(g >= 0)) {
         return LineError(line_no, "load frequencies must be >= 0");
       }
-      spec.load.Set(cls, a, b, g);
+      // In workload mode a load binds to the most recent path; loads before
+      // the first path are defaults for every path. Single-path specs keep
+      // one global section (declaration order does not matter).
+      const bool to_default = !workload_mode || pending.empty();
+      LoadDistribution& target =
+          to_default ? default_load : pending.back().load;
+      std::set<ClassId>& seen =
+          to_default ? default_loaded : pending.back().loaded_classes;
+      if (!seen.insert(cls).second) {
+        return LineError(line_no,
+                         "duplicate load for class '" + tok[1] + "'");
+      }
+      target.Set(cls, a, b, g);
     } else if (cmd == "orgs") {
+      if (have_orgs) {
+        return LineError(line_no, "duplicate orgs directive");
+      }
       if (tok.size() < 2) return LineError(line_no, "orgs needs at least one");
+      have_orgs = true;
       spec.options.orgs.clear();
       for (std::size_t i = 1; i < tok.size(); ++i) {
         Result<IndexOrg> org = ParseOrg(tok[i]);
@@ -156,33 +190,89 @@ Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
       }
     } else if (cmd == "matching_keys") {
       double v;
-      if (tok.size() != 2 || !ParseDouble(tok[1], &v) || v < 1) {
+      if (tok.size() != 2 || !ParseDouble(tok[1], &v) || !(v >= 1)) {
         return LineError(line_no, "matching_keys expects a number >= 1");
       }
       spec.options.query_profile.matching_keys = v;
+    } else if (cmd == "budget") {
+      if (!workload_mode) {
+        return LineError(line_no,
+                         "budget is only valid in workload specs "
+                         "(pathix_workload_advise)");
+      }
+      if (spec.has_budget) {
+        return LineError(line_no, "duplicate budget directive");
+      }
+      double v;
+      if (tok.size() != 2 || !ParseDouble(tok[1], &v) || !(v >= 0) ||
+          v == std::numeric_limits<double>::infinity()) {
+        return LineError(line_no, "budget expects one number of bytes >= 0");
+      }
+      spec.has_budget = true;
+      spec.joint_options.storage_budget_bytes = v;
     } else {
       return LineError(line_no, "unknown directive '" + cmd + "'");
     }
   }
 
-  if (!have_path) {
+  if (pending.empty()) {
     return Status::InvalidArgument("spec declares no path");
   }
   PATHIX_RETURN_IF_ERROR(spec.schema.Validate());
-  Result<Path> path = Path::Create(spec.schema, path_start, path_attrs);
-  if (!path.ok()) return path.status();
-  spec.path = std::move(path).value();
+
+  for (PendingPath& p : pending) {
+    Result<Path> path = Path::Create(spec.schema, p.start, p.attrs);
+    if (!path.ok()) return LineError(p.line, path.status().message());
+    PathWorkload workload;
+    workload.path = std::move(path).value();
+    workload.load = default_load;  // defaults first, then overrides
+    for (const ClassId cls : p.loaded_classes) {
+      workload.load.Set(cls, p.load.Get(cls));
+    }
+    spec.paths.push_back(std::move(workload));
+  }
   return spec;
 }
 
-Result<AdvisorSpec> ParseAdvisorSpecFile(const std::string& path) {
+Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open spec file '" + path + "'");
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseAdvisorSpec(buf.str());
+  return buf.str();
+}
+
+}  // namespace
+
+Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
+  Result<WorkloadSpec> parsed = ParseSpecImpl(text, /*workload_mode=*/false);
+  if (!parsed.ok()) return parsed.status();
+  WorkloadSpec& w = parsed.value();
+  AdvisorSpec spec;
+  spec.schema = std::move(w.schema);
+  spec.catalog = std::move(w.catalog);
+  spec.options = std::move(w.options);
+  spec.load = std::move(w.paths.front().load);
+  spec.path = std::move(w.paths.front().path);
+  return spec;
+}
+
+Result<AdvisorSpec> ParseAdvisorSpecFile(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseAdvisorSpec(text.value());
+}
+
+Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
+  return ParseSpecImpl(text, /*workload_mode=*/true);
+}
+
+Result<WorkloadSpec> ParseWorkloadSpecFile(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseWorkloadSpec(text.value());
 }
 
 }  // namespace pathix

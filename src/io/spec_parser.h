@@ -1,12 +1,17 @@
 #pragma once
 
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "advisor/joint_optimizer.h"
 #include "core/advisor.h"
+#include "core/multipath.h"
 
 /// \file spec_parser.h
 /// \brief Text format for advisor inputs, so the selection pipeline can be
-/// driven without writing C++ (the `pathix_advise` example tool).
+/// driven without writing C++ (the `pathix_advise` and
+/// `pathix_workload_advise` example tools).
 ///
 /// Line-based; '#' starts a comment. Directives:
 ///
@@ -17,17 +22,34 @@
 ///   class Bus : Vehicle 5000 2500 2    # subclass declaration
 ///   ref Person owns Vehicle multi      # reference attribute [multi]
 ///   attr Division name string          # atomic attribute (string|int)
-///   path Person owns man divs name     # exactly one path
+///   path Person owns man divs name     # the query path
 ///   load Person 0.3 0.1 0.1            # alpha beta gamma
-///   orgs MX MIX NIX NX PX NONE         # candidate set (optional)
+///   orgs MX MIX NIX NX PX NONE         # candidate set (optional, once)
 ///   matching_keys 1                    # range-predicate width (optional)
 ///
-/// Classes must be declared before use; the path must come after the
+/// Classes must be declared before use; a path must come after the
 /// attributes it navigates.
+///
+/// Single-path specs (ParseAdvisorSpec) allow exactly one `path`; repeating
+/// `path`, `orgs`, or `load` for the same class is an error (with the
+/// offending line number) rather than a silent override.
+///
+/// Workload specs (ParseWorkloadSpec) extend the format to many paths:
+///
+///   path Person owns man divs name     # first workload path
+///   load Person 0.3 0.1 0.1            #   its load
+///   path Company divs name             # second workload path
+///   load Company 0.1 0.1 0.1           #   its load
+///   budget 16000000                    # optional storage budget in bytes
+///
+/// `load` lines *before* the first `path` are defaults applied to every
+/// path; `load` lines after a `path` bind to that path (overriding the
+/// default for that class). `budget` caps the total bytes of the distinct
+/// physical indexes the joint optimizer may choose.
 
 namespace pathix {
 
-/// Everything the advisor needs, parsed from one spec.
+/// Everything the single-path advisor needs, parsed from one spec.
 struct AdvisorSpec {
   Schema schema;
   Catalog catalog;
@@ -36,10 +58,26 @@ struct AdvisorSpec {
   AdvisorOptions options;
 };
 
-/// Parses a spec from text. Errors carry the offending line number.
+/// Everything the workload advisor needs, parsed from one spec.
+struct WorkloadSpec {
+  Schema schema;
+  Catalog catalog;
+  std::vector<PathWorkload> paths;
+  AdvisorOptions options;
+  JointOptions joint_options;  ///< carries the storage budget (if any)
+  bool has_budget = false;
+};
+
+/// Parses a single-path spec. Errors carry the offending line number.
 Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text);
 
-/// Reads \p path and parses it.
+/// Reads \p path and parses it as a single-path spec.
 Result<AdvisorSpec> ParseAdvisorSpecFile(const std::string& path);
+
+/// Parses a workload spec (one or more paths, optional budget).
+Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text);
+
+/// Reads \p path and parses it as a workload spec.
+Result<WorkloadSpec> ParseWorkloadSpecFile(const std::string& path);
 
 }  // namespace pathix

@@ -1,0 +1,194 @@
+#include "advisor/joint_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "advisor/workload_advisor.h"
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+/// Recomputes a joint result's total from its parts: per-path query/prefix
+/// shares plus one maintenance charge per distinct chosen entry.
+double RecomputeTotal(const CandidatePool& pool,
+                      const JointSelectionResult& joint) {
+  double total = 0;
+  std::map<int, double> max_maint;
+  for (std::size_t i = 0; i < joint.per_path.size(); ++i) {
+    for (const IndexedSubpath& part : joint.per_path[i].config.parts()) {
+      const CandidateUse& use =
+          pool.UseFor(static_cast<int>(i), part.subpath, part.org);
+      total += use.query_prefix;
+      const int entry =
+          pool.EntryFor(static_cast<int>(i), part.subpath, part.org);
+      max_maint[entry] = std::max(max_maint[entry], use.maintain);
+    }
+  }
+  for (const auto& [entry, maint] : max_maint) total += maint;
+  return total;
+}
+
+class JointOptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setup_ = MakeExample51Setup();
+    paths_.push_back(PathWorkload{setup_.path, setup_.load});
+
+    LoadDistribution audit_load;
+    audit_load.Set(setup_.company, 0.5, 0.05, 0.05);
+    audit_load.Set(setup_.vehicle, 0.3, 0.0, 0.05);
+    audit_load.Set(setup_.division, 0.15, 0.1, 0.05);
+    paths_.push_back(PathWorkload{
+        Path::Create(setup_.schema, setup_.vehicle, {"man", "divs", "name"})
+            .value(),
+        audit_load});
+
+    LoadDistribution div_load;
+    div_load.Set(setup_.division, 0.8, 0.1, 0.1);
+    div_load.Set(setup_.company, 0.1, 0.1, 0.1);
+    paths_.push_back(PathWorkload{
+        Path::Create(setup_.schema, setup_.company, {"divs", "name"}).value(),
+        div_load});
+  }
+
+  PaperSetup setup_;
+  std::vector<PathWorkload> paths_;
+};
+
+TEST_F(JointOptimizerTest, AcceptanceJointLeqGreedyLeqIndependent) {
+  // The headline invariant on >= 3 overlapping paths.
+  const WorkloadRecommendation rec =
+      AdviseWorkload(setup_.schema, setup_.catalog, paths_).value();
+  EXPECT_LE(rec.total_cost_joint, rec.total_cost_greedy + 1e-9);
+  EXPECT_LE(rec.total_cost_greedy, rec.total_cost_independent + 1e-9);
+  // On this workload the joint optimum strictly beats the greedy merge: the
+  // merge keeps per-path optima that disagree on the shared tail's org.
+  EXPECT_LT(rec.total_cost_joint, rec.total_cost_greedy - 1e-6);
+  // Every path still gets a valid configuration.
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    EXPECT_TRUE(rec.joint.per_path[i]
+                    .config.Validate(paths_[i].path.length())
+                    .ok());
+  }
+}
+
+TEST_F(JointOptimizerTest, TotalCostMatchesSharedAccounting) {
+  const CandidatePool pool =
+      CandidatePool::Build(setup_.schema, setup_.catalog, paths_).value();
+  const JointSelectionResult joint =
+      SelectJointConfiguration(pool).value();
+  EXPECT_NEAR(joint.total_cost, RecomputeTotal(pool, joint), 1e-9);
+
+  // Reported storage equals the sum over the distinct chosen entries.
+  double storage = 0;
+  for (const ChosenIndex& c : joint.chosen) {
+    storage +=
+        pool.entries()[static_cast<std::size_t>(c.entry_id)].storage_bytes;
+  }
+  EXPECT_NEAR(joint.total_storage_bytes, storage, 1e-6);
+}
+
+TEST_F(JointOptimizerTest, ExhaustiveAndBranchAndBoundAgree) {
+  const CandidatePool pool =
+      CandidatePool::Build(setup_.schema, setup_.catalog, paths_).value();
+  JointOptions ex_opts;
+  ex_opts.algorithm = JointOptions::Algorithm::kExhaustive;
+  JointOptions bb_opts;
+  bb_opts.algorithm = JointOptions::Algorithm::kBranchAndBound;
+  const JointSelectionResult ex = SelectJointConfiguration(pool, ex_opts).value();
+  const JointSelectionResult bb = SelectJointConfiguration(pool, bb_opts).value();
+  EXPECT_NEAR(ex.total_cost, bb.total_cost, 1e-9);
+  EXPECT_FALSE(ex.used_branch_and_bound);
+  EXPECT_TRUE(bb.used_branch_and_bound);
+  EXPECT_LT(bb.nodes_explored, ex.nodes_explored);
+}
+
+TEST_F(JointOptimizerTest, SinglePathMatchesStandaloneAdvisor) {
+  const CandidatePool pool =
+      CandidatePool::Build(setup_.schema, setup_.catalog,
+                           {paths_[0]})
+          .value();
+  const JointSelectionResult joint = SelectJointConfiguration(pool).value();
+  const Recommendation single =
+      AdviseIndexConfiguration(setup_.schema, setup_.path, setup_.catalog,
+                               setup_.load)
+          .value();
+  EXPECT_NEAR(joint.total_cost, single.result.cost, 1e-9);
+}
+
+TEST_F(JointOptimizerTest, BindingBudgetReturnsFeasibleConfiguration) {
+  const CandidatePool pool =
+      CandidatePool::Build(setup_.schema, setup_.catalog, paths_).value();
+  const JointSelectionResult unconstrained =
+      SelectJointConfiguration(pool).value();
+
+  JointOptions opts;
+  opts.storage_budget_bytes = unconstrained.total_storage_bytes * 0.6;
+  const Result<JointSelectionResult> constrained =
+      SelectJointConfiguration(pool, opts);
+  ASSERT_TRUE(constrained.ok()) << constrained.status().ToString();
+  EXPECT_LE(constrained.value().total_storage_bytes,
+            opts.storage_budget_bytes + 1e-6);
+  // Feasibility costs something: the constrained optimum cannot beat the
+  // unconstrained one.
+  EXPECT_GE(constrained.value().total_cost, unconstrained.total_cost - 1e-9);
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    EXPECT_TRUE(constrained.value()
+                    .per_path[i]
+                    .config.Validate(paths_[i].path.length())
+                    .ok());
+  }
+}
+
+TEST_F(JointOptimizerTest, ZeroBudgetWithoutNoneIsAClearError) {
+  const CandidatePool pool =
+      CandidatePool::Build(setup_.schema, setup_.catalog, paths_).value();
+  JointOptions opts;
+  opts.storage_budget_bytes = 0;
+  const Result<JointSelectionResult> r = SelectJointConfiguration(pool, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status().message().find("storage budget"), std::string::npos);
+}
+
+TEST_F(JointOptimizerTest, ZeroBudgetWithNoneDegradesToScans) {
+  AdvisorOptions options;
+  options.orgs = {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX,
+                  IndexOrg::kNone};
+  const CandidatePool pool =
+      CandidatePool::Build(setup_.schema, setup_.catalog, paths_, options)
+          .value();
+  JointOptions opts;
+  opts.storage_budget_bytes = 0;
+  const Result<JointSelectionResult> r = SelectJointConfiguration(pool, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r.value().total_storage_bytes, 0, 1e-9);
+  // Everything degraded to the cheapest feasible (index-free) candidates.
+  for (const JointPathSelection& sel : r.value().per_path) {
+    for (const IndexedSubpath& part : sel.config.parts()) {
+      EXPECT_EQ(part.org, IndexOrg::kNone);
+    }
+  }
+}
+
+TEST_F(JointOptimizerTest, IdenticalPathsPayMaintenanceOnce) {
+  const std::vector<PathWorkload> twins = {paths_[0], paths_[0]};
+  const CandidatePool pool =
+      CandidatePool::Build(setup_.schema, setup_.catalog, twins).value();
+  const JointSelectionResult joint = SelectJointConfiguration(pool).value();
+  const Recommendation single =
+      AdviseIndexConfiguration(setup_.schema, setup_.path, setup_.catalog,
+                               setup_.load)
+          .value();
+  // Twice the retrieval share, one maintenance charge: strictly cheaper
+  // than two independent copies.
+  EXPECT_LT(joint.total_cost, 2 * single.result.cost - 1e-9);
+  for (const ChosenIndex& c : joint.chosen) {
+    EXPECT_EQ(c.path_indexes.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace pathix

@@ -88,5 +88,52 @@ TEST_F(MultiPathTest, SharedLabelsNamePathIndexes) {
   }
 }
 
+TEST_F(MultiPathTest, SharedIndexesCarryTheirStructuralKey) {
+  // Sharing is keyed on structure (class ids + attributes + organization),
+  // not on the rendered label; the label is derived from the key.
+  const MultiPathRecommendation multi =
+      AdviseMultiplePaths(setup_.schema, setup_.catalog,
+                          {{setup_.path, setup_.load},
+                           {setup_.path, setup_.load}})
+          .value();
+  ASSERT_FALSE(multi.shared.empty());
+  for (const SharedIndex& s : multi.shared) {
+    EXPECT_FALSE(s.key.classes.empty());
+    EXPECT_EQ(s.key.classes.size(), s.key.attrs.size());
+    EXPECT_EQ(s.label, s.key.Label(setup_.schema));
+  }
+}
+
+TEST_F(MultiPathTest, SubclassTypedPathsDoNotMergeHeads) {
+  // Vehicle.man... and Bus.man... navigate the same inherited attribute but
+  // are rooted at different classes; whatever configurations the advisor
+  // picks, no shared index may mix the two roots.
+  LoadDistribution vehicle_load;
+  vehicle_load.Set(setup_.vehicle, 0.4, 0.1, 0.1);
+  vehicle_load.Set(setup_.division, 0.2, 0.1, 0.1);
+  LoadDistribution bus_load;
+  bus_load.Set(setup_.bus, 0.4, 0.1, 0.1);
+  bus_load.Set(setup_.division, 0.2, 0.1, 0.1);
+  const Path vehicle_path =
+      Path::Create(setup_.schema, setup_.vehicle, {"man", "divs", "name"})
+          .value();
+  const Path bus_path =
+      Path::Create(setup_.schema, setup_.bus, {"man", "divs", "name"})
+          .value();
+
+  const MultiPathRecommendation multi =
+      AdviseMultiplePaths(setup_.schema, setup_.catalog,
+                          {{vehicle_path, vehicle_load},
+                           {bus_path, bus_load}})
+          .value();
+  for (const SharedIndex& s : multi.shared) {
+    // A shared index must be structurally reachable from both paths: its
+    // class sequence cannot start at Vehicle or Bus (which differ), only at
+    // the common Company tail.
+    EXPECT_NE(s.key.classes.front(), setup_.vehicle) << s.label;
+    EXPECT_NE(s.key.classes.front(), setup_.bus) << s.label;
+  }
+}
+
 }  // namespace
 }  // namespace pathix

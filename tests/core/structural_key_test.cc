@@ -1,0 +1,77 @@
+#include "core/structural_key.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+class StructuralKeyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { setup_ = MakeExample51Setup(); }
+  PaperSetup setup_;
+};
+
+TEST_F(StructuralKeyTest, SameStructureFromDifferentPathsCompareEqual) {
+  // Company.divs.name as the tail [3,4] of Pexa and as a standalone path.
+  const Path tail =
+      Path::Create(setup_.schema, setup_.company, {"divs", "name"}).value();
+  const StructuralKey from_pexa =
+      StructuralKey::ForSubpath(setup_.path, 3, 4, IndexOrg::kMX);
+  const StructuralKey standalone =
+      StructuralKey::ForSubpath(tail, 1, 2, IndexOrg::kMX);
+  EXPECT_EQ(from_pexa, standalone);
+  EXPECT_FALSE(from_pexa < standalone);
+  EXPECT_FALSE(standalone < from_pexa);
+}
+
+TEST_F(StructuralKeyTest, OrganizationIsPartOfTheIdentity) {
+  const StructuralKey mx =
+      StructuralKey::ForSubpath(setup_.path, 3, 4, IndexOrg::kMX);
+  const StructuralKey nix =
+      StructuralKey::ForSubpath(setup_.path, 3, 4, IndexOrg::kNIX);
+  EXPECT_FALSE(mx == nix);
+  EXPECT_TRUE(mx < nix || nix < mx);
+}
+
+TEST_F(StructuralKeyTest, SubclassTypedSubpathsDiffer) {
+  // Bus.man and Vehicle.man navigate the same (inherited) attribute but are
+  // rooted at different classes: different physical indexes.
+  const Path vehicle_path =
+      Path::Create(setup_.schema, setup_.vehicle, {"man", "divs", "name"})
+          .value();
+  const Path bus_path =
+      Path::Create(setup_.schema, setup_.bus, {"man", "divs", "name"})
+          .value();
+  const StructuralKey vehicle_head =
+      StructuralKey::ForSubpath(vehicle_path, 1, 1, IndexOrg::kMIX);
+  const StructuralKey bus_head =
+      StructuralKey::ForSubpath(bus_path, 1, 1, IndexOrg::kMIX);
+  EXPECT_FALSE(vehicle_head == bus_head);
+  // Their shared tail is identical.
+  EXPECT_EQ(StructuralKey::ForSubpath(vehicle_path, 2, 3, IndexOrg::kMIX),
+            StructuralKey::ForSubpath(bus_path, 2, 3, IndexOrg::kMIX));
+}
+
+TEST_F(StructuralKeyTest, UsableAsOrderedMapKey) {
+  std::map<StructuralKey, int> counts;
+  for (const IndexOrg org : {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kMX}) {
+    ++counts[StructuralKey::ForSubpath(setup_.path, 1, 2, org)];
+  }
+  EXPECT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[StructuralKey::ForSubpath(setup_.path, 1, 2,
+                                             IndexOrg::kMX)],
+            2);
+}
+
+TEST_F(StructuralKeyTest, LabelRendersLikeThePathButIsNotIdentity) {
+  const StructuralKey key =
+      StructuralKey::ForSubpath(setup_.path, 3, 4, IndexOrg::kMX);
+  EXPECT_EQ(key.Label(setup_.schema), "Company.divs.name (MX)");
+}
+
+}  // namespace
+}  // namespace pathix

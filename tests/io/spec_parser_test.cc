@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "advisor/workload_advisor.h"
+
 namespace pathix {
 namespace {
 
@@ -90,6 +92,24 @@ TEST(SpecParserTest, NegativeLoadRejected) {
   EXPECT_FALSE(ParseAdvisorSpec(bad).ok());
 }
 
+TEST(SpecParserTest, NanAndInfValuesRejected) {
+  // std::stod parses "nan" and "inf"; the range checks must not let them
+  // through into the cost model (NaN poisons every comparison downstream).
+  EXPECT_FALSE(
+      ParseAdvisorSpec(
+          "class A 10 10 1\nattr A n string\npath A n\nload A nan 0 0\n")
+          .ok());
+  EXPECT_FALSE(ParseAdvisorSpec("page_size nan\nclass A 10 10 1\n"
+                                "attr A n string\npath A n\n")
+                   .ok());
+  EXPECT_FALSE(ParseWorkloadSpec("class A 10 10 1\nattr A n string\n"
+                                 "path A n\nload A 0.1 0 0\nbudget nan\n")
+                   .ok());
+  EXPECT_FALSE(ParseWorkloadSpec("class A 10 10 1\nattr A n string\n"
+                                 "path A n\nload A 0.1 0 0\nbudget inf\n")
+                   .ok());
+}
+
 TEST(SpecParserTest, BadOrgTokenRejected) {
   const char* bad =
       "class A 10 10 1\nattr A n string\npath A n\norgs HASH\n";
@@ -121,6 +141,123 @@ TEST(SpecParserTest, VehicleSpecFileMatchesExample51) {
           .value();
   EXPECT_EQ(rec.result.config.ToString(s.schema, s.path),
             "{(Person.owns.man, NIX), (Company.divs.name, MX)}");
+}
+
+TEST(SpecParserTest, DuplicateLoadRejectedWithLineNumber) {
+  const char* bad =
+      "class A 10 10 1\nattr A n string\npath A n\n"
+      "load A 0.5 0.1 0.1\nload A 0.2 0.1 0.1\n";
+  Result<AdvisorSpec> spec = ParseAdvisorSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 5"), std::string::npos);
+  EXPECT_NE(spec.status().message().find("duplicate load"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, DuplicateOrgsRejectedWithLineNumber) {
+  const char* bad =
+      "class A 10 10 1\nattr A n string\npath A n\n"
+      "orgs MX NIX\norgs MX\n";
+  Result<AdvisorSpec> spec = ParseAdvisorSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 5"), std::string::npos);
+  EXPECT_NE(spec.status().message().find("duplicate orgs"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, BudgetRejectedInSinglePathMode) {
+  const char* bad =
+      "class A 10 10 1\nattr A n string\npath A n\nbudget 1000\n";
+  Result<AdvisorSpec> spec = ParseAdvisorSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 4"), std::string::npos);
+}
+
+constexpr const char* kWorkloadSpec = R"(
+class A 1000 100 1
+class B 500 50 2
+class C 100 100 1
+ref A to_b B multi
+ref B to_c C
+attr C name string
+load C 0.1 0.1 0.1        # default: applies to every path
+path A to_b to_c name
+load A 0.5 0.1 0.1
+load B 0.2 0.1 0.1
+path B to_c name
+load B 0.3 0.2 0.1
+load C 0.4 0.1 0.1        # overrides the default for this path
+budget 123456
+)";
+
+TEST(SpecParserTest, ParsesAWorkloadSpec) {
+  Result<WorkloadSpec> spec = ParseWorkloadSpec(kWorkloadSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  WorkloadSpec& s = spec.value();
+  ASSERT_EQ(s.paths.size(), 2u);
+  EXPECT_EQ(s.paths[0].path.ToString(s.schema), "A.to_b.to_c.name");
+  EXPECT_EQ(s.paths[1].path.ToString(s.schema), "B.to_c.name");
+  EXPECT_TRUE(s.has_budget);
+  EXPECT_DOUBLE_EQ(s.joint_options.storage_budget_bytes, 123456);
+
+  const ClassId a = s.schema.FindClass("A");
+  const ClassId b = s.schema.FindClass("B");
+  const ClassId c = s.schema.FindClass("C");
+  // Per-path loads bind to the preceding path directive.
+  EXPECT_DOUBLE_EQ(s.paths[0].load.Get(a).query, 0.5);
+  EXPECT_DOUBLE_EQ(s.paths[1].load.Get(a).query, 0);
+  EXPECT_DOUBLE_EQ(s.paths[1].load.Get(b).query, 0.3);
+  // The default load before the first path reaches both paths, unless the
+  // path overrides it.
+  EXPECT_DOUBLE_EQ(s.paths[0].load.Get(c).query, 0.1);
+  EXPECT_DOUBLE_EQ(s.paths[1].load.Get(c).query, 0.4);
+}
+
+TEST(SpecParserTest, WorkloadAllowsLoadRedeclaredPerPath) {
+  // The same class may carry a load in each path section (and in the
+  // default section) — only a repeat within one section is an error.
+  Result<WorkloadSpec> spec = ParseWorkloadSpec(kWorkloadSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+}
+
+TEST(SpecParserTest, WorkloadDuplicateLoadInOneSectionRejected) {
+  std::string bad = kWorkloadSpec;
+  bad += "load B 0.9 0.9 0.9\nload B 0.1 0.1 0.1\n";
+  Result<WorkloadSpec> spec = ParseWorkloadSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("duplicate load"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, WorkloadDuplicateBudgetRejected) {
+  std::string bad = kWorkloadSpec;
+  bad += "budget 99\n";
+  Result<WorkloadSpec> spec = ParseWorkloadSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("duplicate budget"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, WorkloadWithoutPathsRejected) {
+  EXPECT_FALSE(ParseWorkloadSpec("class A 10 10 1\n").ok());
+}
+
+TEST(SpecParserTest, WorkloadSpecFileDrivesTheWorkloadAdvisor) {
+  Result<WorkloadSpec> spec =
+      ParseWorkloadSpecFile(std::string(PATHIX_SOURCE_DIR) +
+                            "/examples/specs/vehicle_workload.pix");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  WorkloadSpec& s = spec.value();
+  ASSERT_EQ(s.paths.size(), 3u);
+  ASSERT_TRUE(s.has_budget);
+  Result<WorkloadRecommendation> rec = AdviseWorkload(
+      s.schema, s.catalog, s.paths, s.options, s.joint_options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // The shipped budget binds and stays respected.
+  EXPECT_LE(rec.value().joint.total_storage_bytes,
+            s.joint_options.storage_budget_bytes + 1e-6);
+  EXPECT_LE(rec.value().total_cost_greedy,
+            rec.value().total_cost_independent + 1e-9);
 }
 
 TEST(SpecParserTest, DocumentStoreSpecFileParsesAndAdvises) {
