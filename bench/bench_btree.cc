@@ -7,6 +7,7 @@
 
 #include <random>
 
+#include "bench_json_gbench.h"
 #include "datagen/generator.h"
 #include "datagen/paper_schema.h"
 #include "exec/database.h"
@@ -128,4 +129,13 @@ BENCHMARK(BM_NIXMaintenanceInsert);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pathix_bench::BenchJson json("bench_btree");
+  pathix_bench::JsonLineReporter reporter(&json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.Write();
+  return 0;
+}

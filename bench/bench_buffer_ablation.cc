@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "datagen/generator.h"
 #include "datagen/paper_schema.h"
 #include "exec/database.h"
@@ -66,6 +67,9 @@ int main() {
   };
   const char* names[] = {"paper optimum (NIX+MX)", "whole-path NIX",
                          "whole-path MIX", "whole-path MX"};
+  const char* slugs[] = {"paper_optimum", "whole_nix", "whole_mix",
+                         "whole_mx"};
+  pathix_bench::BenchJson json("bench_buffer_ablation");
 
   std::printf("  %-24s %10s %10s %10s %10s\n", "configuration", "cold",
               "buf=16", "buf=128", "buf=1024");
@@ -83,10 +87,18 @@ int main() {
                      {setup.person, 10000, 0, 1.0},
                  });
     CheckOk(db.ConfigureIndexes(setup.path, configs[c]));
-    std::printf("  %-24s %10.2f %10.2f %10.2f %10.2f\n", names[c],
-                QueryMixCost(db, setup, 0), QueryMixCost(db, setup, 16),
-                QueryMixCost(db, setup, 128), QueryMixCost(db, setup, 1024));
+    const double cold = QueryMixCost(db, setup, 0);
+    const double buf16 = QueryMixCost(db, setup, 16);
+    const double buf128 = QueryMixCost(db, setup, 128);
+    const double buf1024 = QueryMixCost(db, setup, 1024);
+    std::printf("  %-24s %10.2f %10.2f %10.2f %10.2f\n", names[c], cold,
+                buf16, buf128, buf1024);
+    json.Add(std::string(slugs[c]) + "_cold", cold);
+    json.Add(std::string(slugs[c]) + "_buf16", buf16);
+    json.Add(std::string(slugs[c]) + "_buf128", buf128);
+    json.Add(std::string(slugs[c]) + "_buf1024", buf1024);
   }
+  json.Write();
   std::cout << "\n(the cold column is what the Section 3 model predicts; "
                "realistic buffers (16-128 pages)\n shrink constants but "
                "preserve the ordering the selection algorithm relies on; "

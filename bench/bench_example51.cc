@@ -14,6 +14,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/advisor.h"
 #include "datagen/paper_schema.h"
 
@@ -81,5 +82,14 @@ int main() {
                       "both conclusions hold\n             (whole-path "
                       "winner is a NIX/MIX near-tie; paper: NIX).\n"
                     : "\n[MISMATCH] Example 5.1 shape diverged!\n");
+
+  pathix_bench::BenchJson json("bench_example51");
+  json.Add("optimal_cost", rec.result.cost);
+  json.Add("whole_path_cost", rec.whole_path_cost);
+  json.Add("improvement_factor", rec.improvement_factor);
+  json.Add("configs_explored_bb", rec.result.evaluated);
+  json.Add("configs_explored_exhaustive", ex.result.evaluated);
+  json.Add("reproduced", same_config && shape_holds ? 1 : 0);
+  json.Write();
   return same_config && shape_holds ? 0 : 1;
 }

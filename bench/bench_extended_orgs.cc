@@ -7,6 +7,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/advisor.h"
 #include "datagen/paper_schema.h"
 
@@ -62,5 +63,13 @@ int main() {
   std::cout << "\nroot-read-only workload optimum      : "
             << root_rec.result.config.ToString(setup.schema, setup.path)
             << "  cost " << root_rec.result.cost << "\n";
+
+  pathix_bench::BenchJson json("bench_extended_orgs");
+  json.Add("base_optimal_cost", base.result.cost);
+  json.Add("extended_optimal_cost", rec.result.cost);
+  json.Add("root_read_optimal_cost", root_rec.result.cost);
+  json.Add("nix_whole_path_storage_bytes",
+           MakeOrgCostModel(IndexOrg::kNIX, ctx, 1, 4)->StorageBytes());
+  json.Write();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/optimizer.h"
 #include "datagen/paper_schema.h"
 
@@ -43,5 +44,13 @@ int main() {
                   ex.cost == bb.cost;
   std::cout << (ok ? "\n[REPRODUCED] Figure 6 walkthrough matches the paper.\n"
                    : "\n[MISMATCH] walkthrough diverged from the paper!\n");
+
+  pathix_bench::BenchJson json("bench_fig6_walkthrough");
+  json.Add("bb_cost", bb.cost);
+  json.Add("bb_evaluated", bb.evaluated);
+  json.Add("bb_pruned", bb.pruned);
+  json.Add("exhaustive_evaluated", ex.evaluated);
+  json.Add("reproduced", ok ? 1 : 0);
+  json.Write();
   return ok ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/advisor.h"
 #include "datagen/paper_schema.h"
 
@@ -56,5 +57,14 @@ int main() {
               << c.prefix << " / " << c.maintain << " / " << c.boundary
               << "  = " << c.total() << "\n";
   }
+
+  pathix_bench::BenchJson json("bench_fig8_cost_matrix");
+  const Subpath whole{1, ctx.n()};
+  json.Add("rows", static_cast<int>(matrix.subpaths().size()));
+  json.Add("whole_path_min_cost", matrix.MinCost(whole));
+  json.Add("whole_path_min_org", ToString(matrix.MinOrg(whole)));
+  json.Add("s12_min_cost", matrix.MinCost(Subpath{1, 2}));
+  json.Add("s34_min_cost", matrix.MinCost(Subpath{3, 4}));
+  json.Write();
   return 0;
 }

@@ -1,0 +1,89 @@
+#pragma once
+
+// Machine-readable benchmark output: every bench_* binary, next to its
+// human-readable table, appends key metrics to a BenchJson and writes one
+// JSON object as a single line to BENCH_<name>.json in the working
+// directory. CI and scripts can then track the perf trajectory across PRs
+// without scraping stdout.
+//
+// Deliberately tiny: flat string/number fields, no nesting, no external
+// dependency. Non-finite numbers become null (JSON has no inf/nan).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pathix_bench {
+
+class BenchJson {
+ public:
+  /// \p name names the benchmark binary, e.g. "bench_online".
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    Add("bench", name_);
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + Escape(key) + "\":\"" + Escape(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      fields_.push_back("\"" + Escape(key) + "\":null");
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    fields_.push_back("\"" + Escape(key) + "\":" + buf);
+  }
+  void Add(const std::string& key, long value) {
+    Add(key, static_cast<double>(value));
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<double>(value));
+  }
+  void Add(const std::string& key, unsigned long value) {
+    Add(key, static_cast<double>(value));
+  }
+
+  /// Writes "BENCH_<name>.json" (one line). Prints the location, or a
+  /// warning on failure; benchmarks still succeed without the file.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "(could not write %s)\n", path.c_str());
+      return;
+    }
+    std::fputc('{', f);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) std::fputc(',', f);
+      std::fputs(fields_[i].c_str(), f);
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("(metrics: %s)\n", path.c_str());
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // control characters never appear in our keys
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::string> fields_;
+};
+
+}  // namespace pathix_bench

@@ -1,0 +1,31 @@
+#pragma once
+
+// Google-Benchmark adapter for bench_json.h: console output as usual, plus
+// every run's adjusted real time captured into the BENCH_<name>.json
+// metrics line. Only benches that already depend on Google Benchmark may
+// include this header (the build skips those when the library is absent).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+namespace pathix_bench {
+
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLineReporter(BenchJson* json) : json_(json) {}
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      json_->Add(run.benchmark_name() + "_real_ns", run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJson* json_;
+};
+
+}  // namespace pathix_bench

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <random>
 
+#include "bench_json_gbench.h"
 #include "core/optimizer.h"
 
 namespace {
@@ -31,7 +32,7 @@ CostMatrix RandomMatrix(int n, std::uint32_t seed) {
       n, {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX}, std::move(values));
 }
 
-void PrintScalingTable() {
+void PrintScalingTable(pathix_bench::BenchJson* json) {
   std::cout << "=== Opt_Ind_Con scaling: explored configurations "
                "(mean over 20 random matrices) ===\n\n"
             << "  n   matrix rows   exhaustive 2^(n-1)   branch&bound   "
@@ -52,6 +53,8 @@ void PrintScalingTable() {
     std::printf("  %-3d %-13d %-20.0f %-14.1f %-11.1f %.0f\n", n,
                 NumSubpaths(n), std::pow(2.0, n - 1), bb_eval / trials,
                 bb_pruned / trials, dp_cells / trials);
+    json->Add("n" + std::to_string(n) + "_bb_evaluated", bb_eval / trials);
+    json->Add("n" + std::to_string(n) + "_dp_cells", dp_cells / trials);
   }
   std::cout << "\n(the paper: \"in practice a path has rarely a length "
                "greater than 7\"; the matrix itself\n is the dominant cost, "
@@ -85,8 +88,13 @@ BENCHMARK(BM_DP)->DenseRange(4, 16, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintScalingTable();
+  pathix_bench::BenchJson json("bench_scaling");
+  PrintScalingTable(&json);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  pathix_bench::JsonLineReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.Write();
   return 0;
 }

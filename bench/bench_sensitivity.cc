@@ -10,6 +10,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/advisor.h"
 #include "datagen/paper_schema.h"
 
@@ -17,7 +18,7 @@ namespace {
 
 using namespace pathix;
 
-void SweepUpdateIntensity() {
+void SweepUpdateIntensity(pathix_bench::BenchJson* json) {
   std::cout << "=== Sweep A: update intensity (scales every beta/gamma of "
                "Figure 7 by f; queries fixed) ===\n\n"
             << "  f      whole-path winner   whole cost   optimal cost   "
@@ -38,13 +39,16 @@ void SweepUpdateIntensity() {
                 ToString(rec.whole_path_org), rec.whole_path_cost,
                 rec.result.cost, rec.improvement_factor,
                 rec.result.config.ToString(setup.schema, setup.path).c_str());
+    char key[48];
+    std::snprintf(key, sizeof key, "update_f%.2f_optimal_cost", f);
+    json->Add(key, rec.result.cost);
   }
   std::cout << "\n(query-only favours one whole-path NIX; growing update "
                "shares push the optimum towards\n configurations that keep "
                "volatile classes in cheap-to-maintain MX/MIX subpaths)\n\n";
 }
 
-void SweepQueryClass() {
+void SweepQueryClass(pathix_bench::BenchJson* json) {
   std::cout << "=== Sweep B: where the query mass sits (all queries on one "
                "class; Figure 7 updates) ===\n\n"
             << "  query class   whole winner   optimal cost   factor   "
@@ -73,13 +77,15 @@ void SweepQueryClass() {
                 ToString(rec.whole_path_org), rec.result.cost,
                 rec.improvement_factor,
                 rec.result.config.ToString(setup.schema, setup.path).c_str());
+    json->Add(std::string("query_on_") + name + "_optimal_cost",
+              rec.result.cost);
   }
   std::cout << "\n(deep query classes benefit from long NIX prefixes; "
                "query mass near the ending attribute\n makes short tail "
                "indexes sufficient)\n\n";
 }
 
-void SweepFanOut() {
+void SweepFanOut(pathix_bench::BenchJson* json) {
   std::cout << "=== Sweep C: Company.divs fan-out (nin of Company; Figure 7 "
                "load) ===\n\n"
             << "  nin    whole winner   whole cost   optimal cost   factor   "
@@ -97,6 +103,9 @@ void SweepFanOut() {
                 ToString(rec.whole_path_org), rec.whole_path_cost,
                 rec.result.cost, rec.improvement_factor,
                 rec.result.config.ToString(setup.schema, setup.path).c_str());
+    char key[48];
+    std::snprintf(key, sizeof key, "fanout_nin%.0f_optimal_cost", nin);
+    json->Add(key, rec.result.cost);
   }
   std::cout << "\n=== Sweep D: page size (physical parameter of §4.6) ===\n\n"
             << "  page    whole winner   whole cost   optimal cost   factor   "
@@ -112,6 +121,9 @@ void SweepFanOut() {
                 ToString(rec.whole_path_org), rec.whole_path_cost,
                 rec.result.cost, rec.improvement_factor,
                 rec.result.config.ToString(setup.schema, setup.path).c_str());
+    char key[48];
+    std::snprintf(key, sizeof key, "page%.0f_optimal_cost", page);
+    json->Add(key, rec.result.cost);
   }
   std::cout << "\n(the split point after `man` is stable across physical "
                "parameters; organization choices\n on the short tail are "
@@ -121,8 +133,10 @@ void SweepFanOut() {
 }  // namespace
 
 int main() {
-  SweepUpdateIntensity();
-  SweepQueryClass();
-  SweepFanOut();
+  pathix_bench::BenchJson json("bench_sensitivity");
+  SweepUpdateIntensity(&json);
+  SweepQueryClass(&json);
+  SweepFanOut(&json);
+  json.Write();
   return 0;
 }

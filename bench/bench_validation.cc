@@ -11,11 +11,13 @@
 // land within a small constant factor, and — decisive for the selection
 // algorithm — the *ranking* of organizations per operation should match.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <random>
 #include <vector>
 
+#include "bench_json.h"
 #include "costmodel/org_model.h"
 #include "datagen/generator.h"
 #include "datagen/paper_schema.h"
@@ -99,7 +101,7 @@ double MeasureDeletes(Bench& b, std::vector<Oid>* victims, int reps) {
   return done > 0 ? total / done : 0;
 }
 
-void RunOrg(IndexOrg org) {
+void RunOrg(IndexOrg org, pathix_bench::BenchJson* json) {
   Bench b;
   CheckOk(b.db.ConfigureIndexes(
       b.setup.path, IndexConfiguration({{Subpath{1, 4}, org}})));
@@ -140,15 +142,23 @@ void RunOrg(IndexOrg org) {
   std::printf("--- %s (whole path) ---\n", ToString(org));
   std::printf("  %-24s %10s %10s %8s\n", "operation", "model", "measured",
               "ratio");
+  double worst_ratio = 1;
   for (const Row& row : rows) {
     const double ratio = row.measured > 0 ? row.model / row.measured : 0;
     std::printf("  %-24s %10.2f %10.2f %8.2f\n", row.op, row.model,
                 row.measured, ratio);
+    if (ratio > 0) {
+      worst_ratio = std::max(worst_ratio, std::max(ratio, 1 / ratio));
+    }
   }
   std::printf("\n");
+  const std::string prefix = ToString(org);
+  json->Add(prefix + "_query_person_model", rows[0].model);
+  json->Add(prefix + "_query_person_measured", rows[0].measured);
+  json->Add(prefix + "_worst_model_vs_measured_factor", worst_ratio);
 }
 
-void RankingCheck() {
+void RankingCheck(pathix_bench::BenchJson* json) {
   // The model's raison d'etre: does it rank organizations like the
   // simulator does, per operation class?
   double q_measured[3];
@@ -176,6 +186,7 @@ void RankingCheck() {
       q_measured[2] < q_measured[0] && q_measured[2] < q_measured[1];
   std::printf("  NIX cheapest for deep queries: model=%s simulator=%s\n\n",
               model_nix_wins ? "yes" : "no", sim_nix_wins ? "yes" : "no");
+  json->Add("ranking_agrees", model_nix_wins == sim_nix_wins ? 1 : 0);
 }
 
 }  // namespace
@@ -184,9 +195,11 @@ int main() {
   std::cout << "=== Cost-model validation against the page-level simulator "
                "===\n(1/10-scale Figure 7 database: 22,100 objects; "
                "statistics collected from the store)\n\n";
-  RunOrg(IndexOrg::kMX);
-  RunOrg(IndexOrg::kMIX);
-  RunOrg(IndexOrg::kNIX);
-  RankingCheck();
+  pathix_bench::BenchJson json("bench_validation");
+  RunOrg(IndexOrg::kMX, &json);
+  RunOrg(IndexOrg::kMIX, &json);
+  RunOrg(IndexOrg::kNIX, &json);
+  RankingCheck(&json);
+  json.Write();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "advisor/workload_advisor.h"
+#include "bench_json.h"
 
 namespace {
 
@@ -90,7 +91,7 @@ Timed RunJoint(const CandidatePool& pool, JointOptions::Algorithm algo) {
   return timed;
 }
 
-void SweepPathCount() {
+void SweepPathCount(pathix_bench::BenchJson* json) {
   std::printf(
       "=== path-count sweep: k suffix paths of one depth-4 chain ===\n\n"
       "  k   independent   greedy      joint       joint/greedy   "
@@ -102,6 +103,13 @@ void SweepPathCount() {
     const WorkloadRecommendation rec =
         AdviseWorkload(setup.schema, setup.catalog, paths).value();
     const Timed bb = RunJoint(rec.pool, JointOptions::Algorithm::kBranchAndBound);
+    json->Add("paths" + std::to_string(k) + "_joint_cost",
+              bb.result.total_cost);
+    json->Add("paths" + std::to_string(k) + "_greedy_cost",
+              rec.total_cost_greedy);
+    json->Add("paths" + std::to_string(k) + "_bb_ms", bb.millis);
+    json->Add("paths" + std::to_string(k) + "_bb_nodes",
+              bb.result.nodes_explored);
     // Exhaustive enumeration visits the full product of per-path
     // configuration counts; past 2 fully-overlapping paths it stops being a
     // benchmark and becomes a heat source.
@@ -131,7 +139,7 @@ void SweepPathCount() {
   std::printf("\n");
 }
 
-void SweepOverlap() {
+void SweepOverlap(pathix_bench::BenchJson* json) {
   std::printf(
       "=== overlap sweep: 3 depth-3 paths sharing a tail of t levels ===\n\n"
       "  t   candidates   shared   independent   greedy      joint       "
@@ -228,6 +236,10 @@ void SweepOverlap() {
     for (const CandidateEntry& e : rec.pool.entries()) {
       if (e.shareable) ++shared;
     }
+    json->Add("tail" + std::to_string(tail) + "_joint_cost",
+              rec.total_cost_joint);
+    json->Add("tail" + std::to_string(tail) + "_greedy_cost",
+              rec.total_cost_greedy);
     std::printf("  %-3d %-12zu %-8d %-13.4g %-11.4g %-11.4g %.4f\n", tail,
                 rec.pool.entries().size(), shared,
                 rec.total_cost_independent, rec.total_cost_greedy,
@@ -242,11 +254,13 @@ void SweepOverlap() {
 }  // namespace
 
 int main() {
-  SweepPathCount();
-  SweepOverlap();
+  pathix_bench::BenchJson json("bench_workload_joint");
+  SweepPathCount(&json);
+  SweepOverlap(&json);
   std::printf(
       "(joint <= greedy <= independent by construction; the joint "
       "optimizer's edge\n grows with overlap, since the greedy merge only "
       "shares indexes the per-path\n optima happen to agree on)\n");
+  json.Write();
   return 0;
 }

@@ -1,0 +1,64 @@
+#include "core/matrix_cache.h"
+
+namespace pathix {
+
+std::vector<double> CostMatrixBuilder::Fingerprint(const PathContext& ctx) {
+  std::vector<double> fp;
+  const PhysicalParams& p = ctx.params();
+  fp.insert(fp.end(),
+            {static_cast<double>(ctx.n()), p.page_size, p.oid_len, p.ptr_len,
+             p.key_len, p.rec_overhead, p.dir_entry_len, p.numchild_len,
+             p.pr_override, p.pm_override, ctx.profile().matching_keys});
+  for (int l = 1; l <= ctx.n(); ++l) {
+    fp.push_back(ctx.KeyLenAt(l));
+    fp.push_back(ctx.DistinctKeysLevel(l));
+    const auto& level = ctx.level(l);
+    fp.push_back(static_cast<double>(level.size()));
+    for (const LevelClassInfo& c : level) {
+      fp.insert(fp.end(), {static_cast<double>(c.cls), c.stats.n, c.stats.d,
+                           c.stats.nin, c.stats.obj_len});
+    }
+  }
+  return fp;
+}
+
+CostMatrix CostMatrixBuilder::Build(const PathContext& ctx) {
+  std::vector<double> fp = Fingerprint(ctx);
+  const std::vector<Subpath> subpaths = EnumerateSubpaths(ctx.n());
+  if (fp != fingerprint_) {  // never empty, so the first call always misses
+    ++model_rebuilds_;
+    unit_.clear();
+    unit_.reserve(subpaths.size());
+    labels_.clear();
+    labels_.reserve(subpaths.size());
+    for (const Subpath& sp : subpaths) {
+      std::vector<SubpathUnitCosts> row;
+      row.reserve(orgs_.size());
+      for (IndexOrg org : orgs_) {
+        row.push_back(ComputeSubpathUnitCosts(ctx, sp.start, sp.end, org));
+      }
+      unit_.push_back(std::move(row));
+      labels_.push_back(
+          ctx.path().SubpathBetween(sp.start, sp.end).ToString(ctx.schema()));
+    }
+    fingerprint_ = std::move(fp);
+  } else {
+    ++cache_hits_;
+  }
+
+  std::vector<std::vector<double>> values;
+  values.reserve(subpaths.size());
+  for (std::size_t row = 0; row < subpaths.size(); ++row) {
+    const Subpath& sp = subpaths[row];
+    std::vector<double> cells;
+    cells.reserve(orgs_.size());
+    for (std::size_t col = 0; col < orgs_.size(); ++col) {
+      cells.push_back(
+          WeighSubpathCost(unit_[row][col], ctx, sp.start, sp.end).total());
+    }
+    values.push_back(std::move(cells));
+  }
+  return CostMatrix::FromValues(ctx.n(), orgs_, std::move(values), labels_);
+}
+
+}  // namespace pathix

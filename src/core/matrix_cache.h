@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost_matrix.h"
+
+/// \file matrix_cache.h
+/// \brief Memoized Cost_Matrix construction (ROADMAP open item).
+///
+/// CostMatrix::Build evaluates the analytic organization models for all
+/// n(n+1)/2 subpaths x |orgs| columns — O(n^2) model constructions per call.
+/// The models depend only on the catalog statistics, physical parameters and
+/// path structure; the load distribution enters each cell as linear weights
+/// (see SubpathUnitCosts). The online selector rebuilds the matrix on every
+/// drift check with *identical* statistics and *different* load estimates,
+/// so CostMatrixBuilder caches the unit costs keyed by a statistics
+/// fingerprint and reweighs them per call: a cache hit costs O(n^2 * |orgs|
+/// * classes) multiply-adds and zero model evaluations.
+
+namespace pathix {
+
+/// \brief Builds CostMatrix instances, reusing unit costs across calls with
+/// unchanged statistics.
+///
+/// Matrices produced by Build() are bit-identical to CostMatrix::Build(ctx,
+/// orgs) on the same context (tests/core/matrix_cache_test.cc); only the
+/// work to produce them differs.
+class CostMatrixBuilder {
+ public:
+  explicit CostMatrixBuilder(std::vector<IndexOrg> orgs = {IndexOrg::kMX,
+                                                           IndexOrg::kMIX,
+                                                           IndexOrg::kNIX})
+      : orgs_(std::move(orgs)) {}
+
+  /// As CostMatrix::Build(ctx, orgs): evaluates the models if \p ctx has
+  /// different statistics/structure than the previous call (a "model
+  /// rebuild"), otherwise only reweighs the cached unit costs.
+  CostMatrix Build(const PathContext& ctx);
+
+  const std::vector<IndexOrg>& orgs() const { return orgs_; }
+
+  /// Calls that had to (re)evaluate the organization models.
+  std::uint64_t model_rebuilds() const { return model_rebuilds_; }
+  /// Calls served entirely from cached unit costs.
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+  /// Drops the cache (the next Build() re-evaluates the models).
+  void Invalidate() { fingerprint_.clear(); }
+
+ private:
+  /// Everything the unit costs depend on, flattened: path structure, class
+  /// statistics, physical parameters, query profile — NOT the loads.
+  static std::vector<double> Fingerprint(const PathContext& ctx);
+
+  std::vector<IndexOrg> orgs_;
+  std::vector<double> fingerprint_;  ///< empty = no cached unit costs
+  std::vector<std::vector<SubpathUnitCosts>> unit_;  ///< [row][org column]
+  std::vector<std::string> labels_;  ///< rendered row labels, same lifetime
+  std::uint64_t model_rebuilds_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace pathix

@@ -2,20 +2,44 @@
 
 namespace pathix {
 
-SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
-                               IndexOrg org) {
+SubpathUnitCosts ComputeSubpathUnitCosts(const PathContext& ctx, int a, int b,
+                                         IndexOrg org) {
   const std::unique_ptr<OrgCostModel> model = MakeOrgCostModel(org, ctx, a, b);
+  SubpathUnitCosts unit;
+
+  for (int l = a; l <= b; ++l) {
+    const auto& level = ctx.level(l);
+    std::vector<double> query, insert, del;
+    query.reserve(level.size());
+    insert.reserve(level.size());
+    del.reserve(level.size());
+    for (int j = 0; j < static_cast<int>(level.size()); ++j) {
+      query.push_back(model->QueryCost(l, j));
+      insert.push_back(model->InsertCost(l, j));
+      del.push_back(model->DeleteCost(l, j));
+    }
+    unit.query.push_back(std::move(query));
+    unit.insert.push_back(std::move(insert));
+    unit.del.push_back(std::move(del));
+  }
+
+  if (a > 1) unit.prefix_query = model->QueryCostHierarchy(a);
+  if (b < ctx.n()) unit.boundary = model->BoundaryDeleteCost();
+  return unit;
+}
+
+SubpathCost WeighSubpathCost(const SubpathUnitCosts& unit,
+                             const PathContext& ctx, int a, int b) {
   SubpathCost cost;
 
   for (int l = a; l <= b; ++l) {
     const auto& level = ctx.level(l);
-    for (int j = 0; j < static_cast<int>(level.size()); ++j) {
+    const std::size_t row = static_cast<std::size_t>(l - a);
+    for (std::size_t j = 0; j < level.size(); ++j) {
       const OpLoad& load = level[j].load;
-      if (load.query > 0) cost.query += load.query * model->QueryCost(l, j);
-      if (load.insert > 0) {
-        cost.maintain += load.insert * model->InsertCost(l, j);
-      }
-      if (load.del > 0) cost.maintain += load.del * model->DeleteCost(l, j);
+      if (load.query > 0) cost.query += load.query * unit.query[row][j];
+      if (load.insert > 0) cost.maintain += load.insert * unit.insert[row][j];
+      if (load.del > 0) cost.maintain += load.del * unit.del[row][j];
     }
   }
 
@@ -23,9 +47,7 @@ SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
   // with respect to its root hierarchy (derived load, Section 3.2).
   if (a > 1) {
     const double prefix_alpha = ctx.PrefixAlpha(a);
-    if (prefix_alpha > 0) {
-      cost.prefix = prefix_alpha * model->QueryCostHierarchy(a);
-    }
+    if (prefix_alpha > 0) cost.prefix = prefix_alpha * unit.prefix_query;
   }
 
   // Deletions of objects of the next subpath's root hierarchy remove their
@@ -33,11 +55,14 @@ SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
   if (b < ctx.n()) {
     double gamma_next = 0;
     for (const LevelClassInfo& c : ctx.level(b + 1)) gamma_next += c.load.del;
-    if (gamma_next > 0) {
-      cost.boundary = gamma_next * model->BoundaryDeleteCost();
-    }
+    if (gamma_next > 0) cost.boundary = gamma_next * unit.boundary;
   }
   return cost;
+}
+
+SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
+                               IndexOrg org) {
+  return WeighSubpathCost(ComputeSubpathUnitCosts(ctx, a, b, org), ctx, a, b);
 }
 
 }  // namespace pathix

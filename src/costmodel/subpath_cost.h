@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "costmodel/org_model.h"
 
 /// \file subpath_cost.h
@@ -18,6 +20,37 @@ struct SubpathCost {
 
   double total() const { return query + prefix + maintain + boundary; }
 };
+
+/// \brief The load-independent unit costs of one (subpath, organization)
+/// pair: every per-class model evaluation ComputeSubpathCost weighs with the
+/// workload frequencies.
+///
+/// The organization models of Section 3.1 depend only on the catalog
+/// statistics and physical parameters, never on the load distribution —
+/// the workload enters the processing cost purely as linear weights. Unit
+/// costs can therefore be computed once and reweighed for every drifting
+/// load estimate (the online selector's hot loop; see
+/// core/matrix_cache.h).
+struct SubpathUnitCosts {
+  /// Per level l in [a, b] (outer index l - a) and hierarchy position j:
+  /// CR_X(C_{l,j}), CMins_X(C_{l,j}), CMdel_X(C_{l,j}).
+  std::vector<std::vector<double>> query;
+  std::vector<std::vector<double>> insert;
+  std::vector<std::vector<double>> del;
+  double prefix_query = 0;  ///< CR+_X(C_a): unit cost of upstream queries
+  double boundary = 0;      ///< CMD_X(A_b): unit cost of a C_{b+1} deletion
+};
+
+/// Evaluates the organization model for every class of the subpath [a, b]
+/// (including zero-load classes, unlike ComputeSubpathCost's lazy loop).
+SubpathUnitCosts ComputeSubpathUnitCosts(const PathContext& ctx, int a, int b,
+                                         IndexOrg org);
+
+/// Weighs precomputed unit costs with the context's load distribution.
+/// Classes with zero frequency contribute nothing, whatever their unit cost
+/// (degenerate statistics can make an unloaded class's unit cost non-finite).
+SubpathCost WeighSubpathCost(const SubpathUnitCosts& unit,
+                             const PathContext& ctx, int a, int b);
 
 /// \brief Computes the processing cost of indexing the subpath [a, b] of the
 /// context's path with organization \p org (DESIGN.md §4.5):

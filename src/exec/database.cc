@@ -12,6 +12,7 @@ Oid SimDatabase::Insert(ClassId cls, AttrValues attrs) {
   if (physical_.has_value()) {
     physical_->OnInsert(*store_.Peek(oid));
   }
+  Notify(DbOpKind::kInsert, cls);
   return oid;
 }
 
@@ -20,11 +21,14 @@ Status SimDatabase::Delete(Oid oid) {
   if (obj == nullptr) {
     return Status::NotFound("object " + std::to_string(oid));
   }
+  const ClassId cls = obj->cls;
   // Index maintenance first: it needs the pre-deletion image.
   if (physical_.has_value()) {
     physical_->OnDelete(*obj);
   }
-  return store_.Delete(oid);
+  const Status status = store_.Delete(oid);
+  if (status.ok()) Notify(DbOpKind::kDelete, cls);
+  return status;
 }
 
 Status SimDatabase::ConfigureIndexes(const Path& path,
@@ -44,13 +48,30 @@ Status SimDatabase::ConfigureIndexes(const Path& path,
   return Status::OK();
 }
 
+Status SimDatabase::ReconfigureIndexes(IndexConfiguration config) {
+  if (!path_.has_value()) {
+    return Status::FailedPrecondition(
+        "no path configured (use ConfigureIndexes for the initial "
+        "configuration)");
+  }
+  Result<PhysicalConfiguration> phys = PhysicalConfiguration::CreateReusing(
+      &pager_, schema_, *path_, std::move(config),
+      physical_.has_value() ? &*physical_ : nullptr, store_);
+  if (!phys.ok()) return phys.status();
+  physical_.emplace(std::move(phys).value());
+  return Status::OK();
+}
+
 Result<std::vector<Oid>> SimDatabase::Query(const Key& ending_value,
                                             ClassId target_class,
                                             bool include_subclasses) {
   if (!physical_.has_value()) {
     return Status::FailedPrecondition("no index configuration installed");
   }
-  return physical_->Evaluate(ending_value, target_class, include_subclasses);
+  std::vector<Oid> oids =
+      physical_->Evaluate(ending_value, target_class, include_subclasses);
+  Notify(DbOpKind::kQuery, target_class);
+  return oids;
 }
 
 Result<std::vector<Oid>> SimDatabase::QueryNaive(const Key& ending_value,
@@ -61,8 +82,10 @@ Result<std::vector<Oid>> SimDatabase::QueryNaive(const Key& ending_value,
         "no path configured (naive evaluation follows the configured path)");
   }
   NaiveEvaluator eval(&store_, &schema_, &*path_);
-  return eval.Evaluate(ending_value, target_class, include_subclasses,
-                       &pager_);
+  Result<std::vector<Oid>> oids = eval.Evaluate(ending_value, target_class,
+                                                include_subclasses, &pager_);
+  if (oids.ok()) Notify(DbOpKind::kQuery, target_class);
+  return oids;
 }
 
 Status SimDatabase::ValidateIndexes() const {

@@ -14,6 +14,29 @@
 
 namespace pathix {
 
+/// Kind of a counted database operation, as seen by a DbOpObserver.
+enum class DbOpKind { kQuery, kInsert, kDelete };
+
+/// \brief Observer of the database's operation stream (the hook the online
+/// index-selection subsystem estimates the live load distribution from).
+///
+/// Events fire as the *last* action of Insert/Delete/Query (after the store
+/// and every configured index have been updated and the result has been
+/// materialized), so an observer may reconfigure the database's indexes —
+/// including from within its own callback — without invalidating the
+/// operation in flight. Observer work is expected to be uncounted (catalog
+/// reads, index rebuilds); it does not pollute the pager's access stats
+/// beyond what its own actions explicitly charge.
+class DbOpObserver {
+ public:
+  virtual ~DbOpObserver() = default;
+
+  /// \p cls is the inserted/deleted object's class, or the query's target
+  /// class. Queries report both indexed and naive evaluations; failed
+  /// operations (unknown oid, no configuration) are not reported.
+  virtual void OnOperation(DbOpKind kind, ClassId cls) = 0;
+};
+
 class SimDatabase {
  public:
   SimDatabase(Schema schema, PhysicalParams params)
@@ -27,7 +50,9 @@ class SimDatabase {
 
   const Schema& schema() const { return schema_; }
   Pager& pager() { return pager_; }
+  const Pager& pager() const { return pager_; }
   ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
 
   // ------------------------------------------------------------- updates
 
@@ -45,8 +70,29 @@ class SimDatabase {
   /// store contents (uncounted). Replaces any previous configuration.
   Status ConfigureIndexes(const Path& path, IndexConfiguration config);
 
+  /// Switches the index layout on the already-configured path without
+  /// touching parts that are identical in both configurations (same subpath
+  /// range and organization): those keep their physical structures; only
+  /// genuinely new parts are built from the store (uncounted, like
+  /// ConfigureIndexes — the transition's page price is modeled by
+  /// online/transition_cost.h). FailedPrecondition if no path is configured.
+  Status ReconfigureIndexes(IndexConfiguration config);
+
+  /// Binds \p path for naive evaluation (and later ReconfigureIndexes)
+  /// without building any indexes — the online subsystem's cold start.
+  /// Drops any installed configuration.
+  void SetQueryPath(const Path& path) {
+    path_ = path;
+    physical_.reset();
+  }
+
   bool has_indexes() const { return physical_.has_value(); }
   const PhysicalConfiguration& physical() const { return *physical_; }
+
+  /// Registers \p observer for the operation stream (nullptr detaches).
+  /// At most one observer; the caller keeps ownership and must detach (or
+  /// outlive the database) before the observer dies.
+  void SetObserver(DbOpObserver* observer) { observer_ = observer; }
 
   // -------------------------------------------------------------- queries
 
@@ -71,11 +117,16 @@ class SimDatabase {
   Status ValidateIndexesDeep() const;
 
  private:
+  void Notify(DbOpKind kind, ClassId cls) {
+    if (observer_ != nullptr) observer_->OnOperation(kind, cls);
+  }
+
   Schema schema_;
   Pager pager_;
   ObjectStore store_;
   std::optional<Path> path_;
   std::optional<PhysicalConfiguration> physical_;
+  DbOpObserver* observer_ = nullptr;
 };
 
 }  // namespace pathix

@@ -43,6 +43,36 @@ Result<PhysicalConfiguration> PhysicalConfiguration::Create(
   return out;
 }
 
+Result<PhysicalConfiguration> PhysicalConfiguration::CreateReusing(
+    Pager* pager, const Schema& schema, const Path& path,
+    IndexConfiguration config, PhysicalConfiguration* previous,
+    const ObjectStore& store) {
+  Result<PhysicalConfiguration> created =
+      Create(pager, schema, path, std::move(config));
+  if (!created.ok()) return created.status();
+  PhysicalConfiguration out = std::move(created).value();
+  for (std::size_t i = 0; i < out.indexes_.size(); ++i) {
+    const IndexedSubpath& part = out.config_.parts()[i];
+    std::unique_ptr<SubpathIndex>* reusable = nullptr;
+    if (previous != nullptr) {
+      for (std::size_t j = 0; j < previous->indexes_.size(); ++j) {
+        std::unique_ptr<SubpathIndex>& prev = previous->indexes_[j];
+        if (prev != nullptr && prev->range() == part.subpath &&
+            prev->org() == part.org) {
+          reusable = &prev;
+          break;
+        }
+      }
+    }
+    if (reusable != nullptr) {
+      out.indexes_[i] = std::move(*reusable);
+    } else {
+      out.indexes_[i]->Build(store);
+    }
+  }
+  return out;
+}
+
 void PhysicalConfiguration::Build(const ObjectStore& store) {
   for (const auto& index : indexes_) index->Build(store);
 }

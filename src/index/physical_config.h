@@ -22,6 +22,18 @@ class PhysicalConfiguration {
                                               const Path& path,
                                               IndexConfiguration config);
 
+  /// Builds the configuration *ready to use*: parts that exist identically
+  /// in \p previous (same subpath range and organization) adopt its physical
+  /// structures instead of being rebuilt; the remaining parts are built from
+  /// \p store (uncounted). \p previous may be nullptr (everything is fresh);
+  /// adoption leaves it in a moved-from state (destroy it, don't use it),
+  /// and \p path must be the path \p previous was created on. Do not call
+  /// Build() afterwards.
+  static Result<PhysicalConfiguration> CreateReusing(
+      Pager* pager, const Schema& schema, const Path& path,
+      IndexConfiguration config, PhysicalConfiguration* previous,
+      const ObjectStore& store);
+
   /// Populates every index from the store (uncounted).
   void Build(const ObjectStore& store);
 

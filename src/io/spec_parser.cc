@@ -1,5 +1,6 @@
 #include "io/spec_parser.h"
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
 #include <set>
@@ -43,12 +44,22 @@ struct PendingPath {
   std::set<ClassId> loaded_classes;  // duplicate detection
 };
 
-/// Shared parser for both spec flavors; \p workload_mode permits multiple
-/// paths, per-path load sections and the budget directive.
-Result<WorkloadSpec> ParseSpecImpl(const std::string& text,
-                                   bool workload_mode) {
+/// Which spec flavor is being parsed (gates the flavor-specific directives).
+enum class SpecMode { kSinglePath, kWorkload, kTrace };
+
+/// Shared parser for all three spec flavors. kWorkload permits multiple
+/// paths, per-path load sections and the budget directive; kTrace permits
+/// the populate/trace_seed/phase/mix section, collected into \p trace_out
+/// (non-null exactly in trace mode).
+Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
+                                   TraceSpec* trace_out) {
+  const bool workload_mode = mode == SpecMode::kWorkload;
   WorkloadSpec spec;
   std::vector<PendingPath> pending;
+  std::set<ClassId> populated;      // trace: duplicate populate detection
+  std::set<ClassId> mixed_classes;  // trace: per-phase duplicate mix lines
+  bool phase_has_weight = false;    // trace: current phase has a weight > 0
+  bool have_seed = false;
   LoadDistribution default_load;       // loads before the first path
   std::set<ClassId> default_loaded;    // duplicate detection
   bool have_orgs = false;
@@ -194,6 +205,86 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text,
         return LineError(line_no, "matching_keys expects a number >= 1");
       }
       spec.options.query_profile.matching_keys = v;
+    } else if (cmd == "populate" && trace_out != nullptr) {
+      // populate CLASS COUNT [DISTINCT [NIN]]
+      if (tok.size() < 3 || tok.size() > 5) {
+        return LineError(line_no, "populate CLASS COUNT [DISTINCT [NIN]]");
+      }
+      TracePopulate p;
+      p.cls = spec.schema.FindClass(tok[1]);
+      if (p.cls == kInvalidClass) {
+        return LineError(line_no, "unknown class '" + tok[1] + "'");
+      }
+      if (!populated.insert(p.cls).second) {
+        return LineError(line_no, "duplicate populate for '" + tok[1] + "'");
+      }
+      // Upper bounds keep the int/uint casts below defined for any input.
+      double count, distinct = 0, nin = 1;
+      if (!ParseDouble(tok[2], &count) || !(count >= 0) || count > 1e9) {
+        return LineError(line_no, "populate count must be in [0, 1e9]");
+      }
+      if (tok.size() > 3 && (!ParseDouble(tok[3], &distinct) ||
+                             !(distinct >= 0) || distinct > 1e9)) {
+        return LineError(line_no, "populate distinct must be in [0, 1e9]");
+      }
+      if (tok.size() > 4 && (!ParseDouble(tok[4], &nin) || !(nin >= 1))) {
+        return LineError(line_no, "populate nin must be >= 1");
+      }
+      p.count = static_cast<int>(count);
+      // Default ending-value pool: a tenth of the objects, at least one.
+      p.distinct_values = distinct > 0 ? static_cast<int>(distinct)
+                                       : std::max(1, p.count / 10);
+      p.nin = nin;
+      trace_out->populate.push_back(p);
+    } else if (cmd == "trace_seed" && trace_out != nullptr) {
+      double v;
+      if (have_seed || tok.size() != 2 || !ParseDouble(tok[1], &v) ||
+          !(v >= 0) || v > 4294967295.0) {
+        return LineError(line_no, have_seed
+                                      ? "duplicate trace_seed"
+                                      : "trace_seed expects one number in "
+                                        "[0, 2^32)");
+      }
+      have_seed = true;
+      trace_out->seed = static_cast<std::uint32_t>(v);
+    } else if (cmd == "phase" && trace_out != nullptr) {
+      // phase NAME OPS
+      double ops;
+      if (tok.size() != 3 || !ParseDouble(tok[2], &ops) || !(ops >= 1) ||
+          ops > 1e15) {
+        return LineError(line_no, "phase NAME OPS (1 to 1e15 operations)");
+      }
+      if (!trace_out->phases.empty() && !phase_has_weight) {
+        return LineError(line_no, "phase '" + trace_out->phases.back().name +
+                                      "' has no positive mix weights");
+      }
+      TracePhase phase;
+      phase.name = tok[1];
+      phase.ops = static_cast<std::uint64_t>(ops);
+      trace_out->phases.push_back(std::move(phase));
+      mixed_classes.clear();
+      phase_has_weight = false;
+    } else if (cmd == "mix" && trace_out != nullptr) {
+      if (trace_out->phases.empty()) {
+        return LineError(line_no, "mix before the first phase");
+      }
+      if (tok.size() != 5) {
+        return LineError(line_no, "mix CLASS query insert delete");
+      }
+      const ClassId cls = spec.schema.FindClass(tok[1]);
+      if (cls == kInvalidClass) {
+        return LineError(line_no, "unknown class '" + tok[1] + "'");
+      }
+      if (!mixed_classes.insert(cls).second) {
+        return LineError(line_no, "duplicate mix for class '" + tok[1] + "'");
+      }
+      double q, i, d;
+      if (!ParseDouble(tok[2], &q) || !ParseDouble(tok[3], &i) ||
+          !ParseDouble(tok[4], &d) || !(q >= 0) || !(i >= 0) || !(d >= 0)) {
+        return LineError(line_no, "mix weights must be >= 0");
+      }
+      if (q + i + d > 0) phase_has_weight = true;
+      trace_out->phases.back().mix.Set(cls, q, i, d);
     } else if (cmd == "budget") {
       if (!workload_mode) {
         return LineError(line_no,
@@ -210,6 +301,10 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text,
       }
       spec.has_budget = true;
       spec.joint_options.storage_budget_bytes = v;
+    } else if (cmd == "populate" || cmd == "trace_seed" || cmd == "phase" ||
+               cmd == "mix") {
+      return LineError(line_no, cmd + " is only valid in trace specs "
+                                      "(pathix_online)");
     } else {
       return LineError(line_no, "unknown directive '" + cmd + "'");
     }
@@ -217,6 +312,18 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text,
 
   if (pending.empty()) {
     return Status::InvalidArgument("spec declares no path");
+  }
+  if (trace_out != nullptr) {
+    if (trace_out->populate.empty()) {
+      return Status::InvalidArgument("trace spec declares no populate lines");
+    }
+    if (trace_out->phases.empty()) {
+      return Status::InvalidArgument("trace spec declares no phases");
+    }
+    if (!phase_has_weight) {
+      return Status::InvalidArgument("phase '" + trace_out->phases.back().name +
+                                     "' has no positive mix weights");
+    }
   }
   PATHIX_RETURN_IF_ERROR(spec.schema.Validate());
 
@@ -247,7 +354,8 @@ Result<std::string> ReadFile(const std::string& path) {
 }  // namespace
 
 Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
-  Result<WorkloadSpec> parsed = ParseSpecImpl(text, /*workload_mode=*/false);
+  Result<WorkloadSpec> parsed =
+      ParseSpecImpl(text, SpecMode::kSinglePath, nullptr);
   if (!parsed.ok()) return parsed.status();
   WorkloadSpec& w = parsed.value();
   AdvisorSpec spec;
@@ -266,13 +374,55 @@ Result<AdvisorSpec> ParseAdvisorSpecFile(const std::string& path) {
 }
 
 Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text) {
-  return ParseSpecImpl(text, /*workload_mode=*/true);
+  return ParseSpecImpl(text, SpecMode::kWorkload, nullptr);
 }
 
 Result<WorkloadSpec> ParseWorkloadSpecFile(const std::string& path) {
   Result<std::string> text = ReadFile(path);
   if (!text.ok()) return text.status();
   return ParseWorkloadSpec(text.value());
+}
+
+Result<TraceSpec> ParseTraceSpec(const std::string& text) {
+  TraceSpec trace;
+  Result<WorkloadSpec> parsed =
+      ParseSpecImpl(text, SpecMode::kTrace, &trace);
+  if (!parsed.ok()) return parsed.status();
+  WorkloadSpec& w = parsed.value();
+  trace.schema = std::move(w.schema);
+  trace.catalog = std::move(w.catalog);
+  trace.options = std::move(w.options);
+  trace.claimed_load = std::move(w.paths.front().load);
+  trace.path = std::move(w.paths.front().path);
+
+  // The replayer turns mix entries into concrete operations against the
+  // path; classes outside scope(P) have no level to execute them at.
+  const std::vector<ClassId> scope_vec = trace.path.Scope(trace.schema);
+  const std::set<ClassId> scope(scope_vec.begin(), scope_vec.end());
+  for (const TracePopulate& p : trace.populate) {
+    if (scope.count(p.cls) == 0) {
+      return Status::InvalidArgument("populate class '" +
+                                     trace.schema.GetClass(p.cls).name() +
+                                     "' is not in the path's scope");
+    }
+  }
+  for (const TracePhase& phase : trace.phases) {
+    for (const auto& [cls, load] : phase.mix.entries()) {
+      (void)load;
+      if (scope.count(cls) == 0) {
+        return Status::InvalidArgument(
+            "phase '" + phase.name + "': mix class '" +
+            trace.schema.GetClass(cls).name() + "' is not in the path's scope");
+      }
+    }
+  }
+  return trace;
+}
+
+Result<TraceSpec> ParseTraceSpecFile(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseTraceSpec(text.value());
 }
 
 }  // namespace pathix

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -46,6 +47,22 @@
 /// path; `load` lines after a `path` bind to that path (overriding the
 /// default for that class). `budget` caps the total bytes of the distinct
 /// physical indexes the joint optimizer may choose.
+///
+/// Trace specs (ParseTraceSpec) are single-path specs extended with a trace
+/// section — the input of the online subsystem (`pathix_online`): an
+/// initial population and timed operation batches with phase shifts:
+///
+///   populate Person 5000 200 1.0  # CLASS COUNT [DISTINCT [NIN]]
+///   trace_seed 42                 # replay RNG seed (optional)
+///   phase reporting 4000          # NAME OPS — a batch of 4000 operations
+///   mix Person 0.8 0.1 0.1        # CLASS query insert delete weights
+///   phase ingest 3000             # drift: the mix shifts per phase
+///   mix Person 0.05 0.6 0.35
+///
+/// Within a phase, operations are drawn from the normalized union of its
+/// `mix` lines. `load` lines remain legal and carry the statically *claimed*
+/// distribution (what an offline advisor would be given); the phases are
+/// the ground truth the trace actually executes.
 
 namespace pathix {
 
@@ -79,5 +96,40 @@ Result<WorkloadSpec> ParseWorkloadSpec(const std::string& text);
 
 /// Reads \p path and parses it as a workload spec.
 Result<WorkloadSpec> ParseWorkloadSpecFile(const std::string& path);
+
+/// Initial data generation targets for one class of a trace spec
+/// (mirrors datagen's ClassGenSpec without pulling exec into io).
+struct TracePopulate {
+  ClassId cls = kInvalidClass;
+  int count = 0;
+  int distinct_values = 1;  ///< distinct path-attribute values
+  double nin = 1.0;         ///< average values per object
+};
+
+/// One operation batch of a trace: \p ops operations drawn from the
+/// normalized per-class \p mix weights.
+struct TracePhase {
+  std::string name;
+  std::uint64_t ops = 0;
+  LoadDistribution mix;
+};
+
+/// Everything the online experiment needs, parsed from one trace spec.
+struct TraceSpec {
+  Schema schema;
+  Catalog catalog;
+  Path path;
+  AdvisorOptions options;
+  LoadDistribution claimed_load;  ///< the spec's `load` lines, if any
+  std::uint32_t seed = 7;
+  std::vector<TracePopulate> populate;
+  std::vector<TracePhase> phases;
+};
+
+/// Parses a trace spec (single path + populate/phase/mix sections).
+Result<TraceSpec> ParseTraceSpec(const std::string& text);
+
+/// Reads \p path and parses it as a trace spec.
+Result<TraceSpec> ParseTraceSpecFile(const std::string& path);
 
 }  // namespace pathix

@@ -1,0 +1,110 @@
+#include "online/controller.h"
+
+#include <cmath>
+
+#include "exec/analyze.h"
+
+namespace pathix {
+
+ReconfigurationController::ReconfigurationController(SimDatabase* db,
+                                                     const Path& path,
+                                                     ControllerOptions options)
+    : db_(db),
+      path_(&path),
+      options_(std::move(options)),
+      monitor_(options_.half_life_ops),
+      selector_(options_.orgs) {}
+
+void ReconfigurationController::OnOperation(DbOpKind kind, ClassId cls) {
+  monitor_.Observe(kind, cls);
+  if (!status_.ok()) return;
+  const std::uint64_t ops = monitor_.ops_observed();
+  if (ops < options_.warmup_ops) return;
+  const std::uint64_t interval = std::max<std::uint64_t>(
+      1, options_.check_interval_ops);
+  if (ops % interval == 0) Check();
+}
+
+void ReconfigurationController::CheckNow() {
+  if (status_.ok()) Check();
+}
+
+void ReconfigurationController::Check() {
+  ++checks_;
+
+  // ANALYZE lazily: unchanged statistics keep the selector's matrix cache
+  // hot, so a drift check costs no model evaluations.
+  const double live = static_cast<double>(db_->store().live_objects());
+  if (!has_catalog_ ||
+      std::abs(live - objects_at_analyze_) >
+          options_.stats_refresh_fraction * std::max(1.0, objects_at_analyze_)) {
+    PhysicalParams params = options_.physical_params;
+    params.page_size = static_cast<double>(db_->pager().page_size());
+    catalog_ = CollectStatistics(db_->store(), db_->schema(), *path_, params);
+    has_catalog_ = true;
+    objects_at_analyze_ = live;
+  }
+
+  const LoadDistribution load = monitor_.EstimatedLoad();
+  if (monitor_.DecayedTotal() <= 0) return;
+
+  Result<PathContext> ctx =
+      PathContext::Build(db_->schema(), *path_, catalog_, load);
+  if (!ctx.ok()) {
+    status_ = ctx.status();
+    return;
+  }
+
+  const IndexConfiguration* current =
+      db_->has_indexes() ? &db_->physical().config() : nullptr;
+  const OnlineSelection sel = selector_.Select(ctx.value(), current);
+
+  if (current == nullptr) {
+    // Initial install: not gated by hysteresis (the alternative is a naive
+    // scan per query, which the matrix does not even price).
+    const TransitionCost transition = EstimateTransitionCost(
+        ctx.value(), db_->store(), nullptr, sel.best.config);
+    const Status installed =
+        db_->ConfigureIndexes(*path_, sel.best.config);
+    if (!installed.ok()) {
+      status_ = installed;
+      return;
+    }
+    ReconfigurationEvent ev;
+    ev.op_index = monitor_.ops_observed();
+    ev.initial = true;
+    ev.to = sel.best.config;
+    ev.transition = transition;
+    transition_charged_ += transition.total();
+    events_.push_back(std::move(ev));
+    return;
+  }
+
+  if (sel.best.config == *current) return;
+  const double savings = sel.current_cost - sel.best.cost;
+  if (savings <= 0) return;
+
+  const TransitionCost transition = EstimateTransitionCost(
+      ctx.value(), db_->store(), &db_->physical(), sel.best.config);
+  if (savings * options_.horizon_ops <=
+      options_.hysteresis * transition.total()) {
+    return;
+  }
+
+  ReconfigurationEvent ev;
+  ev.op_index = monitor_.ops_observed();
+  ev.from = *current;
+  ev.to = sel.best.config;
+  ev.predicted_savings_per_op = savings;
+  ev.transition = transition;
+
+  const Status switched = db_->ReconfigureIndexes(sel.best.config);
+  if (!switched.ok()) {
+    status_ = switched;
+    return;
+  }
+  transition_charged_ += transition.total();
+  events_.push_back(std::move(ev));
+}
+
+}  // namespace pathix

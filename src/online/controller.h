@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/database.h"
+#include "online/online_selector.h"
+#include "online/transition_cost.h"
+#include "online/workload_monitor.h"
+
+/// \file controller.h
+/// \brief The reconfiguration controller: observes a live SimDatabase,
+/// estimates the drifting load (WorkloadMonitor), periodically re-solves
+/// the selection problem (OnlineSelector) and — with hysteresis, so noise
+/// cannot thrash the physical layer — rebuilds the index configuration via
+/// SimDatabase::ReconfigureIndexes. Inspired by production advisors (AIM,
+/// PAPERS.md): observe, act incrementally, never flap.
+
+namespace pathix {
+
+/// Tuning knobs of the control loop. The defaults favour stability: a
+/// reconfiguration must pay for itself within the horizon with 50% margin.
+struct ControllerOptions {
+  /// Candidate organizations per subpath (matrix columns).
+  std::vector<IndexOrg> orgs = {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX};
+  /// Half-life of the monitor's decayed counts, in operations.
+  double half_life_ops = 512;
+  /// Operations between drift checks.
+  std::uint64_t check_interval_ops = 256;
+  /// Operations observed before the first configuration is installed (the
+  /// initial build is not gated by hysteresis: anything beats naive scans).
+  std::uint64_t warmup_ops = 256;
+  /// Amortization horizon H: a switch must win within H future operations.
+  double horizon_ops = 4096;
+  /// Hysteresis factor theta >= 1: reconfigure only when
+  ///   (current_cost - best_cost) * horizon_ops > theta * transition_cost.
+  double hysteresis = 1.5;
+  /// Statistics are re-collected (ANALYZE) when the live object count moved
+  /// by more than this fraction since the last collection — between
+  /// refreshes the matrix cache serves drift checks without model calls.
+  double stats_refresh_fraction = 0.1;
+  /// Physical parameters (oid/key lengths etc.) the cost model solves
+  /// against; page_size is always taken from the database's pager. Pass the
+  /// spec's catalog params when the spec overrides the defaults.
+  PhysicalParams physical_params;
+};
+
+/// One committed reconfiguration (including the initial install).
+struct ReconfigurationEvent {
+  std::uint64_t op_index = 0;  ///< operations observed when it happened
+  bool initial = false;        ///< first install (no previous configuration)
+  IndexConfiguration from;     ///< empty when initial
+  IndexConfiguration to;
+  double predicted_savings_per_op = 0;  ///< current_cost - best_cost
+  TransitionCost transition;            ///< modeled price of the switch
+};
+
+/// \brief Attach with db->SetObserver(&controller); detach before either
+/// dies. All controller work (ANALYZE, solving, index builds) is uncounted;
+/// the modeled transition price is accumulated in transition_pages_charged()
+/// so experiment totals can include it.
+class ReconfigurationController : public DbOpObserver {
+ public:
+  /// \p path must outlive the controller and be the path the database's
+  /// indexes are (to be) configured on.
+  ReconfigurationController(SimDatabase* db, const Path& path,
+                            ControllerOptions options = {});
+
+  void OnOperation(DbOpKind kind, ClassId cls) override;
+
+  /// Runs a drift check now, regardless of the check interval (the cadence
+  /// normally drives this; exposed for tests and end-of-trace flushes).
+  void CheckNow();
+
+  const WorkloadMonitor& monitor() const { return monitor_; }
+  const OnlineSelector& selector() const { return selector_; }
+  const std::vector<ReconfigurationEvent>& events() const { return events_; }
+
+  /// Modeled page cost of every committed transition so far.
+  double transition_pages_charged() const { return transition_charged_; }
+
+  std::uint64_t checks_run() const { return checks_; }
+
+  /// First error the control loop hit (selection or reconfiguration); the
+  /// controller goes dormant after an error rather than flapping.
+  const Status& status() const { return status_; }
+
+ private:
+  void Check();
+
+  SimDatabase* db_;
+  const Path* path_;
+  ControllerOptions options_;
+  WorkloadMonitor monitor_;
+  OnlineSelector selector_;
+
+  Catalog catalog_;
+  bool has_catalog_ = false;
+  double objects_at_analyze_ = 0;
+
+  std::vector<ReconfigurationEvent> events_;
+  double transition_charged_ = 0;
+  std::uint64_t checks_ = 0;
+  Status status_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,166 @@
+#include "online/experiment.h"
+
+#include <map>
+
+#include "exec/analyze.h"
+
+namespace pathix {
+
+namespace {
+
+/// A freshly populated database ready to replay the trace.
+struct Instance {
+  explicit Instance(const TraceSpec& spec)
+      : db(spec.schema, spec.catalog.params()), replayer(&db, spec) {
+    replayer.Populate();
+  }
+  SimDatabase db;
+  TraceReplayer replayer;
+};
+
+/// The ops-weighted average of the phase mixes — what a one-shot offline
+/// advisor would be handed if the drift were averaged away.
+LoadDistribution AverageMix(const TraceSpec& spec) {
+  std::map<ClassId, OpLoad> acc;
+  double total_ops = 0;
+  for (const TracePhase& phase : spec.phases) {
+    double phase_total = 0;
+    for (const auto& [cls, l] : phase.mix.entries()) {
+      (void)cls;
+      phase_total += l.query + l.insert + l.del;
+    }
+    if (phase_total <= 0) continue;
+    const double ops = static_cast<double>(phase.ops);
+    for (const auto& [cls, l] : phase.mix.entries()) {
+      OpLoad& a = acc[cls];
+      a.query += l.query / phase_total * ops;
+      a.insert += l.insert / phase_total * ops;
+      a.del += l.del / phase_total * ops;
+    }
+    total_ops += ops;
+  }
+  LoadDistribution avg;
+  if (total_ops <= 0) return avg;
+  for (const auto& [cls, a] : acc) {
+    avg.Set(cls, a.query / total_ops, a.insert / total_ops,
+            a.del / total_ops);
+  }
+  return avg;
+}
+
+}  // namespace
+
+Result<OptimizeResult> OfflineOptimum(const SimDatabase& db, const Path& path,
+                                      const std::vector<IndexOrg>& orgs,
+                                      const LoadDistribution& load,
+                                      const PhysicalParams& physical_params) {
+  // Statistics exactly as the controller's ANALYZE collects them, so the
+  // convergence comparison is apples to apples.
+  PhysicalParams params = physical_params;
+  params.page_size = static_cast<double>(db.pager().page_size());
+  const Catalog catalog =
+      CollectStatistics(db.store(), db.schema(), path, params);
+  Result<PathContext> ctx =
+      PathContext::Build(db.schema(), path, catalog, load);
+  if (!ctx.ok()) return ctx.status();
+  return SelectDP(CostMatrix::Build(ctx.value(), orgs));
+}
+
+Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
+                                             const ControllerOptions& options) {
+  for (IndexOrg org : spec.options.orgs) {
+    if (org == IndexOrg::kNX || org == IndexOrg::kPX) {
+      return Status::FailedPrecondition(
+          "NX/PX are model-only candidates; the online experiment runs "
+          "physical configurations");
+    }
+  }
+
+  ExperimentReport report;
+  ControllerOptions copts = options;
+  copts.orgs = spec.options.orgs;
+  copts.physical_params = spec.catalog.params();
+
+  // ----------------------------------------------------------- online run
+  {
+    Instance inst(spec);
+    inst.db.SetQueryPath(spec.path);
+    ReconfigurationController controller(&inst.db, spec.path, copts);
+    inst.db.SetObserver(&controller);
+    report.online.label = "online";
+    for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+      report.online.phases.push_back(inst.replayer.RunPhase(i, &controller));
+    }
+    inst.db.SetObserver(nullptr);
+    if (!controller.status().ok()) return controller.status();
+    report.events = controller.events();
+  }
+
+  // ----------------------------------------------------------- oracle run
+  {
+    Instance inst(spec);
+    report.oracle.label = "oracle";
+    for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+      Result<OptimizeResult> best =
+          OfflineOptimum(inst.db, spec.path, spec.options.orgs,
+                         spec.phases[i].mix, spec.catalog.params());
+      if (!best.ok()) return best.status();
+      PATHIX_RETURN_IF_ERROR(
+          inst.db.ConfigureIndexes(spec.path, best.value().config));
+      report.oracle_configs.push_back(best.value().config);
+      report.oracle.phases.push_back(inst.replayer.RunPhase(i, nullptr));
+    }
+  }
+
+  // -------------------------------------------------------- static field
+  // Candidates: the offline optimum of the averaged mix, plus each phase's
+  // optimum — "the best single static configuration" is the cheapest of
+  // them on the full trace.
+  {
+    std::vector<StaticCandidate> candidates;
+    Instance stats_inst(spec);
+    const auto add_candidate = [&](const std::string& label,
+                                   const LoadDistribution& load) -> Status {
+      Result<OptimizeResult> best =
+          OfflineOptimum(stats_inst.db, spec.path, spec.options.orgs, load,
+                         spec.catalog.params());
+      if (!best.ok()) return best.status();
+      for (const StaticCandidate& c : candidates) {
+        if (c.config == best.value().config) return Status::OK();  // dedup
+      }
+      StaticCandidate c;
+      c.label = label;
+      c.config = best.value().config;
+      candidates.push_back(std::move(c));
+      return Status::OK();
+    };
+    PATHIX_RETURN_IF_ERROR(add_candidate("avg-mix", AverageMix(spec)));
+    for (const TracePhase& phase : spec.phases) {
+      PATHIX_RETURN_IF_ERROR(
+          add_candidate("phase-" + phase.name, phase.mix));
+    }
+
+    for (StaticCandidate& c : candidates) {
+      Instance inst(spec);
+      PATHIX_RETURN_IF_ERROR(
+          inst.db.ConfigureIndexes(spec.path, c.config));
+      c.run.label = "static:" + c.label;
+      for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+        c.run.phases.push_back(inst.replayer.RunPhase(i, nullptr));
+      }
+      report.statics.push_back(std::move(c));
+    }
+    for (std::size_t i = 0; i < report.statics.size(); ++i) {
+      if (report.best_static < 0 ||
+          report.statics[i].run.total_cost() <
+              report.statics[static_cast<std::size_t>(report.best_static)]
+                  .run.total_cost()) {
+        report.best_static = static_cast<int>(i);
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace pathix

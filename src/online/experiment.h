@@ -1,0 +1,94 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "online/trace.h"
+
+/// \file experiment.h
+/// \brief The online-selection experiment: replay one trace three ways and
+/// compare page costs.
+///
+///  - online: cold database, ReconfigurationController attached — pays
+///    measured pages plus the modeled transition charge of every switch;
+///  - oracle: before each phase, the offline optimum for that phase's
+///    *true* mix is installed for free — the per-phase lower bound the
+///    regret is measured against;
+///  - statics: every candidate single configuration (the offline optimum
+///    of the ops-weighted average mix plus each phase's optimum), installed
+///    up front and never changed.
+///
+/// All runs replay the identical operation stream (see trace.h), so the
+/// comparison is exact, not sampled.
+
+namespace pathix {
+
+/// One replay of the whole trace.
+struct ExperimentRun {
+  std::string label;
+  std::vector<PhaseReport> phases;
+
+  double measured_pages() const {
+    double total = 0;
+    for (const PhaseReport& p : phases) total += static_cast<double>(p.pages);
+    return total;
+  }
+  double transition_pages() const {
+    double total = 0;
+    for (const PhaseReport& p : phases) total += p.transition_pages;
+    return total;
+  }
+  /// Measured pages plus modeled transition charges.
+  double total_cost() const { return measured_pages() + transition_pages(); }
+};
+
+/// A never-reconfigured baseline configuration and its replay.
+struct StaticCandidate {
+  std::string label;
+  IndexConfiguration config;
+  ExperimentRun run;
+};
+
+struct ExperimentReport {
+  ExperimentRun online;
+  std::vector<ReconfigurationEvent> events;  ///< the online run's switches
+
+  ExperimentRun oracle;
+  std::vector<IndexConfiguration> oracle_configs;  ///< per phase
+
+  std::vector<StaticCandidate> statics;
+  int best_static = -1;  ///< index of the cheapest static candidate
+
+  double best_static_cost() const {
+    return best_static >= 0 ? statics[static_cast<std::size_t>(best_static)]
+                                  .run.total_cost()
+                            : 0;
+  }
+  /// online / best-static (< 1 means adapting beat every fixed choice).
+  double online_vs_best_static() const {
+    const double base = best_static_cost();
+    return base > 0 ? online.total_cost() / base : 1.0;
+  }
+  /// online / oracle — the regret factor versus per-phase clairvoyance.
+  double online_vs_oracle() const {
+    const double base = oracle.total_cost();
+    return base > 0 ? online.total_cost() / base : 1.0;
+  }
+};
+
+/// Replays \p spec's trace online / oracle / static and assembles the
+/// report. Deterministic for a fixed spec (including its seed).
+Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
+                                             const ControllerOptions& options);
+
+/// The offline optimum (O(n^2) DP on the full cost matrix) for \p load on
+/// statistics collected live from \p db, under \p physical_params (the
+/// page size is always taken from the database's pager). Exposed for tests
+/// comparing the online controller's convergence point against the offline
+/// pick.
+Result<OptimizeResult> OfflineOptimum(const SimDatabase& db, const Path& path,
+                                      const std::vector<IndexOrg>& orgs,
+                                      const LoadDistribution& load,
+                                      const PhysicalParams& physical_params = {});
+
+}  // namespace pathix

@@ -1,0 +1,32 @@
+#include "online/online_selector.h"
+
+#include <algorithm>
+
+namespace pathix {
+
+OnlineSelection OnlineSelector::Select(const PathContext& ctx,
+                                       const IndexConfiguration* current) {
+  const CostMatrix matrix = builder_.Build(ctx);
+  OnlineSelection sel;
+  sel.best = SelectDP(matrix);
+  if (current != nullptr && !current->empty()) {
+    sel.has_current = true;
+    for (const IndexedSubpath& part : current->parts()) {
+      // The installed configuration may use organizations outside the
+      // candidate columns (e.g. installed by hand before the controller was
+      // attached); price those directly from the model instead of reading a
+      // wrong column.
+      const bool in_matrix =
+          std::find(matrix.orgs().begin(), matrix.orgs().end(), part.org) !=
+          matrix.orgs().end();
+      sel.current_cost +=
+          in_matrix ? matrix.Cost(part.subpath, part.org)
+                    : ComputeSubpathCost(ctx, part.subpath.start,
+                                         part.subpath.end, part.org)
+                          .total();
+    }
+  }
+  return sel;
+}
+
+}  // namespace pathix

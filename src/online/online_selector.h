@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/matrix_cache.h"
+#include "core/optimizer.h"
+
+/// \file online_selector.h
+/// \brief Polynomial-time per-step selection on an estimated load.
+///
+/// Jordan et al. ("Optimal On The Fly Index Selection in Polynomial Time",
+/// PAPERS.md) show the online variant of the paper's problem needs no
+/// exponential enumeration per step: on every drift check it suffices to
+/// solve the current instance with the O(n^2) interval dynamic program the
+/// offline pipeline already cross-checks against. The selector therefore
+/// reuses CostMatrix + SelectDP from src/core/, with the cached matrix
+/// builder so repeated checks under an unchanged catalog cost no model
+/// evaluations at all.
+
+namespace pathix {
+
+/// One drift check's outcome.
+struct OnlineSelection {
+  OptimizeResult best;       ///< DP optimum for the estimated load
+  double current_cost = 0;   ///< installed configuration, same load/matrix
+  bool has_current = false;  ///< false when nothing is installed yet
+};
+
+/// \brief Stateless per-check solver with a stateful matrix cache.
+class OnlineSelector {
+ public:
+  explicit OnlineSelector(std::vector<IndexOrg> orgs = {IndexOrg::kMX,
+                                                        IndexOrg::kMIX,
+                                                        IndexOrg::kNIX})
+      : builder_(std::move(orgs)) {}
+
+  /// Solves the instance \p ctx (statistics + estimated loads) and prices
+  /// \p current (nullptr if nothing installed) on the same matrix.
+  OnlineSelection Select(const PathContext& ctx,
+                         const IndexConfiguration* current);
+
+  /// Cache behaviour, for tests and benchmarks.
+  const CostMatrixBuilder& builder() const { return builder_; }
+
+ private:
+  CostMatrixBuilder builder_;
+};
+
+}  // namespace pathix

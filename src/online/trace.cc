@@ -1,0 +1,161 @@
+#include "online/trace.h"
+
+#include <algorithm>
+
+namespace pathix {
+
+TraceReplayer::TraceReplayer(SimDatabase* db, const TraceSpec& spec)
+    : db_(db), spec_(&spec), rng_(spec.seed),
+      ending_level_(spec.path.length()) {}
+
+void TraceReplayer::Populate() {
+  std::vector<ClassGenSpec> specs;
+  specs.reserve(spec_->populate.size());
+  for (const TracePopulate& p : spec_->populate) {
+    specs.push_back(ClassGenSpec{p.cls, p.count, p.distinct_values, p.nin});
+  }
+  PathDataGenerator gen(spec_->seed);
+  live_ = gen.Populate(db_, spec_->path, specs);
+}
+
+const TracePopulate* TraceReplayer::PopulateSpecFor(ClassId cls) const {
+  for (const TracePopulate& p : spec_->populate) {
+    if (p.cls == cls) return &p;
+  }
+  return nullptr;
+}
+
+PhaseReport TraceReplayer::RunPhase(std::size_t phase_index,
+                                    ReconfigurationController* controller) {
+  const TracePhase& phase = spec_->phases[phase_index];
+  PhaseReport report;
+  report.name = phase.name;
+  report.ops = phase.ops;
+
+  // Flatten the mix into (class, kind) sampling weights, sorted for a
+  // deterministic mapping into the discrete distribution.
+  std::vector<MixEntry> entries;
+  for (const auto& [cls, load] : phase.mix.entries()) {
+    if (load.query > 0) entries.push_back({cls, DbOpKind::kQuery, load.query});
+    if (load.insert > 0) {
+      entries.push_back({cls, DbOpKind::kInsert, load.insert});
+    }
+    if (load.del > 0) entries.push_back({cls, DbOpKind::kDelete, load.del});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const MixEntry& a, const MixEntry& b) {
+              return a.cls != b.cls ? a.cls < b.cls : a.kind < b.kind;
+            });
+  if (entries.empty()) return report;
+  std::vector<double> weights;
+  weights.reserve(entries.size());
+  for (const MixEntry& e : entries) weights.push_back(e.weight);
+  std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+
+  const double transition_before =
+      controller != nullptr ? controller->transition_pages_charged() : 0;
+  const std::size_t events_before =
+      controller != nullptr ? controller->events().size() : 0;
+  const AccessProbe probe(db_->pager());
+
+  for (std::uint64_t i = 0; i < phase.ops; ++i) RunOne(entries[pick(rng_)]);
+
+  report.pages = probe.Delta().total();
+  if (controller != nullptr) {
+    report.transition_pages =
+        controller->transition_pages_charged() - transition_before;
+    report.reconfigurations =
+        static_cast<int>(controller->events().size() - events_before);
+  }
+  return report;
+}
+
+void TraceReplayer::RunOne(const MixEntry& op) {
+  switch (op.kind) {
+    case DbOpKind::kQuery:
+      DoQuery(op.cls);
+      break;
+    case DbOpKind::kInsert:
+      DoInsert(op.cls);
+      break;
+    case DbOpKind::kDelete:
+      DoDelete(op.cls);
+      break;
+  }
+}
+
+void TraceReplayer::DoQuery(ClassId cls) {
+  // Query values are drawn from the ending-level value pool the population
+  // (and the inserts) draw from.
+  int distinct = 1;
+  for (ClassId ending : db_->schema().HierarchyOf(
+           spec_->path.class_at(ending_level_))) {
+    const TracePopulate* p = PopulateSpecFor(ending);
+    if (p != nullptr) distinct = std::max(distinct, p->distinct_values);
+  }
+  std::uniform_int_distribution<int> value(0, distinct - 1);
+  const Key key = Key::FromString(EndingValue(value(rng_)));
+  if (db_->has_indexes()) {
+    db_->Query(key, cls).status();
+  } else {
+    db_->QueryNaive(key, cls).status();
+  }
+}
+
+void TraceReplayer::DoInsert(ClassId cls) {
+  int level = 0;
+  for (int l = 1; l <= spec_->path.length(); ++l) {
+    if (db_->schema().IsSameOrSubclassOf(cls, spec_->path.class_at(l))) {
+      level = l;
+      break;
+    }
+  }
+  PATHIX_DCHECK(level > 0 && "mix classes are validated against scope(P)");
+
+  const TracePopulate* p = PopulateSpecFor(cls);
+  const double nin = p != nullptr ? p->nin : 1.0;
+  std::uniform_real_distribution<double> frac(0.0, 1.0);
+  int nvals = static_cast<int>(nin);
+  if (frac(rng_) < nin - nvals) ++nvals;
+  nvals = std::max(1, nvals);
+
+  AttrValues attrs;
+  const std::string& attr = spec_->path.attribute_at(level).name;
+  std::vector<Value>& values = attrs[attr];
+  if (level == ending_level_) {
+    const int distinct = p != nullptr ? p->distinct_values : 1;
+    std::uniform_int_distribution<int> value(0, distinct - 1);
+    for (int v = 0; v < nvals; ++v) {
+      values.push_back(Value::Str(EndingValue(value(rng_))));
+    }
+  } else {
+    std::vector<Oid> pool;
+    for (ClassId next : db_->schema().HierarchyOf(
+             spec_->path.class_at(level + 1))) {
+      const auto it = live_.find(next);
+      if (it != live_.end()) {
+        pool.insert(pool.end(), it->second.begin(), it->second.end());
+      }
+    }
+    if (!pool.empty()) {
+      std::uniform_int_distribution<std::size_t> ref(0, pool.size() - 1);
+      for (int v = 0; v < nvals; ++v) {
+        values.push_back(Value::Ref(pool[ref(rng_)]));
+      }
+    }
+  }
+  live_[cls].push_back(db_->Insert(cls, std::move(attrs)));
+}
+
+void TraceReplayer::DoDelete(ClassId cls) {
+  std::vector<Oid>& pool = live_[cls];
+  if (pool.empty()) return;  // deterministic no-op across replays
+  std::uniform_int_distribution<std::size_t> victim(0, pool.size() - 1);
+  const std::size_t i = victim(rng_);
+  const Oid oid = pool[i];
+  pool[i] = pool.back();
+  pool.pop_back();
+  db_->Delete(oid);
+}
+
+}  // namespace pathix

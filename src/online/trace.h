@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "exec/database.h"
+#include "io/spec_parser.h"
+#include "online/controller.h"
+
+/// \file trace.h
+/// \brief Deterministic replay of a trace spec against a SimDatabase.
+///
+/// Operations are drawn from the active phase's normalized mix with a
+/// seeded RNG. The stream is a pure function of (seed, phase list, live
+/// object sets); since every run executes the same inserts and deletes,
+/// replaying the same trace under different index configurations sees the
+/// *identical* operation sequence — the property the online-vs-oracle
+/// regret comparison rests on.
+
+namespace pathix {
+
+/// Measured outcome of one replayed phase.
+struct PhaseReport {
+  std::string name;
+  std::uint64_t ops = 0;
+  std::uint64_t pages = 0;         ///< measured page accesses in the phase
+  double transition_pages = 0;     ///< modeled transition charge in the phase
+  int reconfigurations = 0;        ///< committed switches (incl. initial)
+
+  double total_cost() const {
+    return static_cast<double>(pages) + transition_pages;
+  }
+};
+
+/// \brief Replays the phases of one trace spec.
+class TraceReplayer {
+ public:
+  /// \p db must already hold the spec's schema; Populate() fills it.
+  TraceReplayer(SimDatabase* db, const TraceSpec& spec);
+
+  /// Generates the initial population (uncounted) and records the live oid
+  /// pools the operation sampling draws from.
+  void Populate();
+
+  /// Replays phase \p phase_index. If \p controller is non-null its
+  /// transition charges and reconfiguration count over the phase are
+  /// captured into the report. Queries use the configured indexes when
+  /// installed, a naive scan otherwise (the cold-start price an online
+  /// controller pays before its first install).
+  PhaseReport RunPhase(std::size_t phase_index,
+                       ReconfigurationController* controller);
+
+  /// Live oids per class (inspection; e.g. final statistics collection).
+  const std::map<ClassId, std::vector<Oid>>& live() const { return live_; }
+
+ private:
+  struct MixEntry {
+    ClassId cls = kInvalidClass;
+    DbOpKind kind = DbOpKind::kQuery;
+    double weight = 0;
+  };
+
+  void RunOne(const MixEntry& op);
+  void DoQuery(ClassId cls);
+  void DoInsert(ClassId cls);
+  void DoDelete(ClassId cls);
+
+  /// Generation parameters for \p cls (ending-value pool, fan-out).
+  const TracePopulate* PopulateSpecFor(ClassId cls) const;
+
+  SimDatabase* db_;
+  const TraceSpec* spec_;
+  std::mt19937 rng_;
+  std::map<ClassId, std::vector<Oid>> live_;
+  int ending_level_ = 0;  ///< path length (level of the atomic attribute)
+};
+
+}  // namespace pathix

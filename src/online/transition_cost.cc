@@ -1,0 +1,58 @@
+#include "online/transition_cost.h"
+
+#include "common/math.h"
+#include "costmodel/org_model.h"
+
+namespace pathix {
+
+namespace {
+
+bool HasPart(const IndexConfiguration& config, const Subpath& range,
+             IndexOrg org) {
+  for (const IndexedSubpath& part : config.parts()) {
+    if (part.subpath == range && part.org == org) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TransitionCost EstimateTransitionCost(const PathContext& ctx,
+                                      const ObjectStore& store,
+                                      const PhysicalConfiguration* current,
+                                      const IndexConfiguration& target) {
+  TransitionCost cost;
+
+  if (current != nullptr) {
+    for (const auto& index : current->indexes()) {
+      if (HasPart(target, index->range(), index->org())) continue;
+      cost.drop_pages += static_cast<double>(index->total_pages());
+    }
+  }
+
+  for (const IndexedSubpath& part : target.parts()) {
+    if (current != nullptr &&
+        HasPart(current->config(), part.subpath, part.org)) {
+      continue;
+    }
+    // "No index" has no build: NoneIndex evaluates navigationally against
+    // the store and materializes nothing (none_index.h).
+    if (part.org == IndexOrg::kNone) continue;
+    // Building reads every segment page of every class in the part's scope
+    // once (the physical builders iterate the store class by class) ...
+    for (int l = part.subpath.start; l <= part.subpath.end; ++l) {
+      for (const LevelClassInfo& c : ctx.level(l)) {
+        cost.scan_pages += static_cast<double>(store.SegmentPages(c.cls));
+      }
+    }
+    // ... and writes the index structures out, sized by the same analytic
+    // estimate the advisor reports as the part's storage footprint.
+    const double bytes =
+        MakeOrgCostModel(part.org, ctx, part.subpath.start, part.subpath.end)
+            ->StorageBytes();
+    cost.write_pages += CeilDiv(bytes, ctx.params().page_size);
+  }
+  return cost;
+}
+
+}  // namespace pathix

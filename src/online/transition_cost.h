@@ -1,0 +1,40 @@
+#pragma once
+
+#include "core/index_config.h"
+#include "costmodel/path_context.h"
+#include "index/physical_config.h"
+#include "storage/object_store.h"
+
+/// \file transition_cost.h
+/// \brief Pricing an index reconfiguration in page accesses.
+///
+/// Going from the installed physical configuration to a target one costs
+/// real I/O a steady-state cost matrix never sees: dropped indexes touch
+/// their pages once to free them, new indexes scan the class segments in
+/// their scope and write their structures out. Parts present in both
+/// configurations (same subpath range and organization) are free — the
+/// physical layer genuinely keeps them (SimDatabase::ReconfigureIndexes).
+/// The ReconfigurationController amortizes this price against predicted
+/// steady-state savings over its horizon.
+
+namespace pathix {
+
+/// One reconfiguration's page price, by component.
+struct TransitionCost {
+  double drop_pages = 0;   ///< pages of dropped parts, touched to free them
+  double scan_pages = 0;   ///< store segment pages read to build new parts
+  double write_pages = 0;  ///< pages written for the new parts' structures
+
+  double total() const { return drop_pages + scan_pages + write_pages; }
+};
+
+/// Prices the move from \p current (nullptr = nothing installed) to
+/// \p target on the context's path. Dropped parts are priced from their
+/// actual physical size; new parts from the segment pages of the classes
+/// they scan plus the analytic storage estimate of their structures.
+TransitionCost EstimateTransitionCost(const PathContext& ctx,
+                                      const ObjectStore& store,
+                                      const PhysicalConfiguration* current,
+                                      const IndexConfiguration& target);
+
+}  // namespace pathix

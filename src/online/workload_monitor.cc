@@ -1,0 +1,66 @@
+#include "online/workload_monitor.h"
+
+#include <cmath>
+
+namespace pathix {
+
+WorkloadMonitor::WorkloadMonitor(double half_life_ops)
+    : decay_(half_life_ops > 0 ? std::exp2(-1.0 / half_life_ops) : 1.0) {}
+
+void WorkloadMonitor::FoldTo(Entry* e, std::uint64_t now) const {
+  if (e->as_of == now) return;
+  const double factor =
+      std::pow(decay_, static_cast<double>(now - e->as_of));
+  e->counts.query *= factor;
+  e->counts.insert *= factor;
+  e->counts.del *= factor;
+  e->as_of = now;
+}
+
+void WorkloadMonitor::Observe(DbOpKind kind, ClassId cls) {
+  ++ops_;
+  Entry& e = entries_[cls];
+  FoldTo(&e, ops_);
+  switch (kind) {
+    case DbOpKind::kQuery:
+      e.counts.query += 1;
+      break;
+    case DbOpKind::kInsert:
+      e.counts.insert += 1;
+      break;
+    case DbOpKind::kDelete:
+      e.counts.del += 1;
+      break;
+  }
+}
+
+double WorkloadMonitor::DecayedTotal() const {
+  double total = 0;
+  for (const auto& [cls, e] : entries_) {
+    (void)cls;
+    Entry folded = e;
+    FoldTo(&folded, ops_);
+    total += folded.counts.query + folded.counts.insert + folded.counts.del;
+  }
+  return total;
+}
+
+LoadDistribution WorkloadMonitor::EstimatedLoad() const {
+  LoadDistribution load;
+  const double total = DecayedTotal();
+  if (total <= 0) return load;
+  for (const auto& [cls, e] : entries_) {
+    Entry folded = e;
+    FoldTo(&folded, ops_);
+    load.Set(cls, folded.counts.query / total, folded.counts.insert / total,
+             folded.counts.del / total);
+  }
+  return load;
+}
+
+void WorkloadMonitor::Reset() {
+  ops_ = 0;
+  entries_.clear();
+}
+
+}  // namespace pathix

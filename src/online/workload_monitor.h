@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "exec/database.h"
+#include "workload/load.h"
+
+/// \file workload_monitor.h
+/// \brief Exponentially-decayed estimation of the live load distribution.
+///
+/// The paper's advisor assumes LD_{A_n} is known up front; the online
+/// subsystem instead observes the operation stream of a SimDatabase and
+/// maintains per-class decayed operation counts. Old traffic fades with a
+/// configurable half-life, so the estimate tracks drift with O(classes)
+/// state and O(1) amortized work per operation — no unbounded history.
+
+namespace pathix {
+
+/// \brief Decayed per-class (alpha, beta, gamma) counters.
+///
+/// Counts decay by factor 2^(-1/half_life) per observed operation, applied
+/// lazily: each class entry remembers the operation index it was last
+/// folded at. A stationary stream converges to weights proportional to the
+/// true mix; after a phase shift the old phase's influence halves every
+/// half_life operations.
+class WorkloadMonitor {
+ public:
+  /// \p half_life_ops <= 0 disables decay (plain counting).
+  explicit WorkloadMonitor(double half_life_ops = 512);
+
+  void Observe(DbOpKind kind, ClassId cls);
+
+  /// The current estimate, normalized so all frequencies sum to 1 — the
+  /// cost-model weighting then prices "expected index pages per operation".
+  /// Empty (all-zero) until the first observation.
+  LoadDistribution EstimatedLoad() const;
+
+  /// Decayed total weight across all classes and kinds.
+  double DecayedTotal() const;
+
+  std::uint64_t ops_observed() const { return ops_; }
+
+  void Reset();
+
+ private:
+  struct Entry {
+    OpLoad counts;
+    std::uint64_t as_of = 0;  ///< operation index counts are decayed to
+  };
+
+  /// counts * decay^(ops_ - as_of), folding the entry forward.
+  void FoldTo(Entry* e, std::uint64_t now) const;
+
+  double decay_ = 1;  ///< per-operation decay factor
+  std::uint64_t ops_ = 0;
+  std::unordered_map<ClassId, Entry> entries_;
+};
+
+}  // namespace pathix

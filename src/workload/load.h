@@ -38,6 +38,10 @@ class LoadDistribution {
   double TotalQueryLoad() const;
   double TotalUpdateLoad() const;
 
+  /// All triplets set so far (iteration order unspecified; callers needing
+  /// determinism sort by class id).
+  const std::unordered_map<ClassId, OpLoad>& entries() const { return loads_; }
+
  private:
   std::unordered_map<ClassId, OpLoad> loads_;
 };

@@ -1,0 +1,102 @@
+// CostMatrixBuilder: the cached Cost_Matrix construction must be
+// indistinguishable from CostMatrix::Build — same values bit for bit —
+// while eliminating model evaluations on load-only changes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/matrix_cache.h"
+#include "datagen/paper_schema.h"
+
+namespace pathix {
+namespace {
+
+const std::vector<IndexOrg> kAllOrgs = {IndexOrg::kMX,  IndexOrg::kMIX,
+                                        IndexOrg::kNIX, IndexOrg::kNX,
+                                        IndexOrg::kPX,  IndexOrg::kNone};
+
+LoadDistribution RandomLoad(const PaperSetup& setup, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> weight(0.0, 1.0);
+  LoadDistribution load;
+  for (ClassId cls : setup.path.Scope(setup.schema)) {
+    load.Set(cls, weight(rng), weight(rng), weight(rng));
+  }
+  return load;
+}
+
+void ExpectSameMatrix(const CostMatrix& a, const CostMatrix& b) {
+  ASSERT_EQ(a.path_length(), b.path_length());
+  ASSERT_EQ(a.orgs(), b.orgs());
+  for (const Subpath& sp : a.subpaths()) {
+    for (IndexOrg org : a.orgs()) {
+      EXPECT_DOUBLE_EQ(a.Cost(sp, org), b.Cost(sp, org))
+          << ToString(sp) << " " << ToString(org);
+    }
+  }
+}
+
+TEST(CostMatrixBuilderTest, MatchesUncachedBuildAcrossRandomLoads) {
+  const PaperSetup setup = MakeExample51Setup();
+  CostMatrixBuilder builder(kAllOrgs);
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    const LoadDistribution load = RandomLoad(setup, seed);
+    const PathContext ctx =
+        PathContext::Build(setup.schema, setup.path, setup.catalog, load)
+            .value();
+    ExpectSameMatrix(builder.Build(ctx), CostMatrix::Build(ctx, kAllOrgs));
+  }
+  // One miss (the first call), then pure reweighting.
+  EXPECT_EQ(builder.model_rebuilds(), 1u);
+  EXPECT_EQ(builder.cache_hits(), 7u);
+}
+
+TEST(CostMatrixBuilderTest, RowLabelsAndMinimaMatch) {
+  const PaperSetup setup = MakeExample51Setup();
+  const PathContext ctx = PathContext::Build(setup.schema, setup.path,
+                                             setup.catalog, setup.load)
+                              .value();
+  CostMatrixBuilder builder;
+  const CostMatrix cached = builder.Build(ctx);
+  const CostMatrix plain = CostMatrix::Build(ctx);
+  for (int row = 0; row < static_cast<int>(cached.subpaths().size()); ++row) {
+    EXPECT_EQ(cached.RowLabel(row), plain.RowLabel(row));
+  }
+  for (const Subpath& sp : cached.subpaths()) {
+    EXPECT_EQ(cached.MinOrg(sp), plain.MinOrg(sp)) << ToString(sp);
+  }
+}
+
+TEST(CostMatrixBuilderTest, StatisticsChangeInvalidatesTheCache) {
+  PaperSetup setup = MakeExample51Setup();
+  CostMatrixBuilder builder;
+  {
+    const PathContext ctx = PathContext::Build(setup.schema, setup.path,
+                                               setup.catalog, setup.load)
+                                .value();
+    builder.Build(ctx);
+    builder.Build(ctx);
+  }
+  EXPECT_EQ(builder.model_rebuilds(), 1u);
+  EXPECT_EQ(builder.cache_hits(), 1u);
+
+  // Grow Person: the fingerprint moves, the models are re-evaluated, and
+  // the fresh values still match an uncached build.
+  ClassStats person = setup.catalog.GetClassStats(setup.person);
+  person.n *= 2;
+  setup.catalog.SetClassStats(setup.person, person);
+  const PathContext grown = PathContext::Build(setup.schema, setup.path,
+                                               setup.catalog, setup.load)
+                                .value();
+  ExpectSameMatrix(builder.Build(grown),
+                   CostMatrix::Build(grown, builder.orgs()));
+  EXPECT_EQ(builder.model_rebuilds(), 2u);
+
+  builder.Invalidate();
+  builder.Build(grown);
+  EXPECT_EQ(builder.model_rebuilds(), 3u);
+}
+
+}  // namespace
+}  // namespace pathix

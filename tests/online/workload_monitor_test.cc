@@ -1,0 +1,68 @@
+// WorkloadMonitor: exponentially-decayed load estimation.
+
+#include <gtest/gtest.h>
+
+#include "online/workload_monitor.h"
+
+namespace pathix {
+namespace {
+
+constexpr ClassId kA = 0;
+constexpr ClassId kB = 1;
+
+TEST(WorkloadMonitorTest, EmptyMonitorEstimatesZero) {
+  WorkloadMonitor monitor;
+  EXPECT_EQ(monitor.ops_observed(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.DecayedTotal(), 0.0);
+  const LoadDistribution load = monitor.EstimatedLoad();
+  EXPECT_DOUBLE_EQ(load.Get(kA).query, 0.0);
+}
+
+TEST(WorkloadMonitorTest, StationaryStreamConvergesToMixProportions) {
+  WorkloadMonitor monitor(/*half_life_ops=*/64);
+  // Repeating block of 10 ops: 6 A-queries, 3 B-inserts, 1 B-delete.
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 6; ++i) monitor.Observe(DbOpKind::kQuery, kA);
+    for (int i = 0; i < 3; ++i) monitor.Observe(DbOpKind::kInsert, kB);
+    monitor.Observe(DbOpKind::kDelete, kB);
+  }
+  const LoadDistribution load = monitor.EstimatedLoad();
+  EXPECT_NEAR(load.Get(kA).query, 0.6, 0.05);
+  EXPECT_NEAR(load.Get(kB).insert, 0.3, 0.05);
+  EXPECT_NEAR(load.Get(kB).del, 0.1, 0.05);
+  // Normalized: everything sums to 1.
+  const OpLoad a = load.Get(kA), b = load.Get(kB);
+  EXPECT_NEAR(a.query + a.insert + a.del + b.query + b.insert + b.del, 1.0,
+              1e-9);
+}
+
+TEST(WorkloadMonitorTest, PhaseShiftForgetsOldTrafficWithinHalfLives) {
+  WorkloadMonitor monitor(/*half_life_ops=*/32);
+  for (int i = 0; i < 1000; ++i) monitor.Observe(DbOpKind::kQuery, kA);
+  // Shift: pure B-inserts. After 10 half-lives the A weight is ~2^-10.
+  for (int i = 0; i < 320; ++i) monitor.Observe(DbOpKind::kInsert, kB);
+  const LoadDistribution load = monitor.EstimatedLoad();
+  EXPECT_GT(load.Get(kB).insert, 0.97);
+  EXPECT_LT(load.Get(kA).query, 0.03);
+}
+
+TEST(WorkloadMonitorTest, NoDecayCountsPlainly) {
+  WorkloadMonitor monitor(/*half_life_ops=*/0);  // decay disabled
+  for (int i = 0; i < 30; ++i) monitor.Observe(DbOpKind::kQuery, kA);
+  for (int i = 0; i < 10; ++i) monitor.Observe(DbOpKind::kInsert, kB);
+  EXPECT_DOUBLE_EQ(monitor.DecayedTotal(), 40.0);
+  const LoadDistribution load = monitor.EstimatedLoad();
+  EXPECT_DOUBLE_EQ(load.Get(kA).query, 0.75);
+  EXPECT_DOUBLE_EQ(load.Get(kB).insert, 0.25);
+}
+
+TEST(WorkloadMonitorTest, ResetClearsState) {
+  WorkloadMonitor monitor;
+  monitor.Observe(DbOpKind::kQuery, kA);
+  monitor.Reset();
+  EXPECT_EQ(monitor.ops_observed(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.DecayedTotal(), 0.0);
+}
+
+}  // namespace
+}  // namespace pathix
