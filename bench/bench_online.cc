@@ -23,7 +23,10 @@ TraceSpec MakeFlippingTrace(std::uint64_t phase_ops, int flips) {
   const ClassId forum = spec.schema.AddClass("Forum").value();
   CheckOk(spec.schema.AddReferenceAttribute(submission, "forum", forum));
   CheckOk(spec.schema.AddAtomicAttribute(forum, "name", AtomicType::kString));
-  spec.path = Path::Create(spec.schema, submission, {"forum", "name"}).value();
+  TracePath tp;
+  tp.id = "default";
+  tp.path = Path::Create(spec.schema, submission, {"forum", "name"}).value();
+  spec.paths.push_back(std::move(tp));
   spec.options.orgs = {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX,
                        IndexOrg::kNone};
   spec.seed = 4242;
@@ -32,13 +35,15 @@ TraceSpec MakeFlippingTrace(std::uint64_t phase_ops, int flips) {
   for (int i = 0; i < flips; ++i) {
     TracePhase phase;
     phase.ops = phase_ops;
+    LoadDistribution mix;
     if (i % 2 == 0) {
       phase.name = "search" + std::to_string(i);
-      phase.mix.Set(submission, 0.95, 0.03, 0.02);
+      mix.Set(submission, 0.95, 0.03, 0.02);
     } else {
       phase.name = "ingest" + std::to_string(i);
-      phase.mix.Set(submission, 0.02, 0.6, 0.38);
+      mix.Set(submission, 0.02, 0.6, 0.38);
     }
+    phase.SetSinglePathMix(mix);
     spec.phases.push_back(std::move(phase));
   }
   return spec;

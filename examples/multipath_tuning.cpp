@@ -16,7 +16,7 @@ int main() {
   PaperSetup setup = MakeExample51Setup();
 
   // Path 1: the paper's Pexa — persons by division name.
-  PathWorkload full{setup.path, setup.load};
+  PathWorkload full{"", setup.path, setup.load};
 
   // Path 2: Pe from Example 2.1 — persons by manufacturer name... the
   // schema routes it through the same prefix Person.owns.man.
@@ -25,6 +25,7 @@ int main() {
   audit_load.Set(setup.vehicle, 0.3, 0.0, 0.05);
   audit_load.Set(setup.division, 0.15, 0.1, 0.05);
   PathWorkload audit{
+      "",
       Path::Create(setup.schema, setup.vehicle, {"man", "divs", "name"})
           .value(),
       audit_load};
@@ -33,6 +34,7 @@ int main() {
   LoadDistribution div_load;
   div_load.Set(setup.division, 0.8, 0.1, 0.1);
   PathWorkload divisions{
+      "",
       Path::Create(setup.schema, setup.company, {"divs", "name"}).value(),
       div_load};
 

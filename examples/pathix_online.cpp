@@ -1,23 +1,29 @@
 // pathix_online: online index selection on a live simulated database.
 //
 // Feed it a trace spec (see src/io/spec_parser.h for the format): an object
-// population plus timed operation batches whose mix shifts per phase. The
-// tool replays the trace three ways — the online controller (monitor /
+// population plus timed operation batches whose mix shifts per phase.
+//
+// Single-path traces replay three ways — the online controller (monitor /
 // selector / hysteresis, reconfiguring live), the per-phase offline oracle,
-// and every candidate static configuration — and reports per-phase page
-// costs, the reconfiguration points, and the regret.
+// and every candidate static configuration. Multi-path traces (several
+// `path` lines, optionally a storage `budget`) run the *joint* pipeline
+// instead: a JointReconfigurationController re-solving the workload
+// advisor's storage-budgeted joint selection on drift, compared against the
+// per-phase joint oracle and static joint / independent baselines.
 //
 //   $ ./examples/pathix_online ../examples/specs/vehicle_drift_trace.pix
+//   $ ./examples/pathix_online ../examples/specs/vehicle_joint_trace.pix
 //   $ ./examples/pathix_online     # runs the embedded demo trace
 //
-// Exit status: 0 when the online run beats the best static configuration
-// and stays within 2x of the oracle (the acceptance envelope), 1 on error,
-// 2 when the envelope is missed.
+// Exit status: 0 when the online run beats the best (budget-feasible)
+// static configuration and stays within 2x of the oracle (the acceptance
+// envelope), 1 on error, 2 when the envelope is missed.
 
 #include <cstdio>
 #include <iostream>
 
 #include "online/experiment.h"
+#include "online/joint_experiment.h"
 
 namespace {
 
@@ -38,62 +44,51 @@ populate Submission 3000 0 1.0
 populate Forum      60 60 1.0
 trace_seed 11
 
-phase search 4000
+phase search 6000
 mix Submission 0.95 0.03 0.02
 
-phase ingest 4000
+phase ingest 6000
 mix Submission 0.02 0.6 0.38
 
-phase search2 4000
+phase search2 6000
 mix Submission 0.95 0.03 0.02
 )";
 
 void PrintRun(const pathix::ExperimentRun& run) {
-  std::printf("  %-18s", run.label.c_str());
+  std::printf("  %-22s", run.label.c_str());
   for (const pathix::PhaseReport& p : run.phases) {
     std::printf(" %10.0f", p.total_cost());
   }
   std::printf(" %12.0f\n", run.total_cost());
 }
 
-}  // namespace
+void PrintHeader(const pathix::TraceSpec& s) {
+  std::printf("phases:");
+  for (const pathix::TracePhase& phase : s.phases) {
+    std::printf("  %s(%llu ops)", phase.name.c_str(),
+                static_cast<unsigned long long>(phase.ops));
+  }
+  std::printf("\n\nper-phase page cost (measured pages + modeled transition "
+              "charges):\n  %-22s", "run");
+  for (const pathix::TracePhase& phase : s.phases) {
+    std::printf(" %10s", phase.name.c_str());
+  }
+  std::printf(" %12s\n", "total");
+}
 
-int main(int argc, char** argv) {
+int RunSinglePath(const pathix::TraceSpec& s) {
   using namespace pathix;
-
-  Result<TraceSpec> spec = argc > 1 ? ParseTraceSpecFile(argv[1])
-                                    : ParseTraceSpec(kDemoSpec);
-  if (!spec.ok()) {
-    std::cerr << "error: " << spec.status().ToString() << "\n";
-    return 1;
-  }
-  const TraceSpec& s = spec.value();
-  if (argc <= 1) {
-    std::cout << "(no spec file given; using the embedded demo — pass a "
-                 "trace .pix file, e.g. examples/specs/"
-                 "vehicle_drift_trace.pix)\n\n";
-  }
-
   Result<ExperimentReport> result = RunOnlineExperiment(s, ControllerOptions{});
   if (!result.ok()) {
     std::cerr << "error: " << result.status().ToString() << "\n";
     return 1;
   }
   const ExperimentReport& r = result.value();
+  const Path& path = s.paths[0].path;
 
-  std::cout << "=== Online index selection on "
-            << s.path.ToString(s.schema) << " ===\n\n";
-  std::printf("phases:");
-  for (const TracePhase& phase : s.phases) {
-    std::printf("  %s(%llu ops)", phase.name.c_str(),
-                static_cast<unsigned long long>(phase.ops));
-  }
-  std::printf("\n\nper-phase page cost (measured pages + modeled transition "
-              "charges):\n  %-18s", "run");
-  for (const TracePhase& phase : s.phases) {
-    std::printf(" %10s", phase.name.c_str());
-  }
-  std::printf(" %12s\n", "total");
+  std::cout << "=== Online index selection on " << path.ToString(s.schema)
+            << " ===\n\n";
+  PrintHeader(s);
   PrintRun(r.online);
   PrintRun(r.oracle);
   for (const StaticCandidate& c : r.statics) PrintRun(c.run);
@@ -101,15 +96,15 @@ int main(int argc, char** argv) {
   std::cout << "\noracle per-phase configurations:\n";
   for (std::size_t i = 0; i < r.oracle_configs.size(); ++i) {
     std::cout << "  " << s.phases[i].name << " : "
-              << r.oracle_configs[i].ToString(s.schema, s.path) << "\n";
+              << r.oracle_configs[i].ToString(s.schema, path) << "\n";
   }
 
-  std::cout << "\nonline reconfiguration points ("
-            << r.events.size() << "):\n";
+  std::cout << "\nonline reconfiguration points (" << r.events.size()
+            << "):\n";
   for (const ReconfigurationEvent& ev : r.events) {
     std::cout << "  op " << ev.op_index << ": "
               << (ev.initial ? "install " : "switch to ")
-              << ev.to.ToString(s.schema, s.path);
+              << ev.to.ToString(s.schema, path);
     if (!ev.initial) {
       std::printf(" (predicted savings %.3f pages/op, transition %.0f pages)",
                   ev.predicted_savings_per_op, ev.transition.total());
@@ -138,4 +133,109 @@ int main(int argc, char** argv) {
 
   const bool ok = r.online_vs_best_static() < 1 && r.online_vs_oracle() <= 2;
   return ok ? 0 : 2;
+}
+
+int RunJoint(const pathix::TraceSpec& s) {
+  using namespace pathix;
+  Result<JointExperimentReport> result =
+      RunJointOnlineExperiment(s, ControllerOptions{});
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  const JointExperimentReport& r = result.value();
+
+  std::cout << "=== Joint online index selection over " << s.paths.size()
+            << " paths ===\n\n";
+  for (const TracePath& tp : s.paths) {
+    std::cout << "  " << tp.id << " : " << tp.path.ToString(s.schema) << "\n";
+  }
+  if (s.has_budget) {
+    std::printf("  storage budget: %.0f bytes\n", s.storage_budget_bytes);
+  }
+  std::cout << "\n";
+  PrintHeader(s);
+  PrintRun(r.online);
+  PrintRun(r.oracle);
+  for (const JointStaticCandidate& c : r.statics) PrintRun(c.run);
+
+  std::cout << "\njoint oracle per-phase assignments:\n";
+  for (std::size_t i = 0; i < r.oracle_configs.size(); ++i) {
+    std::cout << "  " << s.phases[i].name << ":\n";
+    for (std::size_t p = 0; p < s.paths.size(); ++p) {
+      std::cout << "    " << s.paths[p].id << " : "
+                << r.oracle_configs[i][p].ToString(s.schema, s.paths[p].path)
+                << "\n";
+    }
+  }
+
+  std::cout << "\nonline joint reconfiguration points (" << r.events.size()
+            << "):\n";
+  for (const JointReconfigurationEvent& ev : r.events) {
+    std::cout << "  op " << ev.op_index << ": "
+              << (ev.initial ? "install" : "switch");
+    if (!ev.initial) {
+      std::printf(" (predicted savings %.3f pages/op, transition %.0f pages)",
+                  ev.predicted_savings_per_op, ev.transition.total());
+    }
+    std::cout << "\n";
+    for (const JointReconfigurationEvent::PathChange& change : ev.changes) {
+      const Path* path = nullptr;
+      for (const TracePath& tp : s.paths) {
+        if (tp.id == change.path) path = &tp.path;
+      }
+      std::cout << "    " << change.path << " -> "
+                << change.to.ToString(s.schema, *path) << "\n";
+    }
+  }
+
+  const int best = r.best_static_joint;
+  std::printf(
+      "\ntotal cost, online joint      : %.0f  (%.0f measured + %.0f "
+      "transition)\n"
+      "total cost, joint oracle      : %.0f  (per-phase joint optimum, free "
+      "switches)\n"
+      "total cost, best static joint : %.0f  (%s)\n"
+      "online / best static joint    : %.3f  %s\n"
+      "online / oracle (regret)      : %.3f  %s\n",
+      r.online.total_cost(), r.online.measured_pages(),
+      r.online.transition_pages(), r.oracle.total_cost(),
+      r.best_static_joint_cost(),
+      best >= 0 ? r.statics[static_cast<std::size_t>(best)].label.c_str()
+                : "n/a",
+      r.online_vs_best_static_joint(),
+      r.online_vs_best_static_joint() < 1
+          ? "(adapting beat every budget-feasible fixed choice)"
+          : "(a static choice was at least as good)",
+      r.online_vs_oracle(),
+      r.online_vs_oracle() <= 2 ? "(within the 2x envelope)"
+                                : "(outside the 2x envelope)");
+
+  const bool ok =
+      r.online_vs_best_static_joint() < 1 && r.online_vs_oracle() <= 2;
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pathix;
+
+  Result<TraceSpec> spec = argc > 1 ? ParseTraceSpecFile(argv[1])
+                                    : ParseTraceSpec(kDemoSpec);
+  if (!spec.ok()) {
+    std::cerr << "error: " << spec.status().ToString() << "\n";
+    return 1;
+  }
+  const TraceSpec& s = spec.value();
+  if (argc <= 1) {
+    std::cout << "(no spec file given; using the embedded demo — pass a "
+                 "trace .pix file, e.g. examples/specs/"
+                 "vehicle_drift_trace.pix or the multi-path "
+                 "vehicle_joint_trace.pix)\n\n";
+  }
+  // The joint pipeline is also the only one that enforces a storage
+  // budget, so a budgeted single-path trace routes through it rather than
+  // silently ignoring the directive.
+  return s.paths.size() > 1 || s.has_budget ? RunJoint(s) : RunSinglePath(s);
 }

@@ -18,8 +18,11 @@
 
 namespace pathix {
 
-/// One path with its own workload.
+/// One path with its own workload. \p name is an optional caller-chosen
+/// identifier (spec path names; the online subsystem's SimDatabase path
+/// ids); empty when the workload is anonymous.
 struct PathWorkload {
+  std::string name;
   Path path;
   LoadDistribution load;
 };

@@ -1,69 +1,147 @@
 #include "datagen/generator.h"
 
+#include <algorithm>
 #include <random>
+#include <set>
 
 namespace pathix {
 
 std::string EndingValue(int i) { return "val-" + std::to_string(i); }
 
 std::map<ClassId, std::vector<Oid>> PathDataGenerator::Populate(
-    SimDatabase* db, const Path& path,
+    SimDatabase* db, const Path& path, const std::vector<ClassGenSpec>& specs) {
+  return Populate(db, std::vector<const Path*>{&path}, specs);
+}
+
+std::map<ClassId, std::vector<Oid>> PathDataGenerator::Populate(
+    SimDatabase* db, const std::vector<const Path*>& paths,
     const std::vector<ClassGenSpec>& specs) {
   std::mt19937 rng(seed_);
   std::map<ClassId, const ClassGenSpec*> by_class;
   for (const ClassGenSpec& spec : specs) by_class[spec.cls] = &spec;
 
-  std::map<ClassId, std::vector<Oid>> created;
-
-  // Bottom-up so that references point at existing objects.
-  for (int l = path.length(); l >= 1; --l) {
-    const std::string& attr = path.attribute_at(l).name;
-    const bool ending = (l == path.length());
-
-    // The reference pool: every object of the next level's hierarchy.
-    std::vector<Oid> pool;
-    if (!ending) {
-      for (ClassId cls : db->schema().HierarchyOf(path.class_at(l + 1))) {
-        const auto it = created.find(cls);
-        if (it != created.end()) {
-          pool.insert(pool.end(), it->second.begin(), it->second.end());
+  // One attribute to fill per (class, path role): level l of path p fills
+  // p's attribute at l for every class of the level's hierarchy; the ending
+  // level draws atomic values, inner levels reference the next level's
+  // hierarchy. A class may play several roles across paths (or the same
+  // role twice, when paths overlap — filled once, keyed by attribute name).
+  struct Role {
+    const Path* path = nullptr;
+    int level = 0;
+    bool ending = false;
+  };
+  std::map<ClassId, std::vector<Role>> roles;
+  // Candidate emission order: paths in caller order, levels bottom-up,
+  // hierarchy order — for a single path this is exactly the legacy order,
+  // so the RNG consumption (and hence the data) is unchanged.
+  std::vector<ClassId> order;
+  for (const Path* path : paths) {
+    for (int l = path->length(); l >= 1; --l) {
+      for (ClassId cls : db->schema().HierarchyOf(path->class_at(l))) {
+        if (by_class.count(cls) == 0) continue;
+        roles[cls].push_back(Role{path, l, l == path->length()});
+        if (std::find(order.begin(), order.end(), cls) == order.end()) {
+          order.push_back(cls);
         }
       }
     }
+  }
 
-    for (ClassId cls : db->schema().HierarchyOf(path.class_at(l))) {
-      const auto spec_it = by_class.find(cls);
-      if (spec_it == by_class.end()) continue;
-      const ClassGenSpec& spec = *spec_it->second;
+  // Dependencies: a class whose role references level l+1 of a path must be
+  // generated after every spec'd class of that level's hierarchy.
+  std::map<ClassId, std::set<ClassId>> deps;
+  for (const auto& [cls, cls_roles] : roles) {
+    for (const Role& role : cls_roles) {
+      if (role.ending) continue;
+      for (ClassId next : db->schema().HierarchyOf(
+               role.path->class_at(role.level + 1))) {
+        if (by_class.count(next) > 0 && next != cls) deps[cls].insert(next);
+      }
+    }
+  }
 
+  std::map<ClassId, std::vector<Oid>> created;
+  std::set<ClassId> done;
+  std::size_t emitted = 0;
+  while (emitted < order.size()) {
+    bool progressed = false;
+    for (ClassId cls : order) {
+      if (done.count(cls) > 0) continue;
+      bool ready = true;
+      for (ClassId dep : deps[cls]) {
+        if (done.count(dep) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      progressed = true;
+      done.insert(cls);
+      ++emitted;
+
+      const ClassGenSpec& spec = *by_class.at(cls);
       std::uniform_int_distribution<int> value_dist(
           0, std::max(1, spec.distinct_values) - 1);
       std::uniform_real_distribution<double> frac(0.0, 1.0);
 
-      for (int i = 0; i < spec.count; ++i) {
-        // nin values on average: floor(nin) plus one more with the
-        // fractional probability.
-        int nvals = static_cast<int>(spec.nin);
-        if (frac(rng) < spec.nin - nvals) ++nvals;
-        nvals = std::max(1, nvals);
-
-        AttrValues attrs;
-        std::vector<Value>& values = attrs[attr];
-        if (ending) {
-          for (int v = 0; v < nvals; ++v) {
-            values.push_back(Value::Str(EndingValue(value_dist(rng))));
+      // Reference pools per role, resolved once per class.
+      struct Fill {
+        const std::string* attr = nullptr;
+        bool ending = false;
+        std::vector<Oid> pool;
+      };
+      std::vector<Fill> fills;
+      std::set<std::string> filled_attrs;
+      for (const Role& role : roles.at(cls)) {
+        const std::string& attr = role.path->attribute_at(role.level).name;
+        if (!filled_attrs.insert(attr).second) continue;  // shared subpath
+        Fill fill;
+        fill.attr = &attr;
+        fill.ending = role.ending;
+        if (!role.ending) {
+          for (ClassId next : db->schema().HierarchyOf(
+                   role.path->class_at(role.level + 1))) {
+            const auto it = created.find(next);
+            if (it != created.end()) {
+              fill.pool.insert(fill.pool.end(), it->second.begin(),
+                               it->second.end());
+            }
           }
-        } else if (!pool.empty()) {
-          std::uniform_int_distribution<std::size_t> ref_dist(
-              0, pool.size() - 1);
-          for (int v = 0; v < nvals; ++v) {
-            values.push_back(Value::Ref(pool[ref_dist(rng)]));
+        }
+        fills.push_back(std::move(fill));
+      }
+
+      for (int i = 0; i < spec.count; ++i) {
+        AttrValues attrs;
+        for (const Fill& fill : fills) {
+          // nin values on average: floor(nin) plus one more with the
+          // fractional probability.
+          int nvals = static_cast<int>(spec.nin);
+          if (frac(rng) < spec.nin - nvals) ++nvals;
+          nvals = std::max(1, nvals);
+
+          std::vector<Value>& values = attrs[*fill.attr];
+          if (fill.ending) {
+            for (int v = 0; v < nvals; ++v) {
+              values.push_back(Value::Str(EndingValue(value_dist(rng))));
+            }
+          } else if (!fill.pool.empty()) {
+            std::uniform_int_distribution<std::size_t> ref_dist(
+                0, fill.pool.size() - 1);
+            for (int v = 0; v < nvals; ++v) {
+              values.push_back(Value::Ref(fill.pool[ref_dist(rng)]));
+            }
           }
         }
         created[cls].push_back(db->Insert(cls, std::move(attrs)));
       }
     }
+    PATHIX_DCHECK(progressed &&
+                  "reference cycle across the workload's paths; cannot "
+                  "order data generation");
+    if (!progressed) break;  // release builds: bail instead of spinning
   }
+
   db->pager().ResetStats();
   return created;
 }

@@ -9,8 +9,9 @@
 
 /// \file generator.h
 /// \brief Synthetic data generation: populates a SimDatabase so that each
-/// class along a path matches target statistics (object count, distinct
-/// path-attribute values, multi-value fan-out) — the knobs of Figure 7.
+/// class along one or several paths matches target statistics (object
+/// count, distinct path-attribute values, multi-value fan-out) — the knobs
+/// of Figure 7, extended to multi-path workloads whose paths may overlap.
 
 namespace pathix {
 
@@ -35,6 +36,17 @@ class PathDataGenerator {
   /// afterwards (loading is not part of any experiment).
   std::map<ClassId, std::vector<Oid>> Populate(
       SimDatabase* db, const Path& path,
+      const std::vector<ClassGenSpec>& specs);
+
+  /// The multi-path variant: each object receives values for *every* path
+  /// attribute of its class across \p paths (a class interior to one path
+  /// and ending another gets references and atomic values). Classes are
+  /// created in dependency order — a class referencing another (at the next
+  /// level of any path) is generated after it; reference cycles across
+  /// paths are a PATHIX_DCHECK failure. With a single path this consumes
+  /// the RNG identically to the single-path overload.
+  std::map<ClassId, std::vector<Oid>> Populate(
+      SimDatabase* db, const std::vector<const Path*>& paths,
       const std::vector<ClassGenSpec>& specs);
 
  private:

@@ -1,11 +1,42 @@
 #include "exec/analyze.h"
 
 #include <algorithm>
-#include <set>
 
 #include "index/key.h"
 
 namespace pathix {
+
+namespace {
+
+/// One class's statistics w.r.t. one path attribute, from the live store.
+ClassStats CollectClassStats(const ObjectStore& store, ClassId cls,
+                             const std::string& attr) {
+  const std::vector<Oid> oids = store.PeekAll(cls);
+  ClassStats stats;
+  stats.n = static_cast<double>(oids.size());
+  std::set<std::string> distinct;
+  double total_values = 0;
+  double total_bytes = 0;
+  for (Oid oid : oids) {
+    const Object* obj = store.Peek(oid);
+    total_bytes += static_cast<double>(obj->bytes());
+    for (const Value& v : obj->values(attr)) {
+      // Dangling references do not select anything; skip them like the
+      // evaluators do.
+      if (v.kind() == Value::Kind::kRef && store.Peek(v.as_ref()) == nullptr) {
+        continue;
+      }
+      total_values += 1;
+      distinct.insert(Key::FromValue(v).ToString());
+    }
+  }
+  stats.d = std::max<double>(1.0, static_cast<double>(distinct.size()));
+  stats.nin = stats.n > 0 ? std::max(1.0, total_values / stats.n) : 1.0;
+  stats.obj_len = stats.n > 0 ? total_bytes / stats.n : 64.0;
+  return stats;
+}
+
+}  // namespace
 
 Catalog CollectStatistics(const ObjectStore& store, const Schema& schema,
                           const Path& path, const PhysicalParams& params) {
@@ -13,33 +44,29 @@ Catalog CollectStatistics(const ObjectStore& store, const Schema& schema,
   for (int l = 1; l <= path.length(); ++l) {
     const std::string& attr = path.attribute_at(l).name;
     for (ClassId cls : schema.HierarchyOf(path.class_at(l))) {
-      const std::vector<Oid> oids = store.PeekAll(cls);
-      ClassStats stats;
-      stats.n = static_cast<double>(oids.size());
-      std::set<std::string> distinct;
-      double total_values = 0;
-      double total_bytes = 0;
-      for (Oid oid : oids) {
-        const Object* obj = store.Peek(oid);
-        total_bytes += static_cast<double>(obj->bytes());
-        for (const Value& v : obj->values(attr)) {
-          // Dangling references do not select anything; skip them like the
-          // evaluators do.
-          if (v.kind() == Value::Kind::kRef &&
-              store.Peek(v.as_ref()) == nullptr) {
-            continue;
-          }
-          total_values += 1;
-          distinct.insert(Key::FromValue(v).ToString());
-        }
-      }
-      stats.d = std::max<double>(1.0, static_cast<double>(distinct.size()));
-      stats.nin = stats.n > 0 ? std::max(1.0, total_values / stats.n) : 1.0;
-      stats.obj_len = stats.n > 0 ? total_bytes / stats.n : 64.0;
-      catalog.SetClassStats(cls, stats);
+      catalog.SetClassStats(cls, CollectClassStats(store, cls, attr));
     }
   }
   return catalog;
+}
+
+int RefreshStatistics(const ObjectStore& store, const Schema& schema,
+                      const Path& path, const std::set<ClassId>& classes,
+                      Catalog* catalog,
+                      std::set<std::pair<ClassId, std::string>>* collected) {
+  int collections = 0;
+  for (int l = 1; l <= path.length(); ++l) {
+    const std::string& attr = path.attribute_at(l).name;
+    for (ClassId cls : schema.HierarchyOf(path.class_at(l))) {
+      if (classes.count(cls) == 0) continue;
+      if (collected != nullptr && !collected->emplace(cls, attr).second) {
+        continue;  // another overlapping path already scanned this pair
+      }
+      catalog->SetClassStats(cls, CollectClassStats(store, cls, attr));
+      ++collections;
+    }
+  }
+  return collections;
 }
 
 }  // namespace pathix

@@ -1,5 +1,7 @@
 #include "exec/database.h"
 
+#include <set>
+
 #include "index/nix_index.h"
 
 namespace pathix {
@@ -9,8 +11,15 @@ Oid SimDatabase::Insert(ClassId cls, AttrValues attrs) {
   obj.cls = cls;
   obj.attrs = std::move(attrs);
   const Oid oid = store_.Insert(std::move(obj));
-  if (physical_.has_value()) {
-    physical_->OnInsert(*store_.Peek(oid));
+  // Dedup of shared parts only matters with several paths; the single-path
+  // hot path skips the bookkeeping entirely.
+  const bool shared = paths_.size() > 1;
+  std::set<const SubpathIndex*> visited;
+  for (auto& [id, cp] : paths_) {
+    (void)id;
+    if (cp.physical.has_value()) {
+      cp.physical->OnInsert(*store_.Peek(oid), shared ? &visited : nullptr);
+    }
   }
   Notify(DbOpKind::kInsert, cls);
   return oid;
@@ -23,83 +32,257 @@ Status SimDatabase::Delete(Oid oid) {
   }
   const ClassId cls = obj->cls;
   // Index maintenance first: it needs the pre-deletion image.
-  if (physical_.has_value()) {
-    physical_->OnDelete(*obj);
+  const bool shared = paths_.size() > 1;
+  std::set<const SubpathIndex*> visited;
+  std::set<const SubpathIndex*> boundary_visited;
+  for (auto& [id, cp] : paths_) {
+    (void)id;
+    if (cp.physical.has_value()) {
+      cp.physical->OnDelete(*obj, shared ? &visited : nullptr,
+                            shared ? &boundary_visited : nullptr);
+    }
   }
   const Status status = store_.Delete(oid);
   if (status.ok()) Notify(DbOpKind::kDelete, cls);
   return status;
 }
 
-Status SimDatabase::ConfigureIndexes(const Path& path,
-                                     IndexConfiguration config) {
-  // The physical configuration keeps pointers into this database; bind it
-  // to our own stable copy of the path, not the caller's.
-  path_ = path;
-  Result<PhysicalConfiguration> phys = PhysicalConfiguration::Create(
-      &pager_, schema_, *path_, std::move(config));
-  if (!phys.ok()) {
-    path_.reset();
-    physical_.reset();
-    return phys.status();
+Status SimDatabase::RegisterPath(const PathId& id, const Path& path) {
+  if (id.empty()) {
+    return Status::InvalidArgument("path id must not be empty");
   }
-  physical_.emplace(std::move(phys).value());
-  physical_->Build(store_);
+  if (path.length() <= 0) {
+    return Status::InvalidArgument("path '" + id + "' is empty");
+  }
+  ConfiguredPath& cp = paths_[id];
+  cp.physical.reset();  // old configuration refers to the old path copy
+  cp.path = path;
   return Status::OK();
 }
 
-Status SimDatabase::ReconfigureIndexes(IndexConfiguration config) {
-  if (!path_.has_value()) {
-    return Status::FailedPrecondition(
-        "no path configured (use ConfigureIndexes for the initial "
-        "configuration)");
+Status SimDatabase::ConfigureIndexes(const PathId& id,
+                                     IndexConfiguration config) {
+  auto it = paths_.find(id);
+  if (it == paths_.end()) {
+    return Status::FailedPrecondition("path '" + id +
+                                      "' is not registered (RegisterPath)");
   }
-  Result<PhysicalConfiguration> phys = PhysicalConfiguration::CreateReusing(
-      &pager_, schema_, *path_, std::move(config),
-      physical_.has_value() ? &*physical_ : nullptr, store_);
+  // Fresh-build semantics: drop this path's configuration first, so only
+  // parts shared with *other* paths' configurations are adopted.
+  it->second.physical.reset();
+  Result<PhysicalConfiguration> phys =
+      PhysicalConfiguration::Create(&pager_, schema_, it->second.path,
+                                    std::move(config), &registry_, store_);
   if (!phys.ok()) return phys.status();
-  physical_.emplace(std::move(phys).value());
+  it->second.physical.emplace(std::move(phys).value());
   return Status::OK();
+}
+
+Status SimDatabase::ReconfigureIndexes(const PathId& id,
+                                       IndexConfiguration config) {
+  return ReconfigureIndexes(
+      std::vector<std::pair<PathId, IndexConfiguration>>{
+          {id, std::move(config)}});
+}
+
+Status SimDatabase::ReconfigureIndexes(
+    const std::vector<std::pair<PathId, IndexConfiguration>>& changes) {
+  for (const auto& [id, config] : changes) {
+    (void)config;
+    if (paths_.count(id) == 0) {
+      return Status::FailedPrecondition("path '" + id +
+                                        "' is not registered (RegisterPath)");
+    }
+  }
+  // Create every incoming configuration while all outgoing ones are still
+  // alive: parts surviving anywhere (same path across time, or moving to a
+  // different path) keep their physical structures.
+  std::vector<PhysicalConfiguration> incoming;
+  incoming.reserve(changes.size());
+  for (const auto& [id, config] : changes) {
+    ConfiguredPath& cp = paths_.find(id)->second;
+    Result<PhysicalConfiguration> phys = PhysicalConfiguration::Create(
+        &pager_, schema_, cp.path, config, &registry_, store_);
+    if (!phys.ok()) return phys.status();
+    incoming.push_back(std::move(phys).value());
+  }
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    paths_.find(changes[i].first)
+        ->second.physical.emplace(std::move(incoming[i]));
+  }
+  return Status::OK();
+}
+
+void SimDatabase::DropIndexes(const PathId& id) {
+  auto it = paths_.find(id);
+  if (it != paths_.end()) it->second.physical.reset();
+}
+
+bool SimDatabase::has_indexes(const PathId& id) const {
+  auto it = paths_.find(id);
+  return it != paths_.end() && it->second.physical.has_value();
+}
+
+const PhysicalConfiguration& SimDatabase::physical(const PathId& id) const {
+  auto it = paths_.find(id);
+  PATHIX_DCHECK(it != paths_.end() && it->second.physical.has_value());
+  return *it->second.physical;
+}
+
+const Path& SimDatabase::path(const PathId& id) const {
+  auto it = paths_.find(id);
+  PATHIX_DCHECK(it != paths_.end());
+  return it->second.path;
+}
+
+std::vector<PathId> SimDatabase::path_ids() const {
+  std::vector<PathId> ids;
+  ids.reserve(paths_.size());
+  for (const auto& [id, cp] : paths_) {
+    (void)cp;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+SimDatabase::ConfiguredPath* SimDatabase::SolePath() {
+  return paths_.size() == 1 ? &paths_.begin()->second : nullptr;
+}
+
+const SimDatabase::ConfiguredPath* SimDatabase::SolePath() const {
+  return paths_.size() == 1 ? &paths_.begin()->second : nullptr;
+}
+
+Status SimDatabase::ConfigureIndexes(const Path& path,
+                                     IndexConfiguration config) {
+  for (const auto& [id, cp] : paths_) {
+    (void)cp;
+    if (id != kDefaultPathId) {
+      return Status::FailedPrecondition(
+          "named paths are registered; use ConfigureIndexes(id, config)");
+    }
+  }
+  PATHIX_RETURN_IF_ERROR(RegisterPath(kDefaultPathId, path));
+  return ConfigureIndexes(kDefaultPathId, std::move(config));
+}
+
+Status SimDatabase::ReconfigureIndexes(IndexConfiguration config) {
+  const ConfiguredPath* sole = SolePath();
+  if (sole == nullptr) {
+    return Status::FailedPrecondition(
+        paths_.empty()
+            ? "no path configured (use ConfigureIndexes for the initial "
+              "configuration)"
+            : "several paths are registered; name one "
+              "(ReconfigureIndexes(id, config))");
+  }
+  return ReconfigureIndexes(paths_.begin()->first, std::move(config));
+}
+
+void SimDatabase::SetQueryPath(const Path& path) {
+  for (const auto& [id, cp] : paths_) {
+    (void)cp;
+    PATHIX_DCHECK(id == kDefaultPathId &&
+                  "named paths are registered; use RegisterPath");
+    if (id != kDefaultPathId) return;  // release builds: refuse, not corrupt
+  }
+  const Status status = RegisterPath(kDefaultPathId, path);
+  PATHIX_DCHECK(status.ok());
+  (void)status;
+}
+
+bool SimDatabase::has_indexes() const {
+  const ConfiguredPath* sole = SolePath();
+  return sole != nullptr && sole->physical.has_value();
+}
+
+const PhysicalConfiguration& SimDatabase::physical() const {
+  const ConfiguredPath* sole = SolePath();
+  PATHIX_DCHECK(sole != nullptr && sole->physical.has_value());
+  return *sole->physical;
+}
+
+Result<std::vector<Oid>> SimDatabase::Query(const PathId& id,
+                                            const Key& ending_value,
+                                            ClassId target_class,
+                                            bool include_subclasses) {
+  auto it = paths_.find(id);
+  if (it == paths_.end()) {
+    return Status::FailedPrecondition("path '" + id + "' is not registered");
+  }
+  if (!it->second.physical.has_value()) {
+    return Status::FailedPrecondition("no index configuration installed on '" +
+                                      id + "'");
+  }
+  std::vector<Oid> oids = it->second.physical->Evaluate(
+      ending_value, target_class, include_subclasses);
+  Notify(DbOpKind::kQuery, target_class, it->first);
+  return oids;
+}
+
+Result<std::vector<Oid>> SimDatabase::QueryNaive(const PathId& id,
+                                                 const Key& ending_value,
+                                                 ClassId target_class,
+                                                 bool include_subclasses) {
+  auto it = paths_.find(id);
+  if (it == paths_.end()) {
+    return Status::FailedPrecondition("path '" + id + "' is not registered");
+  }
+  NaiveEvaluator eval(&store_, &schema_, &it->second.path);
+  Result<std::vector<Oid>> oids = eval.Evaluate(ending_value, target_class,
+                                                include_subclasses, &pager_);
+  if (oids.ok()) Notify(DbOpKind::kQuery, target_class, it->first);
+  return oids;
 }
 
 Result<std::vector<Oid>> SimDatabase::Query(const Key& ending_value,
                                             ClassId target_class,
                                             bool include_subclasses) {
-  if (!physical_.has_value()) {
-    return Status::FailedPrecondition("no index configuration installed");
+  if (paths_.size() != 1) {
+    return Status::FailedPrecondition(
+        paths_.empty() ? "no index configuration installed"
+                       : "several paths are registered; name one");
   }
-  std::vector<Oid> oids =
-      physical_->Evaluate(ending_value, target_class, include_subclasses);
-  Notify(DbOpKind::kQuery, target_class);
-  return oids;
+  return Query(paths_.begin()->first, ending_value, target_class,
+               include_subclasses);
 }
 
 Result<std::vector<Oid>> SimDatabase::QueryNaive(const Key& ending_value,
                                                  ClassId target_class,
                                                  bool include_subclasses) {
-  if (!path_.has_value()) {
+  if (paths_.size() != 1) {
     return Status::FailedPrecondition(
-        "no path configured (naive evaluation follows the configured path)");
+        paths_.empty()
+            ? "no path configured (naive evaluation follows the configured "
+              "path)"
+            : "several paths are registered; name one");
   }
-  NaiveEvaluator eval(&store_, &schema_, &*path_);
-  Result<std::vector<Oid>> oids = eval.Evaluate(ending_value, target_class,
-                                                include_subclasses, &pager_);
-  if (oids.ok()) Notify(DbOpKind::kQuery, target_class);
-  return oids;
+  return QueryNaive(paths_.begin()->first, ending_value, target_class,
+                    include_subclasses);
 }
 
 Status SimDatabase::ValidateIndexes() const {
-  if (!physical_.has_value()) return Status::OK();
-  return physical_->Validate();
+  for (const auto& [id, cp] : paths_) {
+    (void)id;
+    if (cp.physical.has_value()) {
+      PATHIX_RETURN_IF_ERROR(cp.physical->Validate());
+    }
+  }
+  return Status::OK();
 }
 
 Status SimDatabase::ValidateIndexesDeep() const {
-  if (!physical_.has_value()) return Status::OK();
-  PATHIX_RETURN_IF_ERROR(physical_->Validate());
-  for (const auto& index : physical_->indexes()) {
-    if (index->org() == IndexOrg::kNIX) {
-      const auto* nix = static_cast<const NIXIndex*>(index.get());
-      PATHIX_RETURN_IF_ERROR(nix->ValidateAgainstStore(store_));
+  PATHIX_RETURN_IF_ERROR(ValidateIndexes());
+  std::set<const SubpathIndex*> checked;
+  for (const auto& [id, cp] : paths_) {
+    (void)id;
+    if (!cp.physical.has_value()) continue;
+    for (SubpathIndex* index : cp.physical->indexes()) {
+      if (!checked.insert(index).second) continue;
+      if (index->org() == IndexOrg::kNIX) {
+        const auto* nix = static_cast<const NIXIndex*>(index);
+        PATHIX_RETURN_IF_ERROR(nix->ValidateAgainstStore(store_));
+      }
     }
   }
   return Status::OK();

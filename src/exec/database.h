@@ -1,7 +1,12 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "exec/naive_evaluator.h"
@@ -9,13 +14,32 @@
 
 /// \file database.h
 /// \brief SimDatabase: the simulated object database — schema + paged object
-/// store + (optionally) a physical index configuration on one path. Every
-/// operation counts page accesses, the paper's cost metric.
+/// store + a set of *named configured paths*, each optionally carrying a
+/// physical index configuration. Physical parts that are structurally
+/// identical across paths (same class/attribute sequence and organization)
+/// are built once and shared through the database's PhysicalPartRegistry.
+/// Every operation counts page accesses, the paper's cost metric.
 
 namespace pathix {
 
+/// Name of a configured path within one database ("people_by_division").
+using PathId = std::string;
+
+/// The path id the single-path convenience API binds to.
+inline constexpr const char kDefaultPathId[] = "default";
+
 /// Kind of a counted database operation, as seen by a DbOpObserver.
 enum class DbOpKind { kQuery, kInsert, kDelete };
+
+/// One observed operation. Queries carry the id of the path they were
+/// evaluated on; inserts and deletions are path-agnostic (they maintain the
+/// indexes of every configured path whose scope contains the class), so
+/// \p path is empty for them.
+struct DbOpEvent {
+  DbOpKind kind = DbOpKind::kQuery;
+  ClassId cls = kInvalidClass;    ///< operated/queried class
+  std::string_view path;          ///< queried path id; empty for updates
+};
 
 /// \brief Observer of the database's operation stream (the hook the online
 /// index-selection subsystem estimates the live load distribution from).
@@ -31,10 +55,10 @@ class DbOpObserver {
  public:
   virtual ~DbOpObserver() = default;
 
-  /// \p cls is the inserted/deleted object's class, or the query's target
-  /// class. Queries report both indexed and naive evaluations; failed
-  /// operations (unknown oid, no configuration) are not reported.
-  virtual void OnOperation(DbOpKind kind, ClassId cls) = 0;
+  /// Queries report both indexed and naive evaluations; failed operations
+  /// (unknown oid, no configuration) are not reported. \p ev.path views a
+  /// string owned by the database; copy it to retain beyond the callback.
+  virtual void OnOperation(const DbOpEvent& ev) = 0;
 };
 
 class SimDatabase {
@@ -44,7 +68,7 @@ class SimDatabase {
         pager_(static_cast<std::size_t>(params.page_size)),
         store_(&pager_) {}
 
-  // The physical configuration holds pointers into this object; pin it.
+  // The physical configurations hold pointers into this object; pin it.
   SimDatabase(const SimDatabase&) = delete;
   SimDatabase& operator=(const SimDatabase&) = delete;
 
@@ -56,38 +80,78 @@ class SimDatabase {
 
   // ------------------------------------------------------------- updates
 
-  /// Stores a new object and maintains the configured indexes. Returns the
-  /// assigned oid.
+  /// Stores a new object and maintains the configured indexes of every
+  /// path; a physical part shared between paths is maintained exactly once.
+  /// Returns the assigned oid.
   Oid Insert(ClassId cls, AttrValues attrs);
 
   /// Deletes an object, maintaining the configured indexes (including the
-  /// preceding subpath's key record, Definition 4.2).
+  /// preceding subpath's key record, Definition 4.2) of every path.
   Status Delete(Oid oid);
 
   // ------------------------------------------------------------- indexing
 
-  /// Builds the physical indexes of \p config on \p path from the current
-  /// store contents (uncounted). Replaces any previous configuration.
+  /// Registers (or re-registers) \p path under \p id for naive evaluation
+  /// and later (Re)ConfigureIndexes, without building any indexes.
+  /// Re-registering drops the id's installed configuration.
+  Status RegisterPath(const PathId& id, const Path& path);
+
+  /// Builds the physical indexes of \p config on the registered path \p id
+  /// from the current store contents (uncounted). Replaces that path's
+  /// previous configuration *before* acquiring the new parts, so this is a
+  /// fresh build except for parts shared with other paths' configurations.
+  /// FailedPrecondition when \p id is not registered.
+  Status ConfigureIndexes(const PathId& id, IndexConfiguration config);
+
+  /// Switches the index layout on path \p id without touching parts that
+  /// survive into the new configuration or are shared with another path's
+  /// configuration (same structural identity): those keep their physical
+  /// structures; only genuinely new parts are built from the store
+  /// (uncounted — the transition's page price is modeled by
+  /// online/transition_cost.h). FailedPrecondition when \p id is not
+  /// registered.
+  Status ReconfigureIndexes(const PathId& id, IndexConfiguration config);
+
+  /// Reconfigures several paths as one step: every incoming configuration
+  /// is created while *all* outgoing ones are still alive, so a part moving
+  /// between paths is never dropped and rebuilt mid-batch (the joint
+  /// transition cost model prices exactly this semantics).
+  Status ReconfigureIndexes(
+      const std::vector<std::pair<PathId, IndexConfiguration>>& changes);
+
+  /// Drops path \p id's installed configuration (keeps the registration).
+  void DropIndexes(const PathId& id);
+
+  bool has_path(const PathId& id) const { return paths_.count(id) > 0; }
+  bool has_indexes(const PathId& id) const;
+  const PhysicalConfiguration& physical(const PathId& id) const;
+  const Path& path(const PathId& id) const;
+
+  /// Registered path ids, in id order (deterministic).
+  std::vector<PathId> path_ids() const;
+
+  /// The shared-part registry (inspection: distinct structures, refcounts).
+  const PhysicalPartRegistry& registry() const { return registry_; }
+
+  // ------------------------------------------- single-path convenience API
+  //
+  // The degenerate case the paper's offline pipeline and the single-path
+  // online controller run in: exactly one path, registered under
+  // kDefaultPathId. These fail/DCHECK when other named paths exist.
+
+  /// Registers \p path under kDefaultPathId and builds \p config on it.
   Status ConfigureIndexes(const Path& path, IndexConfiguration config);
 
-  /// Switches the index layout on the already-configured path without
-  /// touching parts that are identical in both configurations (same subpath
-  /// range and organization): those keep their physical structures; only
-  /// genuinely new parts are built from the store (uncounted, like
-  /// ConfigureIndexes — the transition's page price is modeled by
-  /// online/transition_cost.h). FailedPrecondition if no path is configured.
+  /// Reconfigures the sole registered path.
   Status ReconfigureIndexes(IndexConfiguration config);
 
-  /// Binds \p path for naive evaluation (and later ReconfigureIndexes)
-  /// without building any indexes — the online subsystem's cold start.
-  /// Drops any installed configuration.
-  void SetQueryPath(const Path& path) {
-    path_ = path;
-    physical_.reset();
-  }
+  /// Binds \p path under kDefaultPathId for naive evaluation (and later
+  /// ReconfigureIndexes) without building any indexes — the online
+  /// subsystem's cold start. Drops any installed configuration.
+  void SetQueryPath(const Path& path);
 
-  bool has_indexes() const { return physical_.has_value(); }
-  const PhysicalConfiguration& physical() const { return *physical_; }
+  bool has_indexes() const;
+  const PhysicalConfiguration& physical() const;
 
   /// Registers \p observer for the operation stream (nullptr detaches).
   /// At most one observer; the caller keeps ownership and must detach (or
@@ -96,20 +160,31 @@ class SimDatabase {
 
   // -------------------------------------------------------------- queries
 
-  /// Evaluates "A_n = value" w.r.t. \p target_class via the configured
-  /// indexes. Counted (index pages only — the searching cost of Section 4).
-  Result<std::vector<Oid>> Query(const Key& ending_value,
+  /// Evaluates "A_n = value" w.r.t. \p target_class via path \p id's
+  /// configured indexes. Counted (index pages only — the searching cost of
+  /// Section 4).
+  Result<std::vector<Oid>> Query(const PathId& id, const Key& ending_value,
                                  ClassId target_class,
                                  bool include_subclasses = false);
 
-  /// The same query evaluated by scanning and navigating (no indexes).
+  /// The same query evaluated by scanning and navigating path \p id
+  /// (no indexes).
+  Result<std::vector<Oid>> QueryNaive(const PathId& id,
+                                      const Key& ending_value,
+                                      ClassId target_class,
+                                      bool include_subclasses = false);
+
+  /// Single-path variants: dispatch to the sole registered path.
+  Result<std::vector<Oid>> Query(const Key& ending_value,
+                                 ClassId target_class,
+                                 bool include_subclasses = false);
   Result<std::vector<Oid>> QueryNaive(const Key& ending_value,
                                       ClassId target_class,
                                       bool include_subclasses = false);
 
   // ------------------------------------------------------------ integrity
 
-  /// Structural invariants of every configured index.
+  /// Structural invariants of every configured index of every path.
   Status ValidateIndexes() const;
 
   /// Deep check: NIX contents against ground-truth reachability, and the
@@ -117,15 +192,27 @@ class SimDatabase {
   Status ValidateIndexesDeep() const;
 
  private:
-  void Notify(DbOpKind kind, ClassId cls) {
-    if (observer_ != nullptr) observer_->OnOperation(kind, cls);
+  struct ConfiguredPath {
+    Path path;
+    std::optional<PhysicalConfiguration> physical;
+  };
+
+  void Notify(DbOpKind kind, ClassId cls, std::string_view path = {}) {
+    if (observer_ != nullptr) observer_->OnOperation({kind, cls, path});
   }
+
+  /// The sole registered path, for the single-path API (nullptr + error
+  /// message when there are zero or several).
+  ConfiguredPath* SolePath();
+  const ConfiguredPath* SolePath() const;
 
   Schema schema_;
   Pager pager_;
   ObjectStore store_;
-  std::optional<Path> path_;
-  std::optional<PhysicalConfiguration> physical_;
+  // Node-based map: Path objects need stable addresses (physical
+  // configurations point into them).
+  std::map<PathId, ConfiguredPath> paths_;
+  PhysicalPartRegistry registry_;
   DbOpObserver* observer_ = nullptr;
 };
 

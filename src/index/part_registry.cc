@@ -1,0 +1,94 @@
+#include "index/part_registry.h"
+
+#include "index/mix_index.h"
+#include "index/mx_index.h"
+#include "index/nix_index.h"
+#include "index/none_index.h"
+
+namespace pathix {
+
+namespace {
+
+Result<std::unique_ptr<SubpathIndex>> MakeIndex(Pager* pager,
+                                                SubpathIndexContext ctx,
+                                                IndexOrg org) {
+  switch (org) {
+    case IndexOrg::kMX:
+      return std::unique_ptr<SubpathIndex>(
+          std::make_unique<MXIndex>(pager, std::move(ctx)));
+    case IndexOrg::kMIX:
+      return std::unique_ptr<SubpathIndex>(
+          std::make_unique<MIXIndex>(pager, std::move(ctx)));
+    case IndexOrg::kNIX:
+      return std::unique_ptr<SubpathIndex>(
+          std::make_unique<NIXIndex>(pager, std::move(ctx)));
+    case IndexOrg::kNone:
+      return std::unique_ptr<SubpathIndex>(
+          std::make_unique<NoneIndex>(pager, std::move(ctx)));
+    case IndexOrg::kNX:
+    case IndexOrg::kPX:
+      break;
+  }
+  return Status::InvalidArgument(
+      "NX/PX are model-only selection candidates (Section 6 extension); no "
+      "physical implementation");
+}
+
+}  // namespace
+
+Result<std::shared_ptr<PhysicalPart>> PhysicalPartRegistry::Acquire(
+    Pager* pager, const Schema& schema, const Path& path,
+    const IndexedSubpath& part, const ObjectStore& store) {
+  StructuralKey key = StructuralKey::ForSubpath(path, part.subpath.start,
+                                                part.subpath.end, part.org);
+  auto it = parts_.find(key);
+  if (it != parts_.end()) {
+    if (std::shared_ptr<PhysicalPart> live = it->second.lock()) return live;
+  }
+
+  // The part lives on its own standalone copy of the subpath (levels
+  // renumbered to [1, len]), so its context never dangles when the workload
+  // path that first created it is dropped or replaced.
+  auto owner = std::make_shared<const Path>(
+      path.SubpathBetween(part.subpath.start, part.subpath.end));
+  SubpathIndexContext ctx;
+  ctx.schema = &schema;
+  ctx.path = owner.get();
+  ctx.range = Subpath{1, owner->length()};
+  Result<std::unique_ptr<SubpathIndex>> index =
+      MakeIndex(pager, std::move(ctx), part.org);
+  if (!index.ok()) return index.status();
+
+  auto created = std::make_shared<PhysicalPart>();
+  created->owner_path = std::move(owner);
+  created->index = std::move(index).value();
+  created->index->Build(store);
+  parts_[std::move(key)] = created;
+  return created;
+}
+
+std::shared_ptr<PhysicalPart> PhysicalPartRegistry::Find(
+    const StructuralKey& key) const {
+  auto it = parts_.find(key);
+  return it == parts_.end() ? nullptr : it->second.lock();
+}
+
+std::size_t PhysicalPartRegistry::live_parts() const {
+  std::size_t live = 0;
+  for (auto it = parts_.begin(); it != parts_.end();) {
+    if (it->second.expired()) {
+      it = parts_.erase(it);
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
+}
+
+long PhysicalPartRegistry::use_count(const StructuralKey& key) const {
+  const std::shared_ptr<PhysicalPart> live = Find(key);
+  return live == nullptr ? 0 : live.use_count() - 1;  // minus our own ref
+}
+
+}  // namespace pathix

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/index_config.h"
+#include "core/structural_key.h"
+#include "index/subpath_index.h"
+
+/// \file part_registry.h
+/// \brief Refcounted registry of the distinct physical index structures of
+/// one database.
+///
+/// Two indexed subpaths — of the same path across time, or of *different*
+/// paths at the same time — denote the same physical structure exactly when
+/// their StructuralKey matches (same class sequence, same attributes, same
+/// organization). The registry maps each key to at most one live
+/// PhysicalPart; every PhysicalConfiguration that uses the part holds a
+/// shared_ptr to it, so
+///
+///  - a two-path workload sharing a subpath builds (and maintains) exactly
+///    one structure for it, matching the advisor's pay-maintenance-once
+///    pricing;
+///  - reconfiguring a path keeps every part whose key survives, because the
+///    outgoing configuration still holds its reference while the incoming
+///    one is acquired (SimDatabase::ReconfigureIndexes);
+///  - dropping the last reference frees the part, and the registry's weak
+///    entry expires.
+///
+/// Each part is built on a standalone copy of its own subpath (levels
+/// renumbered to [1, len]), so it is independent of whichever workload path
+/// first created it; borrowing configurations translate their path-relative
+/// levels by a per-slot offset.
+
+namespace pathix {
+
+/// One distinct physical index structure, self-contained: \p owner_path is
+/// the part's subpath as a standalone Path (levels [1, len]) and keeps the
+/// index's SubpathIndexContext pointers valid for the part's lifetime.
+struct PhysicalPart {
+  std::shared_ptr<const Path> owner_path;
+  std::unique_ptr<SubpathIndex> index;
+};
+
+/// \brief The per-database registry. Not thread-safe (the database is not).
+class PhysicalPartRegistry {
+ public:
+  /// Returns the live part for the key of (\p path, \p part), creating and
+  /// building it from \p store (uncounted) when no configuration currently
+  /// holds one. InvalidArgument for model-only organizations (NX/PX).
+  Result<std::shared_ptr<PhysicalPart>> Acquire(Pager* pager,
+                                                const Schema& schema,
+                                                const Path& path,
+                                                const IndexedSubpath& part,
+                                                const ObjectStore& store);
+
+  /// The live part for \p key, or nullptr when none is held. Never builds.
+  std::shared_ptr<PhysicalPart> Find(const StructuralKey& key) const;
+
+  /// Number of distinct physical structures currently alive (prunes expired
+  /// entries as a side effect of counting).
+  std::size_t live_parts() const;
+
+  /// Shared_ptr use count of the live part for \p key (0 when none) — the
+  /// number of configurations referencing the structure.
+  long use_count(const StructuralKey& key) const;
+
+ private:
+  mutable std::map<StructuralKey, std::weak_ptr<PhysicalPart>> parts_;
+};
+
+}  // namespace pathix

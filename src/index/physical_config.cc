@@ -1,80 +1,28 @@
 #include "index/physical_config.h"
 
-#include "index/mix_index.h"
-#include "index/mx_index.h"
 #include "index/nix_index.h"
-#include "index/none_index.h"
 
 namespace pathix {
 
 Result<PhysicalConfiguration> PhysicalConfiguration::Create(
     Pager* pager, const Schema& schema, const Path& path,
-    IndexConfiguration config) {
+    IndexConfiguration config, PhysicalPartRegistry* registry,
+    const ObjectStore& store) {
   PATHIX_RETURN_IF_ERROR(config.Validate(path.length()));
   PhysicalConfiguration out;
   out.schema_ = &schema;
   out.path_ = &path;
   out.config_ = std::move(config);
   for (const IndexedSubpath& part : out.config_.parts()) {
-    SubpathIndexContext ctx;
-    ctx.schema = &schema;
-    ctx.path = &path;
-    ctx.range = part.subpath;
-    switch (part.org) {
-      case IndexOrg::kMX:
-        out.indexes_.push_back(std::make_unique<MXIndex>(pager, ctx));
-        break;
-      case IndexOrg::kMIX:
-        out.indexes_.push_back(std::make_unique<MIXIndex>(pager, ctx));
-        break;
-      case IndexOrg::kNIX:
-        out.indexes_.push_back(std::make_unique<NIXIndex>(pager, ctx));
-        break;
-      case IndexOrg::kNone:
-        out.indexes_.push_back(std::make_unique<NoneIndex>(pager, ctx));
-        break;
-      case IndexOrg::kNX:
-      case IndexOrg::kPX:
-        return Status::InvalidArgument(
-            "NX/PX are model-only selection candidates (Section 6 "
-            "extension); no physical implementation");
-    }
+    Result<std::shared_ptr<PhysicalPart>> acquired =
+        registry->Acquire(pager, schema, path, part, store);
+    if (!acquired.ok()) return acquired.status();
+    Slot slot;
+    slot.part = std::move(acquired).value();
+    slot.offset = slot.part->index->range().start - part.subpath.start;
+    out.slots_.push_back(std::move(slot));
   }
   return out;
-}
-
-Result<PhysicalConfiguration> PhysicalConfiguration::CreateReusing(
-    Pager* pager, const Schema& schema, const Path& path,
-    IndexConfiguration config, PhysicalConfiguration* previous,
-    const ObjectStore& store) {
-  Result<PhysicalConfiguration> created =
-      Create(pager, schema, path, std::move(config));
-  if (!created.ok()) return created.status();
-  PhysicalConfiguration out = std::move(created).value();
-  for (std::size_t i = 0; i < out.indexes_.size(); ++i) {
-    const IndexedSubpath& part = out.config_.parts()[i];
-    std::unique_ptr<SubpathIndex>* reusable = nullptr;
-    if (previous != nullptr) {
-      for (std::size_t j = 0; j < previous->indexes_.size(); ++j) {
-        std::unique_ptr<SubpathIndex>& prev = previous->indexes_[j];
-        if (prev != nullptr && prev->range() == part.subpath &&
-            prev->org() == part.org) {
-          reusable = &prev;
-          break;
-        }
-      }
-    }
-    if (reusable != nullptr) {
-      out.indexes_[i] = std::move(*reusable);
-    } else {
-      out.indexes_[i]->Build(store);
-    }
-  }
-  return out;
-}
-
-void PhysicalConfiguration::Build(const ObjectStore& store) {
-  for (const auto& index : indexes_) index->Build(store);
 }
 
 int PhysicalConfiguration::LevelOf(ClassId cls) const {
@@ -85,8 +33,8 @@ int PhysicalConfiguration::LevelOf(ClassId cls) const {
 }
 
 int PhysicalConfiguration::PartOfLevel(int level) const {
-  for (std::size_t i = 0; i < indexes_.size(); ++i) {
-    const Subpath& range = indexes_[i]->range();
+  for (std::size_t i = 0; i < config_.parts().size(); ++i) {
+    const Subpath& range = config_.parts()[i].subpath;
     if (range.start <= level && level <= range.end) {
       return static_cast<int>(i);
     }
@@ -105,10 +53,12 @@ std::vector<Oid> PhysicalConfiguration::Evaluate(const Key& ending_value,
   std::vector<Key> keys{ending_value};
   // Downstream subpaths resolve with respect to their root hierarchy; the
   // resulting oids are the key values of the preceding subpath's index.
-  for (int i = static_cast<int>(indexes_.size()) - 1; i > target_part; --i) {
-    SubpathIndex& index = *indexes_[i];
-    const std::vector<Oid> oids = index.Probe(
-        keys, index.range().start, index.context().hierarchy(index.range().start));
+  // Probes run in the part's own standalone coordinates.
+  for (int i = static_cast<int>(slots_.size()) - 1; i > target_part; --i) {
+    SubpathIndex& index = *slots_[static_cast<std::size_t>(i)].part->index;
+    const std::vector<Oid> oids =
+        index.Probe(keys, index.range().start,
+                    index.context().hierarchy(index.range().start));
     keys.clear();
     keys.reserve(oids.size());
     for (Oid oid : oids) keys.push_back(Key::FromOid(oid));
@@ -117,39 +67,63 @@ std::vector<Oid> PhysicalConfiguration::Evaluate(const Key& ending_value,
   std::vector<ClassId> targets =
       include_subclasses ? schema_->HierarchyOf(target_class)
                          : std::vector<ClassId>{target_class};
-  return indexes_[target_part]->Probe(keys, target_level, targets);
+  const Slot& slot = slots_[static_cast<std::size_t>(target_part)];
+  return slot.part->index->Probe(keys, target_level + slot.offset, targets);
 }
 
-void PhysicalConfiguration::OnInsert(const Object& obj) {
+void PhysicalConfiguration::OnInsert(const Object& obj,
+                                     std::set<const SubpathIndex*>* visited) {
   const int level = LevelOf(obj.cls);
   if (level == 0) return;  // class not on this path
   const int part = PartOfLevel(level);
-  indexes_[part]->OnInsert(obj, level);
+  const Slot& slot = slots_[static_cast<std::size_t>(part)];
+  if (visited != nullptr && !visited->insert(slot.part->index.get()).second) {
+    return;  // another path's configuration already maintained this part
+  }
+  slot.part->index->OnInsert(obj, level + slot.offset);
 }
 
-void PhysicalConfiguration::OnDelete(const Object& obj) {
+void PhysicalConfiguration::OnDelete(
+    const Object& obj, std::set<const SubpathIndex*>* visited,
+    std::set<const SubpathIndex*>* boundary_visited) {
   const int level = LevelOf(obj.cls);
   if (level == 0) return;
   const int part = PartOfLevel(level);
-  indexes_[part]->OnDelete(obj, level);
+  const Slot& slot = slots_[static_cast<std::size_t>(part)];
+  if (visited == nullptr || visited->insert(slot.part->index.get()).second) {
+    slot.part->index->OnDelete(obj, level + slot.offset);
+  }
   // Definition 4.2: the deleted oid is a key value of the preceding
   // subpath's index; its record is dropped there.
-  if (level == indexes_[part]->range().start && part > 0) {
-    indexes_[part - 1]->OnBoundaryDelete(obj.oid);
+  if (level == config_.parts()[static_cast<std::size_t>(part)].subpath.start &&
+      part > 0) {
+    SubpathIndex* preceding =
+        slots_[static_cast<std::size_t>(part - 1)].part->index.get();
+    if (boundary_visited == nullptr ||
+        boundary_visited->insert(preceding).second) {
+      preceding->OnBoundaryDelete(obj.oid);
+    }
   }
 }
 
 Status PhysicalConfiguration::Validate() const {
-  for (const auto& index : indexes_) {
-    PATHIX_RETURN_IF_ERROR(index->Validate());
+  for (const Slot& slot : slots_) {
+    PATHIX_RETURN_IF_ERROR(slot.part->index->Validate());
   }
   return Status::OK();
 }
 
 std::size_t PhysicalConfiguration::total_pages() const {
   std::size_t pages = 0;
-  for (const auto& index : indexes_) pages += index->total_pages();
+  for (const Slot& slot : slots_) pages += slot.part->index->total_pages();
   return pages;
+}
+
+std::vector<SubpathIndex*> PhysicalConfiguration::indexes() const {
+  std::vector<SubpathIndex*> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) out.push_back(slot.part->index.get());
+  return out;
 }
 
 }  // namespace pathix

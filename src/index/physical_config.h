@@ -1,41 +1,41 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/index_config.h"
-#include "index/subpath_index.h"
+#include "index/part_registry.h"
 
 /// \file physical_config.h
-/// \brief The physical realization of an index configuration: one
-/// SubpathIndex per (S_i, X_i) pair, plus the cross-subpath query
-/// evaluation and maintenance dispatch (including Definition 4.2's
+/// \brief The physical realization of an index configuration on one path:
+/// one slot per (S_i, X_i) pair referencing a (possibly shared) physical
+/// part from the database's PhysicalPartRegistry, plus the cross-subpath
+/// query evaluation and maintenance dispatch (including Definition 4.2's
 /// boundary deletions).
+///
+/// Parts are owned by shared_ptr: configurations of different paths that
+/// cover a structurally identical subpath with the same organization
+/// reference the *same* structure, which is therefore built and maintained
+/// once (the accounting the workload advisor's pricing assumes). Each slot
+/// carries the offset between the configuration's path-relative levels and
+/// the part's own standalone levels.
 
 namespace pathix {
 
 class PhysicalConfiguration {
  public:
-  /// Instantiates (empty) physical indexes for \p config on \p path.
+  /// Builds the configuration *ready to use*: every part is acquired from
+  /// \p registry — structures already held by any configuration (this
+  /// path's previous one, or another path's current one) are adopted;
+  /// genuinely new parts are built from \p store (uncounted, like all index
+  /// creation — transition prices are modeled by online/transition_cost.h).
   static Result<PhysicalConfiguration> Create(Pager* pager,
                                               const Schema& schema,
                                               const Path& path,
-                                              IndexConfiguration config);
-
-  /// Builds the configuration *ready to use*: parts that exist identically
-  /// in \p previous (same subpath range and organization) adopt its physical
-  /// structures instead of being rebuilt; the remaining parts are built from
-  /// \p store (uncounted). \p previous may be nullptr (everything is fresh);
-  /// adoption leaves it in a moved-from state (destroy it, don't use it),
-  /// and \p path must be the path \p previous was created on. Do not call
-  /// Build() afterwards.
-  static Result<PhysicalConfiguration> CreateReusing(
-      Pager* pager, const Schema& schema, const Path& path,
-      IndexConfiguration config, PhysicalConfiguration* previous,
-      const ObjectStore& store);
-
-  /// Populates every index from the store (uncounted).
-  void Build(const ObjectStore& store);
+                                              IndexConfiguration config,
+                                              PhysicalPartRegistry* registry,
+                                              const ObjectStore& store);
 
   /// Evaluates "A_n = value" with respect to \p target_class: probes the
   /// subpath indexes from the ending attribute backwards, feeding each
@@ -49,20 +49,39 @@ class PhysicalConfiguration {
 
   /// Index maintenance for an object insertion / deletion. For deletions
   /// of a subpath's root-hierarchy object, the preceding subpath's index
-  /// drops the corresponding key record (CMD).
-  void OnInsert(const Object& obj);
-  void OnDelete(const Object& obj);
+  /// drops the corresponding key record (CMD) — \p boundary_visited dedups
+  /// that across configurations. Parts shared with another configuration
+  /// must be maintained once per database operation, not once per using
+  /// path: \p visited (when non-null) records the parts already maintained
+  /// in this operation and suppresses repeats.
+  void OnInsert(const Object& obj, std::set<const SubpathIndex*>* visited);
+  void OnDelete(const Object& obj, std::set<const SubpathIndex*>* visited,
+                std::set<const SubpathIndex*>* boundary_visited);
 
   Status Validate() const;
   std::size_t total_pages() const;
 
   const IndexConfiguration& config() const { return config_; }
-  const std::vector<std::unique_ptr<SubpathIndex>>& indexes() const {
-    return indexes_;
+
+  /// The physical indexes behind the configuration's parts, in part order.
+  /// Shared parts are the same object in every configuration using them.
+  std::vector<SubpathIndex*> indexes() const;
+
+  /// The shared part behind part \p i (tests and transition pricing).
+  const std::shared_ptr<PhysicalPart>& part(std::size_t i) const {
+    return slots_[i].part;
   }
 
  private:
   PhysicalConfiguration() = default;
+
+  /// One configured part: the shared structure plus the translation from
+  /// this path's levels to the part's standalone levels
+  /// (owner_level = path_level + offset).
+  struct Slot {
+    std::shared_ptr<PhysicalPart> part;
+    int offset = 0;
+  };
 
   /// Path level of \p cls (1-based) or 0 if the class is not in scope.
   int LevelOf(ClassId cls) const;
@@ -72,7 +91,7 @@ class PhysicalConfiguration {
   const Schema* schema_ = nullptr;
   const Path* path_ = nullptr;
   IndexConfiguration config_;
-  std::vector<std::unique_ptr<SubpathIndex>> indexes_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace pathix

@@ -38,26 +38,52 @@ Result<IndexOrg> ParseOrg(const std::string& token) {
 /// A `path` directive with the `load` lines bound to it.
 struct PendingPath {
   int line = 0;  // of the path directive, for late errors
+  std::string name;  // explicit spec name; empty when unnamed
   ClassId start = kInvalidClass;
   std::vector<std::string> attrs;
   LoadDistribution load;
   std::set<ClassId> loaded_classes;  // duplicate detection
 };
 
+/// One raw `mix` line, validated against path scopes only after the paths
+/// have been resolved (the errors keep the line number).
+struct RawMix {
+  int line = 0;
+  std::size_t phase = 0;
+  std::string path_name;  // empty: the legacy single-path form
+  ClassId cls = kInvalidClass;
+  double query = 0;
+  double insert = 0;
+  double del = 0;
+};
+
+/// Trace-mode collection state: the spec under construction plus the raw
+/// lines whose validation needs the resolved paths.
+struct TraceParseState {
+  TraceSpec spec;
+  std::vector<RawMix> mixes;
+  std::vector<int> populate_lines;  // parallel to spec.populate
+};
+
 /// Which spec flavor is being parsed (gates the flavor-specific directives).
 enum class SpecMode { kSinglePath, kWorkload, kTrace };
 
-/// Shared parser for all three spec flavors. kWorkload permits multiple
-/// paths, per-path load sections and the budget directive; kTrace permits
-/// the populate/trace_seed/phase/mix section, collected into \p trace_out
-/// (non-null exactly in trace mode).
+/// Shared parser for all three spec flavors. kWorkload and kTrace permit
+/// multiple (optionally named) paths, per-path load sections and the budget
+/// directive; kTrace additionally permits the populate/trace_seed/phase/mix
+/// section, collected into \p trace (non-null exactly in trace mode).
 Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
-                                   TraceSpec* trace_out) {
-  const bool workload_mode = mode == SpecMode::kWorkload;
+                                   TraceParseState* trace) {
+  const bool multi_path = mode != SpecMode::kSinglePath;
+  TraceSpec* trace_out = trace != nullptr ? &trace->spec : nullptr;
   WorkloadSpec spec;
   std::vector<PendingPath> pending;
+  std::set<std::string> path_names;
   std::set<ClassId> populated;      // trace: duplicate populate detection
-  std::set<ClassId> mixed_classes;  // trace: per-phase duplicate mix lines
+  // trace: per-phase duplicate detection — (path name, class) for queries,
+  // class for update weights.
+  std::set<std::pair<std::string, ClassId>> mixed_queries;
+  std::set<ClassId> mixed_updates;
   bool phase_has_weight = false;    // trace: current phase has a weight > 0
   bool have_seed = false;
   LoadDistribution default_load;       // loads before the first path
@@ -94,6 +120,10 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
       }
       std::size_t i = 1;
       const std::string name = tok[i++];
+      if (path_names.count(name) > 0) {
+        return LineError(line_no, "class '" + name +
+                                      "' collides with a path name");
+      }
       ClassId super = kInvalidClass;
       if (tok[i] == ":") {
         if (tok.size() < 7) {
@@ -149,18 +179,54 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
       const Status s = spec.schema.AddAtomicAttribute(cls, tok[2], type, multi);
       if (!s.ok()) return LineError(line_no, s.message());
     } else if (cmd == "path") {
-      if (!workload_mode && !pending.empty()) {
+      if (!multi_path && !pending.empty()) {
         return LineError(line_no, "only one path per spec");
       }
-      if (tok.size() < 3) return LineError(line_no, "path CLASS attr...");
+      if (trace_out != nullptr && !trace_out->phases.empty()) {
+        return LineError(line_no, "paths must be declared before phases");
+      }
+      if (tok.size() < 3) {
+        return LineError(line_no, "path [NAME] CLASS attr...");
+      }
       PendingPath p;
       p.line = line_no;
-      p.start = spec.schema.FindClass(tok[1]);
+      // Trace mixes reference paths by name, so a multi-path trace with an
+      // unnamed path would be unusable; reject it at the declaration (the
+      // check for the earlier path, which was legal while it was alone,
+      // lives after this directive is parsed).
+      std::size_t i = 1;
+      p.start = spec.schema.FindClass(tok[i]);
       if (p.start == kInvalidClass) {
-        return LineError(line_no, "unknown class '" + tok[1] + "'");
+        // Named form: path NAME CLASS attr...
+        if (tok.size() < 4) {
+          return LineError(line_no, "unknown class '" + tok[i] + "'");
+        }
+        p.name = tok[i++];
+        if (spec.schema.FindClass(p.name) != kInvalidClass) {
+          return LineError(line_no, "path name '" + p.name +
+                                        "' collides with a class name");
+        }
+        if (!path_names.insert(p.name).second) {
+          return LineError(line_no, "duplicate path name '" + p.name + "'");
+        }
+        p.start = spec.schema.FindClass(tok[i]);
+        if (p.start == kInvalidClass) {
+          return LineError(line_no, "unknown class '" + tok[i] + "'");
+        }
       }
-      p.attrs.assign(tok.begin() + 2, tok.end());
+      ++i;
+      p.attrs.assign(tok.begin() + static_cast<long>(i), tok.end());
       pending.push_back(std::move(p));
+      if (trace_out != nullptr && pending.size() >= 2) {
+        for (const PendingPath& declared : pending) {
+          if (declared.name.empty()) {
+            return LineError(declared.line,
+                             "multi-path traces require named paths "
+                             "(path NAME CLASS attr...), so mix lines can "
+                             "direct their queries");
+          }
+        }
+      }
     } else if (cmd == "load") {
       if (tok.size() != 5) {
         return LineError(line_no, "load CLASS alpha beta gamma");
@@ -174,10 +240,10 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
           !ParseDouble(tok[4], &g) || !(a >= 0) || !(b >= 0) || !(g >= 0)) {
         return LineError(line_no, "load frequencies must be >= 0");
       }
-      // In workload mode a load binds to the most recent path; loads before
-      // the first path are defaults for every path. Single-path specs keep
-      // one global section (declaration order does not matter).
-      const bool to_default = !workload_mode || pending.empty();
+      // In multi-path modes a load binds to the most recent path; loads
+      // before the first path are defaults for every path. Single-path
+      // specs keep one global section (declaration order does not matter).
+      const bool to_default = !multi_path || pending.empty();
       LoadDistribution& target =
           to_default ? default_load : pending.back().load;
       std::set<ClassId>& seen =
@@ -236,6 +302,7 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
                                        : std::max(1, p.count / 10);
       p.nin = nin;
       trace_out->populate.push_back(p);
+      trace->populate_lines.push_back(line_no);
     } else if (cmd == "trace_seed" && trace_out != nullptr) {
       double v;
       if (have_seed || tok.size() != 2 || !ParseDouble(tok[1], &v) ||
@@ -262,34 +329,62 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
       phase.name = tok[1];
       phase.ops = static_cast<std::uint64_t>(ops);
       trace_out->phases.push_back(std::move(phase));
-      mixed_classes.clear();
+      mixed_queries.clear();
+      mixed_updates.clear();
       phase_has_weight = false;
     } else if (cmd == "mix" && trace_out != nullptr) {
       if (trace_out->phases.empty()) {
         return LineError(line_no, "mix before the first phase");
       }
-      if (tok.size() != 5) {
-        return LineError(line_no, "mix CLASS query insert delete");
+      // mix [PATH] CLASS query insert delete
+      if (tok.size() != 5 && tok.size() != 6) {
+        return LineError(line_no, "mix [PATH] CLASS query insert delete");
       }
-      const ClassId cls = spec.schema.FindClass(tok[1]);
-      if (cls == kInvalidClass) {
-        return LineError(line_no, "unknown class '" + tok[1] + "'");
+      RawMix mix;
+      mix.line = line_no;
+      mix.phase = trace_out->phases.size() - 1;
+      std::size_t i = 1;
+      if (tok.size() == 6) {
+        mix.path_name = tok[i++];
+        if (path_names.count(mix.path_name) == 0) {
+          return LineError(line_no, "mix names path '" + mix.path_name +
+                                        "', which is not declared in this "
+                                        "spec's workload section");
+        }
       }
-      if (!mixed_classes.insert(cls).second) {
-        return LineError(line_no, "duplicate mix for class '" + tok[1] + "'");
+      mix.cls = spec.schema.FindClass(tok[i]);
+      if (mix.cls == kInvalidClass) {
+        return LineError(line_no, "unknown class '" + tok[i] + "'");
       }
-      double q, i, d;
-      if (!ParseDouble(tok[2], &q) || !ParseDouble(tok[3], &i) ||
-          !ParseDouble(tok[4], &d) || !(q >= 0) || !(i >= 0) || !(d >= 0)) {
+      if (!ParseDouble(tok[i + 1], &mix.query) ||
+          !ParseDouble(tok[i + 2], &mix.insert) ||
+          !ParseDouble(tok[i + 3], &mix.del) || !(mix.query >= 0) ||
+          !(mix.insert >= 0) || !(mix.del >= 0)) {
         return LineError(line_no, "mix weights must be >= 0");
       }
-      if (q + i + d > 0) phase_has_weight = true;
-      trace_out->phases.back().mix.Set(cls, q, i, d);
+      if (!mixed_queries.emplace(mix.path_name, mix.cls).second) {
+        return LineError(line_no, "duplicate mix for class '" + tok[i] +
+                                      "'" +
+                                      (mix.path_name.empty()
+                                           ? std::string()
+                                           : " on path '" + mix.path_name +
+                                                 "'"));
+      }
+      if (mix.insert > 0 || mix.del > 0) {
+        if (!mixed_updates.insert(mix.cls).second) {
+          return LineError(line_no,
+                           "update weights for class '" + tok[i] +
+                               "' are already given in this phase (updates "
+                               "are path-agnostic; give them once)");
+        }
+      }
+      if (mix.query + mix.insert + mix.del > 0) phase_has_weight = true;
+      trace->mixes.push_back(std::move(mix));
     } else if (cmd == "budget") {
-      if (!workload_mode) {
+      if (!multi_path) {
         return LineError(line_no,
-                         "budget is only valid in workload specs "
-                         "(pathix_workload_advise)");
+                         "budget is only valid in workload and trace specs "
+                         "(pathix_workload_advise, pathix_online)");
       }
       if (spec.has_budget) {
         return LineError(line_no, "duplicate budget directive");
@@ -327,10 +422,15 @@ Result<WorkloadSpec> ParseSpecImpl(const std::string& text, SpecMode mode,
   }
   PATHIX_RETURN_IF_ERROR(spec.schema.Validate());
 
-  for (PendingPath& p : pending) {
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    PendingPath& p = pending[k];
     Result<Path> path = Path::Create(spec.schema, p.start, p.attrs);
     if (!path.ok()) return LineError(p.line, path.status().message());
     PathWorkload workload;
+    // Synthesized names start with '#', which comment stripping makes
+    // unwritable in a spec — they can never collide with (or be mistaken
+    // for) an explicit name.
+    workload.name = !p.name.empty() ? p.name : "#" + std::to_string(k);
     workload.path = std::move(path).value();
     workload.load = default_load;  // defaults first, then overrides
     for (const ClassId cls : p.loaded_classes) {
@@ -352,6 +452,18 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 }  // namespace
+
+void TracePhase::SetSinglePathMix(const LoadDistribution& combined) {
+  queries.assign(1, {});
+  updates.clear();
+  for (const auto& [cls, load] : combined.entries()) {
+    if (load.query > 0) queries[0][cls] = load.query;
+    if (load.insert > 0 || load.del > 0) {
+      updates[cls] = OpLoad{0, load.insert, load.del};
+    }
+  }
+  mixes.assign(1, combined);
+}
 
 Result<AdvisorSpec> ParseAdvisorSpec(const std::string& text) {
   Result<WorkloadSpec> parsed =
@@ -384,36 +496,120 @@ Result<WorkloadSpec> ParseWorkloadSpecFile(const std::string& path) {
 }
 
 Result<TraceSpec> ParseTraceSpec(const std::string& text) {
-  TraceSpec trace;
-  Result<WorkloadSpec> parsed =
-      ParseSpecImpl(text, SpecMode::kTrace, &trace);
+  TraceParseState state;
+  Result<WorkloadSpec> parsed = ParseSpecImpl(text, SpecMode::kTrace, &state);
   if (!parsed.ok()) return parsed.status();
   WorkloadSpec& w = parsed.value();
+  TraceSpec& trace = state.spec;
   trace.schema = std::move(w.schema);
   trace.catalog = std::move(w.catalog);
   trace.options = std::move(w.options);
-  trace.claimed_load = std::move(w.paths.front().load);
-  trace.path = std::move(w.paths.front().path);
+  trace.storage_budget_bytes = w.joint_options.storage_budget_bytes;
+  trace.has_budget = w.has_budget;
 
-  // The replayer turns mix entries into concrete operations against the
-  // path; classes outside scope(P) have no level to execute them at.
-  const std::vector<ClassId> scope_vec = trace.path.Scope(trace.schema);
-  const std::set<ClassId> scope(scope_vec.begin(), scope_vec.end());
-  for (const TracePopulate& p : trace.populate) {
-    if (scope.count(p.cls) == 0) {
-      return Status::InvalidArgument("populate class '" +
-                                     trace.schema.GetClass(p.cls).name() +
-                                     "' is not in the path's scope");
+  // Path ids: the spec's names; the sole *unnamed* path of a single-path
+  // trace (synthesized "#0") keeps the database's default id so the
+  // degenerate case is literally the single-path subsystem. Multi-path
+  // traces reject unnamed paths at parse time, so synthesized names never
+  // become ids.
+  std::map<std::string, std::size_t> path_index;
+  std::vector<std::set<ClassId>> scopes;
+  for (std::size_t k = 0; k < w.paths.size(); ++k) {
+    TracePath tp;
+    tp.id = (w.paths.size() == 1 && w.paths[k].name == "#0")
+                ? "default"
+                : w.paths[k].name;
+    tp.path = std::move(w.paths[k].path);
+    tp.claimed_load = std::move(w.paths[k].load);
+    const std::vector<ClassId> scope_vec = tp.path.Scope(trace.schema);
+    scopes.emplace_back(scope_vec.begin(), scope_vec.end());
+    path_index[w.paths[k].name] = k;
+    trace.paths.push_back(std::move(tp));
+  }
+
+  // The replayer turns mix entries into concrete operations; resolve every
+  // raw line against the declared paths' scopes, keeping line numbers.
+  for (TracePhase& phase : trace.phases) {
+    phase.queries.assign(trace.paths.size(), {});
+  }
+  for (const RawMix& mix : state.mixes) {
+    std::size_t p = 0;
+    if (mix.path_name.empty()) {
+      if (trace.paths.size() > 1) {
+        return LineError(mix.line,
+                         "this trace declares several paths; mix lines must "
+                         "name the path their queries hit "
+                         "(mix PATH CLASS q i d)");
+      }
+    } else {
+      p = path_index.at(mix.path_name);
+    }
+    TracePhase& phase = trace.phases[mix.phase];
+    const std::string cls_name = trace.schema.GetClass(mix.cls).name();
+    if (mix.query > 0 && scopes[p].count(mix.cls) == 0) {
+      return LineError(mix.line, "phase '" + phase.name + "': mix class '" +
+                                     cls_name + "' is not in the scope of "
+                                     "path '" +
+                                     trace.paths[p].id + "'");
+    }
+    if (mix.insert > 0 || mix.del > 0) {
+      bool anywhere = false;
+      for (const std::set<ClassId>& scope : scopes) {
+        if (scope.count(mix.cls) > 0) {
+          anywhere = true;
+          break;
+        }
+      }
+      if (!anywhere) {
+        return LineError(mix.line, "phase '" + phase.name +
+                                       "': update class '" + cls_name +
+                                       "' is not in any declared path's "
+                                       "scope");
+      }
+    }
+    if (mix.query > 0) phase.queries[p][mix.cls] += mix.query;
+    if (mix.insert > 0 || mix.del > 0) {
+      OpLoad& upd = phase.updates[mix.cls];
+      upd.insert += mix.insert;
+      upd.del += mix.del;
     }
   }
-  for (const TracePhase& phase : trace.phases) {
-    for (const auto& [cls, load] : phase.mix.entries()) {
-      (void)load;
-      if (scope.count(cls) == 0) {
-        return Status::InvalidArgument(
-            "phase '" + phase.name + "': mix class '" +
-            trace.schema.GetClass(cls).name() + "' is not in the path's scope");
+
+  // Resolved per-path mixes: path p's queries as alpha, plus the updates of
+  // the classes in its scope as beta/gamma — the view oracle and claimed-
+  // load consumers solve on.
+  for (TracePhase& phase : trace.phases) {
+    phase.mixes.assign(trace.paths.size(), {});
+    for (std::size_t p = 0; p < trace.paths.size(); ++p) {
+      std::map<ClassId, OpLoad> merged;
+      for (const auto& [cls, weight] : phase.queries[p]) {
+        merged[cls].query += weight;
       }
+      for (const auto& [cls, upd] : phase.updates) {
+        if (scopes[p].count(cls) == 0) continue;
+        merged[cls].insert += upd.insert;
+        merged[cls].del += upd.del;
+      }
+      for (const auto& [cls, load] : merged) {
+        phase.mixes[p].Set(cls, load);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < trace.populate.size(); ++i) {
+    bool anywhere = false;
+    for (const std::set<ClassId>& scope : scopes) {
+      if (scope.count(trace.populate[i].cls) > 0) {
+        anywhere = true;
+        break;
+      }
+    }
+    if (!anywhere) {
+      return LineError(state.populate_lines[i],
+                       "populate class '" +
+                           trace.schema.GetClass(trace.populate[i].cls)
+                               .name() +
+                           "' is not in any declared path's scope");
     }
   }
   return trace;

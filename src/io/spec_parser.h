@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,8 +12,8 @@
 
 /// \file spec_parser.h
 /// \brief Text format for advisor inputs, so the selection pipeline can be
-/// driven without writing C++ (the `pathix_advise` and
-/// `pathix_workload_advise` example tools).
+/// driven without writing C++ (the `pathix_advise`, `pathix_workload_advise`
+/// and `pathix_online` example tools).
 ///
 /// Line-based; '#' starts a comment. Directives:
 ///
@@ -24,12 +25,16 @@
 ///   ref Person owns Vehicle multi      # reference attribute [multi]
 ///   attr Division name string          # atomic attribute (string|int)
 ///   path Person owns man divs name     # the query path
+///   path people Person owns man divs name  # ... with an explicit name
 ///   load Person 0.3 0.1 0.1            # alpha beta gamma
 ///   orgs MX MIX NIX NX PX NONE         # candidate set (optional, once)
 ///   matching_keys 1                    # range-predicate width (optional)
 ///
 /// Classes must be declared before use; a path must come after the
-/// attributes it navigates.
+/// attributes it navigates. A `path` whose first token is not a declared
+/// class is a *named* path (the name must not collide with a class name);
+/// names identify paths in multi-path trace mixes and become the
+/// SimDatabase path ids of the online subsystem.
 ///
 /// Single-path specs (ParseAdvisorSpec) allow exactly one `path`; repeating
 /// `path`, `orgs`, or `load` for the same class is an error (with the
@@ -48,7 +53,7 @@
 /// default for that class). `budget` caps the total bytes of the distinct
 /// physical indexes the joint optimizer may choose.
 ///
-/// Trace specs (ParseTraceSpec) are single-path specs extended with a trace
+/// Trace specs (ParseTraceSpec) extend the *workload* format with a trace
 /// section — the input of the online subsystem (`pathix_online`): an
 /// initial population and timed operation batches with phase shifts:
 ///
@@ -60,9 +65,20 @@
 ///   mix Person 0.05 0.6 0.35
 ///
 /// Within a phase, operations are drawn from the normalized union of its
-/// `mix` lines. `load` lines remain legal and carry the statically *claimed*
-/// distribution (what an offline advisor would be given); the phases are
-/// the ground truth the trace actually executes.
+/// `mix` lines. In a *multi-path* trace every path must be named and query
+/// weights name the path they hit:
+///
+///   mix people Person 0.8 0.02 0.02   # PATH CLASS query insert delete
+///   mix fleet  Vehicle 0.1 0 0
+///
+/// Query weights bind to (path, class); insert/delete weights are
+/// path-agnostic (one churned object maintains every path's indexes) and
+/// may be given at most once per (phase, class). Mixing ops on an
+/// undeclared path, or on a class outside the named path's scope, is a
+/// line-numbered parse error. `load` lines remain legal and carry the
+/// statically *claimed* per-path distribution (what an offline advisor
+/// would be given); the phases are the ground truth the trace actually
+/// executes. `budget` carries into the online joint controller.
 
 namespace pathix {
 
@@ -79,7 +95,9 @@ struct AdvisorSpec {
 struct WorkloadSpec {
   Schema schema;
   Catalog catalog;
-  std::vector<PathWorkload> paths;
+  std::vector<PathWorkload> paths;  ///< .name filled ("#<k>" when unnamed —
+                                    ///< '#' starts a comment, so explicit
+                                    ///< names can never collide)
   AdvisorOptions options;
   JointOptions joint_options;  ///< carries the storage budget (if any)
   bool has_budget = false;
@@ -107,26 +125,56 @@ struct TracePopulate {
 };
 
 /// One operation batch of a trace: \p ops operations drawn from the
-/// normalized per-class \p mix weights.
+/// normalized union of the per-path query weights and the per-class update
+/// weights.
 struct TracePhase {
   std::string name;
   std::uint64_t ops = 0;
-  LoadDistribution mix;
+
+  /// Query weights per path (parallel to TraceSpec::paths) per class.
+  std::vector<std::map<ClassId, double>> queries;
+  /// Insert/delete weights per class (path-agnostic; .query is unused).
+  std::map<ClassId, OpLoad> updates;
+
+  /// Per-path view on the same scale: queries[p] as the alpha frequencies,
+  /// the updates of classes in path p's scope as beta/gamma. Parallel to
+  /// TraceSpec::paths — what a per-phase joint oracle solves on.
+  std::vector<LoadDistribution> mixes;
+
+  /// The single-path view: the sole path's resolved mix. Multi-path
+  /// phases (and unresolved programmatic ones) must use mixes[p] instead.
+  const LoadDistribution& mix() const {
+    PATHIX_DCHECK(mixes.size() == 1);
+    return mixes.front();
+  }
+
+  /// Programmatic construction for single-path traces (benchmarks): sets
+  /// queries/updates/mixes from one combined distribution, every class
+  /// assumed in scope.
+  void SetSinglePathMix(const LoadDistribution& combined);
+};
+
+/// One path of a trace spec.
+struct TracePath {
+  std::string id;  ///< SimDatabase path id (spec name, or "default"/"p<k>")
+  Path path;
+  LoadDistribution claimed_load;  ///< the spec's `load` lines, if any
 };
 
 /// Everything the online experiment needs, parsed from one trace spec.
 struct TraceSpec {
   Schema schema;
   Catalog catalog;
-  Path path;
+  std::vector<TracePath> paths;
   AdvisorOptions options;
-  LoadDistribution claimed_load;  ///< the spec's `load` lines, if any
+  double storage_budget_bytes = std::numeric_limits<double>::infinity();
+  bool has_budget = false;
   std::uint32_t seed = 7;
   std::vector<TracePopulate> populate;
   std::vector<TracePhase> phases;
 };
 
-/// Parses a trace spec (single path + populate/phase/mix sections).
+/// Parses a trace spec (one or more paths + populate/phase/mix sections).
 Result<TraceSpec> ParseTraceSpec(const std::string& text);
 
 /// Reads \p path and parses it as a trace spec.

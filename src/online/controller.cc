@@ -1,62 +1,102 @@
 #include "online/controller.h"
 
 #include <cmath>
-
-#include "exec/analyze.h"
+#include <set>
 
 namespace pathix {
 
+bool ScopedAnalyzer::Refresh(const SimDatabase& db,
+                             const std::vector<const Path*>& paths,
+                             const ControllerOptions& options) {
+  // The classes in scope, with their live counts.
+  std::set<ClassId> scope;
+  for (const Path* path : paths) {
+    for (int l = 1; l <= path->length(); ++l) {
+      for (ClassId cls : db.schema().HierarchyOf(path->class_at(l))) {
+        scope.insert(cls);
+      }
+    }
+  }
+
+  std::set<ClassId> drifted;
+  for (ClassId cls : scope) {
+    const double live = static_cast<double>(db.store().LiveCount(cls));
+    if (!has_catalog_) {
+      drifted.insert(cls);  // first collection covers everything
+      continue;
+    }
+    const auto it = live_at_collection_.find(cls);
+    const double at = it == live_at_collection_.end() ? 0 : it->second;
+    if (std::abs(live - at) >
+        options.stats_refresh_fraction * std::max(1.0, at)) {
+      drifted.insert(cls);
+    }
+  }
+  if (drifted.empty()) return false;
+
+  if (!has_catalog_) {
+    PhysicalParams params = options.physical_params;
+    params.page_size = static_cast<double>(db.pager().page_size());
+    catalog_ = Catalog(params);
+    has_catalog_ = true;
+  }
+  std::set<std::pair<ClassId, std::string>> collected;
+  for (const Path* path : paths) {
+    class_collections_ += static_cast<std::uint64_t>(RefreshStatistics(
+        db.store(), db.schema(), *path, drifted, &catalog_, &collected));
+  }
+  for (ClassId cls : drifted) {
+    live_at_collection_[cls] = static_cast<double>(db.store().LiveCount(cls));
+  }
+  ++refreshes_;
+  return true;
+}
+
 ReconfigurationController::ReconfigurationController(SimDatabase* db,
                                                      const Path& path,
-                                                     ControllerOptions options)
+                                                     ControllerOptions options,
+                                                     PathId path_id)
     : db_(db),
       path_(&path),
+      path_id_(std::move(path_id)),
       options_(std::move(options)),
       monitor_(options_.half_life_ops),
-      selector_(options_.orgs) {}
+      selector_(options_.orgs) {
+  cadence_.Init(options_);
+}
 
-void ReconfigurationController::OnOperation(DbOpKind kind, ClassId cls) {
-  monitor_.Observe(kind, cls);
+void ReconfigurationController::OnOperation(const DbOpEvent& ev) {
+  monitor_.Observe(ev);
   if (!status_.ok()) return;
   const std::uint64_t ops = monitor_.ops_observed();
   if (ops < options_.warmup_ops) return;
-  const std::uint64_t interval = std::max<std::uint64_t>(
-      1, options_.check_interval_ops);
-  if (ops % interval == 0) Check();
+  if (cadence_.Due(ops)) cadence_.Reschedule(ops, Check());
 }
 
 void ReconfigurationController::CheckNow() {
   if (status_.ok()) Check();
 }
 
-void ReconfigurationController::Check() {
+bool ReconfigurationController::Check() {
   ++checks_;
 
-  // ANALYZE lazily: unchanged statistics keep the selector's matrix cache
-  // hot, so a drift check costs no model evaluations.
-  const double live = static_cast<double>(db_->store().live_objects());
-  if (!has_catalog_ ||
-      std::abs(live - objects_at_analyze_) >
-          options_.stats_refresh_fraction * std::max(1.0, objects_at_analyze_)) {
-    PhysicalParams params = options_.physical_params;
-    params.page_size = static_cast<double>(db_->pager().page_size());
-    catalog_ = CollectStatistics(db_->store(), db_->schema(), *path_, params);
-    has_catalog_ = true;
-    objects_at_analyze_ = live;
-  }
+  // ANALYZE with per-class scoping: stable classes keep their statistics,
+  // and an unchanged catalog keeps the selector's matrix cache hot, so a
+  // drift check costs no model evaluations.
+  analyzer_.Refresh(*db_, {path_}, options_);
 
   const LoadDistribution load = monitor_.EstimatedLoad();
-  if (monitor_.DecayedTotal() <= 0) return;
+  if (monitor_.DecayedTotal() <= 0) return false;
 
   Result<PathContext> ctx =
-      PathContext::Build(db_->schema(), *path_, catalog_, load);
+      PathContext::Build(db_->schema(), *path_, analyzer_.catalog(), load);
   if (!ctx.ok()) {
     status_ = ctx.status();
-    return;
+    return false;
   }
 
   const IndexConfiguration* current =
-      db_->has_indexes() ? &db_->physical().config() : nullptr;
+      db_->has_indexes(path_id_) ? &db_->physical(path_id_).config() : nullptr;
   const OnlineSelection sel = selector_.Select(ctx.value(), current);
 
   if (current == nullptr) {
@@ -64,11 +104,18 @@ void ReconfigurationController::Check() {
     // scan per query, which the matrix does not even price).
     const TransitionCost transition = EstimateTransitionCost(
         ctx.value(), db_->store(), nullptr, sel.best.config);
+    if (!db_->has_path(path_id_)) {
+      const Status registered = db_->RegisterPath(path_id_, *path_);
+      if (!registered.ok()) {
+        status_ = registered;
+        return false;
+      }
+    }
     const Status installed =
-        db_->ConfigureIndexes(*path_, sel.best.config);
+        db_->ConfigureIndexes(path_id_, sel.best.config);
     if (!installed.ok()) {
       status_ = installed;
-      return;
+      return false;
     }
     ReconfigurationEvent ev;
     ev.op_index = monitor_.ops_observed();
@@ -77,18 +124,18 @@ void ReconfigurationController::Check() {
     ev.transition = transition;
     transition_charged_ += transition.total();
     events_.push_back(std::move(ev));
-    return;
+    return true;
   }
 
-  if (sel.best.config == *current) return;
+  if (sel.best.config == *current) return false;
   const double savings = sel.current_cost - sel.best.cost;
-  if (savings <= 0) return;
+  if (savings <= 0) return false;
 
   const TransitionCost transition = EstimateTransitionCost(
-      ctx.value(), db_->store(), &db_->physical(), sel.best.config);
+      ctx.value(), db_->store(), &db_->physical(path_id_), sel.best.config);
   if (savings * options_.horizon_ops <=
       options_.hysteresis * transition.total()) {
-    return;
+    return false;
   }
 
   ReconfigurationEvent ev;
@@ -98,13 +145,14 @@ void ReconfigurationController::Check() {
   ev.predicted_savings_per_op = savings;
   ev.transition = transition;
 
-  const Status switched = db_->ReconfigureIndexes(sel.best.config);
+  const Status switched = db_->ReconfigureIndexes(path_id_, sel.best.config);
   if (!switched.ok()) {
     status_ = switched;
-    return;
+    return false;
   }
   transition_charged_ += transition.total();
   events_.push_back(std::move(ev));
+  return true;
 }
 
 }  // namespace pathix

@@ -1,8 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <map>
 #include <vector>
 
+#include "exec/analyze.h"
 #include "exec/database.h"
 #include "online/online_selector.h"
 #include "online/transition_cost.h"
@@ -15,18 +19,33 @@
 /// cannot thrash the physical layer — rebuilds the index configuration via
 /// SimDatabase::ReconfigureIndexes. Inspired by production advisors (AIM,
 /// PAPERS.md): observe, act incrementally, never flap.
+///
+/// This header also hosts the pieces shared with the multi-path
+/// JointReconfigurationController (joint_controller.h): the options, the
+/// adaptive drift-check cadence and the scoped-ANALYZE statistics tracker —
+/// sharing them is what makes the joint controller's single-path degenerate
+/// case *provably* identical to this controller (the equivalence property
+/// test).
 
 namespace pathix {
 
-/// Tuning knobs of the control loop. The defaults favour stability: a
+/// Tuning knobs of the control loops. The defaults favour stability: a
 /// reconfiguration must pay for itself within the horizon with 50% margin.
 struct ControllerOptions {
   /// Candidate organizations per subpath (matrix columns).
   std::vector<IndexOrg> orgs = {IndexOrg::kMX, IndexOrg::kMIX, IndexOrg::kNIX};
   /// Half-life of the monitor's decayed counts, in operations.
   double half_life_ops = 512;
-  /// Operations between drift checks.
+  /// Operations between drift checks (the base interval the adaptive
+  /// cadence backs off from).
   std::uint64_t check_interval_ops = 256;
+  /// While consecutive checks commit no reconfiguration the interval is
+  /// multiplied by this factor (1 disables the backoff); a committed
+  /// reconfiguration resets it to the base. Cuts solver work on stationary
+  /// stretches without giving up drift tracking.
+  double cadence_backoff = 2.0;
+  /// Cap: the interval never exceeds check_interval_ops * this factor.
+  double cadence_max_factor = 4.0;
   /// Operations observed before the first configuration is installed (the
   /// initial build is not gated by hysteresis: anything beats naive scans).
   std::uint64_t warmup_ops = 256;
@@ -35,14 +54,93 @@ struct ControllerOptions {
   /// Hysteresis factor theta >= 1: reconfigure only when
   ///   (current_cost - best_cost) * horizon_ops > theta * transition_cost.
   double hysteresis = 1.5;
-  /// Statistics are re-collected (ANALYZE) when the live object count moved
-  /// by more than this fraction since the last collection — between
-  /// refreshes the matrix cache serves drift checks without model calls.
+  /// A class's statistics are re-collected (scoped ANALYZE) when its live
+  /// object count moved by more than this fraction since its last
+  /// collection; untouched classes keep their entries and cost no store
+  /// pass. Between refreshes the matrix cache serves drift checks without
+  /// model calls.
   double stats_refresh_fraction = 0.1;
+  /// Storage budget for the *joint* controller's selection, in bytes
+  /// (infinity disables the constraint; ignored by the single-path
+  /// controller, whose degenerate equivalence assumes no budget).
+  double storage_budget_bytes = std::numeric_limits<double>::infinity();
   /// Physical parameters (oid/key lengths etc.) the cost model solves
   /// against; page_size is always taken from the database's pager. Pass the
   /// spec's catalog params when the spec overrides the defaults.
   PhysicalParams physical_params;
+};
+
+/// \brief The adaptive drift-check schedule shared by both controllers:
+/// checks start at the base interval, back off multiplicatively while they
+/// commit nothing, and snap back on a committed reconfiguration.
+class DriftCadence {
+ public:
+  void Init(const ControllerOptions& options) {
+    base_ = std::max<std::uint64_t>(1, options.check_interval_ops);
+    max_interval_ = std::max<std::uint64_t>(
+        base_, static_cast<std::uint64_t>(
+                   static_cast<double>(base_) *
+                   std::max(1.0, options.cadence_max_factor)));
+    backoff_ = std::max(1.0, options.cadence_backoff);
+    interval_ = base_;
+    // First check: the first base-interval boundary past the warmup (the
+    // pre-backoff schedule checked every multiple of the base interval).
+    const std::uint64_t warmup = std::max<std::uint64_t>(options.warmup_ops, 1);
+    next_check_ = ((warmup + base_ - 1) / base_) * base_;
+  }
+
+  bool Due(std::uint64_t ops) const { return ops >= next_check_; }
+
+  /// Reschedules after a check at \p ops: a committed reconfiguration
+  /// resets the interval, a quiet check backs it off (capped).
+  void Reschedule(std::uint64_t ops, bool reconfigured) {
+    if (reconfigured) {
+      interval_ = base_;
+    } else {
+      interval_ = std::min<std::uint64_t>(
+          max_interval_, static_cast<std::uint64_t>(
+                             static_cast<double>(interval_) * backoff_));
+    }
+    next_check_ = ops + interval_;
+  }
+
+  std::uint64_t current_interval() const { return interval_; }
+  std::uint64_t base_interval() const { return base_; }
+
+ private:
+  std::uint64_t base_ = 1;
+  std::uint64_t max_interval_ = 1;
+  double backoff_ = 1;
+  std::uint64_t interval_ = 1;
+  std::uint64_t next_check_ = 1;
+};
+
+/// \brief Scoped ANALYZE: keeps a catalog over the scopes of a set of paths
+/// and re-collects only the classes whose live-object count drifted past
+/// the threshold since their last collection (exec/analyze.h's
+/// RefreshStatistics). The first refresh collects everything.
+class ScopedAnalyzer {
+ public:
+  /// Refreshes the catalog from \p db for \p paths. Returns true when any
+  /// class was re-collected (callers invalidate load-independent caches).
+  bool Refresh(const SimDatabase& db, const std::vector<const Path*>& paths,
+               const ControllerOptions& options);
+
+  bool has_catalog() const { return has_catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Total (class, path-attribute) collections performed — the ANALYZE work
+  /// counter the scoped-refresh tests pin down.
+  std::uint64_t class_collections() const { return class_collections_; }
+  /// Refresh() calls that re-collected at least one class.
+  std::uint64_t refreshes() const { return refreshes_; }
+
+ private:
+  Catalog catalog_;
+  bool has_catalog_ = false;
+  std::map<ClassId, double> live_at_collection_;
+  std::uint64_t class_collections_ = 0;
+  std::uint64_t refreshes_ = 0;
 };
 
 /// One committed reconfiguration (including the initial install).
@@ -61,12 +159,13 @@ struct ReconfigurationEvent {
 /// so experiment totals can include it.
 class ReconfigurationController : public DbOpObserver {
  public:
-  /// \p path must outlive the controller and be the path the database's
-  /// indexes are (to be) configured on.
+  /// \p path must outlive the controller and be the path registered with
+  /// the database under \p path_id (the id the controller configures).
   ReconfigurationController(SimDatabase* db, const Path& path,
-                            ControllerOptions options = {});
+                            ControllerOptions options = {},
+                            PathId path_id = kDefaultPathId);
 
-  void OnOperation(DbOpKind kind, ClassId cls) override;
+  void OnOperation(const DbOpEvent& ev) override;
 
   /// Runs a drift check now, regardless of the check interval (the cadence
   /// normally drives this; exposed for tests and end-of-trace flushes).
@@ -74,6 +173,8 @@ class ReconfigurationController : public DbOpObserver {
 
   const WorkloadMonitor& monitor() const { return monitor_; }
   const OnlineSelector& selector() const { return selector_; }
+  const ScopedAnalyzer& analyzer() const { return analyzer_; }
+  const DriftCadence& cadence() const { return cadence_; }
   const std::vector<ReconfigurationEvent>& events() const { return events_; }
 
   /// Modeled page cost of every committed transition so far.
@@ -86,17 +187,17 @@ class ReconfigurationController : public DbOpObserver {
   const Status& status() const { return status_; }
 
  private:
-  void Check();
+  /// Returns true when a reconfiguration was committed.
+  bool Check();
 
   SimDatabase* db_;
   const Path* path_;
+  PathId path_id_;
   ControllerOptions options_;
   WorkloadMonitor monitor_;
   OnlineSelector selector_;
-
-  Catalog catalog_;
-  bool has_catalog_ = false;
-  double objects_at_analyze_ = 0;
+  DriftCadence cadence_;
+  ScopedAnalyzer analyzer_;
 
   std::vector<ReconfigurationEvent> events_;
   double transition_charged_ = 0;

@@ -18,20 +18,29 @@ struct Instance {
   TraceReplayer replayer;
 };
 
-/// The ops-weighted average of the phase mixes — what a one-shot offline
-/// advisor would be handed if the drift were averaged away.
-LoadDistribution AverageMix(const TraceSpec& spec) {
+/// The ops-weighted average of the phase mixes of path \p path_index —
+/// what a one-shot offline advisor would be handed if the drift were
+/// averaged away. The phase weight normalizes over the *whole* phase mix
+/// (every path's queries plus the updates), so multi-path averages stay on
+/// one common scale.
+LoadDistribution AverageMix(const TraceSpec& spec, std::size_t path_index) {
   std::map<ClassId, OpLoad> acc;
   double total_ops = 0;
   for (const TracePhase& phase : spec.phases) {
     double phase_total = 0;
-    for (const auto& [cls, l] : phase.mix.entries()) {
+    for (const auto& per_path : phase.queries) {
+      for (const auto& [cls, weight] : per_path) {
+        (void)cls;
+        phase_total += weight;
+      }
+    }
+    for (const auto& [cls, upd] : phase.updates) {
       (void)cls;
-      phase_total += l.query + l.insert + l.del;
+      phase_total += upd.insert + upd.del;
     }
     if (phase_total <= 0) continue;
     const double ops = static_cast<double>(phase.ops);
-    for (const auto& [cls, l] : phase.mix.entries()) {
+    for (const auto& [cls, l] : phase.mixes[path_index].entries()) {
       OpLoad& a = acc[cls];
       a.query += l.query / phase_total * ops;
       a.insert += l.insert / phase_total * ops;
@@ -49,6 +58,11 @@ LoadDistribution AverageMix(const TraceSpec& spec) {
 }
 
 }  // namespace
+
+LoadDistribution TraceAverageMix(const TraceSpec& spec,
+                                 std::size_t path_index) {
+  return AverageMix(spec, path_index);
+}
 
 Result<OptimizeResult> OfflineOptimum(const SimDatabase& db, const Path& path,
                                       const std::vector<IndexOrg>& orgs,
@@ -75,6 +89,12 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
           "physical configurations");
     }
   }
+  if (spec.paths.size() != 1) {
+    return Status::FailedPrecondition(
+        "this is the single-path experiment; multi-path traces run "
+        "RunJointOnlineExperiment (joint_experiment.h)");
+  }
+  const TracePath& tp = spec.paths.front();
 
   ExperimentReport report;
   ControllerOptions copts = options;
@@ -84,8 +104,7 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
   // ----------------------------------------------------------- online run
   {
     Instance inst(spec);
-    inst.db.SetQueryPath(spec.path);
-    ReconfigurationController controller(&inst.db, spec.path, copts);
+    ReconfigurationController controller(&inst.db, tp.path, copts, tp.id);
     inst.db.SetObserver(&controller);
     report.online.label = "online";
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
@@ -102,13 +121,15 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
     report.oracle.label = "oracle";
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
       Result<OptimizeResult> best =
-          OfflineOptimum(inst.db, spec.path, spec.options.orgs,
-                         spec.phases[i].mix, spec.catalog.params());
+          OfflineOptimum(inst.db, tp.path, spec.options.orgs,
+                         spec.phases[i].mix(), spec.catalog.params());
       if (!best.ok()) return best.status();
       PATHIX_RETURN_IF_ERROR(
-          inst.db.ConfigureIndexes(spec.path, best.value().config));
+          inst.db.ConfigureIndexes(tp.id, best.value().config));
       report.oracle_configs.push_back(best.value().config);
-      report.oracle.phases.push_back(inst.replayer.RunPhase(i, nullptr));
+      report.oracle.phases.push_back(
+          inst.replayer.RunPhase(i, static_cast<ReconfigurationController*>(
+                                        nullptr)));
     }
   }
 
@@ -122,7 +143,7 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
     const auto add_candidate = [&](const std::string& label,
                                    const LoadDistribution& load) -> Status {
       Result<OptimizeResult> best =
-          OfflineOptimum(stats_inst.db, spec.path, spec.options.orgs, load,
+          OfflineOptimum(stats_inst.db, tp.path, spec.options.orgs, load,
                          spec.catalog.params());
       if (!best.ok()) return best.status();
       for (const StaticCandidate& c : candidates) {
@@ -134,19 +155,20 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
       candidates.push_back(std::move(c));
       return Status::OK();
     };
-    PATHIX_RETURN_IF_ERROR(add_candidate("avg-mix", AverageMix(spec)));
+    PATHIX_RETURN_IF_ERROR(add_candidate("avg-mix", AverageMix(spec, 0)));
     for (const TracePhase& phase : spec.phases) {
       PATHIX_RETURN_IF_ERROR(
-          add_candidate("phase-" + phase.name, phase.mix));
+          add_candidate("phase-" + phase.name, phase.mix()));
     }
 
     for (StaticCandidate& c : candidates) {
       Instance inst(spec);
-      PATHIX_RETURN_IF_ERROR(
-          inst.db.ConfigureIndexes(spec.path, c.config));
+      PATHIX_RETURN_IF_ERROR(inst.db.ConfigureIndexes(tp.id, c.config));
       c.run.label = "static:" + c.label;
       for (std::size_t i = 0; i < spec.phases.size(); ++i) {
-        c.run.phases.push_back(inst.replayer.RunPhase(i, nullptr));
+        c.run.phases.push_back(
+            inst.replayer.RunPhase(i, static_cast<ReconfigurationController*>(
+                                          nullptr)));
       }
       report.statics.push_back(std::move(c));
     }

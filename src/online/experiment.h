@@ -78,8 +78,16 @@ struct ExperimentReport {
 
 /// Replays \p spec's trace online / oracle / static and assembles the
 /// report. Deterministic for a fixed spec (including its seed).
+/// Single-path traces only; multi-path traces run RunJointOnlineExperiment
+/// (joint_experiment.h).
 Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
                                              const ControllerOptions& options);
+
+/// The ops-weighted average of the trace's phase mixes for one path — the
+/// load a one-shot offline advisor would be handed if the drift were
+/// averaged away. Multi-path averages share one normalization scale.
+LoadDistribution TraceAverageMix(const TraceSpec& spec,
+                                 std::size_t path_index);
 
 /// The offline optimum (O(n^2) DP on the full cost matrix) for \p load on
 /// statistics collected live from \p db, under \p physical_params (the

@@ -1,0 +1,210 @@
+#include "online/joint_controller.h"
+
+#include <map>
+#include <utility>
+
+#include "costmodel/subpath_cost.h"
+
+namespace pathix {
+
+JointReconfigurationController::JointReconfigurationController(
+    SimDatabase* db, ControllerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      path_ids_(db->path_ids()),
+      monitor_(options_.half_life_ops) {
+  cadence_.Init(options_);
+  scopes_.reserve(path_ids_.size());
+  for (const PathId& id : path_ids_) {
+    const std::vector<ClassId> scope_vec = db_->path(id).Scope(db_->schema());
+    scopes_.emplace_back(scope_vec.begin(), scope_vec.end());
+  }
+  if (path_ids_.empty()) {
+    status_ = Status::FailedPrecondition(
+        "no paths registered; RegisterPath the workload before attaching "
+        "the joint controller");
+  }
+}
+
+void JointReconfigurationController::OnOperation(const DbOpEvent& ev) {
+  monitor_.Observe(ev);
+  if (!status_.ok()) return;
+  const std::uint64_t ops = monitor_.ops_observed();
+  if (ops < options_.warmup_ops) return;
+  if (cadence_.Due(ops)) cadence_.Reschedule(ops, Check());
+}
+
+void JointReconfigurationController::CheckNow() {
+  if (status_.ok()) Check();
+}
+
+bool JointReconfigurationController::Check() {
+  ++checks_;
+
+  std::vector<const Path*> paths;
+  paths.reserve(path_ids_.size());
+  for (const PathId& id : path_ids_) paths.push_back(&db_->path(id));
+  analyzer_.Refresh(*db_, paths, options_);
+
+  if (monitor_.DecayedTotal() <= 0) return false;
+
+  // The workload as currently estimated: per-path query loads, shared
+  // update loads — all on one normalization scale.
+  std::vector<PathWorkload> workloads;
+  std::vector<PathContext> ctxs;
+  workloads.reserve(path_ids_.size());
+  ctxs.reserve(path_ids_.size());
+  for (std::size_t i = 0; i < path_ids_.size(); ++i) {
+    PathWorkload w;
+    w.path = *paths[i];
+    w.load = monitor_.EstimatedLoadFor(path_ids_[i], scopes_[i]);
+    Result<PathContext> ctx = PathContext::Build(db_->schema(), *paths[i],
+                                                 analyzer_.catalog(), w.load);
+    if (!ctx.ok()) {
+      status_ = ctx.status();
+      return false;
+    }
+    ctxs.push_back(std::move(ctx).value());
+    workloads.push_back(std::move(w));
+  }
+
+  AdvisorOptions advisor_options;
+  advisor_options.orgs = options_.orgs;
+  Result<CandidatePool> pool = CandidatePool::Build(
+      db_->schema(), analyzer_.catalog(), workloads, advisor_options);
+  if (!pool.ok()) {
+    status_ = pool.status();
+    return false;
+  }
+  JointOptions joint_options;
+  joint_options.storage_budget_bytes = options_.storage_budget_bytes;
+  Result<JointSelectionResult> joint =
+      SelectJointConfiguration(pool.value(), joint_options);
+  if (!joint.ok()) {
+    status_ = joint.status();
+    return false;
+  }
+
+  bool any_configured = false;
+  bool all_configured = true;
+  for (const PathId& id : path_ids_) {
+    if (db_->has_indexes(id)) {
+      any_configured = true;
+    } else {
+      all_configured = false;
+    }
+  }
+
+  // Transition pricing always sees the whole workload, so a part moving
+  // between paths (or staying put anywhere) is free.
+  std::vector<PathTransition> transitions(path_ids_.size());
+  for (std::size_t i = 0; i < path_ids_.size(); ++i) {
+    transitions[i].ctx = &ctxs[i];
+    transitions[i].current =
+        db_->has_indexes(path_ids_[i]) ? &db_->physical(path_ids_[i]) : nullptr;
+    transitions[i].target = &joint.value().per_path[i].config;
+  }
+
+  if (!all_configured) {
+    // Initial install (or completion of a partial hand-installed state):
+    // not gated by hysteresis — the alternative is a naive scan per query,
+    // which the pool does not even price.
+    JointReconfigurationEvent ev;
+    ev.op_index = monitor_.ops_observed();
+    ev.initial = !any_configured;
+    ev.transition = EstimateJointTransitionCost(transitions, db_->store());
+    return Commit(joint.value().per_path, std::move(ev));
+  }
+
+  // Quiet check (the stationary common case the adaptive cadence targets):
+  // nothing to price when the solver re-picks the installed assignment.
+  bool changed = false;
+  for (std::size_t i = 0; i < path_ids_.size(); ++i) {
+    if (!(db_->physical(path_ids_[i]).config() ==
+          joint.value().per_path[i].config)) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return false;
+
+  // Current assignment priced under the same shared accounting as the
+  // solver's objective: query+prefix per use, maintenance once per distinct
+  // physical structure (the maximum across its uses). Parts whose
+  // organization is outside the candidate set are priced directly from the
+  // model (they still share by structural identity).
+  double current_cost = 0;
+  std::map<StructuralKey, double> placed_maintain;
+  for (std::size_t i = 0; i < path_ids_.size(); ++i) {
+    const IndexConfiguration& config = db_->physical(path_ids_[i]).config();
+    for (const IndexedSubpath& part : config.parts()) {
+      double qp = 0;
+      double maintain = 0;
+      const int entry =
+          pool.value().EntryFor(static_cast<int>(i), part.subpath, part.org);
+      if (entry >= 0) {
+        const CandidateUse& use = pool.value().UseFor(
+            static_cast<int>(i), part.subpath, part.org);
+        qp = use.query_prefix;
+        maintain = use.maintain;
+      } else {
+        const SubpathCost cost = ComputeSubpathCost(
+            ctxs[i], part.subpath.start, part.subpath.end, part.org);
+        qp = cost.query + cost.prefix;
+        maintain = cost.maintain + cost.boundary;
+      }
+      current_cost += qp;
+      double& placed = placed_maintain[StructuralKey::ForSubpath(
+          *paths[i], part.subpath.start, part.subpath.end, part.org)];
+      if (maintain > placed) {
+        current_cost += maintain - placed;
+        placed = maintain;
+      }
+    }
+  }
+
+  const double savings = current_cost - joint.value().total_cost;
+  if (savings <= 0) return false;
+
+  const TransitionCost transition =
+      EstimateJointTransitionCost(transitions, db_->store());
+  if (savings * options_.horizon_ops <=
+      options_.hysteresis * transition.total()) {
+    return false;
+  }
+
+  JointReconfigurationEvent ev;
+  ev.op_index = monitor_.ops_observed();
+  ev.predicted_savings_per_op = savings;
+  ev.transition = transition;
+  return Commit(joint.value().per_path, std::move(ev));
+}
+
+bool JointReconfigurationController::Commit(
+    const std::vector<JointPathSelection>& targets,
+    JointReconfigurationEvent ev) {
+  std::vector<std::pair<PathId, IndexConfiguration>> changes;
+  for (std::size_t i = 0; i < path_ids_.size(); ++i) {
+    const IndexConfiguration& target = targets[i].config;
+    const bool installed = db_->has_indexes(path_ids_[i]);
+    if (installed && db_->physical(path_ids_[i]).config() == target) {
+      continue;
+    }
+    JointReconfigurationEvent::PathChange change;
+    change.path = path_ids_[i];
+    if (installed) change.from = db_->physical(path_ids_[i]).config();
+    change.to = target;
+    ev.changes.push_back(std::move(change));
+    changes.emplace_back(path_ids_[i], target);
+  }
+  const Status committed = db_->ReconfigureIndexes(changes);
+  if (!committed.ok()) {
+    status_ = committed;
+    return false;
+  }
+  transition_charged_ += ev.transition.total();
+  events_.push_back(std::move(ev));
+  return true;
+}
+
+}  // namespace pathix

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advisor/joint_optimizer.h"
+#include "online/controller.h"
+
+/// \file joint_controller.h
+/// \brief Multi-path online index selection: one controller watching *all*
+/// registered paths of a SimDatabase, re-solving the workload advisor's
+/// joint, storage-budgeted selection problem on every drift check.
+///
+/// This closes the loop the ROADMAP names: PR 2's SelectJointConfiguration
+/// knows how to pick one configuration per path under a shared storage
+/// budget with pay-maintenance-once accounting, PR 3's controller knows how
+/// to watch a live database and reconfigure with hysteresis — the
+/// JointReconfigurationController does both at once. Its per-check costs
+/// and transition prices use the same shared-part accounting the physical
+/// layer now implements (PhysicalPartRegistry): an index shared between
+/// paths is maintained once, stored once, and free to "build" for a path
+/// when another path already holds it.
+///
+/// With exactly one registered path and an infinite budget the controller
+/// degenerates to ReconfigurationController — the same monitor estimates,
+/// the same cadence, the same hysteresis rule, the same transition prices —
+/// and the equivalence property test pins the two event logs to be
+/// identical.
+
+namespace pathix {
+
+/// One committed joint reconfiguration (including the initial install).
+struct JointReconfigurationEvent {
+  /// One path's side of the change. Only changed paths are listed.
+  struct PathChange {
+    PathId path;
+    IndexConfiguration from;  ///< empty on the initial install
+    IndexConfiguration to;
+  };
+
+  std::uint64_t op_index = 0;  ///< operations observed when it happened
+  bool initial = false;        ///< first install (nothing was configured)
+  std::vector<PathChange> changes;  ///< ordered by path id
+  double predicted_savings_per_op = 0;  ///< current - best, joint accounting
+  TransitionCost transition;  ///< modeled price (shared parts charged once)
+};
+
+/// \brief Attach with db->SetObserver(&controller); detach before either
+/// dies. The controller manages every path registered with the database at
+/// construction time. All controller work (ANALYZE, solving, index builds)
+/// is uncounted; the modeled transition price is accumulated in
+/// transition_pages_charged() so experiment totals can include it.
+class JointReconfigurationController : public DbOpObserver {
+ public:
+  /// \p db must already have its workload paths registered
+  /// (SimDatabase::RegisterPath); the controller snapshots the id list.
+  /// options.storage_budget_bytes caps the total bytes of the distinct
+  /// physical indexes the joint solver may choose.
+  explicit JointReconfigurationController(SimDatabase* db,
+                                          ControllerOptions options = {});
+
+  void OnOperation(const DbOpEvent& ev) override;
+
+  /// Runs a drift check now, regardless of the check interval.
+  void CheckNow();
+
+  const WorkloadMonitor& monitor() const { return monitor_; }
+  const ScopedAnalyzer& analyzer() const { return analyzer_; }
+  const DriftCadence& cadence() const { return cadence_; }
+  const std::vector<PathId>& path_ids() const { return path_ids_; }
+  const std::vector<JointReconfigurationEvent>& events() const {
+    return events_;
+  }
+
+  /// Modeled page cost of every committed transition so far.
+  double transition_pages_charged() const { return transition_charged_; }
+
+  std::uint64_t checks_run() const { return checks_; }
+
+  /// First error the control loop hit; the controller goes dormant after
+  /// an error rather than flapping.
+  const Status& status() const { return status_; }
+
+ private:
+  /// Returns true when a reconfiguration was committed.
+  bool Check();
+
+  /// Fills \p ev.changes with every path whose installed configuration
+  /// differs from its target, commits them as one batch reconfigure,
+  /// accumulates the transition charge and records the event. Returns
+  /// false (and sets status_) on a commit error.
+  bool Commit(const std::vector<JointPathSelection>& targets,
+              JointReconfigurationEvent ev);
+
+  SimDatabase* db_;
+  ControllerOptions options_;
+  std::vector<PathId> path_ids_;          ///< sorted (database id order)
+  std::vector<std::set<ClassId>> scopes_;  ///< per path, same order
+  WorkloadMonitor monitor_;
+  DriftCadence cadence_;
+  ScopedAnalyzer analyzer_;
+
+  std::vector<JointReconfigurationEvent> events_;
+  double transition_charged_ = 0;
+  std::uint64_t checks_ = 0;
+  Status status_;
+};
+
+}  // namespace pathix

@@ -1,0 +1,219 @@
+#include "online/joint_experiment.h"
+
+#include <set>
+#include <utility>
+
+#include "exec/analyze.h"
+
+namespace pathix {
+
+namespace {
+
+/// A freshly populated database with every path registered, ready to
+/// replay the trace.
+struct Instance {
+  explicit Instance(const TraceSpec& spec)
+      : db(spec.schema, spec.catalog.params()), replayer(&db, spec) {
+    replayer.Populate();
+  }
+  SimDatabase db;
+  TraceReplayer replayer;
+};
+
+/// Statistics exactly as the joint controller's scoped ANALYZE collects
+/// them on first refresh (everything in every path's scope, shared
+/// (class, attribute) pairs scanned once), so oracle and static solves are
+/// apples to apples with the online run.
+Catalog CollectWorkloadStatistics(const SimDatabase& db, const TraceSpec& spec) {
+  PhysicalParams params = spec.catalog.params();
+  params.page_size = static_cast<double>(db.pager().page_size());
+  Catalog catalog(params);
+  std::set<std::pair<ClassId, std::string>> collected;
+  for (const TracePath& tp : spec.paths) {
+    std::set<ClassId> scope;
+    const std::vector<ClassId> scope_vec = tp.path.Scope(db.schema());
+    scope.insert(scope_vec.begin(), scope_vec.end());
+    RefreshStatistics(db.store(), db.schema(), tp.path, scope, &catalog,
+                      &collected);
+  }
+  return catalog;
+}
+
+/// The joint optimum for the given per-path loads under the spec's budget,
+/// on \p catalog (live statistics of the database the replay runs on).
+Result<std::vector<IndexConfiguration>> SolveJoint(
+    const SimDatabase& db, const TraceSpec& spec,
+    const std::vector<LoadDistribution>& loads, const Catalog& catalog) {
+  std::vector<PathWorkload> workloads;
+  workloads.reserve(spec.paths.size());
+  for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+    PathWorkload w;
+    w.name = spec.paths[p].id;
+    w.path = spec.paths[p].path;
+    w.load = loads[p];
+    workloads.push_back(std::move(w));
+  }
+  AdvisorOptions advisor_options;
+  advisor_options.orgs = spec.options.orgs;
+  Result<CandidatePool> pool =
+      CandidatePool::Build(db.schema(), catalog, workloads, advisor_options);
+  if (!pool.ok()) return pool.status();
+  JointOptions joint_options;
+  joint_options.storage_budget_bytes = spec.storage_budget_bytes;
+  Result<JointSelectionResult> joint =
+      SelectJointConfiguration(pool.value(), joint_options);
+  if (!joint.ok()) return joint.status();
+  std::vector<IndexConfiguration> configs;
+  configs.reserve(spec.paths.size());
+  for (const JointPathSelection& sel : joint.value().per_path) {
+    configs.push_back(sel.config);
+  }
+  return configs;
+}
+
+/// Installs one configuration per path (uncounted).
+Status InstallAll(Instance* inst, const TraceSpec& spec,
+                  const std::vector<IndexConfiguration>& configs) {
+  std::vector<std::pair<PathId, IndexConfiguration>> changes;
+  changes.reserve(spec.paths.size());
+  for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+    changes.emplace_back(spec.paths[p].id, configs[p]);
+  }
+  return inst->db.ReconfigureIndexes(changes);
+}
+
+}  // namespace
+
+Result<JointExperimentReport> RunJointOnlineExperiment(
+    const TraceSpec& spec, const ControllerOptions& options) {
+  for (IndexOrg org : spec.options.orgs) {
+    if (org == IndexOrg::kNX || org == IndexOrg::kPX) {
+      return Status::FailedPrecondition(
+          "NX/PX are model-only candidates; the online experiment runs "
+          "physical configurations");
+    }
+  }
+  if (spec.paths.empty()) {
+    return Status::InvalidArgument("trace spec declares no paths");
+  }
+
+  JointExperimentReport report;
+  ControllerOptions copts = options;
+  copts.orgs = spec.options.orgs;
+  copts.physical_params = spec.catalog.params();
+  copts.storage_budget_bytes = spec.storage_budget_bytes;
+
+  // ----------------------------------------------------------- online run
+  {
+    Instance inst(spec);
+    JointReconfigurationController controller(&inst.db, copts);
+    inst.db.SetObserver(&controller);
+    report.online.label = "online-joint";
+    for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+      report.online.phases.push_back(inst.replayer.RunPhase(i, &controller));
+    }
+    inst.db.SetObserver(nullptr);
+    if (!controller.status().ok()) return controller.status();
+    report.events = controller.events();
+  }
+
+  // ----------------------------------------------------- joint oracle run
+  {
+    Instance inst(spec);
+    report.oracle.label = "oracle-joint";
+    for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+      // The replay mutates the store between phases, so the oracle
+      // re-collects per phase — just like the online run's scoped ANALYZE.
+      Result<std::vector<IndexConfiguration>> best = SolveJoint(
+          inst.db, spec, spec.phases[i].mixes,
+          CollectWorkloadStatistics(inst.db, spec));
+      if (!best.ok()) return best.status();
+      PATHIX_RETURN_IF_ERROR(InstallAll(&inst, spec, best.value()));
+      report.oracle_configs.push_back(best.value());
+      report.oracle.phases.push_back(inst.replayer.RunPhase(
+          i, static_cast<JointReconfigurationController*>(nullptr)));
+    }
+  }
+
+  // -------------------------------------------------------- static field
+  {
+    std::vector<JointStaticCandidate> candidates;
+    Instance stats_inst(spec);
+    // One catalog serves every static solve: stats_inst is populated once
+    // and never replayed.
+    const Catalog stats_catalog =
+        CollectWorkloadStatistics(stats_inst.db, spec);
+    const auto add_candidate =
+        [&](const std::string& label, bool respects_budget,
+            const std::vector<IndexConfiguration>& configs) {
+          for (const JointStaticCandidate& c : candidates) {
+            if (c.configs == configs) return;  // dedup identical assignments
+          }
+          JointStaticCandidate c;
+          c.label = label;
+          c.respects_budget = respects_budget;
+          c.configs = configs;
+          candidates.push_back(std::move(c));
+        };
+
+    // The joint optimum of the averaged mixes, and of each phase's mixes —
+    // all solved under the budget.
+    std::vector<LoadDistribution> avg;
+    avg.reserve(spec.paths.size());
+    for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+      avg.push_back(TraceAverageMix(spec, p));
+    }
+    Result<std::vector<IndexConfiguration>> joint_avg =
+        SolveJoint(stats_inst.db, spec, avg, stats_catalog);
+    if (!joint_avg.ok()) return joint_avg.status();
+    add_candidate("joint-avg", true, joint_avg.value());
+    for (const TracePhase& phase : spec.phases) {
+      Result<std::vector<IndexConfiguration>> joint_phase =
+          SolveJoint(stats_inst.db, spec, phase.mixes, stats_catalog);
+      if (!joint_phase.ok()) return joint_phase.status();
+      add_candidate("joint-phase-" + phase.name, true, joint_phase.value());
+    }
+
+    // The unbudgeted per-path independent optima on the averaged mixes.
+    // Physically this coincides with the greedy merge (identical structures
+    // share through the registry either way); it may bust the budget and is
+    // reported as the what-unlimited-storage-buys baseline.
+    {
+      std::vector<IndexConfiguration> configs;
+      configs.reserve(spec.paths.size());
+      for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+        Result<OptimizeResult> best =
+            OfflineOptimum(stats_inst.db, spec.paths[p].path,
+                           spec.options.orgs, avg[p], spec.catalog.params());
+        if (!best.ok()) return best.status();
+        configs.push_back(best.value().config);
+      }
+      add_candidate("independent-greedy", false, configs);
+    }
+
+    for (JointStaticCandidate& c : candidates) {
+      Instance inst(spec);
+      PATHIX_RETURN_IF_ERROR(InstallAll(&inst, spec, c.configs));
+      c.run.label = "static:" + c.label;
+      for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+        c.run.phases.push_back(inst.replayer.RunPhase(
+            i, static_cast<JointReconfigurationController*>(nullptr)));
+      }
+      report.statics.push_back(std::move(c));
+    }
+    for (std::size_t i = 0; i < report.statics.size(); ++i) {
+      if (!report.statics[i].respects_budget) continue;
+      if (report.best_static_joint < 0 ||
+          report.statics[i].run.total_cost() <
+              report.statics[static_cast<std::size_t>(
+                                 report.best_static_joint)]
+                  .run.total_cost()) {
+        report.best_static_joint = static_cast<int>(i);
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace pathix

@@ -5,8 +5,13 @@
 namespace pathix {
 
 TraceReplayer::TraceReplayer(SimDatabase* db, const TraceSpec& spec)
-    : db_(db), spec_(&spec), rng_(spec.seed),
-      ending_level_(spec.path.length()) {}
+    : db_(db), spec_(&spec), rng_(spec.seed) {
+  for (const TracePath& tp : spec.paths) {
+    const Status registered = db_->RegisterPath(tp.id, tp.path);
+    PATHIX_DCHECK(registered.ok());
+    (void)registered;
+  }
+}
 
 void TraceReplayer::Populate() {
   std::vector<ClassGenSpec> specs;
@@ -14,8 +19,11 @@ void TraceReplayer::Populate() {
   for (const TracePopulate& p : spec_->populate) {
     specs.push_back(ClassGenSpec{p.cls, p.count, p.distinct_values, p.nin});
   }
+  std::vector<const Path*> paths;
+  paths.reserve(spec_->paths.size());
+  for (const TracePath& tp : spec_->paths) paths.push_back(&tp.path);
   PathDataGenerator gen(spec_->seed);
-  live_ = gen.Populate(db_, spec_->path, specs);
+  live_ = gen.Populate(db_, paths, specs);
 }
 
 const TracePopulate* TraceReplayer::PopulateSpecFor(ClassId cls) const {
@@ -25,26 +33,35 @@ const TracePopulate* TraceReplayer::PopulateSpecFor(ClassId cls) const {
   return nullptr;
 }
 
-PhaseReport TraceReplayer::RunPhase(std::size_t phase_index,
-                                    ReconfigurationController* controller) {
+PhaseReport TraceReplayer::RunPhaseOps(std::size_t phase_index) {
   const TracePhase& phase = spec_->phases[phase_index];
   PhaseReport report;
   report.name = phase.name;
   report.ops = phase.ops;
 
-  // Flatten the mix into (class, kind) sampling weights, sorted for a
-  // deterministic mapping into the discrete distribution.
+  // Flatten the mix into (path, class, kind) sampling weights, sorted for a
+  // deterministic mapping into the discrete distribution (by class, then
+  // kind, then path — the order the single-path format always had).
   std::vector<MixEntry> entries;
-  for (const auto& [cls, load] : phase.mix.entries()) {
-    if (load.query > 0) entries.push_back({cls, DbOpKind::kQuery, load.query});
-    if (load.insert > 0) {
-      entries.push_back({cls, DbOpKind::kInsert, load.insert});
+  for (std::size_t p = 0; p < phase.queries.size(); ++p) {
+    for (const auto& [cls, weight] : phase.queries[p]) {
+      if (weight > 0) {
+        entries.push_back(
+            {static_cast<int>(p), cls, DbOpKind::kQuery, weight});
+      }
     }
-    if (load.del > 0) entries.push_back({cls, DbOpKind::kDelete, load.del});
+  }
+  for (const auto& [cls, upd] : phase.updates) {
+    if (upd.insert > 0) {
+      entries.push_back({-1, cls, DbOpKind::kInsert, upd.insert});
+    }
+    if (upd.del > 0) entries.push_back({-1, cls, DbOpKind::kDelete, upd.del});
   }
   std::sort(entries.begin(), entries.end(),
             [](const MixEntry& a, const MixEntry& b) {
-              return a.cls != b.cls ? a.cls < b.cls : a.kind < b.kind;
+              if (a.cls != b.cls) return a.cls < b.cls;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.path_index < b.path_index;
             });
   if (entries.empty()) return report;
   std::vector<double> weights;
@@ -52,28 +69,16 @@ PhaseReport TraceReplayer::RunPhase(std::size_t phase_index,
   for (const MixEntry& e : entries) weights.push_back(e.weight);
   std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
 
-  const double transition_before =
-      controller != nullptr ? controller->transition_pages_charged() : 0;
-  const std::size_t events_before =
-      controller != nullptr ? controller->events().size() : 0;
   const AccessProbe probe(db_->pager());
-
   for (std::uint64_t i = 0; i < phase.ops; ++i) RunOne(entries[pick(rng_)]);
-
   report.pages = probe.Delta().total();
-  if (controller != nullptr) {
-    report.transition_pages =
-        controller->transition_pages_charged() - transition_before;
-    report.reconfigurations =
-        static_cast<int>(controller->events().size() - events_before);
-  }
   return report;
 }
 
 void TraceReplayer::RunOne(const MixEntry& op) {
   switch (op.kind) {
     case DbOpKind::kQuery:
-      DoQuery(op.cls);
+      DoQuery(op.path_index, op.cls);
       break;
     case DbOpKind::kInsert:
       DoInsert(op.cls);
@@ -84,66 +89,78 @@ void TraceReplayer::RunOne(const MixEntry& op) {
   }
 }
 
-void TraceReplayer::DoQuery(ClassId cls) {
+void TraceReplayer::DoQuery(int path_index, ClassId cls) {
+  const TracePath& tp = spec_->paths[static_cast<std::size_t>(path_index)];
   // Query values are drawn from the ending-level value pool the population
   // (and the inserts) draw from.
   int distinct = 1;
-  for (ClassId ending : db_->schema().HierarchyOf(
-           spec_->path.class_at(ending_level_))) {
+  for (ClassId ending :
+       db_->schema().HierarchyOf(tp.path.class_at(tp.path.length()))) {
     const TracePopulate* p = PopulateSpecFor(ending);
     if (p != nullptr) distinct = std::max(distinct, p->distinct_values);
   }
   std::uniform_int_distribution<int> value(0, distinct - 1);
   const Key key = Key::FromString(EndingValue(value(rng_)));
-  if (db_->has_indexes()) {
-    db_->Query(key, cls).status();
+  if (db_->has_indexes(tp.id)) {
+    db_->Query(tp.id, key, cls).status();
   } else {
-    db_->QueryNaive(key, cls).status();
+    db_->QueryNaive(tp.id, key, cls).status();
   }
 }
 
 void TraceReplayer::DoInsert(ClassId cls) {
-  int level = 0;
-  for (int l = 1; l <= spec_->path.length(); ++l) {
-    if (db_->schema().IsSameOrSubclassOf(cls, spec_->path.class_at(l))) {
-      level = l;
-      break;
-    }
-  }
-  PATHIX_DCHECK(level > 0 && "mix classes are validated against scope(P)");
-
   const TracePopulate* p = PopulateSpecFor(cls);
   const double nin = p != nullptr ? p->nin : 1.0;
   std::uniform_real_distribution<double> frac(0.0, 1.0);
-  int nvals = static_cast<int>(nin);
-  if (frac(rng_) < nin - nvals) ++nvals;
-  nvals = std::max(1, nvals);
 
+  // Fill the path attribute of every path the class lies on (dedup by
+  // attribute name: overlapping paths share the attribute).
   AttrValues attrs;
-  const std::string& attr = spec_->path.attribute_at(level).name;
-  std::vector<Value>& values = attrs[attr];
-  if (level == ending_level_) {
-    const int distinct = p != nullptr ? p->distinct_values : 1;
-    std::uniform_int_distribution<int> value(0, distinct - 1);
-    for (int v = 0; v < nvals; ++v) {
-      values.push_back(Value::Str(EndingValue(value(rng_))));
-    }
-  } else {
-    std::vector<Oid> pool;
-    for (ClassId next : db_->schema().HierarchyOf(
-             spec_->path.class_at(level + 1))) {
-      const auto it = live_.find(next);
-      if (it != live_.end()) {
-        pool.insert(pool.end(), it->second.begin(), it->second.end());
+  bool on_some_path = false;
+  for (const TracePath& tp : spec_->paths) {
+    int level = 0;
+    for (int l = 1; l <= tp.path.length(); ++l) {
+      if (db_->schema().IsSameOrSubclassOf(cls, tp.path.class_at(l))) {
+        level = l;
+        break;
       }
     }
-    if (!pool.empty()) {
-      std::uniform_int_distribution<std::size_t> ref(0, pool.size() - 1);
+    if (level == 0) continue;
+    on_some_path = true;
+    const std::string& attr = tp.path.attribute_at(level).name;
+    if (attrs.count(attr) > 0) continue;  // shared subpath, already filled
+
+    int nvals = static_cast<int>(nin);
+    if (frac(rng_) < nin - nvals) ++nvals;
+    nvals = std::max(1, nvals);
+
+    std::vector<Value>& values = attrs[attr];
+    if (level == tp.path.length()) {
+      const int distinct = p != nullptr ? p->distinct_values : 1;
+      std::uniform_int_distribution<int> value(0, distinct - 1);
       for (int v = 0; v < nvals; ++v) {
-        values.push_back(Value::Ref(pool[ref(rng_)]));
+        values.push_back(Value::Str(EndingValue(value(rng_))));
+      }
+    } else {
+      std::vector<Oid> pool;
+      for (ClassId next :
+           db_->schema().HierarchyOf(tp.path.class_at(level + 1))) {
+        const auto it = live_.find(next);
+        if (it != live_.end()) {
+          pool.insert(pool.end(), it->second.begin(), it->second.end());
+        }
+      }
+      if (!pool.empty()) {
+        std::uniform_int_distribution<std::size_t> ref(0, pool.size() - 1);
+        for (int v = 0; v < nvals; ++v) {
+          values.push_back(Value::Ref(pool[ref(rng_)]));
+        }
       }
     }
   }
+  PATHIX_DCHECK(on_some_path && "mix classes are validated against the "
+                                "declared paths' scopes");
+  (void)on_some_path;
   live_[cls].push_back(db_->Insert(cls, std::move(attrs)));
 }
 

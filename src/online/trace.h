@@ -10,6 +10,7 @@
 #include "exec/database.h"
 #include "io/spec_parser.h"
 #include "online/controller.h"
+#include "online/joint_controller.h"
 
 /// \file trace.h
 /// \brief Deterministic replay of a trace spec against a SimDatabase.
@@ -19,7 +20,9 @@
 /// object sets); since every run executes the same inserts and deletes,
 /// replaying the same trace under different index configurations sees the
 /// *identical* operation sequence — the property the online-vs-oracle
-/// regret comparison rests on.
+/// regret comparison rests on. Multi-path traces direct each query at the
+/// path its mix line names; updates are path-agnostic and maintain every
+/// configured path's indexes.
 
 namespace pathix {
 
@@ -39,33 +42,63 @@ struct PhaseReport {
 /// \brief Replays the phases of one trace spec.
 class TraceReplayer {
  public:
-  /// \p db must already hold the spec's schema; Populate() fills it.
+  /// \p db must already hold the spec's schema; the constructor registers
+  /// every spec path under its id and Populate() fills the store. \p spec
+  /// must outlive the replayer.
   TraceReplayer(SimDatabase* db, const TraceSpec& spec);
 
   /// Generates the initial population (uncounted) and records the live oid
   /// pools the operation sampling draws from.
   void Populate();
 
-  /// Replays phase \p phase_index. If \p controller is non-null its
-  /// transition charges and reconfiguration count over the phase are
-  /// captured into the report. Queries use the configured indexes when
+  /// Replays phase \p phase_index. If a controller is given, its transition
+  /// charges and reconfiguration count over the phase are captured into the
+  /// report. Queries use the named path's configured indexes when
   /// installed, a naive scan otherwise (the cold-start price an online
   /// controller pays before its first install).
   PhaseReport RunPhase(std::size_t phase_index,
-                       ReconfigurationController* controller);
+                       ReconfigurationController* controller) {
+    return RunPhaseWith(phase_index, controller);
+  }
+  PhaseReport RunPhase(std::size_t phase_index,
+                       JointReconfigurationController* controller) {
+    return RunPhaseWith(phase_index, controller);
+  }
 
   /// Live oids per class (inspection; e.g. final statistics collection).
   const std::map<ClassId, std::vector<Oid>>& live() const { return live_; }
 
  private:
   struct MixEntry {
+    int path_index = -1;  ///< queried path; -1 for updates
     ClassId cls = kInvalidClass;
     DbOpKind kind = DbOpKind::kQuery;
     double weight = 0;
   };
 
+  /// The shared replay: runs the phase's ops under the access probe; the
+  /// public overloads wrap it to capture controller charges (both
+  /// controller types expose the same accessors).
+  template <typename Controller>
+  PhaseReport RunPhaseWith(std::size_t phase_index, Controller* controller) {
+    const double charged_before =
+        controller != nullptr ? controller->transition_pages_charged() : 0;
+    const std::size_t events_before =
+        controller != nullptr ? controller->events().size() : 0;
+    PhaseReport report = RunPhaseOps(phase_index);
+    if (controller != nullptr) {
+      report.transition_pages =
+          controller->transition_pages_charged() - charged_before;
+      report.reconfigurations =
+          static_cast<int>(controller->events().size() - events_before);
+    }
+    return report;
+  }
+
+  PhaseReport RunPhaseOps(std::size_t phase_index);
+
   void RunOne(const MixEntry& op);
-  void DoQuery(ClassId cls);
+  void DoQuery(int path_index, ClassId cls);
   void DoInsert(ClassId cls);
   void DoDelete(ClassId cls);
 
@@ -76,7 +109,6 @@ class TraceReplayer {
   const TraceSpec* spec_;
   std::mt19937 rng_;
   std::map<ClassId, std::vector<Oid>> live_;
-  int ending_level_ = 0;  ///< path length (level of the atomic attribute)
 };
 
 }  // namespace pathix

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "core/index_config.h"
 #include "costmodel/path_context.h"
 #include "index/physical_config.h"
@@ -8,14 +10,15 @@
 /// \file transition_cost.h
 /// \brief Pricing an index reconfiguration in page accesses.
 ///
-/// Going from the installed physical configuration to a target one costs
+/// Going from the installed physical configurations to target ones costs
 /// real I/O a steady-state cost matrix never sees: dropped indexes touch
 /// their pages once to free them, new indexes scan the class segments in
-/// their scope and write their structures out. Parts present in both
-/// configurations (same subpath range and organization) are free — the
-/// physical layer genuinely keeps them (SimDatabase::ReconfigureIndexes).
-/// The ReconfigurationController amortizes this price against predicted
-/// steady-state savings over its horizon.
+/// their scope and write their structures out. Parts present before and
+/// after (same structural identity — possibly on a *different* path, since
+/// the registry shares structures across paths) are free: the physical
+/// layer genuinely keeps them (SimDatabase::ReconfigureIndexes). The
+/// reconfiguration controllers amortize this price against predicted
+/// steady-state savings over their horizon.
 
 namespace pathix {
 
@@ -27,6 +30,22 @@ struct TransitionCost {
 
   double total() const { return drop_pages + scan_pages + write_pages; }
 };
+
+/// One path's side of a joint transition.
+struct PathTransition {
+  const PathContext* ctx = nullptr;            ///< bound to the path
+  const PhysicalConfiguration* current = nullptr;  ///< nullptr = nothing
+  const IndexConfiguration* target = nullptr;
+};
+
+/// Prices the move of a whole workload at once, deduplicating by structural
+/// identity: a physical part is dropped only when *no* target configuration
+/// keeps it, and built (scan + write, once) only when no current
+/// configuration already holds it — shared parts are free across paths, not
+/// just across time. With a single entry this reduces exactly to the
+/// single-path EstimateTransitionCost.
+TransitionCost EstimateJointTransitionCost(
+    const std::vector<PathTransition>& paths, const ObjectStore& store);
 
 /// Prices the move from \p current (nullptr = nothing installed) to
 /// \p target on the context's path. Dropped parts are priced from their

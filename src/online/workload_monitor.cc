@@ -9,38 +9,48 @@ WorkloadMonitor::WorkloadMonitor(double half_life_ops)
 
 void WorkloadMonitor::FoldTo(Entry* e, std::uint64_t now) const {
   if (e->as_of == now) return;
-  const double factor =
-      std::pow(decay_, static_cast<double>(now - e->as_of));
-  e->counts.query *= factor;
-  e->counts.insert *= factor;
-  e->counts.del *= factor;
+  e->count *= std::pow(decay_, static_cast<double>(now - e->as_of));
   e->as_of = now;
 }
 
-void WorkloadMonitor::Observe(DbOpKind kind, ClassId cls) {
+double WorkloadMonitor::Folded(const Entry& e) const {
+  return e.count * std::pow(decay_, static_cast<double>(ops_ - e.as_of));
+}
+
+void WorkloadMonitor::Observe(const DbOpEvent& ev) {
   ++ops_;
-  Entry& e = entries_[cls];
-  FoldTo(&e, ops_);
-  switch (kind) {
+  Entry* entry = nullptr;
+  switch (ev.kind) {
     case DbOpKind::kQuery:
-      e.counts.query += 1;
+      entry = &queries_[PathId(ev.path)][ev.cls];
       break;
     case DbOpKind::kInsert:
-      e.counts.insert += 1;
+      entry = &inserts_[ev.cls];
       break;
     case DbOpKind::kDelete:
-      e.counts.del += 1;
+      entry = &deletes_[ev.cls];
       break;
   }
+  FoldTo(entry, ops_);
+  entry->count += 1;
 }
 
 double WorkloadMonitor::DecayedTotal() const {
   double total = 0;
-  for (const auto& [cls, e] : entries_) {
+  for (const auto& [path, by_class] : queries_) {
+    (void)path;
+    for (const auto& [cls, e] : by_class) {
+      (void)cls;
+      total += Folded(e);
+    }
+  }
+  for (const auto& [cls, e] : inserts_) {
     (void)cls;
-    Entry folded = e;
-    FoldTo(&folded, ops_);
-    total += folded.counts.query + folded.counts.insert + folded.counts.del;
+    total += Folded(e);
+  }
+  for (const auto& [cls, e] : deletes_) {
+    (void)cls;
+    total += Folded(e);
   }
   return total;
 }
@@ -49,18 +59,46 @@ LoadDistribution WorkloadMonitor::EstimatedLoad() const {
   LoadDistribution load;
   const double total = DecayedTotal();
   if (total <= 0) return load;
-  for (const auto& [cls, e] : entries_) {
-    Entry folded = e;
-    FoldTo(&folded, ops_);
-    load.Set(cls, folded.counts.query / total, folded.counts.insert / total,
-             folded.counts.del / total);
+  std::unordered_map<ClassId, OpLoad> merged;
+  for (const auto& [path, by_class] : queries_) {
+    (void)path;
+    for (const auto& [cls, e] : by_class) merged[cls].query += Folded(e);
+  }
+  for (const auto& [cls, e] : inserts_) merged[cls].insert += Folded(e);
+  for (const auto& [cls, e] : deletes_) merged[cls].del += Folded(e);
+  for (const auto& [cls, l] : merged) {
+    load.Set(cls, l.query / total, l.insert / total, l.del / total);
+  }
+  return load;
+}
+
+LoadDistribution WorkloadMonitor::EstimatedLoadFor(
+    const PathId& path, const std::set<ClassId>& scope) const {
+  LoadDistribution load;
+  const double total = DecayedTotal();
+  if (total <= 0) return load;
+  std::unordered_map<ClassId, OpLoad> merged;
+  const auto it = queries_.find(path);
+  if (it != queries_.end()) {
+    for (const auto& [cls, e] : it->second) merged[cls].query += Folded(e);
+  }
+  for (const auto& [cls, e] : inserts_) {
+    if (scope.count(cls) > 0) merged[cls].insert += Folded(e);
+  }
+  for (const auto& [cls, e] : deletes_) {
+    if (scope.count(cls) > 0) merged[cls].del += Folded(e);
+  }
+  for (const auto& [cls, l] : merged) {
+    load.Set(cls, l.query / total, l.insert / total, l.del / total);
   }
   return load;
 }
 
 void WorkloadMonitor::Reset() {
   ops_ = 0;
-  entries_.clear();
+  queries_.clear();
+  inserts_.clear();
+  deletes_.clear();
 }
 
 }  // namespace pathix

@@ -1,42 +1,66 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
+#include <string>
 #include <unordered_map>
 
 #include "exec/database.h"
 #include "workload/load.h"
 
 /// \file workload_monitor.h
-/// \brief Exponentially-decayed estimation of the live load distribution.
+/// \brief Exponentially-decayed estimation of the live load distribution,
+/// per class and per path.
 ///
 /// The paper's advisor assumes LD_{A_n} is known up front; the online
 /// subsystem instead observes the operation stream of a SimDatabase and
-/// maintains per-class decayed operation counts. Old traffic fades with a
-/// configurable half-life, so the estimate tracks drift with O(classes)
-/// state and O(1) amortized work per operation — no unbounded history.
+/// maintains decayed operation counts. Queries are attributed to the path
+/// they ran on (a workload of overlapping paths has one query load *per
+/// path*); insertions and deletions are path-agnostic — one object churn
+/// maintains the indexes of every path whose scope contains the class, so
+/// its frequency enters every such path's load, exactly the accounting
+/// under which the workload advisor charges a shared index's maintenance
+/// once. Old traffic fades with a configurable half-life, so the estimate
+/// tracks drift with O(paths x classes) state and O(1) amortized work per
+/// operation — no unbounded history.
 
 namespace pathix {
 
-/// \brief Decayed per-class (alpha, beta, gamma) counters.
+/// \brief Decayed per-path per-class query counters plus per-class update
+/// counters.
 ///
 /// Counts decay by factor 2^(-1/half_life) per observed operation, applied
-/// lazily: each class entry remembers the operation index it was last
-/// folded at. A stationary stream converges to weights proportional to the
-/// true mix; after a phase shift the old phase's influence halves every
-/// half_life operations.
+/// lazily: each entry remembers the operation index it was last folded at.
+/// A stationary stream converges to weights proportional to the true mix;
+/// after a phase shift the old phase's influence halves every half_life
+/// operations. All estimates are normalized by the *shared* decayed total,
+/// so per-path loads are mutually comparable (the joint optimizer's
+/// max-across-uses maintenance charge relies on a common scale).
 class WorkloadMonitor {
  public:
   /// \p half_life_ops <= 0 disables decay (plain counting).
   explicit WorkloadMonitor(double half_life_ops = 512);
 
-  void Observe(DbOpKind kind, ClassId cls);
+  /// Records one operation. Queries are keyed by \p ev.path (empty path =
+  /// the anonymous single-path stream); updates are keyed by class only.
+  void Observe(const DbOpEvent& ev);
 
-  /// The current estimate, normalized so all frequencies sum to 1 — the
-  /// cost-model weighting then prices "expected index pages per operation".
-  /// Empty (all-zero) until the first observation.
+  /// Single-path convenience: queries land on the anonymous path.
+  void Observe(DbOpKind kind, ClassId cls) { Observe({kind, cls, {}}); }
+
+  /// The all-paths estimate, normalized so all frequencies sum to 1 — the
+  /// single-path controller's view (every query, whatever path it names,
+  /// plus every update). Empty (all-zero) until the first observation.
   LoadDistribution EstimatedLoad() const;
 
-  /// Decayed total weight across all classes and kinds.
+  /// The estimate for one path of a workload: that path's query
+  /// frequencies, plus the update frequencies of the classes in \p scope.
+  /// Normalized by the same shared total as every other path's estimate.
+  LoadDistribution EstimatedLoadFor(const PathId& path,
+                                    const std::set<ClassId>& scope) const;
+
+  /// Decayed total weight across all paths, classes and kinds.
   double DecayedTotal() const;
 
   std::uint64_t ops_observed() const { return ops_; }
@@ -45,16 +69,20 @@ class WorkloadMonitor {
 
  private:
   struct Entry {
-    OpLoad counts;
-    std::uint64_t as_of = 0;  ///< operation index counts are decayed to
+    double count = 0;
+    std::uint64_t as_of = 0;  ///< operation index the count is decayed to
   };
 
-  /// counts * decay^(ops_ - as_of), folding the entry forward.
+  /// count * decay^(ops_ - as_of), folding the entry forward.
   void FoldTo(Entry* e, std::uint64_t now) const;
+  double Folded(const Entry& e) const;
 
   double decay_ = 1;  ///< per-operation decay factor
   std::uint64_t ops_ = 0;
-  std::unordered_map<ClassId, Entry> entries_;
+  /// Query counts per (path, class); updates per class.
+  std::map<PathId, std::unordered_map<ClassId, Entry>> queries_;
+  std::unordered_map<ClassId, Entry> inserts_;
+  std::unordered_map<ClassId, Entry> deletes_;
 };
 
 }  // namespace pathix

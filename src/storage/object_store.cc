@@ -76,6 +76,14 @@ std::vector<Oid> ObjectStore::PeekAll(ClassId cls) const {
   return out;
 }
 
+std::size_t ObjectStore::LiveCount(ClassId cls) const {
+  auto it = segments_.find(cls);
+  if (it == segments_.end()) return 0;
+  std::size_t count = 0;
+  for (const SegmentPage& page : it->second) count += page.oids.size();
+  return count;
+}
+
 std::size_t ObjectStore::SegmentPages(ClassId cls) const {
   auto it = segments_.find(cls);
   return it == segments_.end() ? 0 : it->second.size();

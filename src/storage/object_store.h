@@ -46,6 +46,11 @@ class ObjectStore {
   /// Number of pages in the class segment.
   std::size_t SegmentPages(ClassId cls) const;
 
+  /// Number of live objects of \p cls (O(segment pages); uncounted). The
+  /// scoped-ANALYZE drift check compares this against the count at the last
+  /// statistics collection without materializing the oid list.
+  std::size_t LiveCount(ClassId cls) const;
+
   /// Page holding \p oid (kInvalidPage if absent).
   PageId PageOf(Oid oid) const;
 

@@ -14,13 +14,14 @@ class CandidatePoolTest : public ::testing::Test {
  protected:
   void SetUp() override {
     setup_ = MakeExample51Setup();
-    full_ = PathWorkload{setup_.path, setup_.load};
+    full_ = PathWorkload{"", setup_.path, setup_.load};
 
     LoadDistribution audit_load;
     audit_load.Set(setup_.company, 0.5, 0.05, 0.05);
     audit_load.Set(setup_.vehicle, 0.3, 0.0, 0.05);
     audit_load.Set(setup_.division, 0.15, 0.1, 0.05);
     audit_ = PathWorkload{
+        "",
         Path::Create(setup_.schema, setup_.vehicle, {"man", "divs", "name"})
             .value(),
         audit_load};
@@ -28,6 +29,7 @@ class CandidatePoolTest : public ::testing::Test {
     LoadDistribution div_load;
     div_load.Set(setup_.division, 0.8, 0.1, 0.1);
     divisions_ = PathWorkload{
+        "",
         Path::Create(setup_.schema, setup_.company, {"divs", "name"}).value(),
         div_load};
   }
@@ -93,6 +95,7 @@ TEST_F(CandidatePoolTest, SubclassTypedPathsStayDistinct) {
   bus_load.Set(setup_.bus, 0.4, 0.1, 0.1);
   bus_load.Set(setup_.division, 0.2, 0.1, 0.1);
   const PathWorkload bus{
+      "",
       Path::Create(setup_.schema, setup_.bus, {"man", "divs", "name"})
           .value(),
       bus_load};

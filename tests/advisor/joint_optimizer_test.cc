@@ -34,13 +34,14 @@ class JointOptimizerTest : public ::testing::Test {
  protected:
   void SetUp() override {
     setup_ = MakeExample51Setup();
-    paths_.push_back(PathWorkload{setup_.path, setup_.load});
+    paths_.push_back(PathWorkload{"", setup_.path, setup_.load});
 
     LoadDistribution audit_load;
     audit_load.Set(setup_.company, 0.5, 0.05, 0.05);
     audit_load.Set(setup_.vehicle, 0.3, 0.0, 0.05);
     audit_load.Set(setup_.division, 0.15, 0.1, 0.05);
     paths_.push_back(PathWorkload{
+        "",
         Path::Create(setup_.schema, setup_.vehicle, {"man", "divs", "name"})
             .value(),
         audit_load});
@@ -49,6 +50,7 @@ class JointOptimizerTest : public ::testing::Test {
     div_load.Set(setup_.division, 0.8, 0.1, 0.1);
     div_load.Set(setup_.company, 0.1, 0.1, 0.1);
     paths_.push_back(PathWorkload{
+        "",
         Path::Create(setup_.schema, setup_.company, {"divs", "name"}).value(),
         div_load});
   }

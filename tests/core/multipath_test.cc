@@ -22,7 +22,7 @@ TEST_F(MultiPathTest, EmptyInputRejected) {
 TEST_F(MultiPathTest, SinglePathMatchesAdvisor) {
   const MultiPathRecommendation multi =
       AdviseMultiplePaths(setup_.schema, setup_.catalog,
-                          {{setup_.path, setup_.load}})
+                          {{"", setup_.path, setup_.load}})
           .value();
   const Recommendation single =
       AdviseIndexConfiguration(setup_.schema, setup_.path, setup_.catalog,
@@ -37,8 +37,8 @@ TEST_F(MultiPathTest, SinglePathMatchesAdvisor) {
 TEST_F(MultiPathTest, IdenticalPathsShareEverything) {
   const MultiPathRecommendation multi =
       AdviseMultiplePaths(setup_.schema, setup_.catalog,
-                          {{setup_.path, setup_.load},
-                           {setup_.path, setup_.load}})
+                          {{"", setup_.path, setup_.load},
+                           {"", setup_.path, setup_.load}})
           .value();
   ASSERT_EQ(multi.per_path.size(), 2u);
   EXPECT_FALSE(multi.shared.empty());
@@ -62,8 +62,8 @@ TEST_F(MultiPathTest, OverlappingPathsShareCommonSubpathIndexes) {
 
   const MultiPathRecommendation multi =
       AdviseMultiplePaths(setup_.schema, setup_.catalog,
-                          {{setup_.path, setup_.load},
-                           {tail_path, tail_load}})
+                          {{"", setup_.path, setup_.load},
+                           {"", tail_path, tail_load}})
           .value();
   ASSERT_EQ(multi.per_path.size(), 2u);
   // Pexa's optimum ends with (Company.divs.name, MX); the standalone tail
@@ -78,8 +78,8 @@ TEST_F(MultiPathTest, OverlappingPathsShareCommonSubpathIndexes) {
 TEST_F(MultiPathTest, SharedLabelsNamePathIndexes) {
   const MultiPathRecommendation multi =
       AdviseMultiplePaths(setup_.schema, setup_.catalog,
-                          {{setup_.path, setup_.load},
-                           {setup_.path, setup_.load}})
+                          {{"", setup_.path, setup_.load},
+                           {"", setup_.path, setup_.load}})
           .value();
   ASSERT_FALSE(multi.shared.empty());
   for (const SharedIndex& s : multi.shared) {
@@ -93,8 +93,8 @@ TEST_F(MultiPathTest, SharedIndexesCarryTheirStructuralKey) {
   // not on the rendered label; the label is derived from the key.
   const MultiPathRecommendation multi =
       AdviseMultiplePaths(setup_.schema, setup_.catalog,
-                          {{setup_.path, setup_.load},
-                           {setup_.path, setup_.load}})
+                          {{"", setup_.path, setup_.load},
+                           {"", setup_.path, setup_.load}})
           .value();
   ASSERT_FALSE(multi.shared.empty());
   for (const SharedIndex& s : multi.shared) {
@@ -123,8 +123,8 @@ TEST_F(MultiPathTest, SubclassTypedPathsDoNotMergeHeads) {
 
   const MultiPathRecommendation multi =
       AdviseMultiplePaths(setup_.schema, setup_.catalog,
-                          {{vehicle_path, vehicle_load},
-                           {bus_path, bus_load}})
+                          {{"", vehicle_path, vehicle_load},
+                           {"", bus_path, bus_load}})
           .value();
   for (const SharedIndex& s : multi.shared) {
     // A shared index must be structurally reachable from both paths: its

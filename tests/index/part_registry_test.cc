@@ -1,0 +1,160 @@
+// PhysicalPartRegistry: structurally identical subpaths of different paths
+// are one physical structure — built once, maintained once, refcounted.
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/paper_schema.h"
+#include "exec/database.h"
+
+namespace pathix {
+namespace {
+
+constexpr int kDistinct = 40;
+
+/// A populated Example 5.1 database with two overlapping registered paths:
+/// "people" is the paper's Pexa (Person.owns.man.divs.name) and "fleet" is
+/// its suffix Vehicle.man.divs.name — levels [2,4] of people are levels
+/// [1,3] of fleet, the same classes navigated by the same attributes.
+struct TwoPathInstance {
+  TwoPathInstance()
+      : setup(MakeExample51Setup()), db(setup.schema, PhysicalParams{}) {
+    fleet_path =
+        Path::Create(setup.schema, setup.vehicle, {"man", "divs", "name"})
+            .value();
+    CheckOk(db.RegisterPath("people", setup.path));
+    CheckOk(db.RegisterPath("fleet", fleet_path));
+    PathDataGenerator gen(2718);
+    gen.Populate(&db, {&setup.path, &fleet_path},
+                 {
+                     {setup.division, 40, kDistinct, 1.0},
+                     {setup.company, 40, 0, 3.0},
+                     {setup.vehicle, 300, 0, 2.0},
+                     {setup.bus, 150, 0, 2.0},
+                     {setup.truck, 150, 0, 2.0},
+                     {setup.person, 4000, 0, 1.0},
+                 });
+  }
+
+  PaperSetup setup;
+  Path fleet_path;
+  SimDatabase db;
+};
+
+TEST(PartRegistryTest, SharedSubpathIsOnePhysicalStructure) {
+  TwoPathInstance inst;
+  // people: [1,1] MX + [2,4] NIX; fleet: [1,3] NIX. The NIX parts are
+  // structurally identical (Vehicle.man.divs.name under NIX).
+  CheckOk(inst.db.ConfigureIndexes(
+      "people", IndexConfiguration({{Subpath{1, 1}, IndexOrg::kMX},
+                                    {Subpath{2, 4}, IndexOrg::kNIX}})));
+  CheckOk(inst.db.ConfigureIndexes(
+      "fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kNIX}})));
+
+  // Exactly one physical structure for the shared subpath: the two
+  // configurations reference the same index object.
+  EXPECT_EQ(inst.db.physical("people").indexes()[1],
+            inst.db.physical("fleet").indexes()[0]);
+  // Two distinct structures in total: the people-only MX and the shared NIX.
+  EXPECT_EQ(inst.db.registry().live_parts(), 2u);
+  const StructuralKey shared_key =
+      StructuralKey::ForSubpath(inst.fleet_path, 1, 3, IndexOrg::kNIX);
+  EXPECT_EQ(inst.db.registry().use_count(shared_key), 2);
+  const StructuralKey people_only =
+      StructuralKey::ForSubpath(inst.setup.path, 1, 1, IndexOrg::kMX);
+  EXPECT_EQ(inst.db.registry().use_count(people_only), 1);
+
+  // Both paths answer queries correctly through the shared structure.
+  const Key key = Key::FromString(EndingValue(3));
+  const Result<std::vector<Oid>> people =
+      inst.db.Query("people", key, inst.setup.person);
+  const Result<std::vector<Oid>> people_naive =
+      inst.db.QueryNaive("people", key, inst.setup.person);
+  CheckOk(people.status());
+  EXPECT_EQ(people.value(), people_naive.value());
+  const Result<std::vector<Oid>> fleet =
+      inst.db.Query("fleet", key, inst.setup.vehicle, true);
+  const Result<std::vector<Oid>> fleet_naive =
+      inst.db.QueryNaive("fleet", key, inst.setup.vehicle, true);
+  CheckOk(fleet.status());
+  EXPECT_EQ(fleet.value(), fleet_naive.value());
+  CheckOk(inst.db.ValidateIndexesDeep());
+}
+
+TEST(PartRegistryTest, SharedPartIsMaintainedOncePerOperation) {
+  TwoPathInstance inst;
+  CheckOk(inst.db.ConfigureIndexes(
+      "people", IndexConfiguration({{Subpath{1, 1}, IndexOrg::kMX},
+                                    {Subpath{2, 4}, IndexOrg::kNIX}})));
+  CheckOk(inst.db.ConfigureIndexes(
+      "fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kNIX}})));
+
+  // Churn classes inside the shared subpath. If the shared NIX were
+  // maintained once per *path*, the second OnDelete would corrupt it (or
+  // double-charge); the deep validation and both paths' query results stay
+  // exact instead.
+  std::vector<Oid> vehicles;
+  for (int i = 0; i < 40; ++i) {
+    vehicles.push_back(inst.db.Insert(inst.setup.vehicle, {}));
+  }
+  for (Oid oid : vehicles) CheckOk(inst.db.Delete(oid));
+  CheckOk(inst.db.ValidateIndexesDeep());
+  const Key key = Key::FromString(EndingValue(7));
+  EXPECT_EQ(inst.db.Query("people", key, inst.setup.person).value(),
+            inst.db.QueryNaive("people", key, inst.setup.person).value());
+  EXPECT_EQ(inst.db.Query("fleet", key, inst.setup.company).value(),
+            inst.db.QueryNaive("fleet", key, inst.setup.company).value());
+}
+
+TEST(PartRegistryTest, PartsSurviveWhileAnyPathUsesThemAndDieAfter) {
+  TwoPathInstance inst;
+  CheckOk(inst.db.ConfigureIndexes(
+      "people", IndexConfiguration({{Subpath{1, 1}, IndexOrg::kMX},
+                                    {Subpath{2, 4}, IndexOrg::kNIX}})));
+  CheckOk(inst.db.ConfigureIndexes(
+      "fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kNIX}})));
+  const StructuralKey shared_key =
+      StructuralKey::ForSubpath(inst.fleet_path, 1, 3, IndexOrg::kNIX);
+  const SubpathIndex* shared = inst.db.physical("fleet").indexes()[0];
+
+  // fleet walks away: the structure lives on under people, untouched.
+  CheckOk(inst.db.ReconfigureIndexes(
+      "fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kMX}})));
+  EXPECT_EQ(inst.db.registry().use_count(shared_key), 1);
+  EXPECT_EQ(inst.db.physical("people").indexes()[1], shared);
+
+  // fleet comes back: it adopts the live structure instead of rebuilding.
+  CheckOk(inst.db.ReconfigureIndexes(
+      "fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kNIX}})));
+  EXPECT_EQ(inst.db.physical("fleet").indexes()[0], shared);
+  EXPECT_EQ(inst.db.registry().use_count(shared_key), 2);
+
+  // The last user leaving frees it.
+  CheckOk(inst.db.ReconfigureIndexes(
+      "people", IndexConfiguration({{Subpath{1, 4}, IndexOrg::kNIX}})));
+  CheckOk(inst.db.ReconfigureIndexes(
+      "fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kMX}})));
+  EXPECT_EQ(inst.db.registry().use_count(shared_key), 0);
+}
+
+TEST(PartRegistryTest, BatchReconfigureKeepsPartsMovingBetweenPaths) {
+  TwoPathInstance inst;
+  CheckOk(inst.db.ConfigureIndexes(
+      "people", IndexConfiguration({{Subpath{1, 1}, IndexOrg::kMX},
+                                    {Subpath{2, 4}, IndexOrg::kNIX}})));
+  CheckOk(inst.db.ConfigureIndexes(
+      "fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kMX}})));
+  const SubpathIndex* shared = inst.db.physical("people").indexes()[1];
+
+  // One batch: people drops the shared NIX, fleet picks it up. The batch
+  // creates the incoming configurations before releasing the outgoing
+  // ones, so the structure is handed over, not rebuilt.
+  CheckOk(inst.db.ReconfigureIndexes(
+      {{"people", IndexConfiguration({{Subpath{1, 4}, IndexOrg::kMX}})},
+       {"fleet", IndexConfiguration({{Subpath{1, 3}, IndexOrg::kNIX}})}}));
+  EXPECT_EQ(inst.db.physical("fleet").indexes()[0], shared);
+  CheckOk(inst.db.ValidateIndexesDeep());
+}
+
+}  // namespace
+}  // namespace pathix

@@ -297,8 +297,8 @@ TEST(SpecParserTest, ParsesACompleteTraceSpec) {
   ASSERT_EQ(s.phases.size(), 2u);
   EXPECT_EQ(s.phases[0].name, "hot");
   EXPECT_EQ(s.phases[0].ops, 1000u);
-  EXPECT_DOUBLE_EQ(s.phases[0].mix.Get(s.schema.FindClass("A")).query, 0.8);
-  EXPECT_DOUBLE_EQ(s.phases[1].mix.Get(s.schema.FindClass("C")).query, 0.2);
+  EXPECT_DOUBLE_EQ(s.phases[0].mix().Get(s.schema.FindClass("A")).query, 0.8);
+  EXPECT_DOUBLE_EQ(s.phases[1].mix().Get(s.schema.FindClass("C")).query, 0.2);
   ASSERT_EQ(s.options.orgs.size(), 3u);
   EXPECT_EQ(s.options.orgs[2], IndexOrg::kNone);
 }
@@ -387,7 +387,7 @@ TEST(SpecParserTest, TraceClassesOutsidePathScopeRejected) {
   std::string bad_mix = bad + "mix D 1 0 0\n";
   Result<TraceSpec> mixed = ParseTraceSpec(bad_mix);
   ASSERT_FALSE(mixed.ok());
-  EXPECT_NE(mixed.status().message().find("not in the path's scope"),
+  EXPECT_NE(mixed.status().message().find("is not in the scope of path"),
             std::string::npos);
   std::string bad_pop = bad + "populate D 5\n";
   EXPECT_FALSE(ParseTraceSpec(bad_pop).ok());
@@ -399,12 +399,196 @@ TEST(SpecParserTest, TraceSpecFileShipsThreePhases) {
       "/examples/specs/vehicle_drift_trace.pix");
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
   const TraceSpec& s = spec.value();
-  EXPECT_EQ(s.path.ToString(s.schema), "Person.owns.man.divs.name");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].id, "default");
+  EXPECT_EQ(s.paths[0].path.ToString(s.schema), "Person.owns.man.divs.name");
   ASSERT_EQ(s.phases.size(), 3u);
   EXPECT_EQ(s.phases[0].name, "registry");
   EXPECT_EQ(s.phases[1].name, "ingest");
   EXPECT_EQ(s.phases[2].name, "audit");
   EXPECT_EQ(s.populate.size(), 6u);
+}
+
+// ------------------------------------------------- multi-path trace specs
+
+constexpr const char* kJointTraceSpec = R"(
+class A 1000 100 1
+class B 500 50 2
+class C 100 100 1
+ref A to_b B multi
+ref B to_c C
+attr C name string
+
+path deep A to_b to_c name
+path tail B to_c name
+orgs MX NIX NONE
+budget 50000
+
+populate A 400
+populate B 200 0 1.5
+populate C 50 50
+trace_seed 99
+
+phase hot 1000
+mix deep A 0.7 0.1 0.1
+mix tail B 0.1 0.0 0.0
+
+phase cold 500
+mix deep A 0.1 0.5 0.4
+mix tail C 0.2 0.0 0.0
+)";
+
+TEST(SpecParserTest, ParsesAMultiPathTraceSpecWithBudget) {
+  Result<TraceSpec> spec = ParseTraceSpec(kJointTraceSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const TraceSpec& s = spec.value();
+  ASSERT_EQ(s.paths.size(), 2u);
+  EXPECT_EQ(s.paths[0].id, "deep");
+  EXPECT_EQ(s.paths[1].id, "tail");
+  EXPECT_TRUE(s.has_budget);
+  EXPECT_DOUBLE_EQ(s.storage_budget_bytes, 50000);
+  const ClassId a = s.schema.FindClass("A");
+  const ClassId b = s.schema.FindClass("B");
+  const ClassId c = s.schema.FindClass("C");
+  ASSERT_EQ(s.phases.size(), 2u);
+  // Queries bind to their named path; updates are path-agnostic and land
+  // in the resolved per-path mixes of every path whose scope has the class.
+  EXPECT_DOUBLE_EQ(s.phases[0].queries[0].at(a), 0.7);
+  EXPECT_EQ(s.phases[0].queries[1].count(a), 0u);
+  EXPECT_DOUBLE_EQ(s.phases[0].queries[1].at(b), 0.1);
+  EXPECT_DOUBLE_EQ(s.phases[0].updates.at(a).insert, 0.1);
+  EXPECT_DOUBLE_EQ(s.phases[0].mixes[0].Get(a).query, 0.7);
+  EXPECT_DOUBLE_EQ(s.phases[0].mixes[0].Get(a).insert, 0.1);
+  // A is outside tail's scope: its churn does not enter tail's mix.
+  EXPECT_DOUBLE_EQ(s.phases[0].mixes[1].Get(a).insert, 0.0);
+  EXPECT_DOUBLE_EQ(s.phases[1].mixes[1].Get(c).query, 0.2);
+}
+
+TEST(SpecParserTest, TraceMixOnUndeclaredPathRejectedWithLineNumber) {
+  std::string bad = kJointTraceSpec;
+  bad += "mix sideways C 0.5 0 0\n";
+  Result<TraceSpec> spec = ParseTraceSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line"), std::string::npos);
+  EXPECT_NE(spec.status().message().find(
+                "path 'sideways', which is not declared"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, MultiPathTracesRequireNamedPaths) {
+  // An unnamed path is fine while it is alone, but the moment a second one
+  // is declared the trace is unusable (mix lines cannot direct queries), so
+  // the declaration itself is rejected — with the unnamed path's line.
+  const char* bad =
+      "class A 10 10 1\nclass B 5 5 1\nref A to_b B\nattr B name string\n"
+      "path A to_b name\n"
+      "path tail B name\n"
+      "populate A 10\nphase hot 10\nmix tail B 1 0 0\n";
+  Result<TraceSpec> spec = ParseTraceSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 5"), std::string::npos)
+      << spec.status().message();
+  EXPECT_NE(spec.status().message().find("require named paths"),
+            std::string::npos);
+  // Workload specs (no mixes) keep accepting unnamed paths.
+  const char* workload =
+      "class A 10 10 1\nclass B 5 5 1\nref A to_b B\nattr B name string\n"
+      "path A to_b name\n"
+      "path tail B name\n";
+  EXPECT_TRUE(ParseWorkloadSpec(workload).ok());
+}
+
+TEST(SpecParserTest, MultiPathTraceMixMustNameItsPath) {
+  std::string bad = kJointTraceSpec;
+  bad += "mix C 0.5 0 0\n";
+  Result<TraceSpec> spec = ParseTraceSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("must name the path"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, TraceQueryOutsideNamedPathScopeRejectedWithLine) {
+  // A is in deep's scope but not in tail's ([B, C]).
+  std::string bad = kJointTraceSpec;
+  bad += "mix tail A 0.5 0 0\n";
+  Result<TraceSpec> spec = ParseTraceSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 26"), std::string::npos)
+      << spec.status().message();
+  EXPECT_NE(spec.status().message().find(
+                "'A' is not in the scope of path 'tail'"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, TraceUpdateOutsideEveryPathScopeRejectedWithLine) {
+  // D is declared but in neither path's scope; its zero query weight passes
+  // the per-path check, so the path-agnostic update check must fire.
+  std::string bad = kJointTraceSpec;
+  bad += "class D 10 10 1\nmix deep D 0 0.5 0\n";
+  Result<TraceSpec> spec = ParseTraceSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find(
+                "'D' is not in any declared path's scope"),
+            std::string::npos)
+      << spec.status().message();
+}
+
+TEST(SpecParserTest, DuplicateUpdateWeightsPerPhaseRejected) {
+  // B's churn may be declared once per phase, whichever path names it.
+  std::string bad = kJointTraceSpec;
+  bad += "mix deep B 0.0 0.1 0.0\nmix tail B 0.0 0.2 0.0\n";
+  Result<TraceSpec> spec = ParseTraceSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("updates are path-agnostic"),
+            std::string::npos)
+      << spec.status().message();
+}
+
+TEST(SpecParserTest, DuplicateAndCollidingPathNamesRejected) {
+  std::string dup = kJointTraceSpec;
+  dup = dup.substr(0, dup.find("orgs")) +
+        "path deep A to_b to_c name\n" + dup.substr(dup.find("orgs"));
+  Result<TraceSpec> spec = ParseTraceSpec(dup);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("duplicate path name 'deep'"),
+            std::string::npos);
+
+  // The other collision direction: a `path NAME ...` whose first token is a
+  // declared class always parses as the unnamed form, so a name can never
+  // shadow an existing class; declaring a class *after* a path of that name
+  // is the case that needs the explicit rejection.
+  const char* collide =
+      "class A 10 10 1\nclass B 5 5 1\nref A to_b B\nattr B name string\n"
+      "path deep A to_b name\nclass deep 10 10 1\n";
+  Result<WorkloadSpec> w = ParseWorkloadSpec(collide);
+  ASSERT_FALSE(w.ok());
+  EXPECT_NE(w.status().message().find("collides with a path name"),
+            std::string::npos)
+      << w.status().message();
+}
+
+TEST(SpecParserTest, SinglePathSpecsStillRejectSecondPaths) {
+  std::string bad = kGoodSpec;
+  bad += "path Division name\n";
+  Result<AdvisorSpec> spec = ParseAdvisorSpec(bad);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("only one path per spec"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, JointTraceSpecFileShipsTwoPathsAndABindingBudget) {
+  Result<TraceSpec> spec = ParseTraceSpecFile(
+      std::string(PATHIX_SOURCE_DIR) +
+      "/examples/specs/vehicle_joint_trace.pix");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const TraceSpec& s = spec.value();
+  ASSERT_EQ(s.paths.size(), 2u);
+  EXPECT_EQ(s.paths[0].id, "people");
+  EXPECT_EQ(s.paths[1].id, "fleet");
+  EXPECT_EQ(s.paths[0].path.ToString(s.schema), "Person.owns.man.divs.name");
+  EXPECT_EQ(s.paths[1].path.ToString(s.schema), "Vehicle.man.divs.name");
+  EXPECT_TRUE(s.has_budget);
+  ASSERT_EQ(s.phases.size(), 3u);
 }
 
 TEST(SpecParserTest, DocumentStoreSpecFileParsesAndAdvises) {

@@ -102,12 +102,12 @@ TEST(ReconfigureIndexesTest, ReusesIdenticalPartsPhysically) {
       inst.setup.path,
       IndexConfiguration(
           {{Subpath{1, 3}, IndexOrg::kNIX}, {Subpath{4, 4}, IndexOrg::kMX}})));
-  const SubpathIndex* kept = inst.db.physical().indexes()[0].get();
+  const SubpathIndex* kept = inst.db.physical().indexes()[0];
 
   CheckOk(inst.db.ReconfigureIndexes(IndexConfiguration(
       {{Subpath{1, 3}, IndexOrg::kNIX}, {Subpath{4, 4}, IndexOrg::kMIX}})));
   // The [1,3] NIX is the same physical object, not a rebuild.
-  EXPECT_EQ(inst.db.physical().indexes()[0].get(), kept);
+  EXPECT_EQ(inst.db.physical().indexes()[0], kept);
   EXPECT_EQ(inst.db.physical().indexes()[1]->org(), IndexOrg::kMIX);
   CheckOk(inst.db.ValidateIndexesDeep());
 
@@ -184,6 +184,35 @@ TEST(ControllerTest, EscapesAHandInstalledForeignOrgConfiguration) {
     if (part.org == IndexOrg::kNone) still_none = true;
   }
   EXPECT_FALSE(still_none);
+}
+
+TEST(ControllerTest, ScopedAnalyzeRecollectsOnlyDriftedClasses) {
+  Instance inst;
+  inst.db.SetQueryPath(inst.setup.path);
+  ReconfigurationController controller(&inst.db, inst.setup.path);
+
+  // First check: the initial collection covers all six scope classes
+  // (Person, Vehicle, Bus, Truck, Company, Division).
+  controller.CheckNow();
+  EXPECT_EQ(controller.analyzer().refreshes(), 1u);
+  EXPECT_EQ(controller.analyzer().class_collections(), 6u);
+
+  // Nothing moved: the next check re-analyzes nothing at all.
+  controller.CheckNow();
+  EXPECT_EQ(controller.analyzer().refreshes(), 1u);
+  EXPECT_EQ(controller.analyzer().class_collections(), 6u);
+
+  // Only Person churns (well past the 10% threshold); the other five
+  // classes are untouched and must not be re-analyzed.
+  for (int i = 0; i < 1000; ++i) inst.db.Insert(inst.setup.person, {});
+  controller.CheckNow();
+  EXPECT_EQ(controller.analyzer().refreshes(), 2u);
+  EXPECT_EQ(controller.analyzer().class_collections(), 7u);
+
+  // Sub-threshold drift on Vehicle (300 live, 10 < 10%) stays scoped out.
+  for (int i = 0; i < 10; ++i) inst.db.Insert(inst.setup.vehicle, {});
+  controller.CheckNow();
+  EXPECT_EQ(controller.analyzer().class_collections(), 7u);
 }
 
 TEST(ControllerTest, HysteresisBlocksMarginalSwitches) {

@@ -44,16 +44,17 @@ TEST(ConvergenceTest, StationaryTraceConvergesToOfflinePickAndNeverThrashes) {
   Result<TraceSpec> parsed = ParseTraceSpec(kStationarySpec);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const TraceSpec& spec = parsed.value();
+  ASSERT_EQ(spec.paths.size(), 1u);
+  const Path& path = spec.paths[0].path;
 
   SimDatabase db(spec.schema, spec.catalog.params());
-  TraceReplayer replayer(&db, spec);
+  TraceReplayer replayer(&db, spec);  // registers the path under its id
   replayer.Populate();
-  db.SetQueryPath(spec.path);
 
   ControllerOptions options;
   options.orgs = spec.options.orgs;
   options.physical_params = spec.catalog.params();
-  ReconfigurationController controller(&db, spec.path, options);
+  ReconfigurationController controller(&db, path, options, spec.paths[0].id);
   db.SetObserver(&controller);
   for (std::size_t i = 0; i < spec.phases.size(); ++i) {
     replayer.RunPhase(i, &controller);
@@ -69,7 +70,7 @@ TEST(ConvergenceTest, StationaryTraceConvergesToOfflinePickAndNeverThrashes) {
   // loads on the live data.
   ASSERT_TRUE(db.has_indexes());
   Result<OptimizeResult> offline = OfflineOptimum(
-      db, spec.path, spec.options.orgs, spec.phases[0].mix);
+      db, path, spec.options.orgs, spec.phases[0].mix());
   ASSERT_TRUE(offline.ok()) << offline.status().ToString();
   EXPECT_EQ(db.physical().config(), offline.value().config)
       << "online: " << db.physical().config().ToString()
@@ -77,7 +78,21 @@ TEST(ConvergenceTest, StationaryTraceConvergesToOfflinePickAndNeverThrashes) {
 
   // The controller kept checking (drift checks ran) — it just had no
   // reason to act: savings never beat the hysteresis-weighted transition.
-  EXPECT_GT(controller.checks_run(), 10u);
+  EXPECT_GT(controller.checks_run(), 3u);
+
+  // Adaptive cadence: with no reconfiguration to show for its checks the
+  // controller backed off all the way to the interval cap, so the
+  // stationary tail cost far fewer solver calls than the base schedule
+  // (5000 ops / 256 would be ~19 checks).
+  EXPECT_EQ(controller.cadence().current_interval(),
+            options.check_interval_ops *
+                static_cast<std::uint64_t>(options.cadence_max_factor));
+  EXPECT_LT(controller.checks_run(), 12u);
+
+  // Scoped ANALYZE: the balanced trickle of churn never moved any class
+  // past the 10% refresh threshold — after the first full collection, no
+  // class was ever re-analyzed.
+  EXPECT_EQ(controller.analyzer().refreshes(), 1u);
   CheckOk(db.ValidateIndexesDeep());
 }
 
