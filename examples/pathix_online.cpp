@@ -24,6 +24,7 @@
 
 #include "online/experiment.h"
 #include "online/joint_experiment.h"
+#include "online/measured_validation.h"
 
 namespace {
 
@@ -54,12 +55,16 @@ phase search2 6000
 mix Submission 0.95 0.03 0.02
 )";
 
+// Each run's page totals both ways: with the *modeled* transition charges
+// (the gating view) and with the pager-*measured* transition I/O (the
+// model-free view). Runs without a controller moved nothing, so the two
+// totals coincide there.
 void PrintRun(const pathix::ExperimentRun& run) {
   std::printf("  %-22s", run.label.c_str());
   for (const pathix::PhaseReport& p : run.phases) {
     std::printf(" %10.0f", p.total_cost());
   }
-  std::printf(" %12.0f\n", run.total_cost());
+  std::printf(" %12.0f %12.0f\n", run.total_cost(), run.measured_total_cost());
 }
 
 void PrintHeader(const pathix::TraceSpec& s) {
@@ -73,7 +78,34 @@ void PrintHeader(const pathix::TraceSpec& s) {
   for (const pathix::TracePhase& phase : s.phases) {
     std::printf(" %10s", phase.name.c_str());
   }
-  std::printf(" %12s\n", "total");
+  std::printf(" %12s %12s\n", "modeled", "measured");
+}
+
+// The `measure on` extra: the whole trace replayed once more under the
+// average-mix optimum, the analytic matrix compared against the pager's
+// scoped tallies per phase and per path.
+int PrintMeasuredVsModeled(const pathix::TraceSpec& s) {
+  using namespace pathix;
+  Result<MeasuredVsModeledReport> validation = RunMeasuredVsModeled(s);
+  if (!validation.ok()) {
+    std::cerr << "error: " << validation.status().ToString() << "\n";
+    return 1;
+  }
+  const MeasuredVsModeledReport& v = validation.value();
+  std::printf("\nmeasured vs modeled (fixed avg-mix optimum; pages/op):\n"
+              "  %-12s %-10s %10s %10s %8s\n",
+              "phase", "path", "measured", "modeled", "ratio");
+  for (const MeasuredVsModeledCell& cell : v.cells) {
+    std::printf("  %-12s %-10s %10.2f %10.2f %8.2f\n", cell.phase.c_str(),
+                cell.path.c_str(), cell.measured_pages_per_op,
+                cell.modeled_pages_per_op, cell.ratio());
+  }
+  for (const MeasuredVsModeledPhase& phase : v.phases) {
+    std::printf("  %-12s %-10s %10.2f %10.2f %8.2f\n", phase.phase.c_str(),
+                "(all)", phase.measured_pages_per_op,
+                phase.modeled_pages_per_op, phase.ratio());
+  }
+  return 0;
 }
 
 int RunSinglePath(const pathix::TraceSpec& s) {
@@ -114,14 +146,15 @@ int RunSinglePath(const pathix::TraceSpec& s) {
 
   const int best = r.best_static;
   std::printf(
-      "\ntotal cost, online         : %.0f  (%.0f measured + %.0f transition)\n"
+      "\ntotal cost, online         : %.0f  (%.0f measured + %.0f modeled "
+      "transition; %.0f measured transition)\n"
       "total cost, oracle         : %.0f  (per-phase optimum, free switches)\n"
       "total cost, best static    : %.0f  (%s)\n"
       "online / best static       : %.3f  %s\n"
       "online / oracle (regret)   : %.3f  %s\n",
       r.online.total_cost(), r.online.measured_pages(),
-      r.online.transition_pages(), r.oracle.total_cost(),
-      r.best_static_cost(),
+      r.online.transition_pages(), r.online.measured_transition_pages(),
+      r.oracle.total_cost(), r.best_static_cost(),
       best >= 0 ? r.statics[static_cast<std::size_t>(best)].label.c_str()
                 : "n/a",
       r.online_vs_best_static(),
@@ -130,6 +163,8 @@ int RunSinglePath(const pathix::TraceSpec& s) {
       r.online_vs_oracle(),
       r.online_vs_oracle() <= 2 ? "(within the 2x envelope)"
                                 : "(outside the 2x envelope)");
+
+  if (s.measure && PrintMeasuredVsModeled(s) != 0) return 1;
 
   const bool ok = r.online_vs_best_static() < 1 && r.online_vs_oracle() <= 2;
   return ok ? 0 : 2;
@@ -191,16 +226,16 @@ int RunJoint(const pathix::TraceSpec& s) {
 
   const int best = r.best_static_joint;
   std::printf(
-      "\ntotal cost, online joint      : %.0f  (%.0f measured + %.0f "
-      "transition)\n"
+      "\ntotal cost, online joint      : %.0f  (%.0f measured + %.0f modeled "
+      "transition; %.0f measured transition)\n"
       "total cost, joint oracle      : %.0f  (per-phase joint optimum, free "
       "switches)\n"
       "total cost, best static joint : %.0f  (%s)\n"
       "online / best static joint    : %.3f  %s\n"
       "online / oracle (regret)      : %.3f  %s\n",
       r.online.total_cost(), r.online.measured_pages(),
-      r.online.transition_pages(), r.oracle.total_cost(),
-      r.best_static_joint_cost(),
+      r.online.transition_pages(), r.online.measured_transition_pages(),
+      r.oracle.total_cost(), r.best_static_joint_cost(),
       best >= 0 ? r.statics[static_cast<std::size_t>(best)].label.c_str()
                 : "n/a",
       r.online_vs_best_static_joint(),
@@ -210,6 +245,8 @@ int RunJoint(const pathix::TraceSpec& s) {
       r.online_vs_oracle(),
       r.online_vs_oracle() <= 2 ? "(within the 2x envelope)"
                                 : "(outside the 2x envelope)");
+
+  if (s.measure && PrintMeasuredVsModeled(s) != 0) return 1;
 
   const bool ok =
       r.online_vs_best_static_joint() < 1 && r.online_vs_oracle() <= 2;

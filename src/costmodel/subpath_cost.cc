@@ -65,4 +65,17 @@ SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
   return WeighSubpathCost(ComputeSubpathUnitCosts(ctx, a, b, org), ctx, a, b);
 }
 
+double AccumulateSharedPartCost(
+    const Path& path, const IndexedSubpath& part, double query_prefix,
+    double maintain, std::map<StructuralKey, double>* placed_maintain) {
+  double increment = query_prefix;
+  double& placed = (*placed_maintain)[StructuralKey::ForSubpath(
+      path, part.subpath.start, part.subpath.end, part.org)];
+  if (maintain > placed) {
+    increment += maintain - placed;
+    placed = maintain;
+  }
+  return increment;
+}
+
 }  // namespace pathix

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <map>
 #include <vector>
 
+#include "core/index_config.h"
+#include "core/structural_key.h"
 #include "costmodel/org_model.h"
 
 /// \file subpath_cost.h
@@ -64,5 +67,16 @@ SubpathCost WeighSubpathCost(const SubpathUnitCosts& unit,
 /// make configuration costs the sum of their subpath costs.
 SubpathCost ComputeSubpathCost(const PathContext& ctx, int a, int b,
                                IndexOrg org);
+
+/// Accumulates one configured part of \p path into a shared-accounting
+/// workload total — the joint advisor's objective, also used by the joint
+/// controller's current-cost pricing and the measured-vs-modeled
+/// validation: query+prefix is charged per use, maintenance once per
+/// distinct physical structure (the running maximum across uses, keyed by
+/// structural identity in \p placed_maintain). Returns the increment to the
+/// total.
+double AccumulateSharedPartCost(const Path& path, const IndexedSubpath& part,
+                                double query_prefix, double maintain,
+                                std::map<StructuralKey, double>* placed_maintain);
 
 }  // namespace pathix

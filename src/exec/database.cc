@@ -7,21 +7,27 @@
 namespace pathix {
 
 Oid SimDatabase::Insert(ClassId cls, AttrValues attrs) {
-  Object obj;
-  obj.cls = cls;
-  obj.attrs = std::move(attrs);
-  const Oid oid = store_.Insert(std::move(obj));
-  // Dedup of shared parts only matters with several paths; the single-path
-  // hot path skips the bookkeeping entirely.
-  const bool shared = paths_.size() > 1;
-  std::set<const SubpathIndex*> visited;
-  for (auto& [id, cp] : paths_) {
-    (void)id;
-    if (cp.physical.has_value()) {
-      cp.physical->OnInsert(*store_.Peek(oid), shared ? &visited : nullptr);
+  Oid oid = kInvalidOid;
+  AccessStats io;
+  {
+    ScopedAccessProbe probe(&pager_, PageOpKind::kInsert);
+    Object obj;
+    obj.cls = cls;
+    obj.attrs = std::move(attrs);
+    oid = store_.Insert(std::move(obj));
+    // Dedup of shared parts only matters with several paths; the
+    // single-path hot path skips the bookkeeping entirely.
+    const bool shared = paths_.size() > 1;
+    std::set<const SubpathIndex*> visited;
+    for (auto& [id, cp] : paths_) {
+      (void)id;
+      if (cp.physical.has_value()) {
+        cp.physical->OnInsert(*store_.Peek(oid), shared ? &visited : nullptr);
+      }
     }
+    io = probe.Delta();
   }
-  Notify(DbOpKind::kInsert, cls);
+  Notify(DbOpKind::kInsert, cls, io);
   return oid;
 }
 
@@ -31,19 +37,25 @@ Status SimDatabase::Delete(Oid oid) {
     return Status::NotFound("object " + std::to_string(oid));
   }
   const ClassId cls = obj->cls;
-  // Index maintenance first: it needs the pre-deletion image.
-  const bool shared = paths_.size() > 1;
-  std::set<const SubpathIndex*> visited;
-  std::set<const SubpathIndex*> boundary_visited;
-  for (auto& [id, cp] : paths_) {
-    (void)id;
-    if (cp.physical.has_value()) {
-      cp.physical->OnDelete(*obj, shared ? &visited : nullptr,
-                            shared ? &boundary_visited : nullptr);
+  Status status = Status::OK();
+  AccessStats io;
+  {
+    ScopedAccessProbe probe(&pager_, PageOpKind::kDelete);
+    // Index maintenance first: it needs the pre-deletion image.
+    const bool shared = paths_.size() > 1;
+    std::set<const SubpathIndex*> visited;
+    std::set<const SubpathIndex*> boundary_visited;
+    for (auto& [id, cp] : paths_) {
+      (void)id;
+      if (cp.physical.has_value()) {
+        cp.physical->OnDelete(*obj, shared ? &visited : nullptr,
+                              shared ? &boundary_visited : nullptr);
+      }
     }
+    status = store_.Delete(oid);
+    io = probe.Delta();
   }
-  const Status status = store_.Delete(oid);
-  if (status.ok()) Notify(DbOpKind::kDelete, cls);
+  if (status.ok()) Notify(DbOpKind::kDelete, cls, io);
   return status;
 }
 
@@ -214,9 +226,15 @@ Result<std::vector<Oid>> SimDatabase::Query(const PathId& id,
     return Status::FailedPrecondition("no index configuration installed on '" +
                                       id + "'");
   }
-  std::vector<Oid> oids = it->second.physical->Evaluate(
-      ending_value, target_class, include_subclasses);
-  Notify(DbOpKind::kQuery, target_class, it->first);
+  std::vector<Oid> oids;
+  AccessStats io;
+  {
+    ScopedAccessProbe probe(&pager_, PageOpKind::kQuery, it->first);
+    oids = it->second.physical->Evaluate(ending_value, target_class,
+                                         include_subclasses);
+    io = probe.Delta();
+  }
+  Notify(DbOpKind::kQuery, target_class, io, it->first);
   return oids;
 }
 
@@ -229,9 +247,15 @@ Result<std::vector<Oid>> SimDatabase::QueryNaive(const PathId& id,
     return Status::FailedPrecondition("path '" + id + "' is not registered");
   }
   NaiveEvaluator eval(&store_, &schema_, &it->second.path);
-  Result<std::vector<Oid>> oids = eval.Evaluate(ending_value, target_class,
-                                                include_subclasses, &pager_);
-  if (oids.ok()) Notify(DbOpKind::kQuery, target_class, it->first);
+  std::vector<Oid> oids;
+  AccessStats io;
+  {
+    ScopedAccessProbe probe(&pager_, PageOpKind::kQuery, it->first);
+    oids = eval.Evaluate(ending_value, target_class, include_subclasses,
+                         &pager_);
+    io = probe.Delta();
+  }
+  Notify(DbOpKind::kQuery, target_class, io, it->first, /*naive=*/true);
   return oids;
 }
 

@@ -34,11 +34,18 @@ enum class DbOpKind { kQuery, kInsert, kDelete };
 /// One observed operation. Queries carry the id of the path they were
 /// evaluated on; inserts and deletions are path-agnostic (they maintain the
 /// indexes of every configured path whose scope contains the class), so
-/// \p path is empty for them.
+/// \p path is empty for them. \p pages is the operation's measured page
+/// delta (a ScopedAccessProbe around the store/index work, closed before
+/// the observer fires — observer-triggered rebuilds are not included), so
+/// observers can price the live traffic they watch: the WorkloadMonitor
+/// turns the naive-scan deltas into the priced current-cost of an
+/// unconfigured path.
 struct DbOpEvent {
   DbOpKind kind = DbOpKind::kQuery;
   ClassId cls = kInvalidClass;    ///< operated/queried class
   std::string_view path;          ///< queried path id; empty for updates
+  bool naive = false;             ///< query evaluated by naive scan
+  AccessStats pages;              ///< measured page accesses of the op
 };
 
 /// \brief Observer of the database's operation stream (the hook the online
@@ -197,8 +204,11 @@ class SimDatabase {
     std::optional<PhysicalConfiguration> physical;
   };
 
-  void Notify(DbOpKind kind, ClassId cls, std::string_view path = {}) {
-    if (observer_ != nullptr) observer_->OnOperation({kind, cls, path});
+  void Notify(DbOpKind kind, ClassId cls, const AccessStats& pages,
+              std::string_view path = {}, bool naive = false) {
+    if (observer_ != nullptr) {
+      observer_->OnOperation({kind, cls, path, naive, pages});
+    }
   }
 
   /// The sole registered path, for the single-path API (nullptr + error

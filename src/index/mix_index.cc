@@ -5,7 +5,7 @@
 namespace pathix {
 
 MIXIndex::MIXIndex(Pager* pager, SubpathIndexContext ctx)
-    : SubpathIndex(std::move(ctx)), pager_(pager) {
+    : SubpathIndex(pager, std::move(ctx)) {
   for (int l = ctx_.range.start; l <= ctx_.range.end; ++l) {
     trees_[l] = std::make_unique<AttrIndex>(
         pager_, "mix." + std::to_string(l) + "." + ctx_.attr_name(l));
@@ -17,7 +17,7 @@ AttrIndex* MIXIndex::tree_for(int level) {
   return it == trees_.end() ? nullptr : it->second.get();
 }
 
-void MIXIndex::Build(const ObjectStore& store) {
+void MIXIndex::BuildImpl(const ObjectStore& store) {
   for (int l = ctx_.range.start; l <= ctx_.range.end; ++l) {
     const std::string& attr = ctx_.attr_name(l);
     AttrIndex* tree = trees_.at(l).get();

@@ -17,7 +17,6 @@ class MIXIndex : public SubpathIndex {
   MIXIndex(Pager* pager, SubpathIndexContext ctx);
 
   IndexOrg org() const override { return IndexOrg::kMIX; }
-  void Build(const ObjectStore& store) override;
   std::vector<Oid> Probe(const std::vector<Key>& keys, int target_level,
                          const std::vector<ClassId>& target_classes) override;
   void OnInsert(const Object& obj, int level) override;
@@ -28,8 +27,10 @@ class MIXIndex : public SubpathIndex {
 
   AttrIndex* tree_for(int level);
 
+ protected:
+  void BuildImpl(const ObjectStore& store) override;
+
  private:
-  Pager* pager_;
   std::map<int, std::unique_ptr<AttrIndex>> trees_;  // one per level
 };
 

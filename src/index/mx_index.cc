@@ -5,7 +5,7 @@
 namespace pathix {
 
 MXIndex::MXIndex(Pager* pager, SubpathIndexContext ctx)
-    : SubpathIndex(std::move(ctx)), pager_(pager) {
+    : SubpathIndex(pager, std::move(ctx)) {
   for (int l = ctx_.range.start; l <= ctx_.range.end; ++l) {
     for (ClassId cls : ctx_.hierarchy(l)) {
       trees_[{l, cls}] = std::make_unique<AttrIndex>(
@@ -20,7 +20,7 @@ AttrIndex* MXIndex::tree_for(int level, ClassId cls) {
   return it == trees_.end() ? nullptr : it->second.get();
 }
 
-void MXIndex::Build(const ObjectStore& store) {
+void MXIndex::BuildImpl(const ObjectStore& store) {
   for (int l = ctx_.range.start; l <= ctx_.range.end; ++l) {
     const std::string& attr = ctx_.attr_name(l);
     for (ClassId cls : ctx_.hierarchy(l)) {

@@ -16,7 +16,6 @@ class MXIndex : public SubpathIndex {
   MXIndex(Pager* pager, SubpathIndexContext ctx);
 
   IndexOrg org() const override { return IndexOrg::kMX; }
-  void Build(const ObjectStore& store) override;
   std::vector<Oid> Probe(const std::vector<Key>& keys, int target_level,
                          const std::vector<ClassId>& target_classes) override;
   void OnInsert(const Object& obj, int level) override;
@@ -28,8 +27,10 @@ class MXIndex : public SubpathIndex {
   /// The per-class tree (testing / reporting).
   AttrIndex* tree_for(int level, ClassId cls);
 
+ protected:
+  void BuildImpl(const ObjectStore& store) override;
+
  private:
-  Pager* pager_;
   // One AttrIndex per (level, class in the level's hierarchy).
   std::map<std::pair<int, ClassId>, std::unique_ptr<AttrIndex>> trees_;
 };

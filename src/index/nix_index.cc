@@ -54,8 +54,7 @@ std::size_t SlicePages(const PostingRecord& rec,
 }  // namespace
 
 NIXIndex::NIXIndex(Pager* pager, SubpathIndexContext ctx)
-    : SubpathIndex(std::move(ctx)),
-      pager_(pager),
+    : SubpathIndex(pager, std::move(ctx)),
       primary_(pager, "nix.primary"),
       aux_(pager, "nix.aux") {}
 
@@ -115,7 +114,7 @@ NIXIndex::ReachSet NIXIndex::ComputeReach(const Object& obj, int level) {
 
 // --------------------------------------------------------------- build
 
-void NIXIndex::Build(const ObjectStore& store) {
+void NIXIndex::BuildImpl(const ObjectStore& store) {
   // Ground-truth reachability per object, bottom-up; parents via the
   // forward references of the level above.
   std::unordered_map<Oid, ReachSet> reach;

@@ -30,7 +30,6 @@ class NIXIndex : public SubpathIndex {
   NIXIndex(Pager* pager, SubpathIndexContext ctx);
 
   IndexOrg org() const override { return IndexOrg::kNIX; }
-  void Build(const ObjectStore& store) override;
   std::vector<Oid> Probe(const std::vector<Key>& keys, int target_level,
                          const std::vector<ClassId>& target_classes) override;
   void OnInsert(const Object& obj, int level) override;
@@ -45,6 +44,9 @@ class NIXIndex : public SubpathIndex {
 
   PostingTree& primary() { return primary_; }
   AuxTree& aux() { return aux_; }
+
+ protected:
+  void BuildImpl(const ObjectStore& store) override;
 
  private:
   /// key -> numchild for one object: its distinct reachable ending values.
@@ -61,7 +63,6 @@ class NIXIndex : public SubpathIndex {
   bool HasAuxTuple(int level) const { return level > ctx_.range.start; }
   bool HasChildTuples(int level) const { return level < ctx_.range.end; }
 
-  Pager* pager_;
   PostingTree primary_;
   AuxTree aux_;
 };

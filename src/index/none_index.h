@@ -18,11 +18,9 @@ namespace pathix {
 class NoneIndex : public SubpathIndex {
  public:
   NoneIndex(Pager* pager, SubpathIndexContext ctx)
-      : SubpathIndex(std::move(ctx)), pager_(pager) {}
+      : SubpathIndex(pager, std::move(ctx)) {}
 
   IndexOrg org() const override { return IndexOrg::kNone; }
-
-  void Build(const ObjectStore& store) override { store_ = &store; }
 
   std::vector<Oid> Probe(const std::vector<Key>& keys, int target_level,
                          const std::vector<ClassId>& target_classes) override;
@@ -40,6 +38,12 @@ class NoneIndex : public SubpathIndex {
   Status Validate() const override { return Status::OK(); }
   std::size_t total_pages() const override { return 0; }
 
+ protected:
+  void BuildImpl(const ObjectStore& store) override { store_ = &store; }
+  /// Nothing is materialized, so building charges nothing (the transition
+  /// model's "no index builds for free" rule, made physically true).
+  void ChargeBuildIo(const ObjectStore& store) override { (void)store; }
+
  private:
   /// True if \p oid (an object at \p level) reaches one of \p keys at the
   /// subpath's ending attribute. Charges object pages through the per-query
@@ -47,7 +51,6 @@ class NoneIndex : public SubpathIndex {
   bool Reaches(Oid oid, int level, const std::vector<Key>& keys,
                std::set<PageId>* charged);
 
-  Pager* pager_;
   const ObjectStore* store_ = nullptr;
 };
 

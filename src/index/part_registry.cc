@@ -63,6 +63,8 @@ Result<std::shared_ptr<PhysicalPart>> PhysicalPartRegistry::Acquire(
   created->owner_path = std::move(owner);
   created->index = std::move(index).value();
   created->index->Build(store);
+  build_io_ += created->index->build_io();
+  ++parts_built_;
   parts_[std::move(key)] = created;
   return created;
 }

@@ -65,8 +65,20 @@ class PhysicalPartRegistry {
   /// number of configurations referencing the structure.
   long use_count(const StructuralKey& key) const;
 
+  /// Cumulative pager-measured build I/O of every part Acquire actually
+  /// built (SubpathIndex::build_io: bulk scan reads + structure writes).
+  /// Parts adopted from a live configuration add nothing, so the delta of
+  /// this counter across a reconfiguration is the measured counterpart of
+  /// the transition model's analytic scan + write estimate.
+  const AccessStats& cumulative_build_io() const { return build_io_; }
+
+  /// Number of parts Acquire built (as opposed to adopted).
+  std::uint64_t parts_built() const { return parts_built_; }
+
  private:
   mutable std::map<StructuralKey, std::weak_ptr<PhysicalPart>> parts_;
+  AccessStats build_io_;
+  std::uint64_t parts_built_ = 0;
 };
 
 }  // namespace pathix

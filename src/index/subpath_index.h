@@ -41,8 +41,14 @@ struct SubpathIndexContext {
 
 /// \brief A physical index on one subpath.
 ///
-/// Page traffic of Probe/On* calls is counted through the Pager; Build is
-/// uncounted (index creation is not part of any experiment).
+/// Page traffic of Probe/On* calls is counted through the Pager. Build's
+/// construction work is uncounted (index creation is never part of a
+/// replay's measured pages), but its *bulk-build* page traffic — one read
+/// of every segment page in the subpath's scope, one write per structure
+/// page — is routed through the pager in an excluded ScopedAccessProbe and
+/// kept as build_io(): the measured counterpart of the transition model's
+/// analytic scan + write estimate, which the reconfiguration controllers
+/// record next to the modeled price of every committed switch.
 class SubpathIndex {
  public:
   virtual ~SubpathIndex() = default;
@@ -51,8 +57,16 @@ class SubpathIndex {
   const Subpath& range() const { return ctx_.range; }
   const SubpathIndexContext& context() const { return ctx_; }
 
-  /// Populates the index from a loaded store (uncounted).
-  virtual void Build(const ObjectStore& store) = 0;
+  /// Populates the index from a loaded store and records build_io().
+  void Build(const ObjectStore& store) {
+    BuildImpl(store);
+    ScopedAccessProbe probe(pager_, PageOpKind::kBuild, {}, /*exclude=*/true);
+    ChargeBuildIo(store);
+    build_io_ = probe.Delta();
+  }
+
+  /// Measured page I/O of the last Build() (zero before any build).
+  const AccessStats& build_io() const { return build_io_; }
 
   /// Evaluates the subpath: \p keys are values of the subpath's ending
   /// attribute A_b (the query constant, or oids delivered by the next
@@ -80,8 +94,29 @@ class SubpathIndex {
   virtual std::size_t total_pages() const = 0;
 
  protected:
-  explicit SubpathIndex(SubpathIndexContext ctx) : ctx_(std::move(ctx)) {}
+  SubpathIndex(Pager* pager, SubpathIndexContext ctx)
+      : pager_(pager), ctx_(std::move(ctx)) {}
+
+  /// The organization-specific construction (uncounted, as before).
+  virtual void BuildImpl(const ObjectStore& store) = 0;
+
+  /// Charges the measured bulk-build I/O through the pager: the default
+  /// reads every segment page of every class in scope once (the builders
+  /// iterate the store class by class) and writes each structure page out.
+  /// NoneIndex materializes nothing and overrides this to charge nothing —
+  /// mirroring the transition model's "no index builds for free" rule.
+  virtual void ChargeBuildIo(const ObjectStore& store) {
+    for (int l = ctx_.range.start; l <= ctx_.range.end; ++l) {
+      for (ClassId cls : ctx_.hierarchy(l)) {
+        pager_->NoteReads(store.SegmentPages(cls));
+      }
+    }
+    pager_->NoteWrites(total_pages());
+  }
+
+  Pager* pager_;
   SubpathIndexContext ctx_;
+  AccessStats build_io_;
 };
 
 }  // namespace pathix

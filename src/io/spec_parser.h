@@ -59,6 +59,7 @@
 ///
 ///   populate Person 5000 200 1.0  # CLASS COUNT [DISTINCT [NIN]]
 ///   trace_seed 42                 # replay RNG seed (optional)
+///   measure on                    # measured-vs-modeled validation replay
 ///   phase reporting 4000          # NAME OPS — a batch of 4000 operations
 ///   mix Person 0.8 0.1 0.1        # CLASS query insert delete weights
 ///   phase ingest 3000             # drift: the mix shifts per phase
@@ -172,6 +173,11 @@ struct TraceSpec {
   std::uint32_t seed = 7;
   std::vector<TracePopulate> populate;
   std::vector<TracePhase> phases;
+  /// `measure on`: opt into the measured-vs-modeled validation replay
+  /// (online/measured_validation.h) — pathix_online prints the per-phase,
+  /// per-path comparison of pager-measured page traffic against the
+  /// analytic cost matrix when set.
+  bool measure = false;
 };
 
 /// Parses a trace spec (one or more paths + populate/phase/mix sections).

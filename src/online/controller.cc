@@ -100,10 +100,19 @@ bool ReconfigurationController::Check() {
   const OnlineSelection sel = selector_.Select(ctx.value(), current);
 
   if (current == nullptr) {
-    // Initial install: not gated by hysteresis (the alternative is a naive
-    // scan per query, which the matrix does not even price).
+    // Initial install — hysteresis-gated like any other transition: the
+    // status quo is no longer unpriced, its cost per operation is the
+    // *measured* naive-scan page traffic the monitor observed (the matrix
+    // does not price index-less evaluation, the pager does).
+    const double current_cost = monitor_.MeasuredNaiveQueryPagesPerOp();
+    const double savings = current_cost - sel.best.cost;
+    if (savings <= 0) return false;
     const TransitionCost transition = EstimateTransitionCost(
         ctx.value(), db_->store(), nullptr, sel.best.config);
+    if (savings * options_.horizon_ops <=
+        options_.hysteresis * transition.total()) {
+      return false;
+    }
     if (!db_->has_path(path_id_)) {
       const Status registered = db_->RegisterPath(path_id_, *path_);
       if (!registered.ok()) {
@@ -111,6 +120,7 @@ bool ReconfigurationController::Check() {
         return false;
       }
     }
+    const AccessStats built_before = db_->registry().cumulative_build_io();
     const Status installed =
         db_->ConfigureIndexes(path_id_, sel.best.config);
     if (!installed.ok()) {
@@ -121,8 +131,12 @@ bool ReconfigurationController::Check() {
     ev.op_index = monitor_.ops_observed();
     ev.initial = true;
     ev.to = sel.best.config;
+    ev.predicted_savings_per_op = savings;
     ev.transition = transition;
+    ev.measured = MeasuredTransitionCost(
+        transition, db_->registry().cumulative_build_io() - built_before);
     transition_charged_ += transition.total();
+    measured_transition_charged_ += ev.measured.total();
     events_.push_back(std::move(ev));
     return true;
   }
@@ -145,12 +159,16 @@ bool ReconfigurationController::Check() {
   ev.predicted_savings_per_op = savings;
   ev.transition = transition;
 
+  const AccessStats built_before = db_->registry().cumulative_build_io();
   const Status switched = db_->ReconfigureIndexes(path_id_, sel.best.config);
   if (!switched.ok()) {
     status_ = switched;
     return false;
   }
+  ev.measured = MeasuredTransitionCost(
+      transition, db_->registry().cumulative_build_io() - built_before);
   transition_charged_ += transition.total();
+  measured_transition_charged_ += ev.measured.total();
   events_.push_back(std::move(ev));
   return true;
 }

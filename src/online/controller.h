@@ -46,8 +46,10 @@ struct ControllerOptions {
   double cadence_backoff = 2.0;
   /// Cap: the interval never exceeds check_interval_ops * this factor.
   double cadence_max_factor = 4.0;
-  /// Operations observed before the first configuration is installed (the
-  /// initial build is not gated by hysteresis: anything beats naive scans).
+  /// Operations observed before the first drift check may run. The initial
+  /// install is hysteresis-gated like any other transition, against the
+  /// *measured* naive-scan cost of the status quo
+  /// (WorkloadMonitor::MeasuredNaiveQueryPagesPerOp).
   std::uint64_t warmup_ops = 256;
   /// Amortization horizon H: a switch must win within H future operations.
   double horizon_ops = 4096;
@@ -149,8 +151,15 @@ struct ReconfigurationEvent {
   bool initial = false;        ///< first install (no previous configuration)
   IndexConfiguration from;     ///< empty when initial
   IndexConfiguration to;
-  double predicted_savings_per_op = 0;  ///< current_cost - best_cost
-  TransitionCost transition;            ///< modeled price of the switch
+  /// current_cost - best_cost. For the initial install the current cost is
+  /// the *measured* naive-scan pages per operation (the priced status quo
+  /// the hysteresis gate weighs the install against).
+  double predicted_savings_per_op = 0;
+  TransitionCost transition;  ///< modeled price of the switch
+  /// Pager-measured price, recorded after the commit: drops from actual
+  /// structure pages (as modeled), scan/write from the build I/O of the
+  /// parts the registry actually built.
+  TransitionCost measured;
 };
 
 /// \brief Attach with db->SetObserver(&controller); detach before either
@@ -180,6 +189,12 @@ class ReconfigurationController : public DbOpObserver {
   /// Modeled page cost of every committed transition so far.
   double transition_pages_charged() const { return transition_charged_; }
 
+  /// Pager-measured page cost of every committed transition so far (the
+  /// events' .measured totals).
+  double measured_transition_pages_charged() const {
+    return measured_transition_charged_;
+  }
+
   std::uint64_t checks_run() const { return checks_; }
 
   /// First error the control loop hit (selection or reconfiguration); the
@@ -201,6 +216,7 @@ class ReconfigurationController : public DbOpObserver {
 
   std::vector<ReconfigurationEvent> events_;
   double transition_charged_ = 0;
+  double measured_transition_charged_ = 0;
   std::uint64_t checks_ = 0;
   Status status_;
 };

@@ -38,8 +38,19 @@ struct ExperimentRun {
     for (const PhaseReport& p : phases) total += p.transition_pages;
     return total;
   }
+  /// Pager-measured transition I/O (actual drops + actual build I/O).
+  double measured_transition_pages() const {
+    double total = 0;
+    for (const PhaseReport& p : phases) total += p.measured_transition_pages;
+    return total;
+  }
   /// Measured pages plus modeled transition charges.
   double total_cost() const { return measured_pages() + transition_pages(); }
+  /// Measured pages plus *measured* transition I/O — the model-free total
+  /// the modeled one is validated against.
+  double measured_total_cost() const {
+    return measured_pages() + measured_transition_pages();
+  }
 };
 
 /// A never-reconfigured baseline configuration and its replay.

@@ -86,13 +86,8 @@ bool JointReconfigurationController::Check() {
   }
 
   bool any_configured = false;
-  bool all_configured = true;
   for (const PathId& id : path_ids_) {
-    if (db_->has_indexes(id)) {
-      any_configured = true;
-    } else {
-      all_configured = false;
-    }
+    if (db_->has_indexes(id)) any_configured = true;
   }
 
   // Transition pricing always sees the whole workload, so a part moving
@@ -105,22 +100,14 @@ bool JointReconfigurationController::Check() {
     transitions[i].target = &joint.value().per_path[i].config;
   }
 
-  if (!all_configured) {
-    // Initial install (or completion of a partial hand-installed state):
-    // not gated by hysteresis — the alternative is a naive scan per query,
-    // which the pool does not even price.
-    JointReconfigurationEvent ev;
-    ev.op_index = monitor_.ops_observed();
-    ev.initial = !any_configured;
-    ev.transition = EstimateJointTransitionCost(transitions, db_->store());
-    return Commit(joint.value().per_path, std::move(ev));
-  }
-
   // Quiet check (the stationary common case the adaptive cadence targets):
-  // nothing to price when the solver re-picks the installed assignment.
+  // nothing to price when the solver re-picks the installed assignment. An
+  // unconfigured path always constitutes a change — its target is a fresh
+  // install.
   bool changed = false;
   for (std::size_t i = 0; i < path_ids_.size(); ++i) {
-    if (!(db_->physical(path_ids_[i]).config() ==
+    if (!db_->has_indexes(path_ids_[i]) ||
+        !(db_->physical(path_ids_[i]).config() ==
           joint.value().per_path[i].config)) {
       changed = true;
       break;
@@ -132,10 +119,18 @@ bool JointReconfigurationController::Check() {
   // solver's objective: query+prefix per use, maintenance once per distinct
   // physical structure (the maximum across its uses). Parts whose
   // organization is outside the candidate set are priced directly from the
-  // model (they still share by structural identity).
+  // model (they still share by structural identity). An *unconfigured*
+  // path's status quo is priced from the pager: the measured naive-scan
+  // pages per operation the monitor observed — so the first install is
+  // hysteresis-gated like any other transition instead of firing
+  // unconditionally.
   double current_cost = 0;
   std::map<StructuralKey, double> placed_maintain;
   for (std::size_t i = 0; i < path_ids_.size(); ++i) {
+    if (!db_->has_indexes(path_ids_[i])) {
+      current_cost += monitor_.MeasuredNaiveQueryPagesPerOp(path_ids_[i]);
+      continue;
+    }
     const IndexConfiguration& config = db_->physical(path_ids_[i]).config();
     for (const IndexedSubpath& part : config.parts()) {
       double qp = 0;
@@ -153,13 +148,8 @@ bool JointReconfigurationController::Check() {
         qp = cost.query + cost.prefix;
         maintain = cost.maintain + cost.boundary;
       }
-      current_cost += qp;
-      double& placed = placed_maintain[StructuralKey::ForSubpath(
-          *paths[i], part.subpath.start, part.subpath.end, part.org)];
-      if (maintain > placed) {
-        current_cost += maintain - placed;
-        placed = maintain;
-      }
+      current_cost += AccumulateSharedPartCost(*paths[i], part, qp, maintain,
+                                               &placed_maintain);
     }
   }
 
@@ -175,6 +165,7 @@ bool JointReconfigurationController::Check() {
 
   JointReconfigurationEvent ev;
   ev.op_index = monitor_.ops_observed();
+  ev.initial = !any_configured;
   ev.predicted_savings_per_op = savings;
   ev.transition = transition;
   return Commit(joint.value().per_path, std::move(ev));
@@ -197,12 +188,16 @@ bool JointReconfigurationController::Commit(
     ev.changes.push_back(std::move(change));
     changes.emplace_back(path_ids_[i], target);
   }
+  const AccessStats built_before = db_->registry().cumulative_build_io();
   const Status committed = db_->ReconfigureIndexes(changes);
   if (!committed.ok()) {
     status_ = committed;
     return false;
   }
+  ev.measured = MeasuredTransitionCost(
+      ev.transition, db_->registry().cumulative_build_io() - built_before);
   transition_charged_ += ev.transition.total();
+  measured_transition_charged_ += ev.measured.total();
   events_.push_back(std::move(ev));
   return true;
 }

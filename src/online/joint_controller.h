@@ -43,8 +43,14 @@ struct JointReconfigurationEvent {
   std::uint64_t op_index = 0;  ///< operations observed when it happened
   bool initial = false;        ///< first install (nothing was configured)
   std::vector<PathChange> changes;  ///< ordered by path id
-  double predicted_savings_per_op = 0;  ///< current - best, joint accounting
+  /// current - best under the joint shared accounting; unconfigured paths'
+  /// current cost is their *measured* naive-scan pages per operation.
+  double predicted_savings_per_op = 0;
   TransitionCost transition;  ///< modeled price (shared parts charged once)
+  /// Pager-measured price, recorded after the commit: drops from actual
+  /// structure pages (as modeled), scan/write from the build I/O of the
+  /// parts the registry actually built.
+  TransitionCost measured;
 };
 
 /// \brief Attach with db->SetObserver(&controller); detach before either
@@ -77,6 +83,12 @@ class JointReconfigurationController : public DbOpObserver {
   /// Modeled page cost of every committed transition so far.
   double transition_pages_charged() const { return transition_charged_; }
 
+  /// Pager-measured page cost of every committed transition so far (the
+  /// events' .measured totals).
+  double measured_transition_pages_charged() const {
+    return measured_transition_charged_;
+  }
+
   std::uint64_t checks_run() const { return checks_; }
 
   /// First error the control loop hit; the controller goes dormant after
@@ -104,6 +116,7 @@ class JointReconfigurationController : public DbOpObserver {
 
   std::vector<JointReconfigurationEvent> events_;
   double transition_charged_ = 0;
+  double measured_transition_charged_ = 0;
   std::uint64_t checks_ = 0;
   Status status_;
 };

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "online/trace.h"
+
+/// \file measured_validation.h
+/// \brief Measured-vs-modeled ground truth: replay a whole trace under a
+/// fixed configuration and compare the analytic cost matrix against the
+/// pager-measured page traffic — per path and per phase.
+///
+/// The single-query validation (tests/integration/model_vs_sim_test.cc,
+/// bench_validation) checks the organization models probe by probe; this
+/// harness checks what the selection pipeline actually consumes: whole-trace
+/// expectations under drifting mixes, with shared-part maintenance deduped
+/// exactly as the joint advisor prices it. The pager's scoped tallies
+/// attribute the measured side per path (queries) and per operation kind,
+/// so every cell of the comparison is a modeled-vs-measured data point the
+/// integration test pins inside a stated envelope.
+
+namespace pathix {
+
+/// One (phase, path) comparison of query-side page traffic.
+struct MeasuredVsModeledCell {
+  std::string phase;
+  PathId path;
+  std::uint64_t query_ops = 0;  ///< query operations observed on the path
+  /// Pager per-path tally of the phase's queries, per replayed operation.
+  double measured_pages_per_op = 0;
+  /// The matrix expectation (query + prefix of the installed parts under
+  /// the phase's true mix), per operation.
+  double modeled_pages_per_op = 0;
+
+  /// measured / modeled (how far reality sits from the model; 0 when the
+  /// modeled side is zero).
+  double ratio() const {
+    return modeled_pages_per_op > 0
+               ? measured_pages_per_op / modeled_pages_per_op
+               : 0;
+  }
+};
+
+/// One phase's whole-traffic comparison (queries of every path, index
+/// maintenance deduped per distinct structure, store I/O baseline).
+struct MeasuredVsModeledPhase {
+  std::string phase;
+  std::uint64_t ops = 0;
+  double measured_pages_per_op = 0;
+  double modeled_pages_per_op = 0;
+
+  double ratio() const {
+    return modeled_pages_per_op > 0
+               ? measured_pages_per_op / modeled_pages_per_op
+               : 0;
+  }
+};
+
+struct MeasuredVsModeledReport {
+  /// The fixed configuration the replay ran under (the joint optimum of the
+  /// trace's ops-weighted average mixes, budget-respecting), per path.
+  std::vector<IndexConfiguration> configs;
+  std::vector<MeasuredVsModeledCell> cells;
+  std::vector<MeasuredVsModeledPhase> phases;
+};
+
+/// Replays \p spec once under the average-mix joint optimum and assembles
+/// the per-phase, per-path comparison. Per-path cells are only emitted when
+/// the phase directed at least \p min_query_ops queries at the path (below
+/// that, sampling noise drowns the signal). Deterministic for a fixed spec.
+Result<MeasuredVsModeledReport> RunMeasuredVsModeled(
+    const TraceSpec& spec, std::uint64_t min_query_ops = 50);
+
+}  // namespace pathix

@@ -32,10 +32,17 @@ struct PhaseReport {
   std::uint64_t ops = 0;
   std::uint64_t pages = 0;         ///< measured page accesses in the phase
   double transition_pages = 0;     ///< modeled transition charge in the phase
+  /// Pager-measured transition I/O in the phase (actual drops + the build
+  /// I/O of the parts the registry built for committed switches).
+  double measured_transition_pages = 0;
   int reconfigurations = 0;        ///< committed switches (incl. initial)
 
   double total_cost() const {
     return static_cast<double>(pages) + transition_pages;
+  }
+  /// Measured pages plus *measured* transition I/O (the model-free view).
+  double measured_total_cost() const {
+    return static_cast<double>(pages) + measured_transition_pages;
   }
 };
 
@@ -83,12 +90,17 @@ class TraceReplayer {
   PhaseReport RunPhaseWith(std::size_t phase_index, Controller* controller) {
     const double charged_before =
         controller != nullptr ? controller->transition_pages_charged() : 0;
+    const double measured_before =
+        controller != nullptr ? controller->measured_transition_pages_charged()
+                              : 0;
     const std::size_t events_before =
         controller != nullptr ? controller->events().size() : 0;
     PhaseReport report = RunPhaseOps(phase_index);
     if (controller != nullptr) {
       report.transition_pages =
           controller->transition_pages_charged() - charged_before;
+      report.measured_transition_pages =
+          controller->measured_transition_pages_charged() - measured_before;
       report.reconfigurations =
           static_cast<int>(controller->events().size() - events_before);
     }

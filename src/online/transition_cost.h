@@ -56,4 +56,21 @@ TransitionCost EstimateTransitionCost(const PathContext& ctx,
                                       const PhysicalConfiguration* current,
                                       const IndexConfiguration& target);
 
+/// Assembles the *measured* counterpart of a modeled transition price after
+/// the commit happened: dropped parts keep the modeled component (already
+/// priced from their actual physical pages), scan/write come from the
+/// pager-measured build I/O of the parts the registry actually built during
+/// the commit (PhysicalPartRegistry::cumulative_build_io delta). The
+/// controllers gate on the estimate — the build has not happened yet when
+/// the decision is made — and record this next to it so every switch is a
+/// modeled-vs-measured data point.
+inline TransitionCost MeasuredTransitionCost(const TransitionCost& modeled,
+                                             const AccessStats& build_io) {
+  TransitionCost measured;
+  measured.drop_pages = modeled.drop_pages;
+  measured.scan_pages = static_cast<double>(build_io.reads);
+  measured.write_pages = static_cast<double>(build_io.writes);
+  return measured;
+}
+
 }  // namespace pathix

@@ -19,6 +19,11 @@ double WorkloadMonitor::Folded(const Entry& e) const {
 
 void WorkloadMonitor::Observe(const DbOpEvent& ev) {
   ++ops_;
+  if (ev.kind == DbOpKind::kQuery && ev.naive) {
+    Entry* pages = &naive_pages_[PathId(ev.path)];
+    FoldTo(pages, ops_);
+    pages->count += static_cast<double>(ev.pages.total());
+  }
   Entry* entry = nullptr;
   switch (ev.kind) {
     case DbOpKind::kQuery:
@@ -94,11 +99,30 @@ LoadDistribution WorkloadMonitor::EstimatedLoadFor(
   return load;
 }
 
+double WorkloadMonitor::MeasuredNaiveQueryPagesPerOp(const PathId& path) const {
+  const double total = DecayedTotal();
+  if (total <= 0) return 0;
+  const auto it = naive_pages_.find(path);
+  return it == naive_pages_.end() ? 0 : Folded(it->second) / total;
+}
+
+double WorkloadMonitor::MeasuredNaiveQueryPagesPerOp() const {
+  const double total = DecayedTotal();
+  if (total <= 0) return 0;
+  double pages = 0;
+  for (const auto& [path, e] : naive_pages_) {
+    (void)path;
+    pages += Folded(e);
+  }
+  return pages / total;
+}
+
 void WorkloadMonitor::Reset() {
   ops_ = 0;
   queries_.clear();
   inserts_.clear();
   deletes_.clear();
+  naive_pages_.clear();
 }
 
 }  // namespace pathix

@@ -46,8 +46,11 @@ class WorkloadMonitor {
   /// the anonymous single-path stream); updates are keyed by class only.
   void Observe(const DbOpEvent& ev);
 
-  /// Single-path convenience: queries land on the anonymous path.
-  void Observe(DbOpKind kind, ClassId cls) { Observe({kind, cls, {}}); }
+  /// Single-path convenience: queries land on the anonymous path, with no
+  /// measured pages attached.
+  void Observe(DbOpKind kind, ClassId cls) {
+    Observe({kind, cls, {}, false, {}});
+  }
 
   /// The all-paths estimate, normalized so all frequencies sum to 1 — the
   /// single-path controller's view (every query, whatever path it names,
@@ -59,6 +62,16 @@ class WorkloadMonitor {
   /// Normalized by the same shared total as every other path's estimate.
   LoadDistribution EstimatedLoadFor(const PathId& path,
                                     const std::set<ClassId>& scope) const;
+
+  /// Decayed measured pages of *naive-scan* queries on \p path per observed
+  /// operation (same shared normalization scale as the frequency
+  /// estimates) — the priced current-cost of an unconfigured path, directly
+  /// comparable to the cost model's expected pages per operation. Zero
+  /// until a naive query on the path has been observed.
+  double MeasuredNaiveQueryPagesPerOp(const PathId& path) const;
+
+  /// The all-paths aggregate (the single-path controller's view).
+  double MeasuredNaiveQueryPagesPerOp() const;
 
   /// Decayed total weight across all paths, classes and kinds.
   double DecayedTotal() const;
@@ -83,6 +96,9 @@ class WorkloadMonitor {
   std::map<PathId, std::unordered_map<ClassId, Entry>> queries_;
   std::unordered_map<ClassId, Entry> inserts_;
   std::unordered_map<ClassId, Entry> deletes_;
+  /// Decayed measured pages of naive-scan queries, per path (the events'
+  /// pages deltas, weighted with the same decay as the counts).
+  std::map<PathId, Entry> naive_pages_;
 };
 
 }  // namespace pathix

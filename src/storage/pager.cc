@@ -1,6 +1,24 @@
 #include "storage/pager.h"
 
+#include "common/status.h"
+
 namespace pathix {
+
+const char* ToString(PageOpKind kind) {
+  switch (kind) {
+    case PageOpKind::kQuery:
+      return "query";
+    case PageOpKind::kInsert:
+      return "insert";
+    case PageOpKind::kDelete:
+      return "delete";
+    case PageOpKind::kBuild:
+      return "build";
+    case PageOpKind::kOther:
+      return "other";
+  }
+  return "?";
+}
 
 void Pager::EnableBuffer(std::size_t capacity_pages) {
   buffer_capacity_ = capacity_pages;
@@ -24,6 +42,45 @@ void Pager::Admit(PageId page) {
     lru_index_.erase(lru_.back());
     lru_.pop_back();
   }
+}
+
+void Pager::ResetTallies() {
+  kind_tallies_ = {};
+  label_tallies_.clear();
+}
+
+void Pager::FoldTally(PageOpKind kind, const std::string& label,
+                      const AccessStats& delta) {
+  kind_tallies_[static_cast<std::size_t>(kind)] += delta;
+  if (!label.empty()) label_tallies_[label] += delta;
+}
+
+ScopedAccessProbe::ScopedAccessProbe(Pager* pager, PageOpKind kind,
+                                     std::string label, bool exclude)
+    : pager_(pager),
+      kind_(kind),
+      label_(std::move(label)),
+      exclude_(exclude) {
+  if (exclude_) {
+    prev_sink_ = pager_->side_sink_;
+    pager_->side_sink_ = &local_;
+  } else {
+    start_ = pager_->stats();
+  }
+}
+
+ScopedAccessProbe::~ScopedAccessProbe() {
+  if (exclude_) {
+    PATHIX_DCHECK(pager_->side_sink_ == &local_ &&
+                  "excluded probes must unwind in LIFO order");
+    pager_->side_sink_ = prev_sink_;
+  }
+  pager_->FoldTally(kind_, label_, Delta());
+}
+
+AccessStats ScopedAccessProbe::Delta() const {
+  if (exclude_) return local_;
+  return pager_->stats() - start_;
 }
 
 }  // namespace pathix

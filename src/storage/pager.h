@@ -1,7 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
+#include <map>
+#include <string>
 #include <unordered_map>
 
 #include "common/types.h"
@@ -14,6 +17,14 @@
 /// identities and tallies reads/writes. A page is the unit of transfer; one
 /// B+-tree node, one record-overflow chunk, or one object-store slot block
 /// occupies one page.
+///
+/// Beyond the global counters, the pager keeps *scoped* tallies: a
+/// ScopedAccessProbe tags the accesses of one stretch of work with a
+/// PageOpKind and an optional label (the queried path id), so experiments
+/// can decompose measured traffic per operation kind and per path without
+/// instrumenting every call site. Excluded scopes (index builds) measure
+/// their traffic through the same counting paths while keeping it out of
+/// the main stats — the mechanism behind pager-accounted index builds.
 
 namespace pathix {
 
@@ -24,7 +35,35 @@ struct AccessStats {
   std::uint64_t buffer_hits = 0;  ///< reads absorbed by the buffer pool
 
   std::uint64_t total() const { return reads + writes; }
+
+  AccessStats& operator+=(const AccessStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    buffer_hits += o.buffer_hits;
+    return *this;
+  }
+  AccessStats operator-(const AccessStats& o) const {
+    return AccessStats{reads - o.reads, writes - o.writes,
+                       buffer_hits - o.buffer_hits};
+  }
+  bool operator==(const AccessStats& o) const {
+    return reads == o.reads && writes == o.writes &&
+           buffer_hits == o.buffer_hits;
+  }
+  bool operator!=(const AccessStats& o) const { return !(*this == o); }
 };
+
+/// Kind of database activity a scoped accounting frame belongs to.
+enum class PageOpKind {
+  kQuery = 0,   ///< path query evaluation (indexed or naive)
+  kInsert = 1,  ///< object insertion (store write + index maintenance)
+  kDelete = 2,  ///< object deletion (store + index maintenance)
+  kBuild = 3,   ///< index construction (excluded from the main stats)
+  kOther = 4,
+};
+inline constexpr std::size_t kPageOpKindCount = 5;
+
+const char* ToString(PageOpKind kind);
 
 /// \brief Allocates page ids and counts accesses.
 ///
@@ -32,7 +71,7 @@ struct AccessStats {
 /// model does not have: every node access there is a page access). Reads of
 /// buffered pages count as hits, not accesses; writes are write-through
 /// (always counted) and admit the page. Anonymous bulk reads (record
-/// overflow chains) bypass the buffer.
+/// overflow chains) and bulk writes bypass the buffer.
 class Pager {
  public:
   explicit Pager(std::size_t page_size) : page_size_(page_size) {}
@@ -48,6 +87,10 @@ class Pager {
   void EnableBuffer(std::size_t capacity_pages);
 
   void NoteRead(PageId page) {
+    if (side_sink_ != nullptr) {  // excluded scope: measured, not charged
+      ++side_sink_->reads;
+      return;
+    }
     if (buffer_capacity_ > 0 && Touch(page)) {
       ++stats_.buffer_hits;
       return;
@@ -56,26 +99,69 @@ class Pager {
     Admit(page);
   }
   void NoteWrite(PageId page) {
+    if (side_sink_ != nullptr) {
+      ++side_sink_->writes;
+      return;
+    }
     ++stats_.writes;
     Admit(page);
   }
   /// Convenience for counting n sequential page reads (scans / chains).
-  void NoteReads(std::uint64_t n) { stats_.reads += n; }
+  void NoteReads(std::uint64_t n) {
+    if (side_sink_ != nullptr) {
+      side_sink_->reads += n;
+      return;
+    }
+    stats_.reads += n;
+  }
+  /// Convenience for counting n sequential page writes (bulk write-out).
+  void NoteWrites(std::uint64_t n) {
+    if (side_sink_ != nullptr) {
+      side_sink_->writes += n;
+      return;
+    }
+    stats_.writes += n;
+  }
 
   const AccessStats& stats() const { return stats_; }
   void ResetStats() { stats_ = AccessStats{}; }
+
+  // ------------------------------------------------------ scoped tallies
+
+  /// Accesses folded in by ScopedAccessProbe frames of \p kind (excluded
+  /// kBuild frames included — they are measured, just not charged).
+  const AccessStats& tally(PageOpKind kind) const {
+    return kind_tallies_[static_cast<std::size_t>(kind)];
+  }
+  /// Accesses per probe label (the queried path id), for labeled frames.
+  /// Deterministically ordered.
+  const std::map<std::string, AccessStats>& label_tallies() const {
+    return label_tallies_;
+  }
+  void ResetTallies();
 
   /// Pages allocated so far (storage footprint proxy).
   std::uint64_t allocated_pages() const { return next_page_; }
 
  private:
+  friend class ScopedAccessProbe;
+
   /// Moves \p page to the LRU front; false if absent.
   bool Touch(PageId page);
   void Admit(PageId page);
 
+  void FoldTally(PageOpKind kind, const std::string& label,
+                 const AccessStats& delta);
+
   std::size_t page_size_;
   PageId next_page_ = 0;
   AccessStats stats_;
+
+  /// When non-null, Note* redirect here (excluded scope) and bypass the
+  /// buffer pool, so builds neither pollute the stats nor warm the LRU.
+  AccessStats* side_sink_ = nullptr;
+  std::array<AccessStats, kPageOpKindCount> kind_tallies_{};
+  std::map<std::string, AccessStats> label_tallies_;
 
   std::size_t buffer_capacity_ = 0;
   std::list<PageId> lru_;  // front = most recent
@@ -98,6 +184,45 @@ class AccessProbe {
  private:
   const Pager& pager_;
   AccessStats start_;
+};
+
+/// \brief RAII scoped accounting frame: the accesses inside the scope are
+/// tallied on the pager under (\p kind, \p label) when the frame closes.
+///
+/// With \p exclude set, the frame's accesses are redirected into the probe
+/// (bypassing the buffer pool) instead of the pager's main stats: the
+/// traffic is measured — Delta(), and the kBuild tally — but not charged to
+/// whatever experiment is running. This is how index construction is routed
+/// through the pager without becoming part of a replay's measured pages;
+/// its price enters experiments through the transition accounting instead.
+///
+/// Frames may nest, but every frame folds its own delta into the tallies
+/// when it closes — so the "kind tallies decompose stats()" invariant holds
+/// only while *counting* frames do not nest (SimDatabase opens exactly one
+/// per operation and closes it before observers run, which guarantees
+/// this). Excluded frames nest freely (LIFO): a counting frame inside an
+/// excluded one observes no traffic, since the main stats are frozen there
+/// by design.
+class ScopedAccessProbe {
+ public:
+  explicit ScopedAccessProbe(Pager* pager, PageOpKind kind,
+                             std::string label = {}, bool exclude = false);
+  ~ScopedAccessProbe();
+
+  ScopedAccessProbe(const ScopedAccessProbe&) = delete;
+  ScopedAccessProbe& operator=(const ScopedAccessProbe&) = delete;
+
+  /// The accesses observed by this frame so far.
+  AccessStats Delta() const;
+
+ private:
+  Pager* pager_;
+  PageOpKind kind_;
+  std::string label_;
+  bool exclude_;
+  AccessStats start_;             ///< main-stats snapshot (counting frame)
+  AccessStats local_;             ///< redirected counts (excluded frame)
+  AccessStats* prev_sink_ = nullptr;
 };
 
 }  // namespace pathix

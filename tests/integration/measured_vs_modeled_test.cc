@@ -1,0 +1,107 @@
+// Tentpole acceptance: the analytic cost matrix stays within a stated
+// envelope of pager-measured reality over *whole replayed traces* — per
+// path and per phase, on both shipped trace specs. This extends
+// model_vs_sim_test.cc (single queries, fresh statistics) to the quantity
+// the selection pipeline actually consumes: trace-long expectations under
+// drifting mixes, with shared-part maintenance deduped exactly as the joint
+// advisor prices it.
+//
+// The envelope numbers are deliberately asymmetric and documented in the
+// README ("Measured vs modeled costs"):
+//  - per-path query cells: measured within [1/3, 3] of the matrix — the
+//    same factor the single-query validation grants each organization
+//    model (observed on the shipped specs: 0.59..1.06);
+//  - whole-phase totals (queries + maintenance + store baseline): within
+//    [1/2, 2] — maintenance models are the loosest component (observed:
+//    1.05..1.40, the update-heavy ingest phase being the worst).
+
+#include <gtest/gtest.h>
+
+#include "online/measured_validation.h"
+
+namespace pathix {
+namespace {
+
+constexpr double kCellFactor = 3.0;
+constexpr double kPhaseFactor = 2.0;
+
+class MeasuredVsModeledTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MeasuredVsModeledTest, TraceStaysInsideTheEnvelope) {
+  Result<TraceSpec> parsed = ParseTraceSpecFile(
+      std::string(PATHIX_SOURCE_DIR) + "/examples/specs/" + GetParam());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TraceSpec& spec = parsed.value();
+  ASSERT_TRUE(spec.measure) << "shipped trace specs opt into `measure on`";
+
+  Result<MeasuredVsModeledReport> result = RunMeasuredVsModeled(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MeasuredVsModeledReport& report = result.value();
+
+  ASSERT_EQ(report.configs.size(), spec.paths.size());
+  ASSERT_EQ(report.phases.size(), spec.phases.size());
+  ASSERT_FALSE(report.cells.empty());
+
+  for (const MeasuredVsModeledCell& cell : report.cells) {
+    ASSERT_GT(cell.modeled_pages_per_op, 0)
+        << cell.phase << "/" << cell.path;
+    EXPECT_LE(cell.measured_pages_per_op,
+              cell.modeled_pages_per_op * kCellFactor)
+        << cell.phase << "/" << cell.path << " over " << cell.query_ops
+        << " query ops";
+    EXPECT_LE(cell.modeled_pages_per_op,
+              cell.measured_pages_per_op * kCellFactor)
+        << cell.phase << "/" << cell.path << " over " << cell.query_ops
+        << " query ops";
+  }
+  for (const MeasuredVsModeledPhase& phase : report.phases) {
+    ASSERT_GT(phase.modeled_pages_per_op, 0) << phase.phase;
+    EXPECT_LE(phase.measured_pages_per_op,
+              phase.modeled_pages_per_op * kPhaseFactor)
+        << phase.phase;
+    EXPECT_LE(phase.modeled_pages_per_op,
+              phase.measured_pages_per_op * kPhaseFactor)
+        << phase.phase;
+  }
+}
+
+// Determinism of the harness itself: a second run reproduces every number
+// bit for bit (the envelope would be meaningless over a noisy measurement).
+TEST(MeasuredVsModeledTest, HarnessIsDeterministic) {
+  Result<TraceSpec> parsed = ParseTraceSpecFile(
+      std::string(PATHIX_SOURCE_DIR) +
+      "/examples/specs/vehicle_drift_trace.pix");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const MeasuredVsModeledReport a =
+      RunMeasuredVsModeled(parsed.value()).value();
+  const MeasuredVsModeledReport b =
+      RunMeasuredVsModeled(parsed.value()).value();
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].measured_pages_per_op,
+              b.cells[i].measured_pages_per_op);
+    EXPECT_EQ(a.cells[i].modeled_pages_per_op,
+              b.cells[i].modeled_pages_per_op);
+    EXPECT_EQ(a.cells[i].query_ops, b.cells[i].query_ops);
+  }
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].measured_pages_per_op,
+              b.phases[i].measured_pages_per_op);
+    EXPECT_EQ(a.phases[i].modeled_pages_per_op,
+              b.phases[i].modeled_pages_per_op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShippedSpecs, MeasuredVsModeledTest,
+    ::testing::Values("vehicle_drift_trace.pix", "vehicle_joint_trace.pix"),
+    [](const ::testing::TestParamInfo<const char*>& param_info) {
+      std::string name = param_info.param;
+      name = name.substr(0, name.find('.'));
+      return name;
+    });
+
+}  // namespace
+}  // namespace pathix

@@ -82,6 +82,16 @@ TEST(JointEquivalenceTest, OnePathNoBudgetMatchesSinglePathController) {
     EXPECT_EQ(s.to, j.changes[0].to) << "event " << i;
     EXPECT_NEAR(s.transition.total(), j.transition.total(), 1e-6)
         << "event " << i;
+    EXPECT_NEAR(s.measured.total(), j.measured.total(), 1e-6)
+        << "event " << i;
+    if (s.initial) {
+      // Both controllers gate the install against the same priced status
+      // quo (measured naive-scan pages per operation).
+      EXPECT_NEAR(s.predicted_savings_per_op, j.predicted_savings_per_op,
+                  1e-9)
+          << "event " << i;
+      EXPECT_GT(s.predicted_savings_per_op, 0.0);
+    }
   }
   EXPECT_NEAR(single_charged, joint_charged, 1e-6);
 }

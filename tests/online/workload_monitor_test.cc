@@ -62,6 +62,33 @@ TEST(WorkloadMonitorTest, ResetClearsState) {
   monitor.Reset();
   EXPECT_EQ(monitor.ops_observed(), 0u);
   EXPECT_DOUBLE_EQ(monitor.DecayedTotal(), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.MeasuredNaiveQueryPagesPerOp(), 0.0);
+}
+
+TEST(WorkloadMonitorTest, PricesNaiveScanPagesPerOperation) {
+  WorkloadMonitor monitor(/*half_life_ops=*/0);  // decay disabled
+  // Two naive queries of 100 pages each on "p", one indexed query (ignored
+  // for pricing) and one insert: 200 pages over 4 operations.
+  monitor.Observe({DbOpKind::kQuery, kA, "p", true, AccessStats{60, 40, 0}});
+  monitor.Observe({DbOpKind::kQuery, kA, "p", true, AccessStats{100, 0, 0}});
+  monitor.Observe({DbOpKind::kQuery, kA, "q", false, AccessStats{5, 0, 0}});
+  monitor.Observe({DbOpKind::kInsert, kB, {}, false, AccessStats{0, 1, 0}});
+  EXPECT_DOUBLE_EQ(monitor.MeasuredNaiveQueryPagesPerOp("p"), 50.0);
+  EXPECT_DOUBLE_EQ(monitor.MeasuredNaiveQueryPagesPerOp("q"), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.MeasuredNaiveQueryPagesPerOp(), 50.0);
+}
+
+TEST(WorkloadMonitorTest, NaivePagesDecayLikeTheCounts) {
+  WorkloadMonitor monitor(/*half_life_ops=*/2);
+  monitor.Observe({DbOpKind::kQuery, kA, "p", true, AccessStats{64, 0, 0}});
+  const double fresh = monitor.MeasuredNaiveQueryPagesPerOp("p");
+  EXPECT_GT(fresh, 0.0);
+  // Cheap indexed traffic dilutes the estimate: the decayed page sum fades
+  // at the same rate as the op weights, so the per-op price falls.
+  for (int i = 0; i < 8; ++i) {
+    monitor.Observe({DbOpKind::kQuery, kA, "p", false, AccessStats{1, 0, 0}});
+  }
+  EXPECT_LT(monitor.MeasuredNaiveQueryPagesPerOp("p"), fresh);
 }
 
 }  // namespace

@@ -83,6 +83,88 @@ TEST(PagerBufferTest, BulkReadsBypassTheBuffer) {
   EXPECT_EQ(pager.stats().buffer_hits, 0u);
 }
 
+TEST(ScopedAccessProbeTest, FoldsKindAndLabelTallies) {
+  Pager pager(4096);
+  {
+    ScopedAccessProbe probe(&pager, PageOpKind::kQuery, "people");
+    pager.NoteReads(3);
+    pager.NoteWrite(0);
+    EXPECT_EQ(probe.Delta().reads, 3u);
+  }
+  {
+    ScopedAccessProbe probe(&pager, PageOpKind::kInsert);
+    pager.NoteWrite(1);
+  }
+  EXPECT_EQ(pager.tally(PageOpKind::kQuery).reads, 3u);
+  EXPECT_EQ(pager.tally(PageOpKind::kQuery).writes, 1u);
+  EXPECT_EQ(pager.tally(PageOpKind::kInsert).writes, 1u);
+  ASSERT_EQ(pager.label_tallies().count("people"), 1u);
+  EXPECT_EQ(pager.label_tallies().at("people").reads, 3u);
+  // Main stats saw everything: the tallies decompose, they do not replace.
+  EXPECT_EQ(pager.stats().reads, 3u);
+  EXPECT_EQ(pager.stats().writes, 2u);
+  pager.ResetTallies();
+  EXPECT_EQ(pager.tally(PageOpKind::kQuery).total(), 0u);
+  EXPECT_TRUE(pager.label_tallies().empty());
+  EXPECT_EQ(pager.stats().reads, 3u);  // tallies reset, stats untouched
+}
+
+TEST(ScopedAccessProbeTest, ExcludedScopeMeasuresWithoutCharging) {
+  Pager pager(4096);
+  pager.NoteReads(2);
+  {
+    ScopedAccessProbe probe(&pager, PageOpKind::kBuild, {}, /*exclude=*/true);
+    pager.NoteReads(7);
+    pager.NoteWrites(5);
+    pager.NoteRead(9);
+    pager.NoteWrite(9);
+    EXPECT_EQ(probe.Delta().reads, 8u);
+    EXPECT_EQ(probe.Delta().writes, 6u);
+  }
+  // Main stats never moved; the kBuild tally holds the measurement.
+  EXPECT_EQ(pager.stats().reads, 2u);
+  EXPECT_EQ(pager.stats().writes, 0u);
+  EXPECT_EQ(pager.tally(PageOpKind::kBuild).reads, 8u);
+  EXPECT_EQ(pager.tally(PageOpKind::kBuild).writes, 6u);
+}
+
+TEST(ScopedAccessProbeTest, ExcludedScopeBypassesTheBuffer) {
+  Pager pager(4096);
+  pager.EnableBuffer(4);
+  {
+    ScopedAccessProbe probe(&pager, PageOpKind::kBuild, {}, /*exclude=*/true);
+    pager.NoteRead(1);
+    pager.NoteRead(1);
+    EXPECT_EQ(probe.Delta().reads, 2u);  // no hits inside the exclusion
+  }
+  pager.NoteRead(1);  // page 1 was never admitted: still a cold miss
+  EXPECT_EQ(pager.stats().reads, 1u);
+  EXPECT_EQ(pager.stats().buffer_hits, 0u);
+}
+
+TEST(ScopedAccessProbeTest, ExcludedScopesNestLifo) {
+  Pager pager(4096);
+  ScopedAccessProbe outer(&pager, PageOpKind::kBuild, {}, /*exclude=*/true);
+  pager.NoteReads(1);
+  {
+    ScopedAccessProbe inner(&pager, PageOpKind::kBuild, {}, /*exclude=*/true);
+    pager.NoteReads(4);
+    EXPECT_EQ(inner.Delta().reads, 4u);
+  }
+  pager.NoteReads(1);
+  EXPECT_EQ(outer.Delta().reads, 2u);  // the inner frame kept its own counts
+  EXPECT_EQ(pager.stats().reads, 0u);
+}
+
+TEST(AccessStatsTest, Operators) {
+  AccessStats a{5, 3, 1};
+  const AccessStats b{2, 1, 0};
+  EXPECT_EQ(a - b, (AccessStats{3, 2, 1}));
+  a += b;
+  EXPECT_EQ(a, (AccessStats{7, 4, 1}));
+  EXPECT_NE(a, b);
+}
+
 TEST(ValueTest, KindsAndEquality) {
   EXPECT_EQ(Value::Int(5), Value::Int(5));
   EXPECT_FALSE(Value::Int(5) == Value::Int(6));
