@@ -1,0 +1,42 @@
+#!/bin/sh
+# Verifies that first-party sources are clang-format clean (.clang-format
+# at the repo root). Prints a diff per offending file; --fix rewrites in
+# place instead.
+#
+#   usage: check_format.sh [--fix] [CLANG_FORMAT]
+set -u
+
+cd "$(dirname "$0")/.."
+
+fix=0
+if [ "${1:-}" = "--fix" ]; then
+  fix=1
+  shift
+fi
+CLANG_FORMAT="${1:-clang-format}"
+
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  echo "error: '$CLANG_FORMAT' not found." >&2
+  echo "Install clang-format or pass its path as the last argument." >&2
+  exit 2
+fi
+
+files="$(find src tests bench examples \
+  \( -name '*.h' -o -name '*.cc' \) | sort)"
+
+fail=0
+for f in $files; do
+  if [ "$fix" -eq 1 ]; then
+    "$CLANG_FORMAT" -i "$f"
+  elif ! "$CLANG_FORMAT" --dry-run -Werror "$f" > /dev/null 2>&1; then
+    echo "NEEDS FORMAT: $f"
+    "$CLANG_FORMAT" "$f" | diff -u "$f" - | head -40
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "format check failed — run scripts/check_format.sh --fix"
+  exit 1
+fi
+[ "$fix" -eq 1 ] && echo "formatted" || echo "format: clean"

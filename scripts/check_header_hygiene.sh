@@ -1,7 +1,16 @@
 #!/bin/sh
-# Compiles every header under the given source root as its own translation
-# unit, failing if any header is not self-contained (relies on a transitive
-# include). Registered as the `header_hygiene` ctest.
+# Two hygiene passes over the given source root, registered as the
+# `header_hygiene` ctest:
+#
+#   1. Self-containedness: every header compiles as its own translation
+#      unit (no reliance on transitive includes).
+#   2. Banned primitives: raw standard-library locking (<mutex>,
+#      <shared_mutex>, std::mutex, std::lock_guard, ...) is rejected
+#      everywhere in src/ except common/mutex.h — the annotated Mutex /
+#      MutexLock there is the only legal lock type, because it is the only
+#      one Clang's -Wthread-safety can reason about. <iostream> is rejected
+#      outside examples/bench too (it drags iostream globals into every TU;
+#      library code reports through Status, not streams).
 #
 #   usage: check_header_hygiene.sh [SRC_DIR] [CXX]
 set -u
@@ -13,6 +22,24 @@ tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
 fail=0
+
+# ------------------------------------------------------- banned primitives
+banned='<mutex>|<shared_mutex>|std::mutex|std::shared_mutex|std::lock_guard|std::unique_lock|std::shared_lock|std::scoped_lock'
+for f in $(find "$SRC_DIR" \( -name '*.h' -o -name '*.cc' \) | sort); do
+  rel="${f#"$SRC_DIR"/}"
+  # Comment lines may *mention* the banned names (e.g. to document the ban).
+  hits="$(grep -nE "$banned" "$f" | grep -vE '^[0-9]+:[[:space:]]*(//|\*)' \
+    || true)"
+  if [ "$rel" != "common/mutex.h" ] && [ -n "$hits" ]; then
+    printf '%s\n' "$hits" | sed "s|^|$f:|"
+    echo "BANNED LOCK PRIMITIVE: $rel — use common/mutex.h (annotated)"
+    fail=1
+  fi
+  if grep -n '#include <iostream>' "$f" /dev/null; then
+    echo "BANNED INCLUDE: $rel — <iostream> is not allowed in library code"
+    fail=1
+  fi
+done
 for header in $(find "$SRC_DIR" -name '*.h' | sort); do
   rel="${header#"$SRC_DIR"/}"
   tu="$tmp_dir/check.cc"

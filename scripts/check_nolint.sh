@@ -1,0 +1,47 @@
+#!/bin/sh
+# Every clang-tidy suppression must name the check(s) it silences AND carry
+# a trailing justification after a colon:
+#
+#   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+#   // NOLINTBEGIN(bugprone-macro-parentheses): attribute args are lock
+#   //     expressions, not values.
+#
+# Bare `// NOLINT`, check-less `NOLINT(...)`-without-reason, and blanket
+# suppressions are rejected. NOLINTEND is exempt (it closes a justified
+# BEGIN). Registered as the `nolint_policy` ctest.
+#
+#   usage: check_nolint.sh [SRC_DIRS...]
+set -u
+
+cd "$(dirname "$0")/.."
+dirs="${*:-src tests bench examples}"
+
+fail=0
+# shellcheck disable=SC2086
+for f in $(grep -rl 'NOLINT' $dirs --include='*.h' --include='*.cc' \
+  2> /dev/null | sort); do
+  while IFS= read -r hit; do
+    line="${hit%%:*}"
+    text="${hit#*:}"
+    case "$text" in
+      *NOLINTEND*) continue ;;
+    esac
+    # Accept: NOLINT / NOLINTNEXTLINE / NOLINTBEGIN followed by
+    # (non-empty check list) then ": " and a non-empty justification.
+    if printf '%s' "$text" \
+      | grep -qE 'NOLINT(NEXTLINE|BEGIN)?\([^)]+\): +[^ ]'; then
+      continue
+    fi
+    echo "$f:$line: unjustified NOLINT — use NOLINT(<check>): <reason>"
+    echo "    $text"
+    fail=1
+  done <<EOF
+$(grep -n 'NOLINT' "$f")
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "NOLINT policy check failed"
+  exit 1
+fi
+echo "all NOLINT suppressions name their check and carry a justification"

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs clang-tidy over every first-party translation unit recorded in a
+# build directory's compile_commands.json (cmake exports it by default —
+# CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level CMakeLists.txt).
+# Third-party sources (_deps) and generated files are skipped. The check
+# set and the error policy live in .clang-tidy (WarningsAsErrors '*'), so
+# any finding fails this script — that is the CI gate.
+#
+#   usage: run_clang_tidy.sh [BUILD_DIR] [CLANG_TIDY]
+set -u
+
+BUILD_DIR="${1:-build}"
+CLANG_TIDY="${2:-clang-tidy}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v "$CLANG_TIDY" > /dev/null 2>&1; then
+  echo "error: '$CLANG_TIDY' not found." >&2
+  echo "Install clang-tidy (e.g. apt-get install clang-tidy) or pass its" >&2
+  echo "path: scripts/run_clang_tidy.sh BUILD_DIR /path/to/clang-tidy" >&2
+  exit 2
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$DB" ]; then
+  echo "error: $DB not found — configure cmake first:" >&2
+  echo "  cmake -S . -B $BUILD_DIR" >&2
+  exit 2
+fi
+
+# First-party TUs: everything under src/, tests/, bench/, examples/ that
+# the build compiles. The compilation database stores absolute paths.
+files="$(sed -n 's/^ *"file": "\(.*\)",\{0,1\}$/\1/p' "$DB" | sort -u \
+  | grep -E "^$ROOT/(src|tests|bench|examples)/" || true)"
+
+if [ -z "$files" ]; then
+  echo "error: no first-party files found in $DB" >&2
+  exit 2
+fi
+
+count="$(printf '%s\n' "$files" | wc -l | tr -d ' ')"
+jobs="$(nproc 2> /dev/null || echo 4)"
+echo "clang-tidy over $count translation units ($jobs-way parallel)..."
+
+# xargs -P fans the TUs out; any non-zero clang-tidy exit makes xargs
+# return non-zero, which is the gate.
+if printf '%s\n' "$files" \
+  | xargs -P "$jobs" -n 4 "$CLANG_TIDY" -p "$BUILD_DIR" --quiet; then
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: violations found (config: .clang-tidy)" >&2
+  exit 1
+fi

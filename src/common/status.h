@@ -73,8 +73,11 @@ class Status {
 template <typename T>
 class Result {
  public:
-  Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
-  Result(Status status) : status_(std::move(status)) {     // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit conversion is the
+  // point — `return value;` / `return status;` is the whole Result idiom.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): see above.
+  Result(Status status) : status_(std::move(status)) {
     assert(!status_.ok() && "Result(Status) requires an error status");
   }
 

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// \brief Clang Thread Safety Analysis attribute macros.
+///
+/// These wrap Clang's `-Wthread-safety` attributes so that locking contracts
+/// are stated in the type system: a member annotated GUARDED_BY(mu_) cannot
+/// be touched on Clang without holding mu_, a function annotated
+/// REQUIRES(mu_) cannot be called without it, and violations are compile
+/// errors under -Werror. On compilers without the attributes (GCC) every
+/// macro expands to nothing — the annotations are documentation there, and
+/// the TSan CI job is the dynamic backstop.
+///
+/// Use common/mutex.h's annotated Mutex/MutexLock as the lock types; raw
+/// std::mutex is rejected by scripts/check_header_hygiene.sh precisely
+/// because the analysis cannot see through it.
+///
+/// Attribute reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+// NOLINTBEGIN(bugprone-macro-parentheses): attribute arguments are lock
+// expressions and must be spliced verbatim; parenthesizing them breaks the
+// attribute grammar.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PATHIX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PATHIX_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define CAPABILITY(x) PATHIX_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define SCOPED_CAPABILITY PATHIX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define GUARDED_BY(x) PATHIX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define PT_GUARDED_BY(x) PATHIX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while holding the given mutex(es) exclusively.
+#define REQUIRES(...) \
+  PATHIX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function callable only while holding the mutex(es) at least shared.
+#define REQUIRES_SHARED(...) \
+  PATHIX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the given mutex(es) held
+/// (it acquires them itself; calling it under the lock would deadlock).
+#define EXCLUDES(...) PATHIX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex(es) exclusively and does not release.
+#define ACQUIRE(...) PATHIX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) shared and does not release.
+#define ACQUIRE_SHARED(...) \
+  PATHIX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the held mutex(es) (exclusive or shared).
+#define RELEASE(...) PATHIX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases the shared hold of the mutex(es).
+#define RELEASE_SHARED(...) \
+  PATHIX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability; informs
+/// the analysis without acquiring (deep-read accessor helper).
+#define ASSERT_CAPABILITY(x) PATHIX_THREAD_ANNOTATION(assert_capability(x))
+
+/// As ASSERT_CAPABILITY for a shared hold.
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PATHIX_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the given mutex (lock-expression alias).
+#define RETURN_CAPABILITY(x) PATHIX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only for
+/// init/teardown paths that are single-threaded by construction, with a
+/// comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PATHIX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)

@@ -62,6 +62,7 @@ OptimizeResult SelectExhaustive(const CostMatrix& matrix) {
   const std::uint64_t combos = std::uint64_t{1} << (n - 1);
   for (std::uint64_t mask = 0; mask < combos; ++mask) {
     std::vector<Subpath> blocks;
+    blocks.reserve(static_cast<std::size_t>(n));
     int start = 1;
     for (int i = 1; i < n; ++i) {
       if (mask & (std::uint64_t{1} << (i - 1))) {
@@ -185,6 +186,7 @@ OptimizeResult SelectDP(const CostMatrix& matrix) {
     }
   }
   std::vector<Subpath> blocks;
+  blocks.reserve(static_cast<std::size_t>(n));
   for (int s = 1; s <= n; s = split[s] + 1) {
     blocks.push_back(Subpath{s, split[s]});
   }

@@ -5,8 +5,10 @@ namespace pathix {
 MXCostModel::MXCostModel(const PathContext& ctx, int a, int b)
     : OrgCostModel(ctx, a, b) {
   const PhysicalParams& pp = ctx.params();
+  trees_.reserve(static_cast<std::size_t>(b - a + 1));
   for (int l = a; l <= b; ++l) {
     std::vector<BTreeModel> level_trees;
+    level_trees.reserve(ctx.level(l).size());
     for (const LevelClassInfo& c : ctx.level(l)) {
       // One index record per distinct value of A_l held by the class; the
       // record associates the value with the k_{l,j} oids holding it.

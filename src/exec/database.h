@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "exec/naive_evaluator.h"
 #include "index/physical_config.h"
 
@@ -163,7 +164,10 @@ class SimDatabase {
   /// Registers \p observer for the operation stream (nullptr detaches).
   /// At most one observer; the caller keeps ownership and must detach (or
   /// outlive the database) before the observer dies.
-  void SetObserver(DbOpObserver* observer) { observer_ = observer; }
+  void SetObserver(DbOpObserver* observer) EXCLUDES(observer_mu_) {
+    MutexLock lock(&observer_mu_);
+    observer_ = observer;
+  }
 
   // -------------------------------------------------------------- queries
 
@@ -204,10 +208,20 @@ class SimDatabase {
     std::optional<PhysicalConfiguration> physical;
   };
 
+  /// Dispatches to the registered observer. The pointer is read under
+  /// observer_mu_ but the callback runs outside it: observers reconfigure
+  /// the database from within OnOperation, and holding any lock across
+  /// that re-entry would deadlock.
   void Notify(DbOpKind kind, ClassId cls, const AccessStats& pages,
-              std::string_view path = {}, bool naive = false) {
-    if (observer_ != nullptr) {
-      observer_->OnOperation({kind, cls, path, naive, pages});
+              std::string_view path = {}, bool naive = false)
+      EXCLUDES(observer_mu_) {
+    DbOpObserver* observer = nullptr;
+    {
+      ReaderMutexLock lock(&observer_mu_);
+      observer = observer_;
+    }
+    if (observer != nullptr) {
+      observer->OnOperation({kind, cls, path, naive, pages});
     }
   }
 
@@ -223,7 +237,8 @@ class SimDatabase {
   // configurations point into them).
   std::map<PathId, ConfiguredPath> paths_;
   PhysicalPartRegistry registry_;
-  DbOpObserver* observer_ = nullptr;
+  mutable Mutex observer_mu_;
+  DbOpObserver* observer_ GUARDED_BY(observer_mu_) = nullptr;
 };
 
 }  // namespace pathix

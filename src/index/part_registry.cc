@@ -41,6 +41,9 @@ Result<std::shared_ptr<PhysicalPart>> PhysicalPartRegistry::Acquire(
     const IndexedSubpath& part, const ObjectStore& store) {
   StructuralKey key = StructuralKey::ForSubpath(path, part.subpath.start,
                                                 part.subpath.end, part.org);
+  // Exclusive across find-or-build: a second thread acquiring the same key
+  // waits here and then adopts the winner's part instead of double-building.
+  MutexLock lock(&mu_);
   auto it = parts_.find(key);
   if (it != parts_.end()) {
     if (std::shared_ptr<PhysicalPart> live = it->second.lock()) return live;
@@ -71,11 +74,13 @@ Result<std::shared_ptr<PhysicalPart>> PhysicalPartRegistry::Acquire(
 
 std::shared_ptr<PhysicalPart> PhysicalPartRegistry::Find(
     const StructuralKey& key) const {
+  ReaderMutexLock lock(&mu_);
   auto it = parts_.find(key);
   return it == parts_.end() ? nullptr : it->second.lock();
 }
 
 std::size_t PhysicalPartRegistry::live_parts() const {
+  MutexLock lock(&mu_);  // exclusive: prunes expired entries
   std::size_t live = 0;
   for (auto it = parts_.begin(); it != parts_.end();) {
     if (it->second.expired()) {

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "common/mutex.h"
 #include "core/index_config.h"
 #include "core/structural_key.h"
 #include "index/subpath_index.h"
@@ -42,7 +43,12 @@ struct PhysicalPart {
   std::unique_ptr<SubpathIndex> index;
 };
 
-/// \brief The per-database registry. Not thread-safe (the database is not).
+/// \brief The per-database registry. Internally synchronized: Acquire,
+/// Find and the counters may be called from concurrent threads; a key
+/// being acquired by two threads at once is built exactly once (the loser
+/// adopts the winner's part). Acquire holds the registry mutex across the
+/// build, calling into the ObjectStore and Pager — downstream in the lock
+/// hierarchy (common/mutex.h), never back up into the registry.
 class PhysicalPartRegistry {
  public:
   /// Returns the live part for the key of (\p path, \p part), creating and
@@ -52,33 +58,43 @@ class PhysicalPartRegistry {
                                                 const Schema& schema,
                                                 const Path& path,
                                                 const IndexedSubpath& part,
-                                                const ObjectStore& store);
+                                                const ObjectStore& store)
+      EXCLUDES(mu_);
 
   /// The live part for \p key, or nullptr when none is held. Never builds.
-  std::shared_ptr<PhysicalPart> Find(const StructuralKey& key) const;
+  std::shared_ptr<PhysicalPart> Find(const StructuralKey& key) const
+      EXCLUDES(mu_);
 
   /// Number of distinct physical structures currently alive (prunes expired
   /// entries as a side effect of counting).
-  std::size_t live_parts() const;
+  std::size_t live_parts() const EXCLUDES(mu_);
 
   /// Shared_ptr use count of the live part for \p key (0 when none) — the
   /// number of configurations referencing the structure.
-  long use_count(const StructuralKey& key) const;
+  long use_count(const StructuralKey& key) const EXCLUDES(mu_);
 
   /// Cumulative pager-measured build I/O of every part Acquire actually
   /// built (SubpathIndex::build_io: bulk scan reads + structure writes).
   /// Parts adopted from a live configuration add nothing, so the delta of
   /// this counter across a reconfiguration is the measured counterpart of
   /// the transition model's analytic scan + write estimate.
-  const AccessStats& cumulative_build_io() const { return build_io_; }
+  AccessStats cumulative_build_io() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return build_io_;
+  }
 
   /// Number of parts Acquire built (as opposed to adopted).
-  std::uint64_t parts_built() const { return parts_built_; }
+  std::uint64_t parts_built() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return parts_built_;
+  }
 
  private:
-  mutable std::map<StructuralKey, std::weak_ptr<PhysicalPart>> parts_;
-  AccessStats build_io_;
-  std::uint64_t parts_built_ = 0;
+  mutable Mutex mu_;
+  mutable std::map<StructuralKey, std::weak_ptr<PhysicalPart>> parts_
+      GUARDED_BY(mu_);
+  AccessStats build_io_ GUARDED_BY(mu_);
+  std::uint64_t parts_built_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pathix

@@ -107,6 +107,7 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
     ReconfigurationController controller(&inst.db, tp.path, copts, tp.id);
     inst.db.SetObserver(&controller);
     report.online.label = "online";
+    report.online.phases.reserve(spec.phases.size());
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
       report.online.phases.push_back(inst.replayer.RunPhase(i, &controller));
     }

@@ -175,6 +175,7 @@ bool JointReconfigurationController::Commit(
     const std::vector<JointPathSelection>& targets,
     JointReconfigurationEvent ev) {
   std::vector<std::pair<PathId, IndexConfiguration>> changes;
+  changes.reserve(path_ids_.size());
   for (std::size_t i = 0; i < path_ids_.size(); ++i) {
     const IndexConfiguration& target = targets[i].config;
     const bool installed = db_->has_indexes(path_ids_[i]);

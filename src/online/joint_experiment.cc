@@ -109,6 +109,7 @@ Result<JointExperimentReport> RunJointOnlineExperiment(
     JointReconfigurationController controller(&inst.db, copts);
     inst.db.SetObserver(&controller);
     report.online.label = "online-joint";
+    report.online.phases.reserve(spec.phases.size());
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
       report.online.phases.push_back(inst.replayer.RunPhase(i, &controller));
     }

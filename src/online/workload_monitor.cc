@@ -18,6 +18,7 @@ double WorkloadMonitor::Folded(const Entry& e) const {
 }
 
 void WorkloadMonitor::Observe(const DbOpEvent& ev) {
+  MutexLock lock(&mu_);
   ++ops_;
   if (ev.kind == DbOpKind::kQuery && ev.naive) {
     Entry* pages = &naive_pages_[PathId(ev.path)];
@@ -41,6 +42,11 @@ void WorkloadMonitor::Observe(const DbOpEvent& ev) {
 }
 
 double WorkloadMonitor::DecayedTotal() const {
+  ReaderMutexLock lock(&mu_);
+  return DecayedTotalLocked();
+}
+
+double WorkloadMonitor::DecayedTotalLocked() const {
   double total = 0;
   for (const auto& [path, by_class] : queries_) {
     (void)path;
@@ -61,8 +67,9 @@ double WorkloadMonitor::DecayedTotal() const {
 }
 
 LoadDistribution WorkloadMonitor::EstimatedLoad() const {
+  ReaderMutexLock lock(&mu_);
   LoadDistribution load;
-  const double total = DecayedTotal();
+  const double total = DecayedTotalLocked();
   if (total <= 0) return load;
   std::unordered_map<ClassId, OpLoad> merged;
   for (const auto& [path, by_class] : queries_) {
@@ -79,8 +86,9 @@ LoadDistribution WorkloadMonitor::EstimatedLoad() const {
 
 LoadDistribution WorkloadMonitor::EstimatedLoadFor(
     const PathId& path, const std::set<ClassId>& scope) const {
+  ReaderMutexLock lock(&mu_);
   LoadDistribution load;
-  const double total = DecayedTotal();
+  const double total = DecayedTotalLocked();
   if (total <= 0) return load;
   std::unordered_map<ClassId, OpLoad> merged;
   const auto it = queries_.find(path);
@@ -100,14 +108,16 @@ LoadDistribution WorkloadMonitor::EstimatedLoadFor(
 }
 
 double WorkloadMonitor::MeasuredNaiveQueryPagesPerOp(const PathId& path) const {
-  const double total = DecayedTotal();
+  ReaderMutexLock lock(&mu_);
+  const double total = DecayedTotalLocked();
   if (total <= 0) return 0;
   const auto it = naive_pages_.find(path);
   return it == naive_pages_.end() ? 0 : Folded(it->second) / total;
 }
 
 double WorkloadMonitor::MeasuredNaiveQueryPagesPerOp() const {
-  const double total = DecayedTotal();
+  ReaderMutexLock lock(&mu_);
+  const double total = DecayedTotalLocked();
   if (total <= 0) return 0;
   double pages = 0;
   for (const auto& [path, e] : naive_pages_) {
@@ -118,6 +128,7 @@ double WorkloadMonitor::MeasuredNaiveQueryPagesPerOp() const {
 }
 
 void WorkloadMonitor::Reset() {
+  MutexLock lock(&mu_);
   ops_ = 0;
   queries_.clear();
   inserts_.clear();

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "exec/database.h"
 #include "workload/load.h"
 
@@ -44,7 +45,7 @@ class WorkloadMonitor {
 
   /// Records one operation. Queries are keyed by \p ev.path (empty path =
   /// the anonymous single-path stream); updates are keyed by class only.
-  void Observe(const DbOpEvent& ev);
+  void Observe(const DbOpEvent& ev) EXCLUDES(mu_);
 
   /// Single-path convenience: queries land on the anonymous path, with no
   /// measured pages attached.
@@ -55,30 +56,34 @@ class WorkloadMonitor {
   /// The all-paths estimate, normalized so all frequencies sum to 1 — the
   /// single-path controller's view (every query, whatever path it names,
   /// plus every update). Empty (all-zero) until the first observation.
-  LoadDistribution EstimatedLoad() const;
+  LoadDistribution EstimatedLoad() const EXCLUDES(mu_);
 
   /// The estimate for one path of a workload: that path's query
   /// frequencies, plus the update frequencies of the classes in \p scope.
   /// Normalized by the same shared total as every other path's estimate.
   LoadDistribution EstimatedLoadFor(const PathId& path,
-                                    const std::set<ClassId>& scope) const;
+                                    const std::set<ClassId>& scope) const
+      EXCLUDES(mu_);
 
   /// Decayed measured pages of *naive-scan* queries on \p path per observed
   /// operation (same shared normalization scale as the frequency
   /// estimates) — the priced current-cost of an unconfigured path, directly
   /// comparable to the cost model's expected pages per operation. Zero
   /// until a naive query on the path has been observed.
-  double MeasuredNaiveQueryPagesPerOp(const PathId& path) const;
+  double MeasuredNaiveQueryPagesPerOp(const PathId& path) const EXCLUDES(mu_);
 
   /// The all-paths aggregate (the single-path controller's view).
-  double MeasuredNaiveQueryPagesPerOp() const;
+  double MeasuredNaiveQueryPagesPerOp() const EXCLUDES(mu_);
 
   /// Decayed total weight across all paths, classes and kinds.
-  double DecayedTotal() const;
+  double DecayedTotal() const EXCLUDES(mu_);
 
-  std::uint64_t ops_observed() const { return ops_; }
+  std::uint64_t ops_observed() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return ops_;
+  }
 
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -86,19 +91,26 @@ class WorkloadMonitor {
     std::uint64_t as_of = 0;  ///< operation index the count is decayed to
   };
 
-  /// count * decay^(ops_ - as_of), folding the entry forward.
-  void FoldTo(Entry* e, std::uint64_t now) const;
-  double Folded(const Entry& e) const;
+  /// count * decay^(now - as_of), folding the entry forward. \p e points
+  /// into one of the guarded maps, hence the lock requirement.
+  void FoldTo(Entry* e, std::uint64_t now) const REQUIRES(mu_);
+  double Folded(const Entry& e) const REQUIRES_SHARED(mu_);
 
-  double decay_ = 1;  ///< per-operation decay factor
-  std::uint64_t ops_ = 0;
+  /// DecayedTotal for callers already holding mu_ (shared_mutex does not
+  /// support recursive locking).
+  double DecayedTotalLocked() const REQUIRES_SHARED(mu_);
+
+  mutable Mutex mu_;
+  double decay_ = 1;  ///< per-operation decay factor; constant after ctor
+  std::uint64_t ops_ GUARDED_BY(mu_) = 0;
   /// Query counts per (path, class); updates per class.
-  std::map<PathId, std::unordered_map<ClassId, Entry>> queries_;
-  std::unordered_map<ClassId, Entry> inserts_;
-  std::unordered_map<ClassId, Entry> deletes_;
+  std::map<PathId, std::unordered_map<ClassId, Entry>> queries_
+      GUARDED_BY(mu_);
+  std::unordered_map<ClassId, Entry> inserts_ GUARDED_BY(mu_);
+  std::unordered_map<ClassId, Entry> deletes_ GUARDED_BY(mu_);
   /// Decayed measured pages of naive-scan queries, per path (the events'
   /// pages deltas, weighted with the same decay as the counts).
-  std::map<PathId, Entry> naive_pages_;
+  std::map<PathId, Entry> naive_pages_ GUARDED_BY(mu_);
 };
 
 }  // namespace pathix

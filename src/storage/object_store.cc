@@ -5,6 +5,7 @@
 namespace pathix {
 
 Oid ObjectStore::Insert(Object obj) {
+  MutexLock lock(&mu_);
   obj.oid = next_oid_++;
   const std::size_t need = obj.bytes();
 
@@ -27,6 +28,7 @@ Oid ObjectStore::Insert(Object obj) {
 }
 
 Status ObjectStore::Delete(Oid oid) {
+  MutexLock lock(&mu_);
   auto it = objects_.find(oid);
   if (it == objects_.end()) {
     return Status::NotFound("object " + std::to_string(oid));
@@ -44,6 +46,7 @@ Status ObjectStore::Delete(Oid oid) {
 }
 
 const Object* ObjectStore::Get(Oid oid) {
+  ReaderMutexLock lock(&mu_);
   auto it = objects_.find(oid);
   if (it == objects_.end()) return nullptr;
   pager_->NoteRead(segments_[it->second.cls][locations_[oid].page_index].page);
@@ -51,11 +54,13 @@ const Object* ObjectStore::Get(Oid oid) {
 }
 
 const Object* ObjectStore::Peek(Oid oid) const {
+  ReaderMutexLock lock(&mu_);
   auto it = objects_.find(oid);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
 std::vector<Oid> ObjectStore::Scan(ClassId cls) {
+  ReaderMutexLock lock(&mu_);
   std::vector<Oid> out;
   auto it = segments_.find(cls);
   if (it == segments_.end()) return out;
@@ -67,6 +72,7 @@ std::vector<Oid> ObjectStore::Scan(ClassId cls) {
 }
 
 std::vector<Oid> ObjectStore::PeekAll(ClassId cls) const {
+  ReaderMutexLock lock(&mu_);
   std::vector<Oid> out;
   auto it = segments_.find(cls);
   if (it == segments_.end()) return out;
@@ -77,6 +83,7 @@ std::vector<Oid> ObjectStore::PeekAll(ClassId cls) const {
 }
 
 std::size_t ObjectStore::LiveCount(ClassId cls) const {
+  ReaderMutexLock lock(&mu_);
   auto it = segments_.find(cls);
   if (it == segments_.end()) return 0;
   std::size_t count = 0;
@@ -85,11 +92,13 @@ std::size_t ObjectStore::LiveCount(ClassId cls) const {
 }
 
 std::size_t ObjectStore::SegmentPages(ClassId cls) const {
+  ReaderMutexLock lock(&mu_);
   auto it = segments_.find(cls);
   return it == segments_.end() ? 0 : it->second.size();
 }
 
 PageId ObjectStore::PageOf(Oid oid) const {
+  ReaderMutexLock lock(&mu_);
   auto it = locations_.find(oid);
   if (it == locations_.end()) return kInvalidPage;
   return segments_.at(it->second.cls)[it->second.page_index].page;

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/object.h"
 #include "storage/pager.h"
@@ -14,6 +15,13 @@
 /// one class, and objects hold only forward references. Objects are placed
 /// into the last non-full page of their class segment; deletion leaves a
 /// hole (no compaction), as in most real stores.
+///
+/// Thread safety: the maps live behind mu_, so concurrent Insert/Delete/
+/// Scan calls are internally consistent. Get/Peek return pointers into the
+/// store; a pointer stays valid until *that* object is deleted (node-based
+/// map), which concurrent callers must rule out themselves — the engine's
+/// current callers hold each returned pointer only within the operation
+/// that fetched it.
 
 namespace pathix {
 
@@ -24,37 +32,40 @@ class ObjectStore {
 
   /// Stores \p obj (oid assigned by the store) and returns its oid.
   /// Costs one page write.
-  Oid Insert(Object obj);
+  Oid Insert(Object obj) EXCLUDES(mu_);
 
   /// Removes the object. Costs one page read + one write.
-  Status Delete(Oid oid);
+  Status Delete(Oid oid) EXCLUDES(mu_);
 
   /// Fetches an object; counts one page read. nullptr if absent.
-  const Object* Get(Oid oid);
+  const Object* Get(Oid oid) EXCLUDES(mu_);
 
   /// Fetch without page accounting (for test assertions and index builds
   /// whose cost is not part of an experiment).
-  const Object* Peek(Oid oid) const;
+  const Object* Peek(Oid oid) const EXCLUDES(mu_);
 
   /// All live oids of \p cls, counting one read per segment page (the
   /// class-scan a naive evaluation performs).
-  std::vector<Oid> Scan(ClassId cls);
+  std::vector<Oid> Scan(ClassId cls) EXCLUDES(mu_);
 
   /// As Scan but uncounted.
-  std::vector<Oid> PeekAll(ClassId cls) const;
+  std::vector<Oid> PeekAll(ClassId cls) const EXCLUDES(mu_);
 
   /// Number of pages in the class segment.
-  std::size_t SegmentPages(ClassId cls) const;
+  std::size_t SegmentPages(ClassId cls) const EXCLUDES(mu_);
 
   /// Number of live objects of \p cls (O(segment pages); uncounted). The
   /// scoped-ANALYZE drift check compares this against the count at the last
   /// statistics collection without materializing the oid list.
-  std::size_t LiveCount(ClassId cls) const;
+  std::size_t LiveCount(ClassId cls) const EXCLUDES(mu_);
 
   /// Page holding \p oid (kInvalidPage if absent).
-  PageId PageOf(Oid oid) const;
+  PageId PageOf(Oid oid) const EXCLUDES(mu_);
 
-  std::size_t live_objects() const { return objects_.size(); }
+  std::size_t live_objects() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return objects_.size();
+  }
 
  private:
   struct SegmentPage {
@@ -68,10 +79,12 @@ class ObjectStore {
   };
 
   Pager* pager_;
-  Oid next_oid_ = 1;  // oid 0 is kInvalidOid
-  std::unordered_map<Oid, Object> objects_;
-  std::unordered_map<Oid, Location> locations_;
-  std::unordered_map<ClassId, std::vector<SegmentPage>> segments_;
+  mutable Mutex mu_;
+  Oid next_oid_ GUARDED_BY(mu_) = 1;  // oid 0 is kInvalidOid
+  std::unordered_map<Oid, Object> objects_ GUARDED_BY(mu_);
+  std::unordered_map<Oid, Location> locations_ GUARDED_BY(mu_);
+  std::unordered_map<ClassId, std::vector<SegmentPage>> segments_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace pathix

@@ -21,6 +21,7 @@ const char* ToString(PageOpKind kind) {
 }
 
 void Pager::EnableBuffer(std::size_t capacity_pages) {
+  MutexLock lock(&mu_);
   buffer_capacity_ = capacity_pages;
   lru_.clear();
   lru_index_.clear();
@@ -45,14 +46,23 @@ void Pager::Admit(PageId page) {
 }
 
 void Pager::ResetTallies() {
+  MutexLock lock(&mu_);
   kind_tallies_ = {};
   label_tallies_.clear();
 }
 
 void Pager::FoldTally(PageOpKind kind, const std::string& label,
                       const AccessStats& delta) {
+  MutexLock lock(&mu_);
   kind_tallies_[static_cast<std::size_t>(kind)] += delta;
   if (!label.empty()) label_tallies_[label] += delta;
+}
+
+AccessStats* Pager::ExchangeSideSink(AccessStats* sink) {
+  MutexLock lock(&mu_);
+  AccessStats* prev = side_sink_;
+  side_sink_ = sink;
+  return prev;
 }
 
 ScopedAccessProbe::ScopedAccessProbe(Pager* pager, PageOpKind kind,
@@ -62,8 +72,7 @@ ScopedAccessProbe::ScopedAccessProbe(Pager* pager, PageOpKind kind,
       label_(std::move(label)),
       exclude_(exclude) {
   if (exclude_) {
-    prev_sink_ = pager_->side_sink_;
-    pager_->side_sink_ = &local_;
+    prev_sink_ = pager_->ExchangeSideSink(&local_);
   } else {
     start_ = pager_->stats();
   }
@@ -71,15 +80,20 @@ ScopedAccessProbe::ScopedAccessProbe(Pager* pager, PageOpKind kind,
 
 ScopedAccessProbe::~ScopedAccessProbe() {
   if (exclude_) {
-    PATHIX_DCHECK(pager_->side_sink_ == &local_ &&
+    AccessStats* expected = pager_->ExchangeSideSink(prev_sink_);
+    PATHIX_DCHECK(expected == &local_ &&
                   "excluded probes must unwind in LIFO order");
-    pager_->side_sink_ = prev_sink_;
+    (void)expected;
+    // No writer can reach local_ after the exchange (Note* holds the same
+    // mutex the exchange took), so the unlocked read below is race-free.
+    pager_->FoldTally(kind_, label_, local_);
+  } else {
+    pager_->FoldTally(kind_, label_, pager_->stats() - start_);
   }
-  pager_->FoldTally(kind_, label_, Delta());
 }
 
 AccessStats ScopedAccessProbe::Delta() const {
-  if (exclude_) return local_;
+  if (exclude_) return pager_->SnapshotSink(local_);
   return pager_->stats() - start_;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 /// \file pager.h
@@ -25,6 +26,13 @@
 /// instrumenting every call site. Excluded scopes (index builds) measure
 /// their traffic through the same counting paths while keeping it out of
 /// the main stats — the mechanism behind pager-accounted index builds.
+///
+/// Thread safety: every counter lives behind mu_, so concurrent Note*/
+/// stats()/Allocate() calls are safe (the pager is the leaf of the lock
+/// hierarchy in common/mutex.h). Scoped frames are the exception: counting
+/// frames must not *nest* (see ScopedAccessProbe) and excluded frames
+/// unwind LIFO through one shared redirect slot, so frames themselves are
+/// single-threaded protocol — only the counting they capture is not.
 
 namespace pathix {
 
@@ -42,9 +50,17 @@ struct AccessStats {
     buffer_hits += o.buffer_hits;
     return *this;
   }
+  /// Per-field *saturating* difference: a counter that would go negative
+  /// clamps to zero instead of wrapping. Deltas are normally taken between
+  /// snapshots of one monotonically-growing counter set, where the result
+  /// is exact; clamping makes the operator total so that comparing tallies
+  /// from different frames (where one side may lack a kind) stays sane.
   AccessStats operator-(const AccessStats& o) const {
-    return AccessStats{reads - o.reads, writes - o.writes,
-                       buffer_hits - o.buffer_hits};
+    auto sat = [](std::uint64_t a, std::uint64_t b) {
+      return a >= b ? a - b : 0;
+    };
+    return AccessStats{sat(reads, o.reads), sat(writes, o.writes),
+                       sat(buffer_hits, o.buffer_hits)};
   }
   bool operator==(const AccessStats& o) const {
     return reads == o.reads && writes == o.writes &&
@@ -80,13 +96,17 @@ class Pager {
 
   /// Allocates a fresh page id (allocation itself is not counted; the
   /// first write to the page is).
-  PageId Allocate() { return next_page_++; }
+  PageId Allocate() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_page_++;
+  }
 
   /// Enables an LRU buffer pool of \p capacity_pages (0 disables — the
   /// default, matching the cost model's cold assumption).
-  void EnableBuffer(std::size_t capacity_pages);
+  void EnableBuffer(std::size_t capacity_pages) EXCLUDES(mu_);
 
-  void NoteRead(PageId page) {
+  void NoteRead(PageId page) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (side_sink_ != nullptr) {  // excluded scope: measured, not charged
       ++side_sink_->reads;
       return;
@@ -98,7 +118,8 @@ class Pager {
     ++stats_.reads;
     Admit(page);
   }
-  void NoteWrite(PageId page) {
+  void NoteWrite(PageId page) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (side_sink_ != nullptr) {
       ++side_sink_->writes;
       return;
@@ -107,7 +128,8 @@ class Pager {
     Admit(page);
   }
   /// Convenience for counting n sequential page reads (scans / chains).
-  void NoteReads(std::uint64_t n) {
+  void NoteReads(std::uint64_t n) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (side_sink_ != nullptr) {
       side_sink_->reads += n;
       return;
@@ -115,7 +137,8 @@ class Pager {
     stats_.reads += n;
   }
   /// Convenience for counting n sequential page writes (bulk write-out).
-  void NoteWrites(std::uint64_t n) {
+  void NoteWrites(std::uint64_t n) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (side_sink_ != nullptr) {
       side_sink_->writes += n;
       return;
@@ -123,49 +146,76 @@ class Pager {
     stats_.writes += n;
   }
 
-  const AccessStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = AccessStats{}; }
+  /// Snapshot of the global counters (consistent across the three fields).
+  AccessStats stats() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = AccessStats{};
+  }
 
   // ------------------------------------------------------ scoped tallies
 
   /// Accesses folded in by ScopedAccessProbe frames of \p kind (excluded
   /// kBuild frames included — they are measured, just not charged).
-  const AccessStats& tally(PageOpKind kind) const {
+  AccessStats tally(PageOpKind kind) const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
     return kind_tallies_[static_cast<std::size_t>(kind)];
   }
   /// Accesses per probe label (the queried path id), for labeled frames.
   /// Deterministically ordered.
-  const std::map<std::string, AccessStats>& label_tallies() const {
+  std::map<std::string, AccessStats> label_tallies() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
     return label_tallies_;
   }
-  void ResetTallies();
+  void ResetTallies() EXCLUDES(mu_);
 
   /// Pages allocated so far (storage footprint proxy).
-  std::uint64_t allocated_pages() const { return next_page_; }
+  std::uint64_t allocated_pages() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return next_page_;
+  }
 
  private:
   friend class ScopedAccessProbe;
 
   /// Moves \p page to the LRU front; false if absent.
-  bool Touch(PageId page);
-  void Admit(PageId page);
+  bool Touch(PageId page) REQUIRES(mu_);
+  void Admit(PageId page) REQUIRES(mu_);
 
   void FoldTally(PageOpKind kind, const std::string& label,
-                 const AccessStats& delta);
+                 const AccessStats& delta) EXCLUDES(mu_);
+
+  /// Installs \p sink as the excluded-scope redirect target and returns
+  /// the previous one (ScopedAccessProbe's open/close handshake).
+  AccessStats* ExchangeSideSink(AccessStats* sink) EXCLUDES(mu_);
+
+  /// Reads a frame-owned counter under mu_, so an open excluded frame's
+  /// Delta() synchronizes with Note* writers redirecting into it.
+  AccessStats SnapshotSink(const AccessStats& sink) const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return sink;
+  }
 
   std::size_t page_size_;
-  PageId next_page_ = 0;
-  AccessStats stats_;
+  mutable Mutex mu_;
+  PageId next_page_ GUARDED_BY(mu_) = 0;
+  AccessStats stats_ GUARDED_BY(mu_);
 
   /// When non-null, Note* redirect here (excluded scope) and bypass the
   /// buffer pool, so builds neither pollute the stats nor warm the LRU.
-  AccessStats* side_sink_ = nullptr;
-  std::array<AccessStats, kPageOpKindCount> kind_tallies_{};
-  std::map<std::string, AccessStats> label_tallies_;
+  /// The pointee (a ScopedAccessProbe's local counter) is only written
+  /// through this slot, i.e. under mu_ as well.
+  AccessStats* side_sink_ GUARDED_BY(mu_) PT_GUARDED_BY(mu_) = nullptr;
+  std::array<AccessStats, kPageOpKindCount> kind_tallies_ GUARDED_BY(mu_){};
+  std::map<std::string, AccessStats> label_tallies_ GUARDED_BY(mu_);
 
-  std::size_t buffer_capacity_ = 0;
-  std::list<PageId> lru_;  // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> lru_index_;
+  std::size_t buffer_capacity_ GUARDED_BY(mu_) = 0;
+  std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_index_
+      GUARDED_BY(mu_);
 };
 
 /// \brief RAII probe: captures the access delta over a scope.
@@ -175,9 +225,10 @@ class AccessProbe {
       : pager_(pager), start_(pager.stats()) {}
 
   AccessStats Delta() const {
+    const AccessStats now = pager_.stats();
     AccessStats d;
-    d.reads = pager_.stats().reads - start_.reads;
-    d.writes = pager_.stats().writes - start_.writes;
+    d.reads = now.reads - start_.reads;
+    d.writes = now.writes - start_.writes;
     return d;
   }
 
@@ -202,7 +253,8 @@ class AccessProbe {
 /// per operation and closes it before observers run, which guarantees
 /// this). Excluded frames nest freely (LIFO): a counting frame inside an
 /// excluded one observes no traffic, since the main stats are frozen there
-/// by design.
+/// by design. Frames are a single-threaded protocol (one redirect slot,
+/// LIFO unwind); only the Note* traffic they capture may be concurrent.
 class ScopedAccessProbe {
  public:
   explicit ScopedAccessProbe(Pager* pager, PageOpKind kind,
