@@ -3,16 +3,22 @@
 // Machine-readable benchmark output: every bench_* binary, next to its
 // human-readable table, appends key metrics to a BenchJson and writes one
 // JSON object as a single line to BENCH_<name>.json in the working
-// directory. CI and scripts can then track the perf trajectory across PRs
-// without scraping stdout.
+// directory. CI and scripts (scripts/bench_trend.py) can then track the
+// perf trajectory across PRs without scraping stdout.
 //
-// Deliberately tiny: flat string/number fields, no nesting, no external
-// dependency. Non-finite numbers become null (JSON has no inf/nan).
+// Built on the observability layer: numeric fields are gauges in a private
+// obs::MetricsRegistry (so a bench can also export its registry through
+// obs/export.h if it wants Prometheus text), and the JSON line is
+// assembled by obs::JsonWriter — correct escaping and non-finite-to-null
+// handling live in one place instead of being re-derived here.
 
-#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 
 namespace pathix_bench {
 
@@ -24,19 +30,15 @@ class BenchJson {
   }
 
   void Add(const std::string& key, const std::string& value) {
-    fields_.push_back("\"" + Escape(key) + "\":\"" + Escape(value) + "\"");
+    fields_.push_back(Field{key, nullptr, value});
   }
   void Add(const std::string& key, const char* value) {
     Add(key, std::string(value));
   }
   void Add(const std::string& key, double value) {
-    if (!std::isfinite(value)) {
-      fields_.push_back("\"" + Escape(key) + "\":null");
-      return;
-    }
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    fields_.push_back("\"" + Escape(key) + "\":" + buf);
+    pathix::obs::Gauge& gauge = metrics_.GaugeAt(key);
+    gauge.Set(value);
+    fields_.push_back(Field{key, &gauge, std::string()});
   }
   void Add(const std::string& key, long value) {
     Add(key, static_cast<double>(value));
@@ -48,42 +50,50 @@ class BenchJson {
     Add(key, static_cast<double>(value));
   }
 
+  /// The registry behind the numeric fields, for benches that also want an
+  /// obs/export.h rendering of their metrics.
+  pathix::obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Writes "BENCH_<name>.json" (one line). Prints the location, or a
   /// warning on failure; benchmarks still succeed without the file.
   void Write() const {
+    pathix::obs::JsonWriter w;
+    w.BeginObject();
+    for (const Field& f : fields_) {
+      w.Key(f.key);
+      if (f.gauge != nullptr) {
+        w.Value(f.gauge->Value());
+      } else {
+        w.Value(f.text);
+      }
+    }
+    w.EndObject();
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "(could not write %s)\n", path.c_str());
       return;
     }
-    std::fputc('{', f);
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i > 0) std::fputc(',', f);
-      std::fputs(fields_[i].c_str(), f);
-    }
-    std::fputs("}\n", f);
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("(metrics: %s)\n", path.c_str());
   }
 
  private:
-  static std::string Escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) < 0x20) {
-        out += ' ';  // control characters never appear in our keys
-        continue;
-      }
-      out.push_back(c);
-    }
-    return out;
-  }
+  /// One output field, in insertion order. Numeric fields read their value
+  /// back from the registry gauge at Write() time (gauge addresses are
+  /// stable for the registry's lifetime), so late updates through
+  /// metrics() land in the JSON line too.
+  struct Field {
+    std::string key;
+    pathix::obs::Gauge* gauge;  ///< null for string fields
+    std::string text;
+  };
 
   std::string name_;
-  std::vector<std::string> fields_;
+  pathix::obs::MetricsRegistry metrics_;
+  std::vector<Field> fields_;
 };
 
 }  // namespace pathix_bench

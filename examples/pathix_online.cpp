@@ -15,13 +15,35 @@
 //   $ ./examples/pathix_online ../examples/specs/vehicle_joint_trace.pix
 //   $ ./examples/pathix_online     # runs the embedded demo trace
 //
+// Observability flags (any mix, before or after the spec file):
+//   --metrics            print an online-run metrics summary to stdout
+//   --metrics-out=FILE   Prometheus text exposition of the online run's
+//                        final metrics snapshot
+//   --metrics-json=FILE  structured JSON: the same snapshot plus the
+//                        controller's reconfiguration event log
+//   --trace-out=FILE     span trace of the online run in Trace Event
+//                        Format — loads in chrome://tracing / Perfetto
+//
+// Whenever any of these is given, the online run's metric counter deltas
+// (final snapshot minus the post-populate baseline) are reconciled exactly
+// against the replayer's per-phase operation tallies; a mismatch is an
+// error (exit 1).
+//
 // Exit status: 0 when the online run beats the best (budget-feasible)
 // static configuration and stays within 2x of the oracle (the acceptance
 // envelope), 1 on error, 2 when the envelope is missed.
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "online/event_json.h"
 #include "online/experiment.h"
 #include "online/joint_experiment.h"
 #include "online/measured_validation.h"
@@ -108,7 +130,197 @@ int PrintMeasuredVsModeled(const pathix::TraceSpec& s) {
   return 0;
 }
 
-int RunSinglePath(const pathix::TraceSpec& s) {
+// ------------------------------------------------------- observability glue
+
+struct ObsFlags {
+  std::string metrics_out;   ///< --metrics-out=FILE (Prometheus text)
+  std::string metrics_json;  ///< --metrics-json=FILE (snapshot + events)
+  std::string trace_out;     ///< --trace-out=FILE (Trace Event JSON)
+  bool print_summary = false;  ///< --metrics
+
+  bool any() const {
+    return print_summary || !metrics_out.empty() || !metrics_json.empty() ||
+           !trace_out.empty();
+  }
+};
+
+bool WriteFileOrWarn(const std::string& path, const std::string& body,
+                     const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: could not write %s file %s\n", what,
+                 path.c_str());
+    return false;
+  }
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+  std::printf("(%s: %s)\n", what, path.c_str());
+  return true;
+}
+
+// The acceptance invariant behind the exports: every successful operation
+// the replayer executed in the online run must appear, exactly once, as a
+// metric counter increment. Counter deltas (final snapshot minus the
+// post-populate baseline) are compared against the replayer's own tallies.
+bool CrossCheckOnlineMetrics(const pathix::TraceSpec& s,
+                             const pathix::ExperimentRun& online,
+                             const pathix::obs::MetricsSnapshot& baseline,
+                             const pathix::obs::MetricsSnapshot& final_snap) {
+  using namespace pathix;
+  std::map<std::string, std::uint64_t> queries;
+  std::map<std::string, std::uint64_t> naive_queries;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  for (const PhaseReport& p : online.phases) {
+    for (const auto& [path, n] : p.query_ops) queries[path] += n;
+    for (const auto& [path, n] : p.naive_query_ops) naive_queries[path] += n;
+    inserts += p.insert_ops;
+    deletes += p.delete_ops;
+  }
+
+  bool ok = true;
+  std::uint64_t reconciled = 0;
+  const auto expect = [&](const char* what, const std::string& path,
+                          obs::MetricLabels labels, std::uint64_t expected) {
+    const double delta = final_snap.Value("pathix_db_ops_total", labels) -
+                         baseline.Value("pathix_db_ops_total", std::move(labels));
+    if (delta != static_cast<double>(expected)) {
+      std::fprintf(stderr,
+                   "metrics cross-check FAILED: %s%s%s: counter delta %.0f != "
+                   "replayed %llu\n",
+                   what, path.empty() ? "" : " on ", path.c_str(), delta,
+                   static_cast<unsigned long long>(expected));
+      ok = false;
+    }
+    reconciled += expected;
+  };
+
+  for (const TracePath& tp : s.paths) {
+    expect("indexed queries", tp.id,
+           {{"kind", "query"}, {"path", tp.id}, {"naive", "false"}},
+           queries[tp.id]);
+    expect("naive queries", tp.id,
+           {{"kind", "query"}, {"path", tp.id}, {"naive", "true"}},
+           naive_queries[tp.id]);
+  }
+  expect("inserts", "", {{"kind", "insert"}}, inserts);
+  expect("deletes", "", {{"kind", "delete"}}, deletes);
+  if (ok) {
+    std::printf("\nmetrics cross-check: ok (%llu ops reconciled against the "
+                "registry)\n",
+                static_cast<unsigned long long>(reconciled));
+  }
+  return ok;
+}
+
+void PrintHistogramLine(const char* indent, const std::string& label,
+                        const pathix::obs::MetricSample* sample) {
+  if (sample == nullptr || sample->histogram.count == 0) return;
+  const pathix::obs::HistogramData& h = sample->histogram;
+  std::printf("%s%-12s n=%-7llu p50=%-8.0f p90=%-8.0f p99=%-8.0f max=%.0f\n",
+              indent, label.c_str(),
+              static_cast<unsigned long long>(h.count), h.Percentile(0.50),
+              h.Percentile(0.90), h.Percentile(0.99), h.max);
+}
+
+void PrintMetricsSummary(const pathix::TraceSpec& s,
+                         const pathix::obs::MetricsSnapshot& m) {
+  using namespace pathix;
+  // Query counters are per-path series; sum them for the rollup line.
+  const auto query_total = [&](const char* naive) {
+    double q = 0;
+    for (const TracePath& tp : s.paths) {
+      q += m.Value("pathix_db_ops_total",
+                   {{"kind", "query"}, {"path", tp.id}, {"naive", naive}});
+    }
+    return q;
+  };
+  std::printf("\nonline run metrics (obs registry, final snapshot):\n");
+  std::printf("  db ops: query=%.0f (naive %.0f) insert=%.0f delete=%.0f\n",
+              query_total("false"), query_total("true"),
+              m.Value("pathix_db_ops_total", {{"kind", "insert"}}),
+              m.Value("pathix_db_ops_total", {{"kind", "delete"}}));
+  std::printf("  query latency by path (us):\n");
+  for (const TracePath& tp : s.paths) {
+    PrintHistogramLine("    ", tp.id,
+                       m.Find("pathix_db_op_latency_us",
+                              {{"kind", "query"}, {"path", tp.id}}));
+  }
+  std::printf("  update latency (us):\n");
+  PrintHistogramLine("    ", "insert",
+                     m.Find("pathix_db_op_latency_us", {{"kind", "insert"}}));
+  PrintHistogramLine("    ", "delete",
+                     m.Find("pathix_db_op_latency_us", {{"kind", "delete"}}));
+  std::printf(
+      "  pager: reads=%.0f writes=%.0f buffer_hits=%.0f allocated=%.0f\n",
+      m.Value("pathix_pager_io_total", {{"io", "read"}}),
+      m.Value("pathix_pager_io_total", {{"io", "write"}}),
+      m.Value("pathix_pager_buffer_hits_total"),
+      m.Value("pathix_pager_allocated_pages"));
+  std::printf(
+      "  parts: built=%.0f adopted=%.0f released=%.0f live=%.0f "
+      "(build io: %.0f read / %.0f write)\n",
+      m.Value("pathix_parts_built_total"), m.Value("pathix_parts_adopted_total"),
+      m.Value("pathix_parts_released_total"), m.Value("pathix_parts_live"),
+      m.Value("pathix_parts_build_io_total", {{"io", "read"}}),
+      m.Value("pathix_parts_build_io_total", {{"io", "write"}}));
+  std::printf(
+      "  controller: checks=%.0f reconfigurations=%.0f events_evicted=%.0f "
+      "transition pages modeled=%.0f measured=%.0f\n",
+      m.Value("pathix_controller_checks_total"),
+      m.Value("pathix_controller_reconfigurations_total"),
+      m.Value("pathix_controller_events_evicted_total"),
+      m.Value("pathix_controller_transition_pages_total",
+              {{"kind", "modeled"}}),
+      m.Value("pathix_controller_transition_pages_total",
+              {{"kind", "measured"}}));
+}
+
+/// Everything the observability flags ask for, for either report flavor
+/// (\p Report is ExperimentReport or JointExperimentReport — both carry the
+/// snapshots, and WriteEventLog overloads on the event type). Returns
+/// false on cross-check failure or unwritable output file.
+template <typename Report>
+bool EmitObservability(const pathix::TraceSpec& s, const Report& r,
+                       const char* mode, const ObsFlags& flags) {
+  using namespace pathix;
+  if (!flags.any()) return true;
+  if (!CrossCheckOnlineMetrics(s, r.online, r.online_metrics_baseline,
+                               r.online_metrics)) {
+    return false;
+  }
+  if (flags.print_summary) PrintMetricsSummary(s, r.online_metrics);
+  if (!flags.metrics_out.empty() &&
+      !WriteFileOrWarn(flags.metrics_out,
+                       obs::ToPrometheusText(r.online_metrics), "metrics")) {
+    return false;
+  }
+  if (!flags.metrics_json.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("mode").Value(mode);
+    w.Key("metrics");
+    obs::WriteMetricsJson(&w, r.online_metrics);
+    w.Key("events");
+    WriteEventLog(&w, r.events);
+    w.EndObject();
+    if (!WriteFileOrWarn(flags.metrics_json, w.str() + "\n", "metrics-json")) {
+      return false;
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    const obs::Tracer& tracer = obs::GlobalTracer();
+    std::printf("(trace spans recorded: %llu events)\n",
+                static_cast<unsigned long long>(tracer.size()));
+    if (!WriteFileOrWarn(flags.trace_out, tracer.ToTraceEventJson() + "\n",
+                         "trace")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSinglePath(const pathix::TraceSpec& s, const ObsFlags& flags) {
   using namespace pathix;
   Result<ExperimentReport> result = RunOnlineExperiment(s, ControllerOptions{});
   if (!result.ok()) {
@@ -164,13 +376,14 @@ int RunSinglePath(const pathix::TraceSpec& s) {
       r.online_vs_oracle() <= 2 ? "(within the 2x envelope)"
                                 : "(outside the 2x envelope)");
 
+  if (!EmitObservability(s, r, "single", flags)) return 1;
   if (s.measure && PrintMeasuredVsModeled(s) != 0) return 1;
 
   const bool ok = r.online_vs_best_static() < 1 && r.online_vs_oracle() <= 2;
   return ok ? 0 : 2;
 }
 
-int RunJoint(const pathix::TraceSpec& s) {
+int RunJoint(const pathix::TraceSpec& s, const ObsFlags& flags) {
   using namespace pathix;
   Result<JointExperimentReport> result =
       RunJointOnlineExperiment(s, ControllerOptions{});
@@ -246,6 +459,7 @@ int RunJoint(const pathix::TraceSpec& s) {
       r.online_vs_oracle() <= 2 ? "(within the 2x envelope)"
                                 : "(outside the 2x envelope)");
 
+  if (!EmitObservability(s, r, "joint", flags)) return 1;
   if (s.measure && PrintMeasuredVsModeled(s) != 0) return 1;
 
   const bool ok =
@@ -258,14 +472,47 @@ int RunJoint(const pathix::TraceSpec& s) {
 int main(int argc, char** argv) {
   using namespace pathix;
 
-  Result<TraceSpec> spec = argc > 1 ? ParseTraceSpecFile(argv[1])
-                                    : ParseTraceSpec(kDemoSpec);
+  ObsFlags flags;
+  std::string spec_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto flag_value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--metrics") {
+      flags.print_summary = true;
+    } else if (const char* prom_file = flag_value("--metrics-out=")) {
+      flags.metrics_out = prom_file;
+    } else if (const char* json_file = flag_value("--metrics-json=")) {
+      flags.metrics_json = json_file;
+    } else if (const char* trace_file = flag_value("--trace-out=")) {
+      flags.trace_out = trace_file;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown flag " << arg
+                << " (known: --metrics, --metrics-out=FILE, "
+                   "--metrics-json=FILE, --trace-out=FILE)\n";
+      return 1;
+    } else if (spec_file.empty()) {
+      spec_file = arg;
+    } else {
+      std::cerr << "error: more than one spec file given (" << spec_file
+                << ", " << arg << ")\n";
+      return 1;
+    }
+  }
+  // Span creation is gated per-span at the tracer, so enabling before the
+  // experiment captures every controller/registry span of all runs.
+  if (!flags.trace_out.empty()) obs::GlobalTracer().SetEnabled(true);
+
+  Result<TraceSpec> spec = !spec_file.empty() ? ParseTraceSpecFile(spec_file)
+                                              : ParseTraceSpec(kDemoSpec);
   if (!spec.ok()) {
     std::cerr << "error: " << spec.status().ToString() << "\n";
     return 1;
   }
   const TraceSpec& s = spec.value();
-  if (argc <= 1) {
+  if (spec_file.empty()) {
     std::cout << "(no spec file given; using the embedded demo — pass a "
                  "trace .pix file, e.g. examples/specs/"
                  "vehicle_drift_trace.pix or the multi-path "
@@ -274,5 +521,6 @@ int main(int argc, char** argv) {
   // The joint pipeline is also the only one that enforces a storage
   // budget, so a budgeted single-path trace routes through it rather than
   // silently ignoring the directive.
-  return s.paths.size() > 1 || s.has_budget ? RunJoint(s) : RunSinglePath(s);
+  return s.paths.size() > 1 || s.has_budget ? RunJoint(s, flags)
+                                            : RunSinglePath(s, flags);
 }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Benchmark trend report: BENCH_*.json one-liners vs a cached baseline.
+
+Every bench_* binary writes one flat JSON object per run (see
+bench/bench_json.h). CI restores the previous run's files from the actions
+cache, calls this script to render a markdown comparison into the job
+summary, and refreshes the baseline. The report is advisory — benchmarks
+on shared CI runners are noisy — so this script always exits 0; it flags
+metrics whose move exceeds the noise threshold rather than failing the
+job.
+
+Usage:
+  bench_trend.py <baseline_dir> <current_dir>
+      [--summary FILE]        # append markdown here (default: stdout,
+                              # or $GITHUB_STEP_SUMMARY when set)
+      [--update-baseline]     # copy current files over the baseline
+      [--threshold PCT]       # highlight threshold, default 10
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+
+
+def load_dir(directory):
+    """{bench name: {key: value}} for every BENCH_*.json in directory."""
+    out = {}
+    directory = Path(directory)
+    if not directory.is_dir():
+        return out
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_trend: skipping {path}: {err}", file=sys.stderr)
+            continue
+        out[doc.get("bench", path.stem)] = doc
+    return out
+
+
+def fmt(value):
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render(baseline, current, threshold):
+    lines = ["## Benchmark trend", ""]
+    if not current:
+        lines.append("_No BENCH_*.json files in the current run._")
+        return "\n".join(lines) + "\n", 0
+    if not baseline:
+        lines.append("_No cached baseline yet — this run becomes the "
+                     "baseline for the next one._")
+    lines += [
+        "| bench | metric | baseline | current | Δ |",
+        "|---|---|---:|---:|---:|",
+    ]
+    flagged = 0
+    for bench in sorted(current):
+        doc = current[bench]
+        base_doc = baseline.get(bench, {})
+        for key, value in doc.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            base = base_doc.get(key)
+            if isinstance(base, (int, float)) and not isinstance(base, bool) \
+                    and base != 0:
+                pct = (value - base) / abs(base) * 100
+                mark = " ⚠️" if abs(pct) > threshold else ""
+                if mark:
+                    flagged += 1
+                delta = f"{pct:+.1f}%{mark}"
+                base_text = fmt(base)
+            else:
+                delta = "new"
+                base_text = "—"
+            lines.append(
+                f"| {bench} | {key} | {base_text} | {fmt(value)} | {delta} |")
+    lines += [
+        "",
+        f"_Δ beyond ±{threshold:g}% is flagged; advisory only "
+        "(shared-runner noise)._",
+    ]
+    return "\n".join(lines) + "\n", flagged
+
+
+def main():
+    parser = argparse.ArgumentParser(allow_abbrev=False)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument("--summary")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument("--threshold", type=float, default=10.0)
+    args = parser.parse_args()
+
+    baseline = load_dir(args.baseline_dir)
+    current = load_dir(args.current_dir)
+    report, flagged = render(baseline, current, args.threshold)
+
+    summary = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as f:
+            f.write(report)
+    else:
+        sys.stdout.write(report)
+    if flagged:
+        print(f"bench_trend: {flagged} metric(s) moved beyond the threshold "
+              "(advisory)", file=sys.stderr)
+
+    if args.update_baseline and current:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in Path(args.current_dir).glob("BENCH_*.json"):
+            shutil.copy2(path, Path(args.baseline_dir) / path.name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""End-to-end validation of pathix_online's observability exports.
+
+Runs the binary on a trace spec with every export flag, then checks:
+
+  * the binary's own exact metrics cross-check passed (counter deltas ==
+    the replayer's operation tallies; the binary exits 1 otherwise and
+    prints the reconciliation line we also assert on);
+  * the Prometheus text parses line by line (TYPE declarations, sanitized
+    names, numeric values) and carries the expected metric families;
+  * the metrics JSON parses and its op counters are self-consistent with
+    the Prometheus rendering;
+  * the trace JSON parses, is non-empty, and every thread's B/E events
+    form a properly nested span stack (what chrome://tracing requires);
+  * the expected span names from the online reconfiguration stack appear.
+
+Usage: obs_smoke.py <pathix_online-binary> <trace.pix>
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$"
+)
+PROM_TYPE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]*"
+                       r" (counter|gauge|histogram)$")
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+EXPECTED_FAMILIES = [
+    "pathix_db_ops_total",
+    "pathix_db_op_latency_us_bucket",
+    "pathix_pager_io_total",
+    "pathix_pager_pages_total",
+    "pathix_parts_built_total",
+    "pathix_monitor_ops_observed_total",
+    "pathix_controller_checks_total",
+    "pathix_controller_transition_pages_total",
+]
+
+
+def fail(message):
+    print(f"obs_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_prometheus(text):
+    families = set()
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not PROM_TYPE.match(line):
+                fail(f"bad comment/TYPE line: {line!r}")
+            continue
+        if not PROM_LINE.match(line):
+            fail(f"unparseable exposition line: {line!r}")
+        name_and_labels, value = line.rsplit(" ", 1)
+        name = name_and_labels.split("{", 1)[0]
+        families.add(name)
+        labels = tuple(sorted(LABEL.findall(name_and_labels)))
+        key = (name, labels)
+        if key in samples:
+            fail(f"duplicate series: {line!r}")
+        samples[key] = float(value)
+    for family in EXPECTED_FAMILIES:
+        if family not in families:
+            fail(f"expected metric family missing: {family}")
+    # Histogram invariant on one family: +Inf bucket == _count.
+    for (name, labels), value in samples.items():
+        if not name.endswith("_bucket"):
+            continue
+        label_map = dict(labels)
+        if label_map.get("le") != "+Inf":
+            continue
+        bare = dict(labels)
+        del bare["le"]
+        count_key = (name[: -len("_bucket")] + "_count",
+                     tuple(sorted(bare.items())))
+        if count_key not in samples:
+            fail(f"histogram {name}{labels} has no _count series")
+        if samples[count_key] != value:
+            fail(f"+Inf bucket {value} != _count {samples[count_key]} "
+                 f"for {name}{labels}")
+    return samples
+
+
+def check_metrics_json(path, prom_samples):
+    doc = json.loads(Path(path).read_text())
+    for key in ("mode", "metrics", "events"):
+        if key not in doc:
+            fail(f"metrics JSON missing key {key!r}")
+    by_name = {}
+    for sample in doc["metrics"]:
+        labels = tuple(sorted(sample.get("labels", {}).items()))
+        by_name[(sample["name"], labels)] = sample
+    # Every non-histogram Prometheus series appears with the same value.
+    for (name, labels), value in prom_samples.items():
+        if any(name.endswith(s) for s in ("_bucket", "_sum", "_count")):
+            continue
+        key = (name, labels)
+        if key not in by_name:
+            fail(f"series {key} in Prometheus text but not in JSON")
+        if by_name[key].get("value") != value:
+            fail(f"value mismatch for {key}: JSON {by_name[key].get('value')}"
+                 f" vs Prometheus {value}")
+    ops = [s for (name, _), s in by_name.items()
+           if name == "pathix_db_ops_total"]
+    if not ops or sum(s["value"] for s in ops) <= 0:
+        fail("no database operations recorded in pathix_db_ops_total")
+    if not isinstance(doc["events"], list):
+        fail("events is not a list")
+    for event in doc["events"]:
+        if "op_index" not in event or "transition" not in event:
+            fail(f"malformed reconfiguration event: {event}")
+    return doc
+
+
+def check_trace(path):
+    doc = json.loads(Path(path).read_text())
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace has no traceEvents")
+    stacks = {}
+    names = set()
+    for event in events:
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"trace event missing {key!r}: {event}")
+        names.add(event["name"])
+        stack = stacks.setdefault(event["tid"], [])
+        if event["ph"] == "B":
+            stack.append(event)
+        elif event["ph"] == "E":
+            if not stack:
+                fail(f"unmatched E event on tid {event['tid']}: {event}")
+            top = stack.pop()
+            if top["name"] != event["name"]:
+                fail(f"E {event['name']!r} closes B {top['name']!r}")
+            if event["ts"] < top["ts"]:
+                fail(f"span {event['name']!r} ends before it begins")
+        else:
+            fail(f"unexpected phase {event['ph']!r}")
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"unclosed spans on tid {tid}: "
+                 f"{[e['name'] for e in stack]}")
+    for expected in ("part_build",):
+        if expected not in names:
+            fail(f"expected span {expected!r} missing (got {sorted(names)})")
+    if not names & {"drift_check", "joint_drift_check"}:
+        fail(f"no controller drift-check spans (got {sorted(names)})")
+    return names
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <pathix_online> <trace.pix>")
+    binary, spec = sys.argv[1], sys.argv[2]
+    with tempfile.TemporaryDirectory(prefix="obs_smoke.") as tmp:
+        metrics_out = str(Path(tmp) / "metrics.prom")
+        metrics_json = str(Path(tmp) / "metrics.json")
+        trace_out = str(Path(tmp) / "trace.json")
+        proc = subprocess.run(
+            [binary, spec, "--metrics",
+             f"--metrics-out={metrics_out}",
+             f"--metrics-json={metrics_json}",
+             f"--trace-out={trace_out}"],
+            capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        # 0 = envelope met, 2 = envelope missed but the run (and all
+        # exports + the exact cross-check) succeeded; 1 = hard error.
+        if proc.returncode not in (0, 2):
+            fail(f"pathix_online exited {proc.returncode}")
+        if "metrics cross-check: ok" not in proc.stdout:
+            fail("exact counters-vs-replay cross-check line missing")
+        prom = check_prometheus(Path(metrics_out).read_text())
+        check_metrics_json(metrics_json, prom)
+        names = check_trace(trace_out)
+    print(f"obs_smoke: ok ({len(prom)} Prometheus series, "
+          f"span names: {', '.join(sorted(names))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,14 @@
 /// ObjectStore's methods may call into the Pager, and Registry::Acquire may
 /// call into both while building a part. Never call upward (e.g. from index
 /// code back into the registry) while holding a downstream mutex.
+///
+/// The observability layer (obs/metrics.h, obs/trace.h) sits below the
+/// whole hierarchy: every per-metric mutex, the registry map mutex and the
+/// tracer's event mutex are *leaves* — their methods never call out — so
+/// counters may be bumped and spans opened from inside any engine-locked
+/// region. The converse is the rule to keep: never call engine code while
+/// holding an obs mutex (the exporters copy state out first for exactly
+/// this reason).
 
 namespace pathix {
 

@@ -1,14 +1,27 @@
 #include "exec/database.h"
 
+#include <chrono>
 #include <set>
 
 #include "index/nix_index.h"
 
 namespace pathix {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MicrosSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 Oid SimDatabase::Insert(ClassId cls, AttrValues attrs) {
   Oid oid = kInvalidOid;
   AccessStats io;
+  const SteadyClock::time_point start = SteadyClock::now();
   {
     ScopedAccessProbe probe(&pager_, PageOpKind::kInsert);
     Object obj;
@@ -27,6 +40,9 @@ Oid SimDatabase::Insert(ClassId cls, AttrValues attrs) {
     }
     io = probe.Delta();
   }
+  insert_ops_->Increment();
+  insert_latency_us_->Observe(MicrosSince(start));
+  insert_pages_->Observe(static_cast<double>(io.total()));
   Notify(DbOpKind::kInsert, cls, io);
   return oid;
 }
@@ -39,6 +55,7 @@ Status SimDatabase::Delete(Oid oid) {
   const ClassId cls = obj->cls;
   Status status = Status::OK();
   AccessStats io;
+  const SteadyClock::time_point start = SteadyClock::now();
   {
     ScopedAccessProbe probe(&pager_, PageOpKind::kDelete);
     // Index maintenance first: it needs the pre-deletion image.
@@ -55,7 +72,12 @@ Status SimDatabase::Delete(Oid oid) {
     status = store_.Delete(oid);
     io = probe.Delta();
   }
-  if (status.ok()) Notify(DbOpKind::kDelete, cls, io);
+  if (status.ok()) {
+    delete_ops_->Increment();
+    delete_latency_us_->Observe(MicrosSince(start));
+    delete_pages_->Observe(static_cast<double>(io.total()));
+    Notify(DbOpKind::kDelete, cls, io);
+  }
   return status;
 }
 
@@ -69,6 +91,18 @@ Status SimDatabase::RegisterPath(const PathId& id, const Path& path) {
   ConfiguredPath& cp = paths_[id];
   cp.physical.reset();  // old configuration refers to the old path copy
   cp.path = path;
+  // Registry handles are stable for the database's lifetime, so
+  // re-registering an id resolves to the same series.
+  cp.ops = &metrics_.CounterAt(
+      "pathix_db_ops_total",
+      {{"kind", "query"}, {"path", id}, {"naive", "false"}});
+  cp.naive_ops = &metrics_.CounterAt(
+      "pathix_db_ops_total",
+      {{"kind", "query"}, {"path", id}, {"naive", "true"}});
+  cp.latency_us = &metrics_.HistogramAt("pathix_db_op_latency_us",
+                                        {{"kind", "query"}, {"path", id}});
+  cp.pages = &metrics_.HistogramAt("pathix_db_op_pages",
+                                   {{"kind", "query"}, {"path", id}});
   return Status::OK();
 }
 
@@ -228,12 +262,16 @@ Result<std::vector<Oid>> SimDatabase::Query(const PathId& id,
   }
   std::vector<Oid> oids;
   AccessStats io;
+  const SteadyClock::time_point start = SteadyClock::now();
   {
     ScopedAccessProbe probe(&pager_, PageOpKind::kQuery, it->first);
     oids = it->second.physical->Evaluate(ending_value, target_class,
                                          include_subclasses);
     io = probe.Delta();
   }
+  it->second.ops->Increment();
+  it->second.latency_us->Observe(MicrosSince(start));
+  it->second.pages->Observe(static_cast<double>(io.total()));
   Notify(DbOpKind::kQuery, target_class, io, it->first);
   return oids;
 }
@@ -249,12 +287,16 @@ Result<std::vector<Oid>> SimDatabase::QueryNaive(const PathId& id,
   NaiveEvaluator eval(&store_, &schema_, &it->second.path);
   std::vector<Oid> oids;
   AccessStats io;
+  const SteadyClock::time_point start = SteadyClock::now();
   {
     ScopedAccessProbe probe(&pager_, PageOpKind::kQuery, it->first);
     oids = eval.Evaluate(ending_value, target_class, include_subclasses,
                          &pager_);
     io = probe.Delta();
   }
+  it->second.naive_ops->Increment();
+  it->second.latency_us->Observe(MicrosSince(start));
+  it->second.pages->Observe(static_cast<double>(io.total()));
   Notify(DbOpKind::kQuery, target_class, io, it->first, /*naive=*/true);
   return oids;
 }
@@ -283,6 +325,12 @@ Result<std::vector<Oid>> SimDatabase::QueryNaive(const Key& ending_value,
   }
   return QueryNaive(paths_.begin()->first, ending_value, target_class,
                     include_subclasses);
+}
+
+obs::MetricsSnapshot SimDatabase::SnapshotMetrics() {
+  pager_.ExportMetrics(&metrics_);
+  registry_.ExportMetrics(&metrics_);
+  return metrics_.Snapshot();
 }
 
 Status SimDatabase::ValidateIndexes() const {

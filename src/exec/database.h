@@ -12,6 +12,7 @@
 #include "common/mutex.h"
 #include "exec/naive_evaluator.h"
 #include "index/physical_config.h"
+#include "obs/metrics.h"
 
 /// \file database.h
 /// \brief SimDatabase: the simulated object database — schema + paged object
@@ -141,6 +142,18 @@ class SimDatabase {
   /// The shared-part registry (inspection: distinct structures, refcounts).
   const PhysicalPartRegistry& registry() const { return registry_; }
 
+  /// This database's own metrics registry (obs/metrics.h). Every counted
+  /// operation lands here — per-path query counters (split indexed/naive),
+  /// insert/delete counters, and per-op latency/page histograms — so two
+  /// databases replaying the same trace in one process report disjoint
+  /// counters. Instruments record as the op completes; pager and part
+  /// registry counters enter via SnapshotMetrics()'s mirror step.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Mirrors the pager's and part registry's counters into metrics() and
+  /// returns the combined point-in-time snapshot.
+  obs::MetricsSnapshot SnapshotMetrics();
+
   // ------------------------------------------- single-path convenience API
   //
   // The degenerate case the paper's offline pipeline and the single-path
@@ -206,6 +219,12 @@ class SimDatabase {
   struct ConfiguredPath {
     Path path;
     std::optional<PhysicalConfiguration> physical;
+    // Metric handles into metrics_, resolved once at RegisterPath so the
+    // query hot path updates through pointers (no registry lookup per op).
+    obs::Counter* ops = nullptr;        ///< queries via indexes
+    obs::Counter* naive_ops = nullptr;  ///< queries via naive scan
+    obs::Histogram* latency_us = nullptr;
+    obs::Histogram* pages = nullptr;
   };
 
   /// Dispatches to the registered observer. The pointer is read under
@@ -233,6 +252,22 @@ class SimDatabase {
   Schema schema_;
   Pager pager_;
   ObjectStore store_;
+  obs::MetricsRegistry metrics_;
+  // Handles for the path-agnostic update instruments (queries cache theirs
+  // per ConfiguredPath). Initialized here so they may follow metrics_ in
+  // declaration order.
+  obs::Counter* insert_ops_ =
+      &metrics_.CounterAt("pathix_db_ops_total", {{"kind", "insert"}});
+  obs::Counter* delete_ops_ =
+      &metrics_.CounterAt("pathix_db_ops_total", {{"kind", "delete"}});
+  obs::Histogram* insert_latency_us_ =
+      &metrics_.HistogramAt("pathix_db_op_latency_us", {{"kind", "insert"}});
+  obs::Histogram* insert_pages_ =
+      &metrics_.HistogramAt("pathix_db_op_pages", {{"kind", "insert"}});
+  obs::Histogram* delete_latency_us_ =
+      &metrics_.HistogramAt("pathix_db_op_latency_us", {{"kind", "delete"}});
+  obs::Histogram* delete_pages_ =
+      &metrics_.HistogramAt("pathix_db_op_pages", {{"kind", "delete"}});
   // Node-based map: Path objects need stable addresses (physical
   // configurations point into them).
   std::map<PathId, ConfiguredPath> paths_;

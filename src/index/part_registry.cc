@@ -1,6 +1,8 @@
 #include "index/part_registry.h"
 
 #include "index/mix_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "index/mx_index.h"
 #include "index/nix_index.h"
 #include "index/none_index.h"
@@ -46,8 +48,16 @@ Result<std::shared_ptr<PhysicalPart>> PhysicalPartRegistry::Acquire(
   MutexLock lock(&mu_);
   auto it = parts_.find(key);
   if (it != parts_.end()) {
-    if (std::shared_ptr<PhysicalPart> live = it->second.lock()) return live;
+    if (std::shared_ptr<PhysicalPart> live = it->second.lock()) {
+      ++parts_adopted_;
+      return live;
+    }
   }
+
+  // Span around the actual build only (adoption is free). The tracer is a
+  // leaf of the lock hierarchy, so opening it under mu_ is in order.
+  obs::ObsSpan span(&obs::GlobalTracer(), "part_build", "registry");
+  span.AddArg("key", key.Label(schema));
 
   // The part lives on its own standalone copy of the subpath (levels
   // renumbered to [1, len]), so its context never dangles when the workload
@@ -62,11 +72,21 @@ Result<std::shared_ptr<PhysicalPart>> PhysicalPartRegistry::Acquire(
       MakeIndex(pager, std::move(ctx), part.org);
   if (!index.ok()) return index.status();
 
-  auto created = std::make_shared<PhysicalPart>();
+  // The deleter owns the release counter jointly with the registry, so a
+  // part outliving the registry (configurations are destroyed after it in
+  // SimDatabase) still counts its release safely.
+  std::shared_ptr<PhysicalPart> created(
+      new PhysicalPart(), [counter = released_](PhysicalPart* p) {
+        counter->fetch_add(1, std::memory_order_relaxed);
+        delete p;
+      });
   created->owner_path = std::move(owner);
   created->index = std::move(index).value();
   created->index->Build(store);
-  build_io_ += created->index->build_io();
+  const AccessStats io = created->index->build_io();
+  span.AddArg("build_reads", static_cast<double>(io.reads));
+  span.AddArg("build_writes", static_cast<double>(io.writes));
+  build_io_ += io;
   ++parts_built_;
   parts_[std::move(key)] = created;
   return created;
@@ -91,6 +111,35 @@ std::size_t PhysicalPartRegistry::live_parts() const {
     }
   }
   return live;
+}
+
+void PhysicalPartRegistry::ExportMetrics(
+    obs::MetricsRegistry* registry_out) const {
+  // Copy under mu_ first; metric mutexes are only taken afterwards (both
+  // sides are lock-hierarchy leaves and must not nest).
+  AccessStats io;
+  std::uint64_t built = 0;
+  std::uint64_t adopted = 0;
+  {
+    ReaderMutexLock lock(&mu_);
+    io = build_io_;
+    built = parts_built_;
+    adopted = parts_adopted_;
+  }
+  const std::uint64_t released = parts_released();
+  const std::size_t live = live_parts();
+
+  registry_out->CounterAt("pathix_parts_built_total")
+      .MirrorTo(static_cast<double>(built));
+  registry_out->CounterAt("pathix_parts_adopted_total")
+      .MirrorTo(static_cast<double>(adopted));
+  registry_out->CounterAt("pathix_parts_released_total")
+      .MirrorTo(static_cast<double>(released));
+  registry_out->CounterAt("pathix_parts_build_io_total", {{"io", "read"}})
+      .MirrorTo(static_cast<double>(io.reads));
+  registry_out->CounterAt("pathix_parts_build_io_total", {{"io", "write"}})
+      .MirrorTo(static_cast<double>(io.writes));
+  registry_out->GaugeAt("pathix_parts_live").Set(static_cast<double>(live));
 }
 
 long PhysicalPartRegistry::use_count(const StructuralKey& key) const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 
@@ -34,6 +36,10 @@
 /// levels by a per-slot offset.
 
 namespace pathix {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// One distinct physical index structure, self-contained: \p owner_path is
 /// the part's subpath as a standalone Path (levels [1, len]) and keeps the
@@ -89,12 +95,37 @@ class PhysicalPartRegistry {
     return parts_built_;
   }
 
+  /// Number of Acquire calls that adopted a live part instead of building.
+  std::uint64_t parts_adopted() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return parts_adopted_;
+  }
+
+  /// Number of parts destroyed so far (last configuration reference
+  /// dropped). Counted by the parts' deleter, which owns the counter
+  /// jointly with the registry — so the count stays correct even for parts
+  /// that outlive the registry (SimDatabase destroys the registry before
+  /// the configurations holding the parts).
+  std::uint64_t parts_released() const {
+    return released_->load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors the registry's counters into \p registry_out (obs/metrics.h):
+  /// pathix_parts_{built,adopted,released}_total,
+  /// pathix_parts_build_io_total{io} and the pathix_parts_live gauge.
+  /// Never called with mu_ held.
+  void ExportMetrics(obs::MetricsRegistry* registry_out) const EXCLUDES(mu_);
+
  private:
   mutable Mutex mu_;
   mutable std::map<StructuralKey, std::weak_ptr<PhysicalPart>> parts_
       GUARDED_BY(mu_);
   AccessStats build_io_ GUARDED_BY(mu_);
   std::uint64_t parts_built_ GUARDED_BY(mu_) = 0;
+  std::uint64_t parts_adopted_ GUARDED_BY(mu_) = 0;
+  /// Shared with every part's deleter (see parts_released()).
+  std::shared_ptr<std::atomic<std::uint64_t>> released_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
 };
 
 }  // namespace pathix

@@ -1,0 +1,209 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace pathix::obs {
+
+namespace {
+
+bool IsNameChar(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+  const bool digit = (c >= '0' && c <= '9');
+  return alpha || c == '_' || c == ':' || (digit && !first);
+}
+
+std::string SanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out.push_back(IsNameChar(c, out.empty()) ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string SanitizeLabelName(std::string_view name) {
+  std::string out = SanitizeName(name);
+  for (char& c : out) {
+    if (c == ':') c = '_';
+  }
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void AppendLabelValue(std::string* out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void AppendLabels(std::string* out, const MetricLabels& labels,
+                  const char* extra_key = nullptr,
+                  const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    *out += SanitizeLabelName(key);
+    *out += "=\"";
+    AppendLabelValue(out, value);
+    out->push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) out->push_back(',');
+    *out += extra_key;
+    *out += "=\"";
+    AppendLabelValue(out, extra_value);
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+/// Counter/gauge/sum values: integers print as integers, the rest with
+/// enough digits to round-trip.
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%s",
+                  std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf"));
+  } else if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  *out += buf;
+}
+
+std::string FormatBound(double bound) {
+  std::string out;
+  AppendNumber(&out, bound);
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSample& s : snapshot.samples) {
+    const std::string family = SanitizeName(s.name);
+    if (family != last_family) {
+      out += "# TYPE ";
+      out += family;
+      out.push_back(' ');
+      out += ToString(s.type);
+      out.push_back('\n');
+      last_family = family;
+    }
+    if (s.type != MetricType::kHistogram) {
+      out += family;
+      AppendLabels(&out, s.labels);
+      out.push_back(' ');
+      AppendNumber(&out, s.value);
+      out.push_back('\n');
+      continue;
+    }
+    const HistogramData& h = s.histogram;
+    // Cumulative buckets; empty buckets are elided (valid exposition — the
+    // cumulative count at any le is unchanged) except the mandatory +Inf.
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < HistogramBuckets::kBucketCount; ++b) {
+      const std::uint64_t in_bucket =
+          h.buckets.empty() ? 0 : h.buckets[static_cast<std::size_t>(b)];
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      if (b == HistogramBuckets::kBucketCount - 1) break;  // +Inf below
+      out += family;
+      out += "_bucket";
+      AppendLabels(&out, s.labels, "le",
+                   FormatBound(HistogramBuckets::UpperBound(b)));
+      out.push_back(' ');
+      AppendNumber(&out, static_cast<double>(cumulative));
+      out.push_back('\n');
+    }
+    out += family;
+    out += "_bucket";
+    AppendLabels(&out, s.labels, "le", "+Inf");
+    out.push_back(' ');
+    AppendNumber(&out, static_cast<double>(h.count));
+    out.push_back('\n');
+    out += family;
+    out += "_sum";
+    AppendLabels(&out, s.labels);
+    out.push_back(' ');
+    AppendNumber(&out, h.sum);
+    out.push_back('\n');
+    out += family;
+    out += "_count";
+    AppendLabels(&out, s.labels);
+    out.push_back(' ');
+    AppendNumber(&out, static_cast<double>(h.count));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void WriteMetricsJson(JsonWriter* w, const MetricsSnapshot& snapshot) {
+  w->BeginArray();
+  for (const MetricSample& s : snapshot.samples) {
+    w->BeginObject();
+    w->Key("name").Value(s.name);
+    w->Key("type").Value(ToString(s.type));
+    if (!s.labels.empty()) {
+      w->Key("labels").BeginObject();
+      for (const auto& [key, value] : s.labels) {
+        w->Key(key).Value(value);
+      }
+      w->EndObject();
+    }
+    if (s.type != MetricType::kHistogram) {
+      w->Key("value").Value(s.value);
+    } else {
+      const HistogramData& h = s.histogram;
+      w->Key("count").Value(h.count);
+      w->Key("sum").Value(h.sum);
+      if (h.count > 0) {
+        w->Key("min").Value(h.min);
+        w->Key("max").Value(h.max);
+        w->Key("p50").Value(h.Percentile(0.50));
+        w->Key("p90").Value(h.Percentile(0.90));
+        w->Key("p99").Value(h.Percentile(0.99));
+      }
+      w->Key("buckets").BeginArray();
+      for (int b = 0; b < HistogramBuckets::kBucketCount; ++b) {
+        const std::uint64_t in_bucket =
+            h.buckets.empty() ? 0 : h.buckets[static_cast<std::size_t>(b)];
+        if (in_bucket == 0) continue;
+        w->BeginObject();
+        w->Key("le").Value(HistogramBuckets::UpperBound(b));
+        w->Key("n").Value(in_bucket);
+        w->EndObject();
+      }
+      w->EndArray();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+}  // namespace pathix::obs

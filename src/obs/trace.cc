@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "obs/json_writer.h"
+
+namespace pathix::obs {
+
+std::string Tracer::ToTraceEventJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("name").Value(e.name);
+    w.Key("cat").Value(e.category);
+    w.Key("ph").Value(std::string_view(&e.phase, 1));
+    w.Key("ts").Value(e.ts_us);
+    w.Key("pid").Value(1);
+    w.Key("tid").Value(e.tid);
+    if (!e.num_args.empty() || !e.str_args.empty()) {
+      w.Key("args").BeginObject();
+      for (const auto& [key, value] : e.num_args) {
+        w.Key(key).Value(value);
+      }
+      for (const auto& [key, value] : e.str_args) {
+        w.Key(key).Value(value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+int Tracer::CurrentThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+ObsSpan::ObsSpan(Tracer* tracer, std::string_view name,
+                 std::string_view category)
+    : tracer_(tracer), active_(tracer != nullptr && tracer->enabled()) {
+  if (!active_) return;
+  const std::uint64_t now = tracer_->NowMicros();
+  const int tid = Tracer::CurrentThreadId();
+  TraceEvent begin;
+  begin.phase = 'B';
+  begin.name = std::string(name);
+  begin.category = std::string(category);
+  begin.ts_us = now;
+  begin.tid = tid;
+  // The end event is assembled up front so the destructor only stamps the
+  // time; name/category/tid must match the begin for the B/E pairing.
+  end_.phase = 'E';
+  end_.name = begin.name;
+  end_.category = begin.category;
+  end_.tid = tid;
+  tracer_->Record(std::move(begin));
+}
+
+ObsSpan::~ObsSpan() {
+  if (!active_) return;
+  // Recorded even if tracing was disabled mid-span: every exported begin
+  // keeps its matching end.
+  end_.ts_us = tracer_->NowMicros();
+  tracer_->Record(std::move(end_));
+}
+
+void ObsSpan::AddArg(std::string_view key, double value) {
+  if (!active_) return;
+  end_.num_args.emplace_back(std::string(key), value);
+}
+
+void ObsSpan::AddArg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  end_.str_args.emplace_back(std::string(key), std::string(value));
+}
+
+}  // namespace pathix::obs

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+
+/// \file trace.h
+/// \brief Lightweight span tracing: RAII ObsSpan frames emitting begin/end
+/// events, exported as chrome://tracing-compatible Trace Event JSON.
+///
+/// Answering "what did the advisor spend its time on" needs more than
+/// counters: the drift checks, joint re-solves, reconfiguration commits and
+/// part builds nest, and their relative durations are the story. A Tracer
+/// collects timestamped B/E event pairs (one per ObsSpan scope, with
+/// optional key/value args attached to the end event — modeled vs measured
+/// transition cost, build I/O); ToTraceEventJson() renders them in the
+/// Trace Event Format, so the file loads directly in chrome://tracing or
+/// Perfetto (ui.perfetto.dev).
+///
+/// Tracing is off by default and costs one relaxed atomic load per span
+/// when disabled. While enabled, Record appends under a leaf mutex — spans
+/// may open inside any locked region of the engine (the registry holds its
+/// mutex across part builds; the tracer never calls out). Spans that are
+/// open when tracing is disabled still record their end event, so every
+/// begin has a matching end in any exported snapshot.
+
+namespace pathix::obs {
+
+/// One begin or end event. Times are microseconds on the tracer's steady
+/// clock (epoch = tracer construction).
+struct TraceEvent {
+  char phase = 'B';  ///< 'B' begin / 'E' end
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;
+  int tid = 0;  ///< small dense per-thread id (not the OS tid)
+  /// Args attached by ObsSpan::AddArg (end events only).
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/// \brief Collects span events; thread-safe, leaf of the lock hierarchy.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Gates span *creation* only: an ObsSpan that recorded its begin always
+  /// records its end, so B/E pairs stay balanced across a toggle.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceEvent event) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    events_.push_back(std::move(event));
+  }
+
+  std::vector<TraceEvent> Snapshot() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return events_;
+  }
+  std::size_t size() const EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
+    return events_.size();
+  }
+  void Clear() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    events_.clear();
+  }
+
+  /// Microseconds since the tracer's construction (steady clock).
+  std::uint64_t NowMicros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// The collected events as a Trace Event Format JSON document
+  /// ({"traceEvents": [...]}) — load it in chrome://tracing or Perfetto.
+  std::string ToTraceEventJson() const EXCLUDES(mu_);
+
+  /// Small dense id of the calling thread (first call assigns).
+  static int CurrentThreadId();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The process-wide tracer every engine span records into. Enable it around
+/// the stretch of work to trace (pathix_online --trace-out does).
+Tracer& GlobalTracer();
+
+/// \brief RAII span: records a begin event at construction (when the
+/// tracer is enabled) and the matching end event — carrying any AddArg'd
+/// key/values — at scope exit. Inactive spans cost one atomic load.
+class ObsSpan {
+ public:
+  ObsSpan(Tracer* tracer, std::string_view name,
+          std::string_view category = "pathix");
+  /// Records into GlobalTracer().
+  explicit ObsSpan(std::string_view name) : ObsSpan(&GlobalTracer(), name) {}
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Attaches an argument to the span's end event. No-op when inactive.
+  void AddArg(std::string_view key, double value);
+  void AddArg(std::string_view key, std::string_view value);
+
+  /// Whether the span recorded a begin event (tracing was enabled).
+  bool active() const { return active_; }
+
+ private:
+  Tracer* tracer_;
+  bool active_;
+  TraceEvent end_;  ///< assembled across the scope, recorded at exit
+};
+
+}  // namespace pathix::obs

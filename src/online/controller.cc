@@ -1,7 +1,11 @@
 #include "online/controller.h"
 
 #include <cmath>
+#include <optional>
 #include <set>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pathix {
 
@@ -61,8 +65,26 @@ ReconfigurationController::ReconfigurationController(SimDatabase* db,
       path_id_(std::move(path_id)),
       options_(std::move(options)),
       monitor_(options_.half_life_ops),
-      selector_(options_.orgs) {
+      selector_(options_.orgs),
+      events_(options_.max_event_log) {
   cadence_.Init(options_);
+}
+
+void ReconfigurationController::MirrorMetrics() const {
+  obs::MetricsRegistry& m = db_->metrics();
+  m.CounterAt("pathix_controller_checks_total")
+      .MirrorTo(static_cast<double>(checks_));
+  m.CounterAt("pathix_controller_reconfigurations_total")
+      .MirrorTo(static_cast<double>(events_.committed()));
+  m.CounterAt("pathix_controller_events_evicted_total")
+      .MirrorTo(static_cast<double>(events_.evicted()));
+  m.CounterAt("pathix_controller_transition_pages_total",
+              {{"kind", "modeled"}})
+      .MirrorTo(transition_charged_);
+  m.CounterAt("pathix_controller_transition_pages_total",
+              {{"kind", "measured"}})
+      .MirrorTo(measured_transition_charged_);
+  monitor_.ExportMetrics(&m);
 }
 
 void ReconfigurationController::OnOperation(const DbOpEvent& ev) {
@@ -78,6 +100,7 @@ void ReconfigurationController::CheckNow() {
 }
 
 bool ReconfigurationController::Check() {
+  obs::ObsSpan check_span(&obs::GlobalTracer(), "drift_check", "controller");
   ++checks_;
 
   // ANALYZE with per-class scoping: stable classes keep their statistics,
@@ -88,6 +111,8 @@ bool ReconfigurationController::Check() {
   const LoadDistribution load = monitor_.EstimatedLoad();
   if (monitor_.DecayedTotal() <= 0) return false;
 
+  std::optional<obs::ObsSpan> solve_span;
+  solve_span.emplace(&obs::GlobalTracer(), "re_solve", "controller");
   Result<PathContext> ctx =
       PathContext::Build(db_->schema(), *path_, analyzer_.catalog(), load);
   if (!ctx.ok()) {
@@ -98,6 +123,7 @@ bool ReconfigurationController::Check() {
   const IndexConfiguration* current =
       db_->has_indexes(path_id_) ? &db_->physical(path_id_).config() : nullptr;
   const OnlineSelection sel = selector_.Select(ctx.value(), current);
+  solve_span.reset();  // the commit below is a sibling span, not a child
 
   if (current == nullptr) {
     // Initial install — hysteresis-gated like any other transition: the
@@ -120,6 +146,8 @@ bool ReconfigurationController::Check() {
         return false;
       }
     }
+    obs::ObsSpan commit_span(&obs::GlobalTracer(), "reconfigure",
+                             "controller");
     const AccessStats built_before = db_->registry().cumulative_build_io();
     const Status installed =
         db_->ConfigureIndexes(path_id_, sel.best.config);
@@ -137,7 +165,10 @@ bool ReconfigurationController::Check() {
         transition, db_->registry().cumulative_build_io() - built_before);
     transition_charged_ += transition.total();
     measured_transition_charged_ += ev.measured.total();
-    events_.push_back(std::move(ev));
+    commit_span.AddArg("initial", "true");
+    commit_span.AddArg("modeled_pages", transition.total());
+    commit_span.AddArg("measured_pages", ev.measured.total());
+    events_.Append(std::move(ev));
     return true;
   }
 
@@ -159,6 +190,7 @@ bool ReconfigurationController::Check() {
   ev.predicted_savings_per_op = savings;
   ev.transition = transition;
 
+  obs::ObsSpan commit_span(&obs::GlobalTracer(), "reconfigure", "controller");
   const AccessStats built_before = db_->registry().cumulative_build_io();
   const Status switched = db_->ReconfigureIndexes(path_id_, sel.best.config);
   if (!switched.ok()) {
@@ -169,7 +201,10 @@ bool ReconfigurationController::Check() {
       transition, db_->registry().cumulative_build_io() - built_before);
   transition_charged_ += transition.total();
   measured_transition_charged_ += ev.measured.total();
-  events_.push_back(std::move(ev));
+  commit_span.AddArg("initial", "false");
+  commit_span.AddArg("modeled_pages", transition.total());
+  commit_span.AddArg("measured_pages", ev.measured.total());
+  events_.Append(std::move(ev));
   return true;
 }
 

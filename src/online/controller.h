@@ -66,6 +66,12 @@ struct ControllerOptions {
   /// (infinity disables the constraint; ignored by the single-path
   /// controller, whose degenerate equivalence assumes no budget).
   double storage_budget_bytes = std::numeric_limits<double>::infinity();
+  /// Ring-buffer bound on the retained reconfiguration event log (0 keeps
+  /// everything). A long-running controller keeps the newest max_event_log
+  /// events; evictions are counted (events_evicted(), mirrored as the
+  /// pathix_controller_events_evicted_total metric) so consumers can tell a
+  /// truncated log from a short one.
+  std::size_t max_event_log = 1024;
   /// Physical parameters (oid/key lengths etc.) the cost model solves
   /// against; page_size is always taken from the database's pager. Pass the
   /// spec's catalog params when the spec overrides the defaults.
@@ -145,6 +151,46 @@ class ScopedAnalyzer {
   std::uint64_t refreshes_ = 0;
 };
 
+/// \brief Append-only event log with an optional ring-buffer bound: keeps
+/// the newest \p max_events entries, counts what it evicted, and remembers
+/// the all-time committed total — so BoundedEventLog(0) is exactly the
+/// unbounded vector it replaces, and a bounded log still reports true
+/// counts (TraceReplayer counts reconfigurations from committed(), never
+/// from events().size()).
+template <typename Event>
+class BoundedEventLog {
+ public:
+  explicit BoundedEventLog(std::size_t max_events = 0) : max_(max_events) {}
+
+  /// Sets the bound (normally once, from ControllerOptions::max_event_log,
+  /// before any append). Shrinking an over-full log evicts on next Append.
+  void set_max_events(std::size_t max_events) { max_ = max_events; }
+
+  void Append(Event event) {
+    ++committed_;
+    events_.push_back(std::move(event));
+    if (max_ > 0 && events_.size() > max_) {
+      const auto excess =
+          static_cast<std::ptrdiff_t>(events_.size() - max_);
+      events_.erase(events_.begin(), events_.begin() + excess);
+      evicted_ += static_cast<std::uint64_t>(excess);
+    }
+  }
+
+  /// The retained suffix (newest committed() - evicted() events, in order).
+  const std::vector<Event>& events() const { return events_; }
+  /// All-time appends, evicted or not.
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t evicted() const { return evicted_; }
+  std::size_t max_events() const { return max_; }
+
+ private:
+  std::size_t max_;
+  std::vector<Event> events_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
 /// One committed reconfiguration (including the initial install).
 struct ReconfigurationEvent {
   std::uint64_t op_index = 0;  ///< operations observed when it happened
@@ -184,7 +230,17 @@ class ReconfigurationController : public DbOpObserver {
   const OnlineSelector& selector() const { return selector_; }
   const ScopedAnalyzer& analyzer() const { return analyzer_; }
   const DriftCadence& cadence() const { return cadence_; }
-  const std::vector<ReconfigurationEvent>& events() const { return events_; }
+
+  /// The retained event log (the newest ControllerOptions::max_event_log
+  /// events; everything when the bound is 0).
+  const std::vector<ReconfigurationEvent>& events() const {
+    return events_.events();
+  }
+  /// All-time committed reconfigurations (eviction-proof — use this, not
+  /// events().size(), for counting).
+  std::uint64_t events_committed() const { return events_.committed(); }
+  /// Events dropped from the retained log by the ring-buffer bound.
+  std::uint64_t events_evicted() const { return events_.evicted(); }
 
   /// Modeled page cost of every committed transition so far.
   double transition_pages_charged() const { return transition_charged_; }
@@ -196,6 +252,11 @@ class ReconfigurationController : public DbOpObserver {
   }
 
   std::uint64_t checks_run() const { return checks_; }
+
+  /// Mirrors the controller's counters (checks, committed/evicted events,
+  /// modeled and measured transition pages) and the monitor's drift gauges
+  /// into the database's metrics registry. Call before exporting.
+  void MirrorMetrics() const;
 
   /// First error the control loop hit (selection or reconfiguration); the
   /// controller goes dormant after an error rather than flapping.
@@ -214,7 +275,7 @@ class ReconfigurationController : public DbOpObserver {
   DriftCadence cadence_;
   ScopedAnalyzer analyzer_;
 
-  std::vector<ReconfigurationEvent> events_;
+  BoundedEventLog<ReconfigurationEvent> events_;
   double transition_charged_ = 0;
   double measured_transition_charged_ = 0;
   std::uint64_t checks_ = 0;

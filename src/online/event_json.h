@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "online/controller.h"
+#include "online/joint_controller.h"
+
+/// \file event_json.h
+/// \brief Structured-JSON rendering of the controllers' reconfiguration
+/// event logs, via obs::JsonWriter — the machine-readable mirror of the
+/// human-oriented event lines pathix_online prints.
+///
+/// Each event carries its op index, the configuration change (rendered with
+/// IndexConfiguration::ToString), the hysteresis gate's predicted savings,
+/// and the modeled-vs-measured transition price by component — the data
+/// behind the measured-cost validation harness, now exportable per run.
+
+namespace pathix {
+
+namespace obs {
+class JsonWriter;
+}  // namespace obs
+
+/// Appends a JSON array of the single-path controller's events to \p w.
+void WriteEventLog(obs::JsonWriter* w,
+                   const std::vector<ReconfigurationEvent>& events);
+
+/// Appends a JSON array of the joint controller's events to \p w; each
+/// event lists its per-path changes.
+void WriteEventLog(obs::JsonWriter* w,
+                   const std::vector<JointReconfigurationEvent>& events);
+
+}  // namespace pathix

@@ -106,6 +106,7 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
     Instance inst(spec);
     ReconfigurationController controller(&inst.db, tp.path, copts, tp.id);
     inst.db.SetObserver(&controller);
+    report.online_metrics_baseline = inst.db.SnapshotMetrics();
     report.online.label = "online";
     report.online.phases.reserve(spec.phases.size());
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
@@ -114,6 +115,8 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
     inst.db.SetObserver(nullptr);
     if (!controller.status().ok()) return controller.status();
     report.events = controller.events();
+    controller.MirrorMetrics();
+    report.online_metrics = inst.db.SnapshotMetrics();
   }
 
   // ----------------------------------------------------------- oracle run

@@ -64,6 +64,15 @@ struct ExperimentReport {
   ExperimentRun online;
   std::vector<ReconfigurationEvent> events;  ///< the online run's switches
 
+  /// The online run's metrics registry (obs/metrics.h), snapshotted twice:
+  /// the baseline right after Populate() (whose inserts are counted
+  /// traffic) and the final state after the last phase, with pager, part
+  /// registry and controller counters mirrored in. Counter deltas between
+  /// the two are exactly the replayed operations — the invariant the
+  /// obs_smoke cross-check asserts.
+  obs::MetricsSnapshot online_metrics_baseline;
+  obs::MetricsSnapshot online_metrics;
+
   ExperimentRun oracle;
   std::vector<IndexConfiguration> oracle_configs;  ///< per phase
 

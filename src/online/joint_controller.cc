@@ -1,9 +1,12 @@
 #include "online/joint_controller.h"
 
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "costmodel/subpath_cost.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pathix {
 
@@ -12,7 +15,8 @@ JointReconfigurationController::JointReconfigurationController(
     : db_(db),
       options_(std::move(options)),
       path_ids_(db->path_ids()),
-      monitor_(options_.half_life_ops) {
+      monitor_(options_.half_life_ops),
+      events_(options_.max_event_log) {
   cadence_.Init(options_);
   scopes_.reserve(path_ids_.size());
   for (const PathId& id : path_ids_) {
@@ -39,6 +43,8 @@ void JointReconfigurationController::CheckNow() {
 }
 
 bool JointReconfigurationController::Check() {
+  obs::ObsSpan check_span(&obs::GlobalTracer(), "joint_drift_check",
+                          "controller");
   ++checks_;
 
   std::vector<const Path*> paths;
@@ -47,6 +53,9 @@ bool JointReconfigurationController::Check() {
   analyzer_.Refresh(*db_, paths, options_);
 
   if (monitor_.DecayedTotal() <= 0) return false;
+
+  std::optional<obs::ObsSpan> solve_span;
+  solve_span.emplace(&obs::GlobalTracer(), "joint_re_solve", "controller");
 
   // The workload as currently estimated: per-path query loads, shared
   // update loads — all on one normalization scale.
@@ -84,6 +93,7 @@ bool JointReconfigurationController::Check() {
     status_ = joint.status();
     return false;
   }
+  solve_span.reset();  // a committed change traces as a sibling span
 
   bool any_configured = false;
   for (const PathId& id : path_ids_) {
@@ -189,6 +199,8 @@ bool JointReconfigurationController::Commit(
     ev.changes.push_back(std::move(change));
     changes.emplace_back(path_ids_[i], target);
   }
+  obs::ObsSpan commit_span(&obs::GlobalTracer(), "joint_reconfigure",
+                           "controller");
   const AccessStats built_before = db_->registry().cumulative_build_io();
   const Status committed = db_->ReconfigureIndexes(changes);
   if (!committed.ok()) {
@@ -199,8 +211,29 @@ bool JointReconfigurationController::Commit(
       ev.transition, db_->registry().cumulative_build_io() - built_before);
   transition_charged_ += ev.transition.total();
   measured_transition_charged_ += ev.measured.total();
-  events_.push_back(std::move(ev));
+  commit_span.AddArg("initial", ev.initial ? "true" : "false");
+  commit_span.AddArg("paths_changed", static_cast<double>(ev.changes.size()));
+  commit_span.AddArg("modeled_pages", ev.transition.total());
+  commit_span.AddArg("measured_pages", ev.measured.total());
+  events_.Append(std::move(ev));
   return true;
+}
+
+void JointReconfigurationController::MirrorMetrics() const {
+  obs::MetricsRegistry& m = db_->metrics();
+  m.CounterAt("pathix_controller_checks_total")
+      .MirrorTo(static_cast<double>(checks_));
+  m.CounterAt("pathix_controller_reconfigurations_total")
+      .MirrorTo(static_cast<double>(events_.committed()));
+  m.CounterAt("pathix_controller_events_evicted_total")
+      .MirrorTo(static_cast<double>(events_.evicted()));
+  m.CounterAt("pathix_controller_transition_pages_total",
+              {{"kind", "modeled"}})
+      .MirrorTo(transition_charged_);
+  m.CounterAt("pathix_controller_transition_pages_total",
+              {{"kind", "measured"}})
+      .MirrorTo(measured_transition_charged_);
+  monitor_.ExportMetrics(&m);
 }
 
 }  // namespace pathix

@@ -76,9 +76,17 @@ class JointReconfigurationController : public DbOpObserver {
   const ScopedAnalyzer& analyzer() const { return analyzer_; }
   const DriftCadence& cadence() const { return cadence_; }
   const std::vector<PathId>& path_ids() const { return path_ids_; }
+
+  /// The retained event log (the newest ControllerOptions::max_event_log
+  /// events; everything when the bound is 0).
   const std::vector<JointReconfigurationEvent>& events() const {
-    return events_;
+    return events_.events();
   }
+  /// All-time committed reconfigurations (eviction-proof — use this, not
+  /// events().size(), for counting).
+  std::uint64_t events_committed() const { return events_.committed(); }
+  /// Events dropped from the retained log by the ring-buffer bound.
+  std::uint64_t events_evicted() const { return events_.evicted(); }
 
   /// Modeled page cost of every committed transition so far.
   double transition_pages_charged() const { return transition_charged_; }
@@ -90,6 +98,11 @@ class JointReconfigurationController : public DbOpObserver {
   }
 
   std::uint64_t checks_run() const { return checks_; }
+
+  /// Mirrors the controller's counters (checks, committed/evicted events,
+  /// modeled and measured transition pages) and the monitor's drift gauges
+  /// into the database's metrics registry. Call before exporting.
+  void MirrorMetrics() const;
 
   /// First error the control loop hit; the controller goes dormant after
   /// an error rather than flapping.
@@ -114,7 +127,7 @@ class JointReconfigurationController : public DbOpObserver {
   DriftCadence cadence_;
   ScopedAnalyzer analyzer_;
 
-  std::vector<JointReconfigurationEvent> events_;
+  BoundedEventLog<JointReconfigurationEvent> events_;
   double transition_charged_ = 0;
   double measured_transition_charged_ = 0;
   std::uint64_t checks_ = 0;

@@ -108,6 +108,7 @@ Result<JointExperimentReport> RunJointOnlineExperiment(
     Instance inst(spec);
     JointReconfigurationController controller(&inst.db, copts);
     inst.db.SetObserver(&controller);
+    report.online_metrics_baseline = inst.db.SnapshotMetrics();
     report.online.label = "online-joint";
     report.online.phases.reserve(spec.phases.size());
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
@@ -116,6 +117,8 @@ Result<JointExperimentReport> RunJointOnlineExperiment(
     inst.db.SetObserver(nullptr);
     if (!controller.status().ok()) return controller.status();
     report.events = controller.events();
+    controller.MirrorMetrics();
+    report.online_metrics = inst.db.SnapshotMetrics();
   }
 
   // ----------------------------------------------------- joint oracle run

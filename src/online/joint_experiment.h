@@ -46,6 +46,14 @@ struct JointExperimentReport {
   ExperimentRun online;
   std::vector<JointReconfigurationEvent> events;  ///< online run's switches
 
+  /// The online run's metrics registry (obs/metrics.h), snapshotted twice:
+  /// the baseline right after Populate() and the final state after the last
+  /// phase with pager, part registry and controller counters mirrored in.
+  /// Counter deltas between the two are exactly the replayed operations —
+  /// the invariant the obs_smoke cross-check asserts.
+  obs::MetricsSnapshot online_metrics_baseline;
+  obs::MetricsSnapshot online_metrics;
+
   ExperimentRun oracle;
   /// Per phase, per path: the joint oracle's installed configurations.
   std::vector<std::vector<IndexConfiguration>> oracle_configs;

@@ -70,26 +70,29 @@ PhaseReport TraceReplayer::RunPhaseOps(std::size_t phase_index) {
   std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
 
   const AccessProbe probe(db_->pager());
-  for (std::uint64_t i = 0; i < phase.ops; ++i) RunOne(entries[pick(rng_)]);
+  for (std::uint64_t i = 0; i < phase.ops; ++i) {
+    RunOne(entries[pick(rng_)], &report);
+  }
   report.pages = probe.Delta().total();
   return report;
 }
 
-void TraceReplayer::RunOne(const MixEntry& op) {
+void TraceReplayer::RunOne(const MixEntry& op, PhaseReport* report) {
   switch (op.kind) {
     case DbOpKind::kQuery:
-      DoQuery(op.path_index, op.cls);
+      DoQuery(op.path_index, op.cls, report);
       break;
     case DbOpKind::kInsert:
-      DoInsert(op.cls);
+      DoInsert(op.cls, report);
       break;
     case DbOpKind::kDelete:
-      DoDelete(op.cls);
+      DoDelete(op.cls, report);
       break;
   }
 }
 
-void TraceReplayer::DoQuery(int path_index, ClassId cls) {
+void TraceReplayer::DoQuery(int path_index, ClassId cls,
+                            PhaseReport* report) {
   const TracePath& tp = spec_->paths[static_cast<std::size_t>(path_index)];
   // Query values are drawn from the ending-level value pool the population
   // (and the inserts) draw from.
@@ -101,14 +104,18 @@ void TraceReplayer::DoQuery(int path_index, ClassId cls) {
   }
   std::uniform_int_distribution<int> value(0, distinct - 1);
   const Key key = Key::FromString(EndingValue(value(rng_)));
+  // Tallied on success only, mirroring the database's op counters (failed
+  // operations neither count nor notify) — the cross-check is exact.
   if (db_->has_indexes(tp.id)) {
-    db_->Query(tp.id, key, cls).status();
+    if (db_->Query(tp.id, key, cls).ok()) ++report->query_ops[tp.id];
   } else {
-    db_->QueryNaive(tp.id, key, cls).status();
+    if (db_->QueryNaive(tp.id, key, cls).ok()) {
+      ++report->naive_query_ops[tp.id];
+    }
   }
 }
 
-void TraceReplayer::DoInsert(ClassId cls) {
+void TraceReplayer::DoInsert(ClassId cls, PhaseReport* report) {
   const TracePopulate* p = PopulateSpecFor(cls);
   const double nin = p != nullptr ? p->nin : 1.0;
   std::uniform_real_distribution<double> frac(0.0, 1.0);
@@ -162,17 +169,25 @@ void TraceReplayer::DoInsert(ClassId cls) {
                                 "declared paths' scopes");
   (void)on_some_path;
   live_[cls].push_back(db_->Insert(cls, std::move(attrs)));
+  ++report->insert_ops;
 }
 
-void TraceReplayer::DoDelete(ClassId cls) {
+void TraceReplayer::DoDelete(ClassId cls, PhaseReport* report) {
   std::vector<Oid>& pool = live_[cls];
-  if (pool.empty()) return;  // deterministic no-op across replays
+  if (pool.empty()) {
+    ++report->noop_ops;
+    return;  // deterministic no-op across replays
+  }
   std::uniform_int_distribution<std::size_t> victim(0, pool.size() - 1);
   const std::size_t i = victim(rng_);
   const Oid oid = pool[i];
   pool[i] = pool.back();
   pool.pop_back();
-  db_->Delete(oid);
+  if (db_->Delete(oid).ok()) {
+    ++report->delete_ops;
+  } else {
+    ++report->noop_ops;
+  }
 }
 
 }  // namespace pathix

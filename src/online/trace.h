@@ -37,6 +37,19 @@ struct PhaseReport {
   double measured_transition_pages = 0;
   int reconfigurations = 0;        ///< committed switches (incl. initial)
 
+  // Executed-op decomposition: what actually ran, per kind (and per path
+  // for queries, split by evaluation mode). These are the replay-side
+  // ground truth the metrics cross-check pins the database's op counters
+  // against — they count *successful* operations only, exactly like the
+  // counters, so ops == executed ops + noop_ops.
+  std::map<std::string, std::uint64_t> query_ops;        ///< indexed, by path
+  std::map<std::string, std::uint64_t> naive_query_ops;  ///< naive, by path
+  std::uint64_t insert_ops = 0;
+  std::uint64_t delete_ops = 0;
+  /// Sampled ops that executed nothing (a delete drawn on an empty pool —
+  /// the replayer's deterministic no-op).
+  std::uint64_t noop_ops = 0;
+
   double total_cost() const {
     return static_cast<double>(pages) + transition_pages;
   }
@@ -93,8 +106,10 @@ class TraceReplayer {
     const double measured_before =
         controller != nullptr ? controller->measured_transition_pages_charged()
                               : 0;
-    const std::size_t events_before =
-        controller != nullptr ? controller->events().size() : 0;
+    // Committed counts, not events().size(): the retained log is bounded
+    // (ControllerOptions::max_event_log) and may evict.
+    const std::uint64_t events_before =
+        controller != nullptr ? controller->events_committed() : 0;
     PhaseReport report = RunPhaseOps(phase_index);
     if (controller != nullptr) {
       report.transition_pages =
@@ -102,17 +117,17 @@ class TraceReplayer {
       report.measured_transition_pages =
           controller->measured_transition_pages_charged() - measured_before;
       report.reconfigurations =
-          static_cast<int>(controller->events().size() - events_before);
+          static_cast<int>(controller->events_committed() - events_before);
     }
     return report;
   }
 
   PhaseReport RunPhaseOps(std::size_t phase_index);
 
-  void RunOne(const MixEntry& op);
-  void DoQuery(int path_index, ClassId cls);
-  void DoInsert(ClassId cls);
-  void DoDelete(ClassId cls);
+  void RunOne(const MixEntry& op, PhaseReport* report);
+  void DoQuery(int path_index, ClassId cls, PhaseReport* report);
+  void DoInsert(ClassId cls, PhaseReport* report);
+  void DoDelete(ClassId cls, PhaseReport* report);
 
   /// Generation parameters for \p cls (ending-value pool, fan-out).
   const TracePopulate* PopulateSpecFor(ClassId cls) const;

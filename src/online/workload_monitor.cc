@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace pathix {
 
 WorkloadMonitor::WorkloadMonitor(double half_life_ops)
@@ -125,6 +127,40 @@ double WorkloadMonitor::MeasuredNaiveQueryPagesPerOp() const {
     pages += Folded(e);
   }
   return pages / total;
+}
+
+void WorkloadMonitor::ExportMetrics(obs::MetricsRegistry* registry) const {
+  double total = 0;
+  std::uint64_t ops = 0;
+  std::map<PathId, double> query_weight;
+  std::map<PathId, double> naive_pages;
+  {
+    ReaderMutexLock lock(&mu_);
+    total = DecayedTotalLocked();
+    ops = ops_;
+    for (const auto& [path, by_class] : queries_) {
+      double weight = 0;
+      for (const auto& [cls, e] : by_class) {
+        (void)cls;
+        weight += Folded(e);
+      }
+      query_weight[path] = total > 0 ? weight / total : 0;
+    }
+    for (const auto& [path, e] : naive_pages_) {
+      naive_pages[path] = total > 0 ? Folded(e) / total : 0;
+    }
+  }
+  registry->GaugeAt("pathix_monitor_decayed_total").Set(total);
+  registry->CounterAt("pathix_monitor_ops_observed_total")
+      .MirrorTo(static_cast<double>(ops));
+  for (const auto& [path, weight] : query_weight) {
+    registry->GaugeAt("pathix_monitor_query_weight", {{"path", path}})
+        .Set(weight);
+  }
+  for (const auto& [path, pages] : naive_pages) {
+    registry->GaugeAt("pathix_monitor_naive_pages_per_op", {{"path", path}})
+        .Set(pages);
+  }
 }
 
 void WorkloadMonitor::Reset() {

@@ -28,6 +28,10 @@
 
 namespace pathix {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Decayed per-path per-class query counters plus per-class update
 /// counters.
 ///
@@ -84,6 +88,14 @@ class WorkloadMonitor {
   }
 
   void Reset() EXCLUDES(mu_);
+
+  /// Mirrors the drift estimate into \p registry (obs/metrics.h): gauges
+  /// pathix_monitor_decayed_total, pathix_monitor_query_weight{path} (the
+  /// path's share of the decayed weight) and
+  /// pathix_monitor_naive_pages_per_op{path}, plus the
+  /// pathix_monitor_ops_observed_total counter. Estimates are collected
+  /// under mu_ first; metric mutexes are only taken after it is released.
+  void ExportMetrics(obs::MetricsRegistry* registry) const EXCLUDES(mu_);
 
  private:
   struct Entry {

@@ -1,6 +1,7 @@
 #include "storage/pager.h"
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace pathix {
 
@@ -56,6 +57,43 @@ void Pager::FoldTally(PageOpKind kind, const std::string& label,
   MutexLock lock(&mu_);
   kind_tallies_[static_cast<std::size_t>(kind)] += delta;
   if (!label.empty()) label_tallies_[label] += delta;
+}
+
+void Pager::ExportMetrics(obs::MetricsRegistry* registry) const {
+  // Copy everything out first (each accessor takes mu_ briefly); the
+  // registry and metric mutexes are only touched after, keeping both sides
+  // leaves of the lock hierarchy.
+  const AccessStats stats = this->stats();
+  std::array<AccessStats, kPageOpKindCount> kinds;
+  for (std::size_t k = 0; k < kPageOpKindCount; ++k) {
+    kinds[k] = tally(static_cast<PageOpKind>(k));
+  }
+  const std::map<std::string, AccessStats> labels = label_tallies();
+  const std::uint64_t allocated = allocated_pages();
+
+  auto mirror = [registry](std::string_view name, obs::MetricLabels l,
+                           std::uint64_t value) {
+    registry->CounterAt(name, std::move(l))
+        .MirrorTo(static_cast<double>(value));
+  };
+  mirror("pathix_pager_io_total", {{"io", "read"}}, stats.reads);
+  mirror("pathix_pager_io_total", {{"io", "write"}}, stats.writes);
+  mirror("pathix_pager_buffer_hits_total", {}, stats.buffer_hits);
+  for (std::size_t k = 0; k < kPageOpKindCount; ++k) {
+    const std::string op = ToString(static_cast<PageOpKind>(k));
+    mirror("pathix_pager_pages_total", {{"op", op}, {"io", "read"}},
+           kinds[k].reads);
+    mirror("pathix_pager_pages_total", {{"op", op}, {"io", "write"}},
+           kinds[k].writes);
+  }
+  for (const auto& [label, tally] : labels) {
+    mirror("pathix_pager_path_pages_total", {{"path", label}, {"io", "read"}},
+           tally.reads);
+    mirror("pathix_pager_path_pages_total", {{"path", label}, {"io", "write"}},
+           tally.writes);
+  }
+  registry->GaugeAt("pathix_pager_allocated_pages")
+      .Set(static_cast<double>(allocated));
 }
 
 AccessStats* Pager::ExchangeSideSink(AccessStats* sink) {

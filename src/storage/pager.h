@@ -36,6 +36,10 @@
 
 namespace pathix {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Counters of page traffic since the last Reset().
 struct AccessStats {
   std::uint64_t reads = 0;
@@ -177,6 +181,15 @@ class Pager {
     ReaderMutexLock lock(&mu_);
     return next_page_;
   }
+
+  /// Mirrors the pager's counters into \p registry (obs/metrics.h):
+  /// pathix_pager_io_total{io}, pathix_pager_pages_total{op,io},
+  /// pathix_pager_path_pages_total{path,io}, pathix_pager_buffer_hits_total
+  /// and the pathix_pager_allocated_pages gauge. Counters are mirrored
+  /// (MirrorTo) from the pager's own monotone tallies, so repeated exports
+  /// converge to the same values. Never called with mu_ held: the pager and
+  /// the metric mutexes are both leaves and must not nest.
+  void ExportMetrics(obs::MetricsRegistry* registry) const EXCLUDES(mu_);
 
  private:
   friend class ScopedAccessProbe;

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,8 @@
 #include "datagen/paper_schema.h"
 #include "exec/database.h"
 #include "index/part_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "online/workload_monitor.h"
 #include "storage/pager.h"
 
@@ -172,6 +176,74 @@ TEST(ConcurrentSmokeTest, WorkloadMonitorObserveAndEstimate) {
   });
   EXPECT_EQ(monitor.ops_observed(), kThreads * kOpsPerThread);
   EXPECT_GT(monitor.DecayedTotal(), 0.0);
+}
+
+TEST(ConcurrentSmokeTest, MetricsRegistryFromManyThreads) {
+  constexpr std::uint64_t kOpsPerThread = 4000;
+  obs::MetricsRegistry registry;
+  RunInParallel(kThreads, [&registry](int t) {
+    // Handles resolve through the registry map concurrently; updates go
+    // through the per-metric leaf mutexes. Every count must land.
+    obs::Counter& shared = registry.CounterAt("hammer_total");
+    obs::Counter& own =
+        registry.CounterAt("hammer_total",
+                           {{"thread", std::to_string(t)}});
+    obs::Histogram& lat = registry.HistogramAt("hammer_latency_us");
+    obs::Gauge& gauge = registry.GaugeAt("hammer_gauge");
+    for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+      shared.Increment();
+      own.Increment();
+      lat.Observe(static_cast<double>(i % 1000));
+      gauge.Set(static_cast<double>(i));
+      if (i % 256 == 0) (void)registry.Snapshot();  // concurrent exports
+    }
+  });
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Value("hammer_total"),
+            static_cast<double>(kThreads * kOpsPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.Value("hammer_total", {{"thread", std::to_string(t)}}),
+              static_cast<double>(kOpsPerThread));
+  }
+  const obs::MetricSample* lat = snap.Find("hammer_latency_us", {});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->histogram.count, kThreads * kOpsPerThread);
+}
+
+TEST(ConcurrentSmokeTest, TracerSpansFromManyThreads) {
+  constexpr int kSpansPerThread = 500;
+  obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  RunInParallel(kThreads, [&tracer](int t) {
+    for (int i = 0; i < kSpansPerThread; ++i) {
+      obs::ObsSpan outer(&tracer, "outer", "test");
+      outer.AddArg("i", static_cast<double>(i));
+      obs::ObsSpan inner(&tracer, "inner", "test");
+      (void)t;
+      if (i % 128 == 0) (void)tracer.Snapshot();
+    }
+  });
+  tracer.SetEnabled(false);
+  const std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread * 4));
+  // Per thread, the interleaved stream must still be a valid span stack:
+  // every E matches the name of the B on top of its thread's stack.
+  std::map<int, std::vector<const obs::TraceEvent*>> stacks;
+  for (const obs::TraceEvent& e : events) {
+    std::vector<const obs::TraceEvent*>& stack = stacks[e.tid];
+    if (e.phase == 'B') {
+      stack.push_back(&e);
+      continue;
+    }
+    ASSERT_EQ(e.phase, 'E');
+    ASSERT_FALSE(stack.empty()) << "unmatched end on tid " << e.tid;
+    EXPECT_EQ(stack.back()->name, e.name);
+    stack.pop_back();
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
 }
 
 TEST(ConcurrentSmokeTest, ObjectStoreReadersAlongsideWriter) {

@@ -1,0 +1,152 @@
+// The log-bucketed histogram's math, pinned: exact bucket boundaries
+// (lower-inclusive, binary-fraction sub-buckets so there is no float
+// ambiguity at the edges), saturation behavior, and the percentile bracket
+// guarantee checked against a brute-force sorted reference on randomized
+// inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pathix::obs {
+namespace {
+
+TEST(HistogramBucketsTest, EverythingBelowOneIsBucketZero) {
+  EXPECT_EQ(HistogramBuckets::BucketFor(0.0), 0);
+  EXPECT_EQ(HistogramBuckets::BucketFor(0.999999), 0);
+  EXPECT_EQ(HistogramBuckets::BucketFor(-5.0), 0);
+  EXPECT_EQ(HistogramBuckets::BucketFor(std::nan("")), 0);
+  EXPECT_EQ(HistogramBuckets::LowerBound(0), 0.0);
+  EXPECT_EQ(HistogramBuckets::UpperBound(0), 1.0);
+}
+
+TEST(HistogramBucketsTest, BoundariesAreLowerInclusive) {
+  // Every bucket's lower bound lands in that bucket; the value just below
+  // (previous representable double) lands in the bucket before it.
+  for (int b = 1; b < HistogramBuckets::kBucketCount - 1; ++b) {
+    const double lower = HistogramBuckets::LowerBound(b);
+    EXPECT_EQ(HistogramBuckets::BucketFor(lower), b) << "lower(" << b << ")";
+    const double below = std::nextafter(lower, 0.0);
+    EXPECT_EQ(HistogramBuckets::BucketFor(below), b - 1)
+        << "just below lower(" << b << ")";
+  }
+}
+
+TEST(HistogramBucketsTest, UpperBoundIsNextLowerBound) {
+  for (int b = 0; b < HistogramBuckets::kBucketCount - 2; ++b) {
+    EXPECT_EQ(HistogramBuckets::UpperBound(b),
+              HistogramBuckets::LowerBound(b + 1));
+  }
+  EXPECT_TRUE(std::isinf(
+      HistogramBuckets::UpperBound(HistogramBuckets::kBucketCount - 1)));
+}
+
+TEST(HistogramBucketsTest, FirstOctaveSubBuckets) {
+  // Octave 0 splits [1, 2) into 8 linear sub-buckets of width 1/8.
+  EXPECT_EQ(HistogramBuckets::BucketFor(1.0), 1);
+  EXPECT_EQ(HistogramBuckets::BucketFor(1.124999), 1);
+  EXPECT_EQ(HistogramBuckets::BucketFor(1.125), 2);
+  EXPECT_EQ(HistogramBuckets::BucketFor(1.875), 8);
+  EXPECT_EQ(HistogramBuckets::BucketFor(1.9999), 8);
+  EXPECT_EQ(HistogramBuckets::BucketFor(2.0), 9);  // next octave
+}
+
+TEST(HistogramBucketsTest, RelativeWidthIsBounded) {
+  // Log bucketing's point: every bucket above 1 is at most 12.5% wide
+  // relative to its lower bound.
+  for (int b = 1; b < HistogramBuckets::kBucketCount - 1; ++b) {
+    const double lower = HistogramBuckets::LowerBound(b);
+    const double upper = HistogramBuckets::UpperBound(b);
+    EXPECT_LE((upper - lower) / lower, 0.125 + 1e-12) << "bucket " << b;
+  }
+}
+
+TEST(HistogramBucketsTest, Saturation) {
+  const double limit = std::ldexp(1.0, HistogramBuckets::kOctaves);  // 2^40
+  EXPECT_EQ(HistogramBuckets::BucketFor(std::nextafter(limit, 0.0)),
+            HistogramBuckets::kBucketCount - 2);
+  EXPECT_EQ(HistogramBuckets::BucketFor(limit),
+            HistogramBuckets::kBucketCount - 1);
+  EXPECT_EQ(HistogramBuckets::BucketFor(1e300),
+            HistogramBuckets::kBucketCount - 1);
+  EXPECT_EQ(HistogramBuckets::LowerBound(HistogramBuckets::kBucketCount - 1),
+            limit);
+}
+
+TEST(HistogramTest, CountSumMinMaxExact) {
+  Histogram h;
+  h.Observe(3);
+  h.Observe(0.25);
+  h.Observe(1000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 1003.25);
+  EXPECT_EQ(h.Max(), 1000);
+  const HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.min, 0.25);
+  EXPECT_EQ(data.max, 1000);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+TEST(HistogramTest, SaturationBucketReportsExactMax) {
+  Histogram h;
+  h.Observe(1.0);
+  h.Observe(1e15);  // way past 2^40
+  EXPECT_EQ(h.Percentile(1.0), 1e15);
+  EXPECT_EQ(h.Percentile(0.99), 1e15);
+}
+
+TEST(HistogramTest, PercentileNeverExceedsMax) {
+  Histogram h;
+  h.Observe(100);  // alone in its bucket: representative capped at max
+  EXPECT_EQ(h.Percentile(0.5), 100);
+  EXPECT_EQ(h.Percentile(1.0), 100);
+}
+
+// The documented contract, against brute force: for every quantile, the
+// reported value r and the true order statistic t lie in the same bucket,
+// with lower(bucket) <= t <= r <= min(upper(bucket), max).
+TEST(HistogramTest, RandomizedPercentileBracketsBruteForce) {
+  std::mt19937_64 rng(20260807);  // fixed seed: failures reproduce
+  std::uniform_real_distribution<double> log_range(-2.0, 13.0);
+  for (int round = 0; round < 20; ++round) {
+    SCOPED_TRACE(round);
+    Histogram h;
+    std::vector<double> values;
+    const int n = 1 + static_cast<int>(rng() % 400);
+    values.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double v = std::pow(10.0, log_range(rng));
+      values.push_back(v);
+      h.Observe(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      SCOPED_TRACE(q);
+      const std::size_t rank = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(q * static_cast<double>(values.size()))));
+      const double truth = values[rank - 1];
+      const double reported = h.Percentile(q);
+      const int bucket = HistogramBuckets::BucketFor(truth);
+      EXPECT_LE(truth, reported);
+      EXPECT_LE(reported,
+                std::min(HistogramBuckets::UpperBound(bucket), values.back()));
+      EXPECT_GE(reported, HistogramBuckets::LowerBound(bucket));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathix::obs

@@ -1,0 +1,105 @@
+// JsonWriter: the single escaping/comma authority behind every JSON
+// artifact the project writes. These tests pin the exact output bytes —
+// downstream parsers (obs_smoke.py, bench_trend.py) rely on them.
+
+#include "obs/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pathix::obs {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .Value("bench_online")
+      .Key("ops")
+      .Value(std::uint64_t{12000})
+      .Key("ok")
+      .Value(true)
+      .EndObject();
+  EXPECT_EQ(w.str(), R"({"name":"bench_online","ops":12000,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("xs")
+      .BeginArray()
+      .Value(1)
+      .Value(2)
+      .BeginObject()
+      .Key("y")
+      .Null()
+      .EndObject()
+      .EndArray()
+      .Key("empty")
+      .BeginArray()
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2,{"y":null}],"empty":[]})");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndValues) {
+  JsonWriter w;
+  w.BeginObject().Key("a\"b\\c").Value("line\nbreak\ttab\x01z").EndObject();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\\\\c\":\"line\\nbreak\\ttab\\u0001z\"}");
+}
+
+TEST(JsonWriterTest, Utf8PassesThrough) {
+  JsonWriter w;
+  w.BeginArray().Value("naïve — ok").EndArray();
+  EXPECT_EQ(w.str(), "[\"naïve — ok\"]");
+}
+
+TEST(JsonWriterTest, DoubleRendering) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(0.0)
+      .Value(3.0)  // integral double: no exponent, no decimal point
+      .Value(-17.0)
+      .Value(0.5)
+      .Value(std::numeric_limits<double>::infinity())
+      .Value(std::nan(""))
+      .EndArray();
+  EXPECT_EQ(w.str(), "[0,3,-17,0.5,null,null]");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsThroughShortestForm) {
+  const double v = 0.1 + 0.2;  // classic non-representable sum
+  JsonWriter w;
+  w.BeginArray().Value(v).EndArray();
+  const std::string s = w.str();
+  const double parsed = std::stod(s.substr(1, s.size() - 2));
+  EXPECT_EQ(parsed, v);
+}
+
+TEST(JsonWriterTest, SignedIntegers) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::int64_t{-9007199254740993})
+      .Value(std::uint64_t{18446744073709551615u})
+      .EndArray();
+  EXPECT_EQ(w.str(), "[-9007199254740993,18446744073709551615]");
+}
+
+TEST(JsonWriterTest, RootScalar) {
+  JsonWriter w;
+  w.Value("just a string");
+  EXPECT_EQ(w.str(), "\"just a string\"");
+}
+
+TEST(JsonWriterTest, AppendEscapedAllControls) {
+  std::string out;
+  JsonWriter::AppendEscaped(&out, std::string_view("\b\f\n\r\t\x1f", 6));
+  EXPECT_EQ(out, "\\b\\f\\n\\r\\t\\u001f");
+}
+
+}  // namespace
+}  // namespace pathix::obs

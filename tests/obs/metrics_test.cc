@@ -1,0 +1,151 @@
+// MetricsRegistry semantics (stable handles, label normalization,
+// snapshots) and the two exporters. The Prometheus assertions pin the
+// exposition-format details a scraper depends on: TYPE lines, sanitized
+// names, escaped label values, cumulative buckets with a +Inf terminator.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace pathix::obs {
+namespace {
+
+TEST(CounterTest, IncrementIgnoresNonPositiveDeltas) {
+  Counter c;
+  c.Increment();
+  c.Increment(2.5);
+  c.Increment(0);
+  c.Increment(-10);
+  EXPECT_DOUBLE_EQ(c.Value(), 3.5);
+  c.MirrorTo(42);
+  EXPECT_DOUBLE_EQ(c.Value(), 42);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_DOUBLE_EQ(g.Value(), 7);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter& a = reg.CounterAt("ops", {{"kind", "query"}});
+  Counter& b = reg.CounterAt("ops", {{"kind", "query"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.CounterAt("ops", {{"kind", "insert"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter& a = reg.CounterAt("ops", {{"kind", "query"}, {"path", "p"}});
+  Counter& b = reg.CounterAt("ops", {{"path", "p"}, {"kind", "query"}});
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  const MetricsSnapshot snap = reg.Snapshot();
+  // Find() sorts its argument too, so either spelling resolves.
+  EXPECT_EQ(snap.Value("ops", {{"path", "p"}, {"kind", "query"}}), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllTypes) {
+  MetricsRegistry reg;
+  reg.CounterAt("c").Increment(5);
+  reg.GaugeAt("g").Set(-2);
+  reg.HistogramAt("h").Observe(10);
+  reg.HistogramAt("h").Observe(20);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.Value("c"), 5);
+  EXPECT_EQ(snap.Value("g"), -2);
+  const MetricSample* h = snap.Find("h", {});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->type, MetricType::kHistogram);
+  EXPECT_EQ(h->histogram.count, 2u);
+  EXPECT_DOUBLE_EQ(h->histogram.sum, 30);
+}
+
+TEST(MetricsRegistryTest, SumOfAddsEverySeries) {
+  MetricsRegistry reg;
+  reg.CounterAt("ops", {{"kind", "a"}}).Increment(3);
+  reg.CounterAt("ops", {{"kind", "b"}}).Increment(4);
+  reg.HistogramAt("other").Observe(100);  // histograms excluded from SumOf
+  EXPECT_DOUBLE_EQ(reg.Snapshot().SumOf("ops"), 7);
+}
+
+TEST(PrometheusExportTest, CountersAndGauges) {
+  MetricsRegistry reg;
+  reg.CounterAt("pathix_ops_total", {{"kind", "query"}}).Increment(12);
+  reg.GaugeAt("pathix_live").Set(3);
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE pathix_live gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("pathix_live 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pathix_ops_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("pathix_ops_total{kind=\"query\"} 12\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, OneTypeLinePerFamily) {
+  MetricsRegistry reg;
+  reg.CounterAt("ops", {{"kind", "a"}}).Increment();
+  reg.CounterAt("ops", {{"kind", "b"}}).Increment();
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  const std::string type_line = "# TYPE ops counter\n";
+  const std::size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+}
+
+TEST(PrometheusExportTest, SanitizesNamesAndEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.CounterAt("2bad-name.metric", {{"path", "a\"b\\c\nd"}}).Increment();
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  // Leading digit and punctuation become '_'; the label value is escaped.
+  EXPECT_NE(text.find("_bad_name_metric{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, HistogramExposition) {
+  MetricsRegistry reg;
+  Histogram& h = reg.HistogramAt("lat", {{"kind", "q"}});
+  h.Observe(0.5);  // bucket 0 (le="1")
+  h.Observe(0.5);
+  h.Observe(3);    // le="3.25"
+  h.Observe(2e12); // past 2^40: saturation, only counted in +Inf
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{kind=\"q\",le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{kind=\"q\",le=\"3.25\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{kind=\"q\",le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_count{kind=\"q\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum{kind=\"q\"} 2000000000004\n"),
+            std::string::npos);
+}
+
+TEST(JsonExportTest, SnapshotRendersAndNests) {
+  MetricsRegistry reg;
+  reg.CounterAt("c", {{"k", "v"}}).Increment(2);
+  reg.HistogramAt("h").Observe(5);
+  JsonWriter w;
+  WriteMetricsJson(&w, reg.Snapshot());
+  const std::string json = w.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(
+      json.find(
+          R"({"name":"c","type":"counter","labels":{"k":"v"},"value":2})"),
+      std::string::npos);
+  EXPECT_NE(json.find(R"("name":"h","type":"histogram","count":1,"sum":5)"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"("buckets":[{"le":)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathix::obs

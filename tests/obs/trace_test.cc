@@ -1,0 +1,146 @@
+// ObsSpan/Tracer: B/E pairing (including across an enable toggle),
+// nesting order, args on end events, and the Trace Event JSON rendering
+// that chrome://tracing / Perfetto loads.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pathix::obs {
+namespace {
+
+std::vector<TraceEvent> Collect(Tracer* tracer,
+                                const std::function<void(Tracer*)>& body) {
+  tracer->SetEnabled(true);
+  body(tracer);
+  tracer->SetEnabled(false);
+  return tracer->Snapshot();
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer tracer;
+  {
+    ObsSpan span(&tracer, "noop", "test");
+    span.AddArg("x", 1.0);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, SpanEmitsBalancedBeginEnd) {
+  Tracer tracer;
+  const std::vector<TraceEvent> events = Collect(&tracer, [](Tracer* t) {
+    ObsSpan span(t, "work", "test");
+    EXPECT_TRUE(span.active());
+  });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[1].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST(TracerTest, NestedSpansCloseInLifoOrder) {
+  Tracer tracer;
+  const std::vector<TraceEvent> events = Collect(&tracer, [](Tracer* t) {
+    ObsSpan outer(t, "outer", "test");
+    {
+      ObsSpan inner(t, "inner", "test");
+    }
+    ObsSpan sibling(t, "sibling", "test");
+  });
+  ASSERT_EQ(events.size(), 6u);
+  const auto tag = [](const TraceEvent& e) {
+    return std::string(1, e.phase) + ":" + e.name;
+  };
+  EXPECT_EQ(tag(events[0]), "B:outer");
+  EXPECT_EQ(tag(events[1]), "B:inner");
+  EXPECT_EQ(tag(events[2]), "E:inner");
+  EXPECT_EQ(tag(events[3]), "B:sibling");
+  // Scope exit runs destructors in reverse construction order.
+  EXPECT_EQ(tag(events[4]), "E:sibling");
+  EXPECT_EQ(tag(events[5]), "E:outer");
+}
+
+TEST(TracerTest, SpanOpenAcrossDisableStillEnds) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  {
+    ObsSpan span(&tracer, "crossing", "test");
+    tracer.SetEnabled(false);
+  }
+  // The begin was recorded, so the end must be too — B/E stay balanced.
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  // And the converse: a span opened while disabled records nothing later.
+  tracer.Clear();
+  {
+    ObsSpan span(&tracer, "late", "test");
+    tracer.SetEnabled(true);
+  }
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, ArgsLandOnEndEvent) {
+  Tracer tracer;
+  const std::vector<TraceEvent> events = Collect(&tracer, [](Tracer* t) {
+    ObsSpan span(t, "commit", "test");
+    span.AddArg("modeled_pages", 128.0);
+    span.AddArg("config", "NIX(1,4)");
+  });
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].num_args.empty());
+  EXPECT_TRUE(events[0].str_args.empty());
+  ASSERT_EQ(events[1].num_args.size(), 1u);
+  EXPECT_EQ(events[1].num_args[0].first, "modeled_pages");
+  EXPECT_EQ(events[1].num_args[0].second, 128.0);
+  ASSERT_EQ(events[1].str_args.size(), 1u);
+  EXPECT_EQ(events[1].str_args[0].second, "NIX(1,4)");
+}
+
+TEST(TracerTest, TraceEventJsonShape) {
+  Tracer tracer;
+  Collect(&tracer, [](Tracer* t) {
+    ObsSpan span(t, "solve \"quoted\"", "controller");
+    span.AddArg("pages", 42.0);
+  });
+  const std::string json = tracer.ToTraceEventJson();
+  // Document envelope and one B/E pair with escaped name.
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"name\":\"solve \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"controller\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"pages\":42}"), std::string::npos);
+}
+
+TEST(TracerTest, EmptyTracerStillRendersValidDocument) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.ToTraceEventJson(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(TracerTest, CurrentThreadIdIsStablePerThread) {
+  const int here = Tracer::CurrentThreadId();
+  EXPECT_EQ(Tracer::CurrentThreadId(), here);
+  int other = -1;
+  std::thread t([&other] { other = Tracer::CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other, here);
+}
+
+}  // namespace
+}  // namespace pathix::obs
