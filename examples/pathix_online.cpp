@@ -23,26 +23,38 @@
 //                        controller's reconfiguration event log
 //   --trace-out=FILE     span trace of the online run in Trace Event
 //                        Format — loads in chrome://tracing / Perfetto
+//   --decisions-out=FILE decision ledger (JSONL): one meta line, one
+//                        structured record per drift check (workload
+//                        snapshot, scored candidates with why-not margins,
+//                        the hysteresis inequality modeled and measured,
+//                        verdict), one phase_summary per phase — render
+//                        with pathix_explain
 //
 // Whenever any of these is given, the online run's metric counter deltas
 // (final snapshot minus the post-populate baseline) are reconciled exactly
 // against the replayer's per-phase operation tallies; a mismatch is an
-// error (exit 1).
+// error (exit 1). A decision ledger is additionally reconciled against the
+// controller: its commit verdicts must match the committed
+// reconfiguration count.
 //
 // Exit status: 0 when the online run beats the best (budget-feasible)
 // static configuration and stays within 2x of the oracle (the acceptance
 // envelope), 1 on error, 2 when the envelope is missed.
 
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/decision_log.h"
 #include "obs/export.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "online/decision_record.h"
 #include "online/event_json.h"
 #include "online/experiment.h"
 #include "online/joint_experiment.h"
@@ -136,11 +148,13 @@ struct ObsFlags {
   std::string metrics_out;   ///< --metrics-out=FILE (Prometheus text)
   std::string metrics_json;  ///< --metrics-json=FILE (snapshot + events)
   std::string trace_out;     ///< --trace-out=FILE (Trace Event JSON)
+  std::string decisions_out;  ///< --decisions-out=FILE (JSONL ledger)
+  std::string spec_label;     ///< spec path (or the embedded-demo label)
   bool print_summary = false;  ///< --metrics
 
   bool any() const {
     return print_summary || !metrics_out.empty() || !metrics_json.empty() ||
-           !trace_out.empty();
+           !trace_out.empty() || !decisions_out.empty();
   }
 };
 
@@ -276,6 +290,125 @@ void PrintMetricsSummary(const pathix::TraceSpec& s,
               {{"kind", "measured"}}));
 }
 
+// ------------------------------------------------------- decision ledger
+
+// One labeled percentile row of a phase_summary table, from the windowed
+// (DeltaSince) histogram sample. Rows with no observations are skipped.
+void AppendPhaseStat(const pathix::obs::MetricsSnapshot& window,
+                     const char* family, pathix::obs::MetricLabels labels,
+                     const std::string& label,
+                     std::vector<pathix::LedgerPhaseStat>* rows) {
+  const pathix::obs::MetricSample* sample =
+      window.Find(family, std::move(labels));
+  if (sample == nullptr || sample->histogram.count == 0) return;
+  const pathix::obs::HistogramData& h = sample->histogram;
+  pathix::LedgerPhaseStat row;
+  row.label = label;
+  row.count = h.count;
+  row.p50 = h.Percentile(0.50);
+  row.p90 = h.Percentile(0.90);
+  row.p99 = h.Percentile(0.99);
+  row.max = h.max;
+  rows->push_back(std::move(row));
+}
+
+/// Assembles and writes the JSONL decision ledger: the meta line, every
+/// phase's decision records (already phase-stamped by the replayer), and a
+/// phase_summary per phase whose percentile tables come from the windowed
+/// snapshot deltas. Cross-checks the ledger's commit verdicts against the
+/// controller's committed reconfiguration count; returns false on mismatch
+/// or an unwritable file.
+template <typename Report>
+bool EmitDecisionLedger(const pathix::TraceSpec& s, const Report& r,
+                        const char* mode, const ObsFlags& flags) {
+  using namespace pathix;
+  const ControllerOptions opts;  // what the runners were handed (defaults)
+
+  LedgerMeta meta;
+  meta.mode = mode;
+  meta.spec = flags.spec_label;
+  meta.theta = opts.hysteresis;
+  meta.horizon_ops = opts.horizon_ops;
+  meta.half_life_ops = opts.half_life_ops;
+  meta.warmup_ops = opts.warmup_ops;
+  meta.check_interval_ops = opts.check_interval_ops;
+  meta.storage_budget_bytes =
+      s.has_budget ? s.storage_budget_bytes
+                   : std::numeric_limits<double>::infinity();
+  meta.decision_top_k = opts.decision_top_k;
+  for (const TracePath& tp : s.paths) {
+    meta.paths.push_back(tp.id + ": " + tp.path.ToString(s.schema));
+  }
+  for (const TracePhase& phase : s.phases) meta.phases.push_back(phase.name);
+
+  obs::DecisionLog log;
+  WriteLedgerMeta(&log, meta);
+
+  std::uint64_t commit_verdicts = 0;
+  std::uint64_t records_retained = 0;
+  std::uint64_t records_captured = 0;
+  int reconfigurations = 0;
+  for (std::size_t i = 0; i < r.online.phases.size(); ++i) {
+    const PhaseReport& p = r.online.phases[i];
+    for (const DecisionRecord& rec : p.decisions) {
+      WriteDecisionRecord(&log, rec);
+      if (rec.verdict == "install" || rec.verdict == "switch") {
+        ++commit_verdicts;
+      }
+    }
+    records_retained += p.decisions.size();
+    records_captured += p.decisions_captured;
+    reconfigurations += p.reconfigurations;
+
+    const obs::MetricsSnapshot window = r.online_phase_metrics[i].DeltaSince(
+        i == 0 ? r.online_metrics_baseline : r.online_phase_metrics[i - 1]);
+    LedgerPhaseSummary summary;
+    summary.phase = p.name;
+    summary.ops = p.ops;
+    summary.pages = p.pages;
+    summary.reconfigurations = p.reconfigurations;
+    summary.decisions = p.decisions_captured;
+    summary.transition_pages = p.transition_pages;
+    summary.measured_transition_pages = p.measured_transition_pages;
+    for (const TracePath& tp : s.paths) {
+      AppendPhaseStat(window, "pathix_db_op_latency_us",
+                      {{"kind", "query"}, {"path", tp.id}}, "query:" + tp.id,
+                      &summary.latency_us);
+      AppendPhaseStat(window, "pathix_db_op_pages",
+                      {{"kind", "query"}, {"path", tp.id}}, "query:" + tp.id,
+                      &summary.op_pages);
+    }
+    for (const char* kind : {"insert", "delete"}) {
+      AppendPhaseStat(window, "pathix_db_op_latency_us", {{"kind", kind}},
+                      kind, &summary.latency_us);
+      AppendPhaseStat(window, "pathix_db_op_pages", {{"kind", kind}}, kind,
+                      &summary.op_pages);
+    }
+    AppendPhaseStat(window, "pathix_advisor_resolve_duration_us",
+                    {{"controller", mode}}, "re_solve", &summary.latency_us);
+    WriteLedgerPhaseSummary(&log, summary);
+  }
+
+  // The ledger must tell the same story as the controller: one commit
+  // verdict per committed reconfiguration. Only checkable when the bounded
+  // ledger evicted nothing (every captured record is still retained).
+  if (records_retained == records_captured &&
+      commit_verdicts != static_cast<std::uint64_t>(reconfigurations)) {
+    std::fprintf(stderr,
+                 "decision ledger cross-check FAILED: %llu commit verdicts "
+                 "!= %d committed reconfigurations\n",
+                 static_cast<unsigned long long>(commit_verdicts),
+                 reconfigurations);
+    return false;
+  }
+  std::printf("decision ledger cross-check: ok (%llu commit verdicts == %d "
+              "reconfigurations; %llu records)\n",
+              static_cast<unsigned long long>(commit_verdicts),
+              reconfigurations,
+              static_cast<unsigned long long>(log.records()));
+  return WriteFileOrWarn(flags.decisions_out, log.str(), "decisions");
+}
+
 /// Everything the observability flags ask for, for either report flavor
 /// (\p Report is ExperimentReport or JointExperimentReport — both carry the
 /// snapshots, and WriteEventLog overloads on the event type). Returns
@@ -307,6 +440,10 @@ bool EmitObservability(const pathix::TraceSpec& s, const Report& r,
     if (!WriteFileOrWarn(flags.metrics_json, w.str() + "\n", "metrics-json")) {
       return false;
     }
+  }
+  if (!flags.decisions_out.empty() &&
+      !EmitDecisionLedger(s, r, mode, flags)) {
+    return false;
   }
   if (!flags.trace_out.empty()) {
     const obs::Tracer& tracer = obs::GlobalTracer();
@@ -488,10 +625,13 @@ int main(int argc, char** argv) {
       flags.metrics_json = json_file;
     } else if (const char* trace_file = flag_value("--trace-out=")) {
       flags.trace_out = trace_file;
+    } else if (const char* ledger_file = flag_value("--decisions-out=")) {
+      flags.decisions_out = ledger_file;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "error: unknown flag " << arg
                 << " (known: --metrics, --metrics-out=FILE, "
-                   "--metrics-json=FILE, --trace-out=FILE)\n";
+                   "--metrics-json=FILE, --trace-out=FILE, "
+                   "--decisions-out=FILE)\n";
       return 1;
     } else if (spec_file.empty()) {
       spec_file = arg;
@@ -512,6 +652,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const TraceSpec& s = spec.value();
+  flags.spec_label = spec_file.empty() ? "<embedded demo>" : spec_file;
   if (spec_file.empty()) {
     std::cout << "(no spec file given; using the embedded demo — pass a "
                  "trace .pix file, e.g. examples/specs/"

@@ -12,7 +12,12 @@ Runs the binary on a trace spec with every export flag, then checks:
     the Prometheus rendering;
   * the trace JSON parses, is non-empty, and every thread's B/E events
     form a properly nested span stack (what chrome://tracing requires);
-  * the expected span names from the online reconfiguration stack appear.
+  * the expected span names from the online reconfiguration stack appear;
+  * the decision ledger JSONL parses line by line, starts with a schema-
+    versioned meta record, every decision record carries the full audit
+    schema (workload, search stats, candidates, both hysteresis sides),
+    and its install/switch verdict count equals both the metrics-JSON
+    event list and pathix_controller_reconfigurations_total.
 
 Usage: obs_smoke.py <pathix_online-binary> <trace.pix>
 """
@@ -40,7 +45,18 @@ EXPECTED_FAMILIES = [
     "pathix_monitor_ops_observed_total",
     "pathix_controller_checks_total",
     "pathix_controller_transition_pages_total",
+    "pathix_advisor_nodes_explored_total",
+    "pathix_advisor_resolve_duration_us_bucket",
 ]
+
+LEDGER_SCHEMA_VERSION = 1
+DECISION_KEYS = ("check", "op_index", "controller", "phase", "verdict",
+                 "hold_reason", "workload", "search", "candidates",
+                 "hysteresis")
+HYSTERESIS_KEYS = ("evaluated", "current_cost_per_op", "best_cost_per_op",
+                   "savings_per_op", "horizon_ops", "theta", "lhs_pages",
+                   "modeled", "rhs_modeled_pages", "measured",
+                   "rhs_measured_pages", "passed")
 
 
 def fail(message):
@@ -158,6 +174,78 @@ def check_trace(path):
     return names
 
 
+def check_ledger(path, metrics_doc, prom_samples):
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        fail("decision ledger is empty")
+    records = []
+    for i, line in enumerate(lines, 1):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            fail(f"ledger line {i} is not valid JSON: {err}")
+    meta = records[0]
+    if meta.get("type") != "meta":
+        fail("ledger does not start with a meta record")
+    if meta.get("schema_version") != LEDGER_SCHEMA_VERSION:
+        fail(f"ledger schema_version {meta.get('schema_version')} != "
+             f"{LEDGER_SCHEMA_VERSION}")
+    for key in ("mode", "spec", "options", "paths", "phases"):
+        if key not in meta:
+            fail(f"ledger meta missing key {key!r}")
+    commit_verdicts = 0
+    decisions = 0
+    phase_summaries = 0
+    for i, rec in enumerate(records[1:], 2):
+        kind = rec.get("type")
+        if kind == "phase_summary":
+            phase_summaries += 1
+            for key in ("phase", "ops", "pages", "reconfigurations",
+                        "decisions", "latency_us", "op_pages"):
+                if key not in rec:
+                    fail(f"ledger line {i}: phase_summary missing {key!r}")
+            continue
+        if kind != "decision":
+            fail(f"ledger line {i}: unexpected record type {kind!r}")
+        decisions += 1
+        for key in DECISION_KEYS:
+            if key not in rec:
+                fail(f"ledger line {i}: decision missing {key!r}")
+        hyst = rec["hysteresis"]
+        for key in HYSTERESIS_KEYS:
+            if key not in hyst:
+                fail(f"ledger line {i}: hysteresis missing {key!r}")
+        verdict = rec["verdict"]
+        if verdict in ("install", "switch"):
+            commit_verdicts += 1
+            if hyst["measured"] is None:
+                fail(f"ledger line {i}: committed decision has no measured "
+                     "hysteresis side")
+            if not rec["candidates"]:
+                fail(f"ledger line {i}: committed decision has no candidates")
+        elif verdict == "hold":
+            if not rec["hold_reason"]:
+                fail(f"ledger line {i}: hold without a hold_reason")
+        else:
+            fail(f"ledger line {i}: unknown verdict {verdict!r}")
+    if decisions == 0:
+        fail("ledger has no decision records")
+    if phase_summaries != len(meta["phases"]):
+        fail(f"{phase_summaries} phase summaries for "
+             f"{len(meta['phases'])} phases")
+    # The same reconfiguration count must be visible in all three exports.
+    events = len(metrics_doc["events"])
+    if commit_verdicts != events:
+        fail(f"ledger commit verdicts {commit_verdicts} != metrics-JSON "
+             f"events {events}")
+    recon = sum(v for (name, _), v in prom_samples.items()
+                if name == "pathix_controller_reconfigurations_total")
+    if commit_verdicts != recon:
+        fail(f"ledger commit verdicts {commit_verdicts} != "
+             f"pathix_controller_reconfigurations_total {recon}")
+    return decisions
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} <pathix_online> <trace.pix>")
@@ -166,11 +254,13 @@ def main():
         metrics_out = str(Path(tmp) / "metrics.prom")
         metrics_json = str(Path(tmp) / "metrics.json")
         trace_out = str(Path(tmp) / "trace.json")
+        decisions_out = str(Path(tmp) / "decisions.jsonl")
         proc = subprocess.run(
             [binary, spec, "--metrics",
              f"--metrics-out={metrics_out}",
              f"--metrics-json={metrics_json}",
-             f"--trace-out={trace_out}"],
+             f"--trace-out={trace_out}",
+             f"--decisions-out={decisions_out}"],
             capture_output=True, text=True)
         sys.stdout.write(proc.stdout)
         sys.stderr.write(proc.stderr)
@@ -180,10 +270,14 @@ def main():
             fail(f"pathix_online exited {proc.returncode}")
         if "metrics cross-check: ok" not in proc.stdout:
             fail("exact counters-vs-replay cross-check line missing")
+        if "decision ledger cross-check: ok" not in proc.stdout:
+            fail("decision ledger cross-check line missing")
         prom = check_prometheus(Path(metrics_out).read_text())
-        check_metrics_json(metrics_json, prom)
+        doc = check_metrics_json(metrics_json, prom)
         names = check_trace(trace_out)
+        decisions = check_ledger(decisions_out, doc, prom)
     print(f"obs_smoke: ok ({len(prom)} Prometheus series, "
+          f"{decisions} ledgered decisions, "
           f"span names: {', '.join(sorted(names))})")
 
 

@@ -176,6 +176,24 @@ class JointSearcher {
 
   void Run() { Recurse(0, 0, 0); }
 
+  /// Prices one concrete assignment under the shared accounting without
+  /// touching the incumbent (Apply + full Unwind — the same arithmetic
+  /// Seed uses). For alternative scoring after the search.
+  std::pair<double, double> Evaluate(const std::vector<int>& choice) {
+    double cost = 0;
+    double storage = 0;
+    for (std::size_t i = 0; i < choice.size(); ++i) {
+      cost += Apply(configs_[i][static_cast<std::size_t>(choice[i])],
+                    &storage);
+    }
+    Unwind(0);
+    return {cost, storage};
+  }
+
+  /// The admissible root bound (suffix bound over all paths); valid in
+  /// both modes since the ctor always computes it.
+  double root_lower_bound() const { return suffix_lb_.front(); }
+
   bool found() const { return !best_choice_.empty(); }
   double best_cost() const { return best_cost_; }
   double best_storage() const { return best_storage_; }
@@ -316,11 +334,9 @@ Result<JointSelectionResult> SelectJointConfiguration(
       break;
   }
 
-  JointSearcher searcher(pool, configs, options, /*use_bound=*/!exhaustive);
-  if (!exhaustive) {
-    // Greedy seed: each path's standalone optimum. Evaluating it under the
-    // shared accounting reproduces the greedy merge's total, so the result
-    // can only improve on it.
+  // Greedy assignment: each path's standalone optimum. Evaluating it under
+  // the shared accounting reproduces the greedy merge's total.
+  const auto greedy_choice = [&configs] {
     std::vector<int> greedy(configs.size());
     for (std::size_t i = 0; i < configs.size(); ++i) {
       std::size_t best = 0;
@@ -329,7 +345,17 @@ Result<JointSelectionResult> SelectJointConfiguration(
       }
       greedy[i] = static_cast<int>(best);
     }
-    searcher.Seed(greedy);
+    return greedy;
+  };
+
+  JointSearcher searcher(pool, configs, options, /*use_bound=*/!exhaustive);
+  if (!exhaustive) {
+    // Seed the incumbent with the greedy assignment, so the result can only
+    // improve on it. Exhaustive mode stays unseeded: pre-setting the
+    // incumbent would change which cost-tied assignment wins (leaves accept
+    // on strict improvement only), and the exhaustive pick is the tests'
+    // ground truth.
+    searcher.Seed(greedy_choice());
   }
   searcher.Run();
 
@@ -347,6 +373,52 @@ Result<JointSelectionResult> SelectJointConfiguration(
   result.nodes_explored = searcher.explored();
   result.nodes_pruned = searcher.pruned();
   result.used_branch_and_bound = !exhaustive;
+  for (const std::vector<PerPathConfig>& path_configs : configs) {
+    result.configs_enumerated += static_cast<long>(path_configs.size());
+  }
+  result.lower_bound = searcher.root_lower_bound();
+
+  if (options.capture_alternatives > 0) {
+    const auto [greedy_cost, greedy_storage] =
+        searcher.Evaluate(greedy_choice());
+    result.has_greedy_seed = true;
+    result.greedy_cost = greedy_cost;
+    result.greedy_storage_bytes = greedy_storage;
+    result.greedy_feasible =
+        greedy_storage <= options.storage_budget_bytes + kBytesEps;
+
+    // Score every single-config swap against the chosen assignment. The
+    // enumeration order is deterministic and the sort stable, so the
+    // captured list is byte-stable across runs (the decision ledger's
+    // determinism contract).
+    std::vector<int> swapped = searcher.best_choice();
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const int chosen_c = swapped[i];
+      for (std::size_t c = 0; c < configs[i].size(); ++c) {
+        if (static_cast<int>(c) == chosen_c) continue;
+        swapped[i] = static_cast<int>(c);
+        const auto [cost, storage] = searcher.Evaluate(swapped);
+        JointCandidateScore alt;
+        alt.path_index = static_cast<int>(i);
+        alt.config = configs[i][c].config;
+        alt.total_cost = cost;
+        alt.total_storage_bytes = storage;
+        alt.within_budget = storage <= options.storage_budget_bytes + kBytesEps;
+        result.alternatives.push_back(std::move(alt));
+      }
+      swapped[i] = chosen_c;
+    }
+    std::stable_sort(result.alternatives.begin(), result.alternatives.end(),
+                     [](const JointCandidateScore& a,
+                        const JointCandidateScore& b) {
+                       return a.total_cost < b.total_cost;
+                     });
+    if (result.alternatives.size() >
+        static_cast<std::size_t>(options.capture_alternatives)) {
+      result.alternatives.resize(
+          static_cast<std::size_t>(options.capture_alternatives));
+    }
+  }
 
   // Re-derive the per-path selections and the distinct chosen indexes.
   std::set<int> distinct;

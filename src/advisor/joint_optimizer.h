@@ -55,6 +55,14 @@ struct JointOptions {
   /// beyond it fails with FailedPrecondition (shorten the path or trim the
   /// candidate organizations).
   long max_configs_per_path = 500000;
+
+  /// Number of scored alternative assignments captured into
+  /// JointSelectionResult::alternatives (plus greedy-seed quality stats):
+  /// each alternative is the chosen assignment with exactly one path's
+  /// configuration swapped, re-priced under the shared accounting. 0 (the
+  /// default) skips the extra evaluation entirely — the search itself is
+  /// unchanged either way.
+  int capture_alternatives = 0;
 };
 
 /// The configuration chosen for one workload path.
@@ -71,6 +79,19 @@ struct ChosenIndex {
   double charged_maintain = 0;    ///< the (single) maintenance charge
 };
 
+/// One scored alternative assignment (JointOptions::capture_alternatives):
+/// the chosen assignment with \p path_index's configuration swapped to
+/// \p config, everything else fixed, re-priced under the same shared
+/// accounting the search optimizes. total_cost - the chosen total_cost is
+/// the candidate's why-not margin.
+struct JointCandidateScore {
+  int path_index = -1;
+  IndexConfiguration config;
+  double total_cost = 0;
+  double total_storage_bytes = 0;
+  bool within_budget = true;
+};
+
 struct JointSelectionResult {
   std::vector<JointPathSelection> per_path;  ///< one per workload path
   std::vector<ChosenIndex> chosen;           ///< distinct physical indexes
@@ -79,6 +100,22 @@ struct JointSelectionResult {
   long nodes_explored = 0;
   long nodes_pruned = 0;
   bool used_branch_and_bound = false;
+  /// Total enumerated per-path configurations (the search space's width).
+  long configs_enumerated = 0;
+  /// Admissible root lower bound: sum over paths of the cheapest
+  /// maintenance-discounted per-path cost. total_cost >= lower_bound always;
+  /// the gap is how loose the bound was on this instance.
+  double lower_bound = 0;
+  /// Single-swap alternatives, cheapest first, capped at
+  /// capture_alternatives (empty when capturing is off).
+  std::vector<JointCandidateScore> alternatives;
+  /// Greedy-seed quality (capture_alternatives > 0 only): each path's
+  /// standalone optimum, priced under the shared accounting — what the
+  /// search improved on.
+  bool has_greedy_seed = false;
+  double greedy_cost = 0;
+  double greedy_storage_bytes = 0;
+  bool greedy_feasible = false;
 };
 
 /// Selects one configuration per path over the pool. Fails with

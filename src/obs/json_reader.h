@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file json_reader.h
+/// \brief Minimal JSON parser: the reading counterpart of json_writer.h.
+///
+/// Everything the project emits goes through JsonWriter; pathix_explain
+/// (and tests round-tripping ledgers) must read it back without an external
+/// dependency. The parser builds a plain DOM — null/bool/number/string/
+/// array/object, object members in document order — and accepts exactly
+/// the JSON the writer produces (full RFC 8259 syntax; numbers parsed as
+/// double, which round-trips the writer's %.17g rendering bit-exactly).
+/// It never throws; malformed input returns InvalidArgument with the byte
+/// offset of the problem.
+
+namespace pathix::obs {
+
+/// \brief One parsed JSON value.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& array() const { return array_; }
+  /// Members in document order (the writer emits deterministic order, so
+  /// consumers may rely on it for byte-stable rendering).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// The member named \p key, or nullptr (objects only; first match).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience lookups with fallbacks, for schema-tolerant readers.
+  double NumberAt(std::string_view key, double fallback = 0) const;
+  bool BoolAt(std::string_view key, bool fallback = false) const;
+  /// The string member \p key, or \p fallback when absent / not a string.
+  std::string StringAt(std::string_view key,
+                       std::string_view fallback = "") const;
+
+  /// True when the object has a member \p key (of any type, null included).
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses \p text as exactly one JSON document (leading/trailing whitespace
+/// allowed, trailing garbage is an error — JSONL callers split on newlines
+/// first).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace pathix::obs

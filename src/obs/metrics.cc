@@ -56,6 +56,37 @@ double HistogramData::Percentile(double q) const {
   return max;  // unreachable for consistent data
 }
 
+HistogramData HistogramData::DeltaSince(const HistogramData& earlier) const {
+  PATHIX_DCHECK(count >= earlier.count &&
+                "DeltaSince wants an earlier snapshot of the same histogram");
+  HistogramData delta;
+  if (count <= earlier.count) return delta;  // empty window
+  delta.count = count - earlier.count;
+  delta.sum = sum - earlier.sum;
+  delta.buckets.assign(HistogramBuckets::kBucketCount, 0);
+  int first = -1;
+  int last = -1;
+  for (int b = 0; b < HistogramBuckets::kBucketCount; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    const std::uint64_t before =
+        i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    const std::uint64_t now = i < buckets.size() ? buckets[i] : 0;
+    PATHIX_DCHECK(now >= before);
+    delta.buckets[i] = now - before;
+    if (delta.buckets[i] > 0) {
+      if (first < 0) first = b;
+      last = b;
+    }
+  }
+  // The window's exact extremes are gone; bracket them with the occupied
+  // buckets' bounds. The all-time max still caps the upper end (it is
+  // >= every windowed observation), which keeps Percentile()'s "never
+  // above the exact max" property intact for the delta.
+  delta.min = HistogramBuckets::LowerBound(first);
+  delta.max = std::min(max, HistogramBuckets::UpperBound(last));
+  return delta;
+}
+
 void Histogram::Observe(double value) {
   const int bucket = HistogramBuckets::BucketFor(value);
   MutexLock lock(&mu_);
@@ -102,6 +133,30 @@ double MetricsSnapshot::SumOf(std::string_view name) const {
     if (s.name == name && s.type != MetricType::kHistogram) total += s.value;
   }
   return total;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  delta.samples.reserve(samples.size());
+  for (const MetricSample& now : samples) {
+    const MetricSample* before = earlier.Find(now.name, now.labels);
+    MetricSample d = now;
+    if (before != nullptr) {
+      switch (now.type) {
+        case MetricType::kCounter:
+          d.value = now.value - before->value;
+          break;
+        case MetricType::kGauge:
+          break;  // point-in-time: the current value *is* the window's view
+        case MetricType::kHistogram:
+          d.histogram = now.histogram.DeltaSince(before->histogram);
+          break;
+      }
+    }
+    delta.samples.push_back(std::move(d));
+  }
+  return delta;
 }
 
 MetricsRegistry::Series& MetricsRegistry::SeriesAt(std::string_view name,

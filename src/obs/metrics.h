@@ -123,6 +123,14 @@ struct HistogramData {
   /// [1, count]), bracketed within the rank's bucket, exact for the
   /// saturation bucket and never above the exact max. 0 when empty.
   double Percentile(double q) const;
+
+  /// The observations made after \p earlier was taken: bucket-wise and
+  /// count/sum subtraction (\p earlier must be an earlier snapshot of the
+  /// *same* histogram, DCHECKed via the count). min/max degrade to bucket
+  /// bounds — the exact extremes of just the window are not recoverable —
+  /// except that max never exceeds the all-time exact max. An empty delta
+  /// is a default HistogramData (count 0, empty buckets).
+  HistogramData DeltaSince(const HistogramData& earlier) const;
 };
 
 /// \brief Log-bucketed distribution of latencies or sizes.
@@ -183,6 +191,15 @@ struct MetricsSnapshot {
   double Value(std::string_view name, MetricLabels labels = {}) const;
   /// Sum of every series of family \p name (counters/gauges).
   double SumOf(std::string_view name) const;
+
+  /// The windowed view between \p earlier and this snapshot (both of the
+  /// same registry, \p earlier taken first): counters subtract, histograms
+  /// subtract bucket-wise (HistogramData::DeltaSince), gauges keep their
+  /// current (point-in-time) value. Series absent from \p earlier are
+  /// taken whole; series that only exist in \p earlier are dropped. The
+  /// per-phase percentile tables (phase_summary ledger records) are built
+  /// from exactly this.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
 };
 
 /// \brief The process's (or one subsystem's) named metrics.

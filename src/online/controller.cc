@@ -1,8 +1,10 @@
 #include "online/controller.h"
 
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <set>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -66,7 +68,8 @@ ReconfigurationController::ReconfigurationController(SimDatabase* db,
       options_(std::move(options)),
       monitor_(options_.half_life_ops),
       selector_(options_.orgs),
-      events_(options_.max_event_log) {
+      events_(options_.max_event_log),
+      decisions_(options_.max_decision_log) {
   cadence_.Init(options_);
 }
 
@@ -103,27 +106,101 @@ bool ReconfigurationController::Check() {
   obs::ObsSpan check_span(&obs::GlobalTracer(), "drift_check", "controller");
   ++checks_;
 
+  // Every exit path of the check — hold or commit — lands this record on
+  // the decision ledger, so the audit trail has no gaps.
+  DecisionRecord rec;
+  rec.check_number = checks_;
+  rec.op_index = monitor_.ops_observed();
+  rec.controller = "single";
+  const auto hold = [&](const char* reason) {
+    rec.verdict = "hold";
+    rec.hold_reason = reason;
+    decisions_.Append(std::move(rec));
+    return false;
+  };
+
   // ANALYZE with per-class scoping: stable classes keep their statistics,
   // and an unchanged catalog keeps the selector's matrix cache hot, so a
   // drift check costs no model evaluations.
   analyzer_.Refresh(*db_, {path_}, options_);
 
   const LoadDistribution load = monitor_.EstimatedLoad();
-  if (monitor_.DecayedTotal() <= 0) return false;
+  if (monitor_.DecayedTotal() <= 0) return hold("no_traffic");
+  AppendLoadEntries(db_->schema(), "", load, &rec);
+  rec.naive_pages.push_back(
+      DecisionNaivePages{"", monitor_.MeasuredNaiveQueryPagesPerOp()});
 
   std::optional<obs::ObsSpan> solve_span;
   solve_span.emplace(&obs::GlobalTracer(), "re_solve", "controller");
+  const auto solve_start = std::chrono::steady_clock::now();
   Result<PathContext> ctx =
       PathContext::Build(db_->schema(), *path_, analyzer_.catalog(), load);
   if (!ctx.ok()) {
     status_ = ctx.status();
-    return false;
+    return hold("error");
   }
 
   const IndexConfiguration* current =
       db_->has_indexes(path_id_) ? &db_->physical(path_id_).config() : nullptr;
-  const OnlineSelection sel = selector_.Select(ctx.value(), current);
+  const OnlineSelection sel =
+      selector_.Select(ctx.value(), current, options_.decision_top_k);
+  const double solve_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - solve_start)
+          .count();
   solve_span.reset();  // the commit below is a sibling span, not a child
+
+  // Search effort, into the ledger (deterministic) and the metrics
+  // (the re-solve duration is wall-clock, so it lives *only* here).
+  obs::MetricsRegistry& metrics = db_->metrics();
+  metrics
+      .CounterAt("pathix_advisor_nodes_explored_total",
+                 {{"controller", "single"}})
+      .Increment(static_cast<double>(sel.best.evaluated));
+  metrics
+      .CounterAt("pathix_advisor_nodes_pruned_total",
+                 {{"controller", "single"}})
+      .Increment(static_cast<double>(sel.best.pruned));
+  metrics
+      .HistogramAt("pathix_advisor_resolve_duration_us",
+                   {{"controller", "single"}})
+      .Observe(solve_us);
+  rec.search.nodes_explored = sel.best.evaluated;
+  rec.search.nodes_pruned = sel.best.pruned;
+  // Width of the recombination space the per-path problem ranges over.
+  const int path_n = path_->length();
+  rec.search.configs_enumerated =
+      path_n > 0 && path_n <= 63 ? 1L << (path_n - 1) : 0;
+
+  // The scored candidate list: the DP optimum first, then the enumerated
+  // top-K (skipping the optimum's duplicate entry).
+  const std::string current_rendered =
+      current != nullptr ? current->ToString(db_->schema(), *path_) : "";
+  {
+    DecisionCandidate best_cand;
+    best_cand.path = path_id_;
+    best_cand.config = sel.best.config.ToString(db_->schema(), *path_);
+    best_cand.cost_per_op = sel.best.cost;
+    best_cand.chosen = true;
+    best_cand.current = current != nullptr && sel.best.config == *current;
+    rec.candidates.push_back(std::move(best_cand));
+  }
+  for (const ScoredConfiguration& alt : sel.alternatives) {
+    if (alt.config == sel.best.config) continue;
+    DecisionCandidate cand;
+    cand.path = path_id_;
+    cand.config = alt.config.ToString(db_->schema(), *path_);
+    cand.cost_per_op = alt.cost;
+    cand.cost_delta = alt.cost - sel.best.cost;
+    cand.current = current != nullptr && alt.config == *current;
+    cand.why_not = "costlier";
+    rec.candidates.push_back(std::move(cand));
+  }
+
+  DecisionHysteresis& hyst = rec.hysteresis;
+  hyst.horizon_ops = options_.horizon_ops;
+  hyst.theta = options_.hysteresis;
+  hyst.best_cost_per_op = sel.best.cost;
 
   if (current == nullptr) {
     // Initial install — hysteresis-gated like any other transition: the
@@ -132,18 +209,26 @@ bool ReconfigurationController::Check() {
     // does not price index-less evaluation, the pager does).
     const double current_cost = monitor_.MeasuredNaiveQueryPagesPerOp();
     const double savings = current_cost - sel.best.cost;
-    if (savings <= 0) return false;
+    hyst.current_cost_per_op = current_cost;
+    hyst.current_is_measured_naive = true;
+    hyst.savings_per_op = savings;
+    if (savings <= 0) return hold("no_savings");
     const TransitionCost transition = EstimateTransitionCost(
         ctx.value(), db_->store(), nullptr, sel.best.config);
-    if (savings * options_.horizon_ops <=
-        options_.hysteresis * transition.total()) {
-      return false;
+    hyst.evaluated = true;
+    hyst.lhs_pages = savings * options_.horizon_ops;
+    hyst.modeled = transition;
+    hyst.rhs_modeled_pages = options_.hysteresis * transition.total();
+    if (hyst.lhs_pages <= hyst.rhs_modeled_pages) {
+      rec.candidates.front().why_not = "hysteresis";
+      return hold("hysteresis");
     }
+    hyst.passed = true;
     if (!db_->has_path(path_id_)) {
       const Status registered = db_->RegisterPath(path_id_, *path_);
       if (!registered.ok()) {
         status_ = registered;
-        return false;
+        return hold("error");
       }
     }
     obs::ObsSpan commit_span(&obs::GlobalTracer(), "reconfigure",
@@ -153,7 +238,7 @@ bool ReconfigurationController::Check() {
         db_->ConfigureIndexes(path_id_, sel.best.config);
     if (!installed.ok()) {
       status_ = installed;
-      return false;
+      return hold("error");
     }
     ReconfigurationEvent ev;
     ev.op_index = monitor_.ops_observed();
@@ -168,20 +253,32 @@ bool ReconfigurationController::Check() {
     commit_span.AddArg("initial", "true");
     commit_span.AddArg("modeled_pages", transition.total());
     commit_span.AddArg("measured_pages", ev.measured.total());
+    hyst.has_measured = true;
+    hyst.measured = ev.measured;
+    hyst.rhs_measured_pages = options_.hysteresis * ev.measured.total();
+    rec.verdict = "install";
+    decisions_.Append(std::move(rec));
     events_.Append(std::move(ev));
     return true;
   }
 
-  if (sel.best.config == *current) return false;
+  hyst.current_cost_per_op = sel.current_cost;
+  hyst.savings_per_op = sel.current_cost - sel.best.cost;
+  if (sel.best.config == *current) return hold("already_optimal");
   const double savings = sel.current_cost - sel.best.cost;
-  if (savings <= 0) return false;
+  if (savings <= 0) return hold("no_savings");
 
   const TransitionCost transition = EstimateTransitionCost(
       ctx.value(), db_->store(), &db_->physical(path_id_), sel.best.config);
-  if (savings * options_.horizon_ops <=
-      options_.hysteresis * transition.total()) {
-    return false;
+  hyst.evaluated = true;
+  hyst.lhs_pages = savings * options_.horizon_ops;
+  hyst.modeled = transition;
+  hyst.rhs_modeled_pages = options_.hysteresis * transition.total();
+  if (hyst.lhs_pages <= hyst.rhs_modeled_pages) {
+    rec.candidates.front().why_not = "hysteresis";
+    return hold("hysteresis");
   }
+  hyst.passed = true;
 
   ReconfigurationEvent ev;
   ev.op_index = monitor_.ops_observed();
@@ -195,7 +292,7 @@ bool ReconfigurationController::Check() {
   const Status switched = db_->ReconfigureIndexes(path_id_, sel.best.config);
   if (!switched.ok()) {
     status_ = switched;
-    return false;
+    return hold("error");
   }
   ev.measured = MeasuredTransitionCost(
       transition, db_->registry().cumulative_build_io() - built_before);
@@ -204,6 +301,11 @@ bool ReconfigurationController::Check() {
   commit_span.AddArg("initial", "false");
   commit_span.AddArg("modeled_pages", transition.total());
   commit_span.AddArg("measured_pages", ev.measured.total());
+  hyst.has_measured = true;
+  hyst.measured = ev.measured;
+  hyst.rhs_measured_pages = options_.hysteresis * ev.measured.total();
+  rec.verdict = "switch";
+  decisions_.Append(std::move(rec));
   events_.Append(std::move(ev));
   return true;
 }

@@ -8,6 +8,7 @@
 
 #include "exec/analyze.h"
 #include "exec/database.h"
+#include "online/decision_record.h"
 #include "online/online_selector.h"
 #include "online/transition_cost.h"
 #include "online/workload_monitor.h"
@@ -72,6 +73,16 @@ struct ControllerOptions {
   /// pathix_controller_events_evicted_total metric) so consumers can tell a
   /// truncated log from a short one.
   std::size_t max_event_log = 1024;
+  /// Scored candidate alternatives captured into each decision record
+  /// (online/decision_record.h). 0 disables candidate capture — the record
+  /// itself (workload snapshot, search stats, hysteresis, verdict) is
+  /// always kept.
+  int decision_top_k = 5;
+  /// Ring-buffer bound on the retained decision ledger (0 keeps
+  /// everything). Decisions accrue one per drift check — far faster than
+  /// committed events — so the default bound is what keeps a long-running
+  /// controller's memory flat.
+  std::size_t max_decision_log = 4096;
   /// Physical parameters (oid/key lengths etc.) the cost model solves
   /// against; page_size is always taken from the database's pager. Pass the
   /// spec's catalog params when the spec overrides the defaults.
@@ -242,6 +253,15 @@ class ReconfigurationController : public DbOpObserver {
   /// Events dropped from the retained log by the ring-buffer bound.
   std::uint64_t events_evicted() const { return events_.evicted(); }
 
+  /// The retained decision ledger: one record per drift check (the newest
+  /// ControllerOptions::max_decision_log records; everything when 0).
+  const std::vector<DecisionRecord>& decisions() const {
+    return decisions_.events();
+  }
+  /// All-time decision records captured (eviction-proof).
+  std::uint64_t decisions_committed() const { return decisions_.committed(); }
+  std::uint64_t decisions_evicted() const { return decisions_.evicted(); }
+
   /// Modeled page cost of every committed transition so far.
   double transition_pages_charged() const { return transition_charged_; }
 
@@ -276,6 +296,7 @@ class ReconfigurationController : public DbOpObserver {
   ScopedAnalyzer analyzer_;
 
   BoundedEventLog<ReconfigurationEvent> events_;
+  BoundedEventLog<DecisionRecord> decisions_;
   double transition_charged_ = 0;
   double measured_transition_charged_ = 0;
   std::uint64_t checks_ = 0;

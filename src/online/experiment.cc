@@ -111,6 +111,8 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
     report.online.phases.reserve(spec.phases.size());
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
       report.online.phases.push_back(inst.replayer.RunPhase(i, &controller));
+      controller.MirrorMetrics();
+      report.online_phase_metrics.push_back(inst.db.SnapshotMetrics());
     }
     inst.db.SetObserver(nullptr);
     if (!controller.status().ok()) return controller.status();

@@ -72,6 +72,11 @@ struct ExperimentReport {
   /// obs_smoke cross-check asserts.
   obs::MetricsSnapshot online_metrics_baseline;
   obs::MetricsSnapshot online_metrics;
+  /// One snapshot per phase, taken right after the phase finished (counters
+  /// mirrored in). DeltaSince between consecutive entries (or the baseline)
+  /// is the phase's own window — the per-phase percentile tables of the
+  /// decision ledger's phase_summary records.
+  std::vector<obs::MetricsSnapshot> online_phase_metrics;
 
   ExperimentRun oracle;
   std::vector<IndexConfiguration> oracle_configs;  ///< per phase

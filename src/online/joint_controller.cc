@@ -1,5 +1,6 @@
 #include "online/joint_controller.h"
 
+#include <chrono>
 #include <map>
 #include <optional>
 #include <utility>
@@ -16,7 +17,8 @@ JointReconfigurationController::JointReconfigurationController(
       options_(std::move(options)),
       path_ids_(db->path_ids()),
       monitor_(options_.half_life_ops),
-      events_(options_.max_event_log) {
+      events_(options_.max_event_log),
+      decisions_(options_.max_decision_log) {
   cadence_.Init(options_);
   scopes_.reserve(path_ids_.size());
   for (const PathId& id : path_ids_) {
@@ -47,15 +49,29 @@ bool JointReconfigurationController::Check() {
                           "controller");
   ++checks_;
 
+  // Every exit path of the check — hold or commit — lands this record on
+  // the decision ledger, so the audit trail has no gaps.
+  DecisionRecord rec;
+  rec.check_number = checks_;
+  rec.op_index = monitor_.ops_observed();
+  rec.controller = "joint";
+  const auto hold = [&](const char* reason) {
+    rec.verdict = "hold";
+    rec.hold_reason = reason;
+    decisions_.Append(std::move(rec));
+    return false;
+  };
+
   std::vector<const Path*> paths;
   paths.reserve(path_ids_.size());
   for (const PathId& id : path_ids_) paths.push_back(&db_->path(id));
   analyzer_.Refresh(*db_, paths, options_);
 
-  if (monitor_.DecayedTotal() <= 0) return false;
+  if (monitor_.DecayedTotal() <= 0) return hold("no_traffic");
 
   std::optional<obs::ObsSpan> solve_span;
   solve_span.emplace(&obs::GlobalTracer(), "joint_re_solve", "controller");
+  const auto solve_start = std::chrono::steady_clock::now();
 
   // The workload as currently estimated: per-path query loads, shared
   // update loads — all on one normalization scale.
@@ -67,11 +83,14 @@ bool JointReconfigurationController::Check() {
     PathWorkload w;
     w.path = *paths[i];
     w.load = monitor_.EstimatedLoadFor(path_ids_[i], scopes_[i]);
+    AppendLoadEntries(db_->schema(), path_ids_[i], w.load, &rec);
+    rec.naive_pages.push_back(DecisionNaivePages{
+        path_ids_[i], monitor_.MeasuredNaiveQueryPagesPerOp(path_ids_[i])});
     Result<PathContext> ctx = PathContext::Build(db_->schema(), *paths[i],
                                                  analyzer_.catalog(), w.load);
     if (!ctx.ok()) {
       status_ = ctx.status();
-      return false;
+      return hold("error");
     }
     ctxs.push_back(std::move(ctx).value());
     workloads.push_back(std::move(w));
@@ -83,17 +102,81 @@ bool JointReconfigurationController::Check() {
       db_->schema(), analyzer_.catalog(), workloads, advisor_options);
   if (!pool.ok()) {
     status_ = pool.status();
-    return false;
+    return hold("error");
   }
   JointOptions joint_options;
   joint_options.storage_budget_bytes = options_.storage_budget_bytes;
+  joint_options.capture_alternatives = options_.decision_top_k;
   Result<JointSelectionResult> joint =
       SelectJointConfiguration(pool.value(), joint_options);
   if (!joint.ok()) {
     status_ = joint.status();
-    return false;
+    return hold("error");
   }
+  const double solve_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - solve_start)
+          .count();
   solve_span.reset();  // a committed change traces as a sibling span
+
+  // Search effort, into the ledger (deterministic) and the metrics
+  // (the re-solve duration is wall-clock, so it lives *only* here).
+  obs::MetricsRegistry& metrics = db_->metrics();
+  metrics
+      .CounterAt("pathix_advisor_nodes_explored_total",
+                 {{"controller", "joint"}})
+      .Increment(static_cast<double>(joint.value().nodes_explored));
+  metrics
+      .CounterAt("pathix_advisor_nodes_pruned_total",
+                 {{"controller", "joint"}})
+      .Increment(static_cast<double>(joint.value().nodes_pruned));
+  metrics
+      .HistogramAt("pathix_advisor_resolve_duration_us",
+                   {{"controller", "joint"}})
+      .Observe(solve_us);
+  rec.search.pool_entries =
+      static_cast<long>(pool.value().entries().size());
+  rec.search.configs_enumerated = joint.value().configs_enumerated;
+  rec.search.nodes_explored = joint.value().nodes_explored;
+  rec.search.nodes_pruned = joint.value().nodes_pruned;
+  rec.search.used_branch_and_bound = joint.value().used_branch_and_bound;
+  rec.search.lower_bound = joint.value().lower_bound;
+  rec.search.bound_gap = joint.value().total_cost - joint.value().lower_bound;
+  rec.search.has_greedy_seed = joint.value().has_greedy_seed;
+  rec.search.greedy_seed_cost = joint.value().greedy_cost;
+  rec.search.greedy_seed_gap =
+      joint.value().greedy_cost - joint.value().total_cost;
+  rec.search.greedy_seed_feasible = joint.value().greedy_feasible;
+
+  // The scored candidate list: the winning assignment's per-path entries
+  // first, then the single-swap alternatives with their why-not margins.
+  for (std::size_t i = 0; i < path_ids_.size(); ++i) {
+    DecisionCandidate cand;
+    cand.path = path_ids_[i];
+    cand.config = joint.value().per_path[i].config.ToString(db_->schema(),
+                                                            *paths[i]);
+    cand.cost_per_op = joint.value().total_cost;
+    cand.storage_bytes = joint.value().total_storage_bytes;
+    cand.chosen = true;
+    cand.current = db_->has_indexes(path_ids_[i]) &&
+                   db_->physical(path_ids_[i]).config() ==
+                       joint.value().per_path[i].config;
+    rec.candidates.push_back(std::move(cand));
+  }
+  for (const JointCandidateScore& alt : joint.value().alternatives) {
+    const auto pi = static_cast<std::size_t>(alt.path_index);
+    DecisionCandidate cand;
+    cand.path = path_ids_[pi];
+    cand.config = alt.config.ToString(db_->schema(), *paths[pi]);
+    cand.cost_per_op = alt.total_cost;
+    cand.cost_delta = alt.total_cost - joint.value().total_cost;
+    cand.storage_bytes = alt.total_storage_bytes;
+    cand.violates_budget = !alt.within_budget;
+    cand.current = db_->has_indexes(path_ids_[pi]) &&
+                   db_->physical(path_ids_[pi]).config() == alt.config;
+    cand.why_not = alt.within_budget ? "costlier" : "over_budget";
+    rec.candidates.push_back(std::move(cand));
+  }
 
   bool any_configured = false;
   for (const PathId& id : path_ids_) {
@@ -123,7 +206,7 @@ bool JointReconfigurationController::Check() {
       break;
     }
   }
-  if (!changed) return false;
+  if (!changed) return hold("already_optimal");
 
   // Current assignment priced under the same shared accounting as the
   // solver's objective: query+prefix per use, maintenance once per distinct
@@ -164,26 +247,40 @@ bool JointReconfigurationController::Check() {
   }
 
   const double savings = current_cost - joint.value().total_cost;
-  if (savings <= 0) return false;
+  DecisionHysteresis& hyst = rec.hysteresis;
+  hyst.horizon_ops = options_.horizon_ops;
+  hyst.theta = options_.hysteresis;
+  hyst.current_cost_per_op = current_cost;
+  hyst.current_is_measured_naive = !any_configured;
+  hyst.best_cost_per_op = joint.value().total_cost;
+  hyst.savings_per_op = savings;
+  if (savings <= 0) return hold("no_savings");
 
   const TransitionCost transition =
       EstimateJointTransitionCost(transitions, db_->store());
-  if (savings * options_.horizon_ops <=
-      options_.hysteresis * transition.total()) {
-    return false;
+  hyst.evaluated = true;
+  hyst.lhs_pages = savings * options_.horizon_ops;
+  hyst.modeled = transition;
+  hyst.rhs_modeled_pages = options_.hysteresis * transition.total();
+  if (hyst.lhs_pages <= hyst.rhs_modeled_pages) {
+    for (DecisionCandidate& cand : rec.candidates) {
+      if (cand.chosen) cand.why_not = "hysteresis";
+    }
+    return hold("hysteresis");
   }
+  hyst.passed = true;
 
   JointReconfigurationEvent ev;
   ev.op_index = monitor_.ops_observed();
   ev.initial = !any_configured;
   ev.predicted_savings_per_op = savings;
   ev.transition = transition;
-  return Commit(joint.value().per_path, std::move(ev));
+  return Commit(joint.value().per_path, std::move(ev), std::move(rec));
 }
 
 bool JointReconfigurationController::Commit(
     const std::vector<JointPathSelection>& targets,
-    JointReconfigurationEvent ev) {
+    JointReconfigurationEvent ev, DecisionRecord rec) {
   std::vector<std::pair<PathId, IndexConfiguration>> changes;
   changes.reserve(path_ids_.size());
   for (std::size_t i = 0; i < path_ids_.size(); ++i) {
@@ -205,6 +302,9 @@ bool JointReconfigurationController::Commit(
   const Status committed = db_->ReconfigureIndexes(changes);
   if (!committed.ok()) {
     status_ = committed;
+    rec.verdict = "hold";
+    rec.hold_reason = "error";
+    decisions_.Append(std::move(rec));
     return false;
   }
   ev.measured = MeasuredTransitionCost(
@@ -215,6 +315,12 @@ bool JointReconfigurationController::Commit(
   commit_span.AddArg("paths_changed", static_cast<double>(ev.changes.size()));
   commit_span.AddArg("modeled_pages", ev.transition.total());
   commit_span.AddArg("measured_pages", ev.measured.total());
+  rec.hysteresis.has_measured = true;
+  rec.hysteresis.measured = ev.measured;
+  rec.hysteresis.rhs_measured_pages =
+      options_.hysteresis * ev.measured.total();
+  rec.verdict = ev.initial ? "install" : "switch";
+  decisions_.Append(std::move(rec));
   events_.Append(std::move(ev));
   return true;
 }

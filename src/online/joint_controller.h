@@ -88,6 +88,15 @@ class JointReconfigurationController : public DbOpObserver {
   /// Events dropped from the retained log by the ring-buffer bound.
   std::uint64_t events_evicted() const { return events_.evicted(); }
 
+  /// The retained decision ledger: one record per drift check (the newest
+  /// ControllerOptions::max_decision_log records; everything when 0).
+  const std::vector<DecisionRecord>& decisions() const {
+    return decisions_.events();
+  }
+  /// All-time decision records captured (eviction-proof).
+  std::uint64_t decisions_committed() const { return decisions_.committed(); }
+  std::uint64_t decisions_evicted() const { return decisions_.evicted(); }
+
   /// Modeled page cost of every committed transition so far.
   double transition_pages_charged() const { return transition_charged_; }
 
@@ -114,10 +123,11 @@ class JointReconfigurationController : public DbOpObserver {
 
   /// Fills \p ev.changes with every path whose installed configuration
   /// differs from its target, commits them as one batch reconfigure,
-  /// accumulates the transition charge and records the event. Returns
+  /// accumulates the transition charge and records the event and its
+  /// decision record \p rec (measured side + verdict filled here). Returns
   /// false (and sets status_) on a commit error.
   bool Commit(const std::vector<JointPathSelection>& targets,
-              JointReconfigurationEvent ev);
+              JointReconfigurationEvent ev, DecisionRecord rec);
 
   SimDatabase* db_;
   ControllerOptions options_;
@@ -128,6 +138,7 @@ class JointReconfigurationController : public DbOpObserver {
   ScopedAnalyzer analyzer_;
 
   BoundedEventLog<JointReconfigurationEvent> events_;
+  BoundedEventLog<DecisionRecord> decisions_;
   double transition_charged_ = 0;
   double measured_transition_charged_ = 0;
   std::uint64_t checks_ = 0;

@@ -53,6 +53,11 @@ struct JointExperimentReport {
   /// the invariant the obs_smoke cross-check asserts.
   obs::MetricsSnapshot online_metrics_baseline;
   obs::MetricsSnapshot online_metrics;
+  /// One snapshot per phase, taken right after the phase finished (counters
+  /// mirrored in). DeltaSince between consecutive entries (or the baseline)
+  /// is the phase's own window — the per-phase percentile tables of the
+  /// decision ledger's phase_summary records.
+  std::vector<obs::MetricsSnapshot> online_phase_metrics;
 
   ExperimentRun oracle;
   /// Per phase, per path: the joint oracle's installed configurations.

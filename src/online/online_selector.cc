@@ -5,10 +5,14 @@
 namespace pathix {
 
 OnlineSelection OnlineSelector::Select(const PathContext& ctx,
-                                       const IndexConfiguration* current) {
+                                       const IndexConfiguration* current,
+                                       int capture_top_k) {
   const CostMatrix matrix = builder_.Build(ctx);
   OnlineSelection sel;
   sel.best = SelectDP(matrix);
+  if (capture_top_k > 0) {
+    sel.alternatives = TopKConfigurations(matrix, capture_top_k);
+  }
   if (current != nullptr && !current->empty()) {
     sel.has_current = true;
     for (const IndexedSubpath& part : current->parts()) {

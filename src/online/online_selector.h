@@ -22,6 +22,10 @@ struct OnlineSelection {
   OptimizeResult best;       ///< DP optimum for the estimated load
   double current_cost = 0;   ///< installed configuration, same load/matrix
   bool has_current = false;  ///< false when nothing is installed yet
+  /// The k cheapest recombinations on the same matrix, cheapest first
+  /// (Select's capture_top_k; empty when capturing is off) — the decision
+  /// ledger's scored candidate list.
+  std::vector<ScoredConfiguration> alternatives;
 };
 
 /// \brief Stateless per-check solver with a stateful matrix cache.
@@ -34,8 +38,11 @@ class OnlineSelector {
 
   /// Solves the instance \p ctx (statistics + estimated loads) and prices
   /// \p current (nullptr if nothing installed) on the same matrix.
+  /// \p capture_top_k > 0 additionally fills alternatives with the k
+  /// cheapest recombinations (TopKConfigurations on the cached matrix).
   OnlineSelection Select(const PathContext& ctx,
-                         const IndexConfiguration* current);
+                         const IndexConfiguration* current,
+                         int capture_top_k = 0);
 
   /// Cache behaviour, for tests and benchmarks.
   const CostMatrixBuilder& builder() const { return builder_; }

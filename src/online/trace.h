@@ -50,6 +50,14 @@ struct PhaseReport {
   /// the replayer's deterministic no-op).
   std::uint64_t noop_ops = 0;
 
+  /// The decision records the controller captured during this phase, each
+  /// stamped with the phase name (the per-phase slice of the controller's
+  /// ledger — see online/decision_record.h). Empty without a controller. If
+  /// the bounded ledger evicted mid-phase the oldest records of the slice
+  /// are gone; decisions_captured keeps the true count.
+  std::vector<DecisionRecord> decisions;
+  std::uint64_t decisions_captured = 0;  ///< all-time delta over the phase
+
   double total_cost() const {
     return static_cast<double>(pages) + transition_pages;
   }
@@ -110,6 +118,8 @@ class TraceReplayer {
     // (ControllerOptions::max_event_log) and may evict.
     const std::uint64_t events_before =
         controller != nullptr ? controller->events_committed() : 0;
+    const std::uint64_t decisions_before =
+        controller != nullptr ? controller->decisions_committed() : 0;
     PhaseReport report = RunPhaseOps(phase_index);
     if (controller != nullptr) {
       report.transition_pages =
@@ -118,6 +128,24 @@ class TraceReplayer {
           controller->measured_transition_pages_charged() - measured_before;
       report.reconfigurations =
           static_cast<int>(controller->events_committed() - events_before);
+      // The phase's slice of the decision ledger, stamped with the phase
+      // name. What the bounded ledger still retains is the newest suffix;
+      // anything older than its window is counted but not copied.
+      report.decisions_captured =
+          controller->decisions_committed() - decisions_before;
+      const std::vector<DecisionRecord>& ledger = controller->decisions();
+      const std::uint64_t retained_start =
+          controller->decisions_committed() -
+          static_cast<std::uint64_t>(ledger.size());
+      const std::uint64_t slice_start =
+          decisions_before > retained_start ? decisions_before
+                                            : retained_start;
+      for (std::size_t i =
+               static_cast<std::size_t>(slice_start - retained_start);
+           i < ledger.size(); ++i) {
+        report.decisions.push_back(ledger[i]);
+        report.decisions.back().phase = report.name;
+      }
     }
     return report;
   }

@@ -147,5 +147,65 @@ TEST(JsonExportTest, SnapshotRendersAndNests) {
   EXPECT_NE(json.find(R"("buckets":[{"le":)"), std::string::npos);
 }
 
+
+TEST(DeltaSinceTest, HistogramWindowSubtractsBucketwise) {
+  Histogram h;
+  h.Observe(10);
+  h.Observe(100);
+  const HistogramData before = h.Snapshot();
+  h.Observe(1000);
+  h.Observe(1000);
+  h.Observe(3);
+  const HistogramData delta = h.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.count, 3u);
+  EXPECT_DOUBLE_EQ(delta.sum, 2003);
+  // The window holds {3, 1000, 1000}: p50 brackets 1000's bucket, and the
+  // earlier observations (10, 100) are gone from every rank.
+  EXPECT_LT(delta.Percentile(0.01), 10);
+  EXPECT_GE(delta.Percentile(0.50), 1000);
+  EXPECT_LE(delta.Percentile(0.50),
+            HistogramBuckets::UpperBound(HistogramBuckets::BucketFor(1000)));
+  // min/max degrade to bucket bounds, capped by the all-time exact max.
+  EXPECT_LE(delta.min, 3);
+  EXPECT_LE(delta.max, h.Max());
+  EXPECT_GE(delta.max, 1000);
+}
+
+TEST(DeltaSinceTest, EmptyWindowIsEmptyData) {
+  Histogram h;
+  h.Observe(5);
+  const HistogramData snap = h.Snapshot();
+  const HistogramData delta = snap.DeltaSince(snap);
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_DOUBLE_EQ(delta.Percentile(0.5), 0);
+  // Against a never-observed baseline the whole history is the window.
+  const HistogramData all = snap.DeltaSince(HistogramData{});
+  EXPECT_EQ(all.count, 1u);
+  EXPECT_DOUBLE_EQ(all.sum, 5);
+}
+
+TEST(DeltaSinceTest, SnapshotCountersSubtractGaugesStay) {
+  MetricsRegistry reg;
+  reg.CounterAt("ops").Increment(10);
+  reg.GaugeAt("depth").Set(4);
+  reg.HistogramAt("lat").Observe(50);
+  const MetricsSnapshot before = reg.Snapshot();
+
+  reg.CounterAt("ops").Increment(7);
+  reg.GaugeAt("depth").Set(9);
+  reg.HistogramAt("lat").Observe(70);
+  reg.CounterAt("fresh").Increment(2);  // absent from the baseline
+  const MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+
+  EXPECT_DOUBLE_EQ(delta.Value("ops"), 7);
+  EXPECT_DOUBLE_EQ(delta.Value("depth"), 9);  // point-in-time, not a delta
+  EXPECT_DOUBLE_EQ(delta.Value("fresh"), 2);  // taken whole
+  const MetricSample* lat = delta.Find("lat", {});
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->histogram.count, 1u);
+  EXPECT_DOUBLE_EQ(lat->histogram.sum, 70);
+}
+
 }  // namespace
 }  // namespace pathix::obs

@@ -1,13 +1,17 @@
 // Satellite determinism guard: replaying the same .pix trace twice produces
-// byte-identical event logs and AccessStats — including the new scoped
-// tallies, which must not leak unordered-container iteration order into
-// anything observable (the probe plumbing runs on every operation).
+// byte-identical event logs, AccessStats and *decision ledgers* — including
+// the scoped tallies and the ledger's workload snapshots, which must not
+// leak unordered-container iteration order (or wall-clock values) into
+// anything observable (the probe plumbing runs on every operation; the
+// ledger is captured at every drift check).
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <string>
 
+#include "obs/decision_log.h"
+#include "online/decision_record.h"
 #include "online/joint_experiment.h"
 
 namespace pathix {
@@ -62,6 +66,16 @@ std::string ReplayOnce(const TraceSpec& spec) {
       log += "  " + change.path + " -> " + change.to.ToString() + "\n";
     }
   }
+
+  // The serialized decision ledger rides in the same byte-equality pin: a
+  // DecisionRecord holds no wall-clock values (determinism contract of
+  // online/decision_record.h), so its JSON must reproduce exactly.
+  obs::DecisionLog ledger;
+  for (const DecisionRecord& rec : controller.decisions()) {
+    WriteDecisionRecord(&ledger, rec);
+  }
+  log += "decisions " + std::to_string(controller.decisions_committed()) +
+         "\n" + ledger.str();
 
   log += "stats " + Fmt(db.pager().stats()) + "\n";
   log += "build " + Fmt(db.registry().cumulative_build_io()) + "\n";
