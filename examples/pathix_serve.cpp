@@ -1,0 +1,208 @@
+// pathix_serve: the concurrent serving engine on a live simulated database.
+//
+// Feed it a trace spec (src/io/spec_parser.h) and a worker count; the serve
+// driver replays each phase's operation mix from N threads against one
+// SimDatabase while an online reconfiguration controller (single-path or
+// joint, chosen like pathix_online) adapts the index configuration
+// mid-stream — queries keep serving across every epoch swap.
+//
+//   $ ./examples/pathix_serve --threads=8 ../examples/specs/vehicle_joint_trace.pix
+//   $ ./examples/pathix_serve                # embedded demo trace, 1 thread
+//
+// With --threads=1 the op sequence is byte-identical to the single-threaded
+// TraceReplayer's (see serve/serve_driver.h for the determinism contract).
+//
+// Per phase the rollup reports serving-side throughput and tail latency
+// (ops/sec, p50/p99 from the merged per-thread histograms) alongside the
+// cost-model side: measured pages, the controller's modeled transition
+// charges, and how many configuration epochs were swapped under load.
+//
+// Exit status: 0 when every phase's merged tallies account for every
+// sampled op (executed + deterministic no-ops == ops) — the no-lost-ops
+// invariant — and the controller stayed healthy; 1 otherwise.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/serve_driver.h"
+
+namespace {
+
+// Embedded demo: the document-store drift trace, small enough to serve in
+// seconds at any thread count.
+constexpr const char* kDemoSpec = R"(
+class Submission 80000 8000 1
+class Forum      400 400 1
+
+ref Submission forum Forum
+attr Forum name string
+
+path Submission forum name
+orgs MX MIX NIX NONE
+
+populate Submission 3000 0 1.0
+populate Forum      60 60 1.0
+trace_seed 11
+
+phase search 6000
+mix Submission 0.95 0.03 0.02
+
+phase ingest 6000
+mix Submission 0.02 0.6 0.38
+
+phase search2 6000
+mix Submission 0.95 0.03 0.02
+)";
+
+std::uint64_t ExecutedOps(const pathix::PhaseReport& p) {
+  std::uint64_t executed = p.insert_ops + p.delete_ops + p.noop_ops;
+  for (const auto& [id, n] : p.query_ops) executed += n;
+  for (const auto& [id, n] : p.naive_query_ops) executed += n;
+  return executed;
+}
+
+void PrintPhase(const pathix::ServePhaseReport& r) {
+  std::printf("  %-10s %8llu %8.0f %8.0f %8.0f %10llu %10.0f %6llu %4d\n",
+              r.phase.name.c_str(),
+              static_cast<unsigned long long>(r.phase.ops), r.ops_per_sec,
+              r.latency_us.Percentile(0.50), r.latency_us.Percentile(0.99),
+              static_cast<unsigned long long>(r.phase.pages),
+              r.phase.transition_pages,
+              static_cast<unsigned long long>(r.epoch_swaps),
+              r.phase.reconfigurations);
+}
+
+// The serve loop, generic over the controller flavor (controllers hold
+// mutexes, so each flavor is constructed in place by its wrapper below).
+template <typename Controller>
+int ServeLoop(const pathix::TraceSpec& s, int threads, pathix::SimDatabase& db,
+              pathix::ServeDriver& driver, Controller& controller) {
+  using namespace pathix;
+  db.SetObserver(&controller);
+
+  std::printf("serving %zu path(s) from %d worker thread(s)\n\n",
+              s.paths.size(), threads);
+  std::printf("  %-10s %8s %8s %8s %8s %10s %10s %6s %4s\n", "phase", "ops",
+              "ops/sec", "p50us", "p99us", "pages", "modeled_tr", "epochs",
+              "rcfg");
+
+  bool ok = true;
+  double total_ops = 0;
+  double total_wall = 0;
+  std::uint64_t total_pages = 0;
+  std::uint64_t total_epochs = 0;
+  obs::HistogramData all_latency;
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    const ServePhaseReport r = driver.RunPhase(i, &controller);
+    PrintPhase(r);
+    total_ops += static_cast<double>(r.phase.ops);
+    total_wall += r.wall_seconds;
+    total_pages += r.phase.pages;
+    total_epochs += r.epoch_swaps;
+    all_latency.MergeFrom(r.latency_us);
+    // The no-lost-ops invariant: every sampled op is accounted for, either
+    // as an executed op or as the deterministic no-op.
+    if (ExecutedOps(r.phase) != r.phase.ops) {
+      std::fprintf(stderr,
+                   "phase %s LOST OPS: %llu sampled, %llu accounted\n",
+                   r.phase.name.c_str(),
+                   static_cast<unsigned long long>(r.phase.ops),
+                   static_cast<unsigned long long>(ExecutedOps(r.phase)));
+      ok = false;
+    }
+  }
+  db.SetObserver(nullptr);
+  if (!controller.status().ok()) {
+    std::cerr << "controller error: " << controller.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  std::printf("\n  total: %.0f ops in %.2fs (%.0f ops/sec) | p50=%.0fus "
+              "p99=%.0fus | %llu pages | %llu epoch swaps\n",
+              total_ops, total_wall,
+              total_wall > 0 ? total_ops / total_wall : 0,
+              all_latency.Percentile(0.50), all_latency.Percentile(0.99),
+              static_cast<unsigned long long>(total_pages),
+              static_cast<unsigned long long>(total_epochs));
+  return ok ? 0 : 1;
+}
+
+pathix::ControllerOptions OptionsFor(const pathix::TraceSpec& s) {
+  pathix::ControllerOptions copts;
+  copts.orgs = s.options.orgs;
+  copts.physical_params = s.catalog.params();
+  return copts;
+}
+
+int ServeSingle(const pathix::TraceSpec& s, int threads) {
+  using namespace pathix;
+  SimDatabase db(s.schema, s.catalog.params());
+  ServeDriver driver(&db, s, ServeOptions{threads});
+  driver.Populate();
+  ReconfigurationController controller(&db, s.paths.front().path,
+                                       OptionsFor(s), s.paths.front().id);
+  return ServeLoop(s, threads, db, driver, controller);
+}
+
+int ServeJoint(const pathix::TraceSpec& s, int threads) {
+  using namespace pathix;
+  SimDatabase db(s.schema, s.catalog.params());
+  ServeDriver driver(&db, s, ServeOptions{threads});
+  driver.Populate();
+  JointReconfigurationController controller(&db, OptionsFor(s));
+  return ServeLoop(s, threads, db, driver, controller);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pathix;
+
+  int threads = 1;
+  std::string spec_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto flag_value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* value = flag_value("--threads=")) {
+      threads = std::atoi(value);
+      if (threads < 1) {
+        std::cerr << "error: --threads wants a positive integer\n";
+        return 1;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown flag " << arg << " (known: --threads=N)\n";
+      return 1;
+    } else if (spec_file.empty()) {
+      spec_file = arg;
+    } else {
+      std::cerr << "error: more than one spec file given (" << spec_file
+                << ", " << arg << ")\n";
+      return 1;
+    }
+  }
+
+  Result<TraceSpec> spec = !spec_file.empty() ? ParseTraceSpecFile(spec_file)
+                                              : ParseTraceSpec(kDemoSpec);
+  if (!spec.ok()) {
+    std::cerr << "error: " << spec.status().ToString() << "\n";
+    return 1;
+  }
+  const TraceSpec& s = spec.value();
+  if (spec_file.empty()) {
+    std::cout << "(no spec file given; using the embedded demo — pass a "
+                 "trace .pix file, e.g. examples/specs/"
+                 "vehicle_drift_trace.pix)\n\n";
+  }
+  // Same routing as pathix_online: multi-path or budgeted traces serve
+  // under the joint controller.
+  return s.paths.size() > 1 || s.has_budget ? ServeJoint(s, threads)
+                                            : ServeSingle(s, threads);
+}

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -80,11 +81,56 @@ class CandidatePool {
                              IndexOrg org) const;
 
  private:
+  friend class CandidatePoolBuilder;
+
   std::vector<CandidateEntry> entries_;
   std::vector<int> path_lengths_;
   std::vector<IndexOrg> orgs_;
   /// Per path: [subpath row][org column] -> {entry id, use index}.
   std::vector<std::vector<std::vector<std::pair<int, int>>>> lookup_;
+};
+
+/// \brief Builds CandidatePool instances, reusing the structural skeleton
+/// and the load-independent unit costs across calls with unchanged
+/// statistics — the matrix-cache factorization (core/matrix_cache.h)
+/// lifted to the workload pool.
+///
+/// The pool's shape (deduplicated entries, lookup tables, storage bytes)
+/// and the per-use organization-model evaluations depend on the path set,
+/// the catalog statistics and the physical parameters — never on the
+/// drifting load estimates, which enter each use's price purely as linear
+/// weights. A drift check with unchanged statistics therefore reweighs the
+/// cached unit costs (zero model evaluations, zero dedup work); the
+/// statistics fingerprint is CostMatrixBuilder's, so "unchanged" means
+/// exactly what it means for the single-path matrix cache. Pools produced
+/// by Build() are identical to CandidatePool::Build on the same inputs
+/// (tests/advisor/pool_cache_test.cc).
+class CandidatePoolBuilder {
+ public:
+  /// As CandidatePool::Build: prices all candidates under the given loads.
+  /// Re-evaluates the organization models only when the path set, the
+  /// candidate organizations or the statistics fingerprint changed.
+  Result<CandidatePool> Build(const Schema& schema, const Catalog& catalog,
+                              const std::vector<PathWorkload>& paths,
+                              const AdvisorOptions& options = {});
+
+  /// Calls that had to rebuild the skeleton and re-evaluate the models.
+  std::uint64_t model_rebuilds() const { return model_rebuilds_; }
+  /// Calls served from the cached skeleton (reweigh only).
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+  /// Drops the cache (the next Build() re-evaluates the models).
+  void Invalidate() { fingerprint_.clear(); }
+
+ private:
+  std::vector<double> fingerprint_;  ///< empty = no cached skeleton
+  /// The priced-once skeleton: entries with keys/labels/storage/shareable
+  /// and every use's (path, subpath) — cost fields zero, filled per call.
+  CandidatePool skeleton_;
+  /// Unit costs per entry, parallel to skeleton_.entries_[e].uses.
+  std::vector<std::vector<SubpathUnitCosts>> unit_;
+  std::uint64_t model_rebuilds_ = 0;
+  std::uint64_t cache_hits_ = 0;
 };
 
 }  // namespace pathix

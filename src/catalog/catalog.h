@@ -1,6 +1,9 @@
 #pragma once
 
+#include <map>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -73,9 +76,31 @@ class Catalog {
     return it == stats_.end() ? kEmpty : it->second;
   }
 
+  // Attribute-keyed statistics. d and nin are properties of (class, path
+  // attribute), not of the class alone: when two paths navigate the same
+  // class through different attributes, class-keyed stats degrade to
+  // whichever path was refreshed last. Writers that know the attribute set
+  // both keys (the class-keyed entry keeps n/obj_len consumers and older
+  // spec-file catalogs working); readers that know it ask attribute-first
+  // and fall back to the class-keyed entry.
+
+  void SetClassStats(ClassId cls, const std::string& attr, ClassStats stats) {
+    attr_stats_[{cls, attr}] = stats;
+  }
+  bool HasClassStats(ClassId cls, const std::string& attr) const {
+    return attr_stats_.count({cls, attr}) > 0 || HasClassStats(cls);
+  }
+  /// Stats for \p cls w.r.t. path attribute \p attr; falls back to the
+  /// class-keyed entry when no attribute-keyed one was ever set.
+  const ClassStats& GetClassStats(ClassId cls, const std::string& attr) const {
+    auto it = attr_stats_.find({cls, attr});
+    return it == attr_stats_.end() ? GetClassStats(cls) : it->second;
+  }
+
  private:
   PhysicalParams params_;
   std::unordered_map<ClassId, ClassStats> stats_;
+  std::map<std::pair<ClassId, std::string>, ClassStats> attr_stats_;
 };
 
 }  // namespace pathix

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+/// \file epoch_ptr.h
+/// \brief Atomically-published shared_ptr: the epoch handoff primitive.
+///
+/// An EpochPtr<T> holds the *current epoch* of some immutably-published
+/// state (for the engine: a path's PhysicalConfiguration). Readers load()
+/// a shared_ptr snapshot and work against it for as long as they like;
+/// a writer prepares the next epoch off to the side and store()s it in one
+/// atomic publish. In-flight readers keep the old epoch alive through
+/// their snapshot's refcount; when the last one drains, the old epoch's
+/// destructor runs (releasing, e.g., its PhysicalPartRegistry part
+/// references) — no reader ever blocks on epoch *construction* and no
+/// writer ever waits for readers to drain.
+///
+/// The pointer handoff itself is guarded by a tiny spin latch: load()
+/// copies the shared_ptr (one refcount increment) and store() swaps the
+/// pointer, each a handful of instructions under the latch; the old
+/// epoch's release — which may cascade into part teardown — happens
+/// *outside* it, so the publish window never stretches. The latch uses
+/// acquire/release ordering on both sides: everything the writer did to
+/// construct the epoch happens-before any reader that observes it.
+///
+/// Deliberately not C++20 std::atomic<std::shared_ptr<T>> (P0718):
+/// libstdc++'s _Sp_atomic releases its load-side lock bit with relaxed
+/// ordering (GCC 12), which is a formal data race against the next
+/// store() — ThreadSanitizer reports it, and the concurrency gates
+/// (tests/common/serve_stress_test.cc under -fsanitize=thread) must run
+/// clean.
+namespace pathix {
+
+template <typename T>
+class EpochPtr {
+ public:
+  EpochPtr() = default;
+  explicit EpochPtr(std::shared_ptr<T> initial) : ptr_(std::move(initial)) {}
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  /// The current epoch (may be null if never published). The returned
+  /// snapshot keeps its epoch alive independently of later store()s.
+  std::shared_ptr<T> load() const {
+    const SpinGuard guard(&latch_);
+    return ptr_;
+  }
+
+  /// Publishes \p next as the current epoch. The previous epoch is
+  /// released here (destroyed once the last outstanding load() snapshot
+  /// drops it) — outside the latch, so a cascading teardown never holds
+  /// up concurrent readers.
+  void store(std::shared_ptr<T> next) {
+    std::shared_ptr<T> old;
+    {
+      const SpinGuard guard(&latch_);
+      old.swap(ptr_);
+      ptr_ = std::move(next);
+    }
+  }
+
+ private:
+  class SpinGuard {
+   public:
+    explicit SpinGuard(std::atomic_flag* latch) : latch_(latch) {
+      while (latch_->test_and_set(std::memory_order_acquire)) {
+        // Spin on the read-only test to keep the cache line shared until
+        // the holder (a few instructions away) clears it.
+        while (latch_->test(std::memory_order_relaxed)) {
+        }
+      }
+    }
+    ~SpinGuard() { latch_->clear(std::memory_order_release); }
+
+    SpinGuard(const SpinGuard&) = delete;
+    SpinGuard& operator=(const SpinGuard&) = delete;
+
+   private:
+    std::atomic_flag* latch_;
+  };
+
+  mutable std::atomic_flag latch_ = ATOMIC_FLAG_INIT;
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace pathix

@@ -20,13 +20,18 @@
 ///
 /// Lock ordering. The engine's mutex hierarchy is strictly leaf-ward:
 ///
-///   SimDatabase observer mutex  >  PhysicalPartRegistry  >  ObjectStore
-///                                                        >  Pager
+///   SimDatabase commit mutex  >  SimDatabase observer mutex
+///     >  controller check mutex
+///     >  PhysicalPartRegistry  >  PhysicalPart latch  >  ObjectStore
+///                                                     >  Pager
 ///
-/// i.e. the Pager's mutex is a leaf (Note* never calls out), the
-/// ObjectStore's methods may call into the Pager, and Registry::Acquire may
-/// call into both while building a part. Never call upward (e.g. from index
-/// code back into the registry) while holding a downstream mutex.
+/// i.e. the Pager's mutex is a leaf (Note* never calls out), part latches
+/// and the ObjectStore's methods may call into the Pager, and
+/// Registry::Acquire may call into all of them while building a part. The
+/// SimDatabase commit mutex serializes configuration epoch swaps against
+/// update operations and is taken before anything else. Never call upward
+/// (e.g. from index code back into the registry) while holding a
+/// downstream mutex.
 ///
 /// The observability layer (obs/metrics.h, obs/trace.h) sits below the
 /// whole hierarchy: every per-metric mutex, the registry map mutex and the
@@ -47,6 +52,11 @@ class CAPABILITY("mutex") Mutex {
 
   void Lock() ACQUIRE() { impl_.lock(); }
   void Unlock() RELEASE() { impl_.unlock(); }
+  /// Attempts the exclusive lock without blocking; true when acquired.
+  /// The one sanctioned non-RAII acquire: used by drift-check arbitration
+  /// where losing the race means "another thread is already checking" and
+  /// the right move is to skip, not wait.
+  bool TryLock() TRY_ACQUIRE(true) { return impl_.try_lock(); }
   void ReaderLock() ACQUIRE_SHARED() { impl_.lock_shared(); }
   void ReaderUnlock() RELEASE_SHARED() { impl_.unlock_shared(); }
 

@@ -58,6 +58,11 @@
 #define ACQUIRE_SHARED(...) \
   PATHIX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
 
+/// Function attempts the lock and reports success; the capability is held
+/// only when the return value equals the annotation's first argument.
+#define TRY_ACQUIRE(...) \
+  PATHIX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
 /// Function releases the held mutex(es) (exclusive or shared).
 #define RELEASE(...) PATHIX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
 

@@ -49,11 +49,14 @@ class CostMatrixBuilder {
   /// Drops the cache (the next Build() re-evaluates the models).
   void Invalidate() { fingerprint_.clear(); }
 
- private:
   /// Everything the unit costs depend on, flattened: path structure, class
   /// statistics, physical parameters, query profile — NOT the loads.
+  /// Public so other load-factored caches (the advisor's
+  /// CandidatePoolBuilder) key on the identical notion of "statistics
+  /// unchanged".
   static std::vector<double> Fingerprint(const PathContext& ctx);
 
+ private:
   std::vector<IndexOrg> orgs_;
   std::vector<double> fingerprint_;  ///< empty = no cached unit costs
   std::vector<std::vector<SubpathUnitCosts>> unit_;  ///< [row][org column]

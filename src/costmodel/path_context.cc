@@ -18,16 +18,20 @@ Result<PathContext> PathContext::Build(const Schema& schema, const Path& path,
   ctx.params_ = catalog.params();
   ctx.profile_ = profile;
   for (int l = 1; l <= path.length(); ++l) {
+    // Attribute-keyed lookup: a class two paths navigate through different
+    // attributes has one d/nin per attribute, and this level's stats must
+    // be the ones collected for *this* path's attribute.
+    const std::string& attr = path.attribute_at(l).name;
     std::vector<LevelClassInfo> level;
     for (ClassId cls : schema.HierarchyOf(path.class_at(l))) {
       LevelClassInfo info;
       info.cls = cls;
-      info.stats = catalog.GetClassStats(cls);
+      info.stats = catalog.GetClassStats(cls, attr);
       info.load = load.Get(cls);
       info.k = info.stats.k();
       const bool has_load = info.load.query > 0 || info.load.insert > 0 ||
                             info.load.del > 0;
-      if (!catalog.HasClassStats(cls) && has_load) {
+      if (!catalog.HasClassStats(cls, attr) && has_load) {
         return Status::FailedPrecondition(
             "class '" + schema.GetClass(cls).name() +
             "' carries workload but has no statistics in the catalog");

@@ -1,6 +1,7 @@
 #include "exec/analyze.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "index/key.h"
 
@@ -18,12 +19,17 @@ ClassStats CollectClassStats(const ObjectStore& store, ClassId cls,
   double total_values = 0;
   double total_bytes = 0;
   for (Oid oid : oids) {
-    const Object* obj = store.Peek(oid);
+    // Owning references: ANALYZE runs on the controller's thread while
+    // serving workers delete concurrently; the PeekAll snapshot may name
+    // oids that are gone by the time this loop reaches them.
+    const std::shared_ptr<const Object> obj = store.PeekRef(oid);
+    if (obj == nullptr) continue;
     total_bytes += static_cast<double>(obj->bytes());
     for (const Value& v : obj->values(attr)) {
       // Dangling references do not select anything; skip them like the
       // evaluators do.
-      if (v.kind() == Value::Kind::kRef && store.Peek(v.as_ref()) == nullptr) {
+      if (v.kind() == Value::Kind::kRef &&
+          store.PeekRef(v.as_ref()) == nullptr) {
         continue;
       }
       total_values += 1;
@@ -44,7 +50,11 @@ Catalog CollectStatistics(const ObjectStore& store, const Schema& schema,
   for (int l = 1; l <= path.length(); ++l) {
     const std::string& attr = path.attribute_at(l).name;
     for (ClassId cls : schema.HierarchyOf(path.class_at(l))) {
-      catalog.SetClassStats(cls, CollectClassStats(store, cls, attr));
+      const ClassStats stats = CollectClassStats(store, cls, attr);
+      // Both keys: attribute-keyed for the cost model (d/nin depend on the
+      // attribute), class-keyed as the fallback for attr-agnostic readers.
+      catalog.SetClassStats(cls, attr, stats);
+      catalog.SetClassStats(cls, stats);
     }
   }
   return catalog;
@@ -62,7 +72,9 @@ int RefreshStatistics(const ObjectStore& store, const Schema& schema,
       if (collected != nullptr && !collected->emplace(cls, attr).second) {
         continue;  // another overlapping path already scanned this pair
       }
-      catalog->SetClassStats(cls, CollectClassStats(store, cls, attr));
+      const ClassStats stats = CollectClassStats(store, cls, attr);
+      catalog->SetClassStats(cls, attr, stats);
+      catalog->SetClassStats(cls, stats);
       ++collections;
     }
   }

@@ -2,13 +2,13 @@
 
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/epoch_ptr.h"
 #include "common/mutex.h"
 #include "exec/naive_evaluator.h"
 #include "index/physical_config.h"
@@ -21,6 +21,20 @@
 /// identical across paths (same class/attribute sequence and organization)
 /// are built once and shared through the database's PhysicalPartRegistry.
 /// Every operation counts page accesses, the paper's cost metric.
+///
+/// Concurrency model. Each path's installed configuration is an *epoch*
+/// (common/epoch_ptr.h): queries load a snapshot and never block — an
+/// online reconfiguration builds the incoming configuration off to the
+/// side and publishes it atomically, while in-flight queries finish on the
+/// old epoch's parts (kept alive by their snapshot; the registry releases
+/// them when the last one drains). Updates take the commit mutex *shared*
+/// so that a configuration swap (exclusive) observes a quiescent point
+/// between updates: index maintenance always runs against a configuration
+/// that is still current when the op's probe closes. Structure access
+/// below this level is latched per part and sharded per class
+/// (index/part_registry.h, storage/object_store.h). Path *registration*
+/// is not serialized against serving — register every path before
+/// spinning up worker threads.
 
 namespace pathix {
 
@@ -102,7 +116,8 @@ class SimDatabase {
 
   /// Registers (or re-registers) \p path under \p id for naive evaluation
   /// and later (Re)ConfigureIndexes, without building any indexes.
-  /// Re-registering drops the id's installed configuration.
+  /// Re-registering drops the id's installed configuration. Not serialized
+  /// against serving: register paths before starting worker threads.
   Status RegisterPath(const PathId& id, const Path& path);
 
   /// Builds the physical indexes of \p config on the registered path \p id
@@ -133,6 +148,12 @@ class SimDatabase {
 
   bool has_path(const PathId& id) const { return paths_.count(id) > 0; }
   bool has_indexes(const PathId& id) const;
+
+  /// The installed configuration of path \p id. DCHECKs that one is
+  /// installed. The reference is borrowed from the *current* epoch:
+  /// callers must rule out a concurrent swap (the controller does — it is
+  /// the only swapper and holds its check mutex; concurrent *queries* go
+  /// through Query/QueryAny, which pin their own snapshot).
   const PhysicalConfiguration& physical(const PathId& id) const;
   const Path& path(const PathId& id) const;
 
@@ -191,6 +212,22 @@ class SimDatabase {
                                  ClassId target_class,
                                  bool include_subclasses = false);
 
+  /// What QueryAny evaluated and how.
+  struct QueryOutcome {
+    std::vector<Oid> oids;
+    bool naive = false;  ///< evaluated by naive scan (no configuration)
+  };
+
+  /// Evaluates via path \p id's configured indexes when a configuration is
+  /// installed, by naive scan otherwise — deciding on *one* epoch snapshot,
+  /// so the answer is consistent even when a reconfiguration lands between
+  /// the decision and the evaluation (the has_indexes()-then-Query idiom is
+  /// racy under concurrency; serving threads use this instead). Accounting
+  /// and observer events are identical to Query/QueryNaive.
+  Result<QueryOutcome> QueryAny(const PathId& id, const Key& ending_value,
+                                ClassId target_class,
+                                bool include_subclasses = false);
+
   /// The same query evaluated by scanning and navigating path \p id
   /// (no indexes).
   Result<std::vector<Oid>> QueryNaive(const PathId& id,
@@ -218,7 +255,9 @@ class SimDatabase {
  private:
   struct ConfiguredPath {
     Path path;
-    std::optional<PhysicalConfiguration> physical;
+    /// The path's current configuration epoch (null = unconfigured).
+    /// Queries pin a snapshot; commits publish a fresh shared_ptr.
+    EpochPtr<PhysicalConfiguration> physical;
     // Metric handles into metrics_, resolved once at RegisterPath so the
     // query hot path updates through pointers (no registry lookup per op).
     obs::Counter* ops = nullptr;        ///< queries via indexes
@@ -249,6 +288,28 @@ class SimDatabase {
   ConfiguredPath* SolePath();
   const ConfiguredPath* SolePath() const;
 
+  /// Counted indexed evaluation on the pinned snapshot \p phys (the caller
+  /// keeps the epoch reference alive across the call): probe, metrics,
+  /// observer — the shared body of Query and QueryAny.
+  std::vector<Oid> RunIndexedQuery(ConfiguredPath* cp,
+                                   const std::string& label,
+                                   PhysicalConfiguration* phys,
+                                   const Key& ending_value,
+                                   ClassId target_class,
+                                   bool include_subclasses);
+
+  /// Counted naive evaluation — the shared body of QueryNaive and QueryAny.
+  std::vector<Oid> RunNaiveQuery(ConfiguredPath* cp, const std::string& label,
+                                 const Key& ending_value,
+                                 ClassId target_class,
+                                 bool include_subclasses);
+
+  /// Publishes \p next as path \p cp's new configuration epoch and bumps
+  /// the epoch counter. Caller holds commit_mu_ exclusively (or is
+  /// single-threaded setup code).
+  void PublishEpoch(ConfiguredPath* cp,
+                    std::shared_ptr<PhysicalConfiguration> next);
+
   Schema schema_;
   Pager pager_;
   ObjectStore store_;
@@ -268,10 +329,20 @@ class SimDatabase {
       &metrics_.HistogramAt("pathix_db_op_latency_us", {{"kind", "delete"}});
   obs::Histogram* delete_pages_ =
       &metrics_.HistogramAt("pathix_db_op_pages", {{"kind", "delete"}});
+  /// Configuration epochs published over this database's lifetime.
+  obs::Counter* config_epochs_ =
+      &metrics_.CounterAt("pathix_db_config_epochs_total");
   // Node-based map: Path objects need stable addresses (physical
   // configurations point into them).
   std::map<PathId, ConfiguredPath> paths_;
   PhysicalPartRegistry registry_;
+  /// The update/commit reader-writer lock: Insert/Delete hold it *shared*
+  /// around their probe scope (released before Notify, so an observer may
+  /// reconfigure in-callback); the configuration-change APIs hold it
+  /// *exclusive*, making every epoch swap a quiescent point between
+  /// updates. Queries never touch it — they run on pinned snapshots.
+  /// Top of the lock hierarchy (common/mutex.h).
+  mutable Mutex commit_mu_;
   mutable Mutex observer_mu_;
   DbOpObserver* observer_ GUARDED_BY(observer_mu_) = nullptr;
 };

@@ -1,5 +1,6 @@
 #include "exec/naive_evaluator.h"
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -18,7 +19,9 @@ class QueryRun {
     auto memo = memo_.find(oid);
     if (memo != memo_.end()) return memo->second;
     ChargePage(store_->PageOf(oid));
-    const Object* obj = store_->Peek(oid);
+    // Owning reference: a concurrent delete may unmap the oid mid-walk, but
+    // the object stays alive for the duration of this visit.
+    const std::shared_ptr<const Object> obj = store_->PeekRef(oid);
     bool hit = false;
     if (obj != nullptr) {
       const std::string& attr = path_->attribute_at(level).name;

@@ -1,6 +1,7 @@
 #include "index/none_index.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace pathix {
 
@@ -10,14 +11,16 @@ bool NoneIndex::Reaches(Oid oid, int level, const std::vector<Key>& keys,
   if (page != kInvalidPage && charged->insert(page).second) {
     pager_->NoteRead(page);
   }
-  const Object* obj = store_->Peek(oid);
+  // Owning reference: NONE probes run during queries, concurrently with
+  // deletes claiming objects out of the store.
+  const std::shared_ptr<const Object> obj = store_->PeekRef(oid);
   if (obj == nullptr) return false;
   const std::string& attr = ctx_.attr_name(level);
   if (level == ctx_.range.end) {
     for (const Value& v : obj->values(attr)) {
       // Dangling references cannot match a live boundary key.
       if (v.kind() == Value::Kind::kRef &&
-          store_->Peek(v.as_ref()) == nullptr) {
+          store_->PeekRef(v.as_ref()) == nullptr) {
         continue;
       }
       const Key k = Key::FromValue(v);

@@ -44,9 +44,18 @@ class MetricsRegistry;
 /// One distinct physical index structure, self-contained: \p owner_path is
 /// the part's subpath as a standalone Path (levels [1, len]) and keeps the
 /// index's SubpathIndexContext pointers valid for the part's lifetime.
+///
+/// \p latch is the part's reader/writer lock: probes take it shared (hot
+/// reads never serialize against each other), maintenance takes it
+/// exclusive. Because parts are shared across configurations by
+/// StructuralKey, two paths borrowing the same structure automatically
+/// serialize through the *same* latch. The latch sits between the
+/// registry's mutex and the ObjectStore/Pager in the lock hierarchy
+/// (common/mutex.h); index code under the latch calls only downstream.
 struct PhysicalPart {
   std::shared_ptr<const Path> owner_path;
   std::unique_ptr<SubpathIndex> index;
+  mutable Mutex latch;
 };
 
 /// \brief The per-database registry. Internally synchronized: Acquire,

@@ -53,9 +53,12 @@ std::vector<Oid> PhysicalConfiguration::Evaluate(const Key& ending_value,
   std::vector<Key> keys{ending_value};
   // Downstream subpaths resolve with respect to their root hierarchy; the
   // resulting oids are the key values of the preceding subpath's index.
-  // Probes run in the part's own standalone coordinates.
+  // Probes run in the part's own standalone coordinates, each under that
+  // part's shared latch (one at a time, so latches never nest).
   for (int i = static_cast<int>(slots_.size()) - 1; i > target_part; --i) {
-    SubpathIndex& index = *slots_[static_cast<std::size_t>(i)].part->index;
+    const Slot& probed = slots_[static_cast<std::size_t>(i)];
+    ReaderMutexLock latch(&probed.part->latch);
+    SubpathIndex& index = *probed.part->index;
     const std::vector<Oid> oids =
         index.Probe(keys, index.range().start,
                     index.context().hierarchy(index.range().start));
@@ -68,6 +71,7 @@ std::vector<Oid> PhysicalConfiguration::Evaluate(const Key& ending_value,
       include_subclasses ? schema_->HierarchyOf(target_class)
                          : std::vector<ClassId>{target_class};
   const Slot& slot = slots_[static_cast<std::size_t>(target_part)];
+  ReaderMutexLock latch(&slot.part->latch);
   return slot.part->index->Probe(keys, target_level + slot.offset, targets);
 }
 
@@ -80,6 +84,7 @@ void PhysicalConfiguration::OnInsert(const Object& obj,
   if (visited != nullptr && !visited->insert(slot.part->index.get()).second) {
     return;  // another path's configuration already maintained this part
   }
+  MutexLock latch(&slot.part->latch);
   slot.part->index->OnInsert(obj, level + slot.offset);
 }
 
@@ -91,16 +96,18 @@ void PhysicalConfiguration::OnDelete(
   const int part = PartOfLevel(level);
   const Slot& slot = slots_[static_cast<std::size_t>(part)];
   if (visited == nullptr || visited->insert(slot.part->index.get()).second) {
+    MutexLock latch(&slot.part->latch);
     slot.part->index->OnDelete(obj, level + slot.offset);
   }
   // Definition 4.2: the deleted oid is a key value of the preceding
   // subpath's index; its record is dropped there.
   if (level == config_.parts()[static_cast<std::size_t>(part)].subpath.start &&
       part > 0) {
-    SubpathIndex* preceding =
-        slots_[static_cast<std::size_t>(part - 1)].part->index.get();
+    const Slot& prev_slot = slots_[static_cast<std::size_t>(part - 1)];
+    SubpathIndex* preceding = prev_slot.part->index.get();
     if (boundary_visited == nullptr ||
         boundary_visited->insert(preceding).second) {
+      MutexLock latch(&prev_slot.part->latch);
       preceding->OnBoundaryDelete(obj.oid);
     }
   }
@@ -108,6 +115,7 @@ void PhysicalConfiguration::OnDelete(
 
 Status PhysicalConfiguration::Validate() const {
   for (const Slot& slot : slots_) {
+    ReaderMutexLock latch(&slot.part->latch);
     PATHIX_RETURN_IF_ERROR(slot.part->index->Validate());
   }
   return Status::OK();
@@ -115,7 +123,10 @@ Status PhysicalConfiguration::Validate() const {
 
 std::size_t PhysicalConfiguration::total_pages() const {
   std::size_t pages = 0;
-  for (const Slot& slot : slots_) pages += slot.part->index->total_pages();
+  for (const Slot& slot : slots_) {
+    ReaderMutexLock latch(&slot.part->latch);
+    pages += slot.part->index->total_pages();
+  }
   return pages;
 }
 

@@ -87,17 +87,36 @@ HistogramData HistogramData::DeltaSince(const HistogramData& earlier) const {
   return delta;
 }
 
-void Histogram::Observe(double value) {
+void HistogramData::Observe(double value) {
   const int bucket = HistogramBuckets::BucketFor(value);
-  MutexLock lock(&mu_);
-  if (data_.buckets.empty()) {
-    data_.buckets.assign(HistogramBuckets::kBucketCount, 0);
+  if (buckets.empty()) {
+    buckets.assign(HistogramBuckets::kBucketCount, 0);
   }
-  ++data_.buckets[static_cast<std::size_t>(bucket)];
-  ++data_.count;
-  data_.sum += value;
-  data_.min = std::min(data_.min, value);
-  data_.max = std::max(data_.max, value);
+  ++buckets[static_cast<std::size_t>(bucket)];
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+}
+
+void HistogramData::MergeFrom(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (buckets.empty()) {
+    buckets.assign(HistogramBuckets::kBucketCount, 0);
+  }
+  PATHIX_DCHECK(other.buckets.size() == buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+void Histogram::Observe(double value) {
+  MutexLock lock(&mu_);
+  data_.Observe(value);
 }
 
 const char* ToString(MetricType type) {

@@ -124,6 +124,16 @@ struct HistogramData {
   /// saturation bucket and never above the exact max. 0 when empty.
   double Percentile(double q) const;
 
+  /// Records \p value into this plain-data histogram — no lock, no atomics:
+  /// the serving engine's per-thread tally form. Each worker observes into
+  /// its own HistogramData and the driver folds them into the shared
+  /// Histogram once, via Histogram::MergeFrom.
+  void Observe(double value);
+
+  /// Folds \p other's observations into this one (bucket-wise add,
+  /// count/sum add, min/max widen). Either side may be empty.
+  void MergeFrom(const HistogramData& other);
+
   /// The observations made after \p earlier was taken: bucket-wise and
   /// count/sum subtraction (\p earlier must be an earlier snapshot of the
   /// *same* histogram, DCHECKed via the count). min/max degrade to bucket
@@ -137,6 +147,13 @@ struct HistogramData {
 class Histogram {
  public:
   void Observe(double value) EXCLUDES(mu_);
+
+  /// Folds a per-thread HistogramData tally into this histogram under one
+  /// lock acquisition (vs one per Observe).
+  void MergeFrom(const HistogramData& tally) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    data_.MergeFrom(tally);
+  }
 
   std::uint64_t Count() const EXCLUDES(mu_) {
     ReaderMutexLock lock(&mu_);

@@ -92,14 +92,29 @@ void ReconfigurationController::MirrorMetrics() const {
 
 void ReconfigurationController::OnOperation(const DbOpEvent& ev) {
   monitor_.Observe(ev);
-  if (!status_.ok()) return;
+  if (dormant_.load(std::memory_order_relaxed)) return;
   const std::uint64_t ops = monitor_.ops_observed();
   if (ops < options_.warmup_ops) return;
-  if (cadence_.Due(ops)) cadence_.Reschedule(ops, Check());
+  // Lock-free fast path: while the op count is below the published next
+  // check, no thread even attempts the lock. The hint lags a concurrent
+  // Reschedule harmlessly — stale readers fall through to the TryLock and
+  // lose it.
+  if (ops < next_check_hint_.load(std::memory_order_relaxed)) return;
+  // A due check is claimed by exactly one thread; the others skip past
+  // without blocking (the claimant is checking on everyone's behalf).
+  if (!check_mu_.TryLock()) return;
+  if (status_.ok() && cadence_.Due(ops)) {
+    cadence_.Reschedule(ops, Check());
+    next_check_hint_.store(cadence_.next_check(), std::memory_order_relaxed);
+    if (!status_.ok()) dormant_.store(true, std::memory_order_relaxed);
+  }
+  check_mu_.Unlock();
 }
 
 void ReconfigurationController::CheckNow() {
+  MutexLock lock(&check_mu_);
   if (status_.ok()) Check();
+  if (!status_.ok()) dormant_.store(true, std::memory_order_relaxed);
 }
 
 bool ReconfigurationController::Check() {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -125,6 +126,10 @@ class DriftCadence {
 
   std::uint64_t current_interval() const { return interval_; }
   std::uint64_t base_interval() const { return base_; }
+  /// Operation index of the next scheduled check (the value Due compares
+  /// against) — what the controllers publish as their lock-free fast-path
+  /// hint under concurrency.
+  std::uint64_t next_check() const { return next_check_; }
 
  private:
   std::uint64_t base_ = 1;
@@ -223,6 +228,16 @@ struct ReconfigurationEvent {
 /// dies. All controller work (ANALYZE, solving, index builds) is uncounted;
 /// the modeled transition price is accumulated in transition_pages_charged()
 /// so experiment totals can include it.
+///
+/// Thread safety: OnOperation may fire from any number of serving threads
+/// concurrently. The monitor absorbs every observation (internally
+/// synchronized); drift checks are arbitrated through a non-blocking
+/// TryLock on the check mutex — when a check is due, exactly one thread
+/// runs it and the rest skip past (they neither wait nor double-check),
+/// with a relaxed next-check hint keeping the fast path at one atomic
+/// load. The inspection accessors (events(), decisions(), monitor(), ...)
+/// are for quiescent use: call them when no serving thread is driving
+/// operations, or accept a racy read.
 class ReconfigurationController : public DbOpObserver {
  public:
   /// \p path must outlive the controller and be the path registered with
@@ -283,7 +298,8 @@ class ReconfigurationController : public DbOpObserver {
   const Status& status() const { return status_; }
 
  private:
-  /// Returns true when a reconfiguration was committed.
+  /// Returns true when a reconfiguration was committed. Caller holds
+  /// check_mu_.
   bool Check();
 
   SimDatabase* db_;
@@ -292,9 +308,20 @@ class ReconfigurationController : public DbOpObserver {
   ControllerOptions options_;
   WorkloadMonitor monitor_;
   OnlineSelector selector_;
+
+  /// Serializes drift checks and protects everything below it. Observers
+  /// reach this state only through OnOperation's TryLock (or CheckNow);
+  /// the const accessors read it quiescently (see the class comment).
+  mutable Mutex check_mu_;
+  /// Fast-path mirror of cadence_.next_check(): threads skip the TryLock
+  /// entirely while the op count is below it.
+  std::atomic<std::uint64_t> next_check_hint_{0};
+  /// Mirror of !status_.ok(): once the loop errors, every thread stops
+  /// checking without having to acquire check_mu_ to find out.
+  std::atomic<bool> dormant_{false};
+
   DriftCadence cadence_;
   ScopedAnalyzer analyzer_;
-
   BoundedEventLog<ReconfigurationEvent> events_;
   BoundedEventLog<DecisionRecord> decisions_;
   double transition_charged_ = 0;

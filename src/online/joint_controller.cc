@@ -29,19 +29,31 @@ JointReconfigurationController::JointReconfigurationController(
     status_ = Status::FailedPrecondition(
         "no paths registered; RegisterPath the workload before attaching "
         "the joint controller");
+    dormant_.store(true, std::memory_order_relaxed);
   }
 }
 
 void JointReconfigurationController::OnOperation(const DbOpEvent& ev) {
   monitor_.Observe(ev);
-  if (!status_.ok()) return;
+  if (dormant_.load(std::memory_order_relaxed)) return;
   const std::uint64_t ops = monitor_.ops_observed();
   if (ops < options_.warmup_ops) return;
-  if (cadence_.Due(ops)) cadence_.Reschedule(ops, Check());
+  // Same arbitration as ReconfigurationController: lock-free hint, then a
+  // non-blocking claim — one thread checks, the rest keep serving.
+  if (ops < next_check_hint_.load(std::memory_order_relaxed)) return;
+  if (!check_mu_.TryLock()) return;
+  if (status_.ok() && cadence_.Due(ops)) {
+    cadence_.Reschedule(ops, Check());
+    next_check_hint_.store(cadence_.next_check(), std::memory_order_relaxed);
+    if (!status_.ok()) dormant_.store(true, std::memory_order_relaxed);
+  }
+  check_mu_.Unlock();
 }
 
 void JointReconfigurationController::CheckNow() {
+  MutexLock lock(&check_mu_);
   if (status_.ok()) Check();
+  if (!status_.ok()) dormant_.store(true, std::memory_order_relaxed);
 }
 
 bool JointReconfigurationController::Check() {
@@ -65,7 +77,10 @@ bool JointReconfigurationController::Check() {
   std::vector<const Path*> paths;
   paths.reserve(path_ids_.size());
   for (const PathId& id : path_ids_) paths.push_back(&db_->path(id));
-  analyzer_.Refresh(*db_, paths, options_);
+  // A statistics refresh invalidates the pool's cached skeleton (the
+  // fingerprint would catch it too; the explicit call keeps the contract
+  // visible and covers fingerprint collisions).
+  if (analyzer_.Refresh(*db_, paths, options_)) pool_builder_.Invalidate();
 
   if (monitor_.DecayedTotal() <= 0) return hold("no_traffic");
 
@@ -98,7 +113,7 @@ bool JointReconfigurationController::Check() {
 
   AdvisorOptions advisor_options;
   advisor_options.orgs = options_.orgs;
-  Result<CandidatePool> pool = CandidatePool::Build(
+  Result<CandidatePool> pool = pool_builder_.Build(
       db_->schema(), analyzer_.catalog(), workloads, advisor_options);
   if (!pool.ok()) {
     status_ = pool.status();
@@ -134,6 +149,8 @@ bool JointReconfigurationController::Check() {
       .HistogramAt("pathix_advisor_resolve_duration_us",
                    {{"controller", "joint"}})
       .Observe(solve_us);
+  metrics.CounterAt("pathix_advisor_pool_cache_hits_total")
+      .MirrorTo(static_cast<double>(pool_builder_.cache_hits()));
   rec.search.pool_entries =
       static_cast<long>(pool.value().entries().size());
   rec.search.configs_enumerated = joint.value().configs_enumerated;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -58,6 +59,14 @@ struct JointReconfigurationEvent {
 /// construction time. All controller work (ANALYZE, solving, index builds)
 /// is uncounted; the modeled transition price is accumulated in
 /// transition_pages_charged() so experiment totals can include it.
+///
+/// Thread safety: same protocol as ReconfigurationController — the monitor
+/// absorbs observations from any number of serving threads; a due drift
+/// check is claimed by exactly one thread via TryLock on the check mutex
+/// (everyone else skips past without blocking), and its commit runs while
+/// the other threads keep serving: in-flight queries finish on the old
+/// configuration epochs (SimDatabase's epoch swap). Inspection accessors
+/// are for quiescent use.
 class JointReconfigurationController : public DbOpObserver {
  public:
   /// \p db must already have its workload paths registered
@@ -134,8 +143,21 @@ class JointReconfigurationController : public DbOpObserver {
   std::vector<PathId> path_ids_;          ///< sorted (database id order)
   std::vector<std::set<ClassId>> scopes_;  ///< per path, same order
   WorkloadMonitor monitor_;
+
+  /// Serializes drift checks and protects everything below it (see
+  /// ReconfigurationController for the protocol).
+  mutable Mutex check_mu_;
+  std::atomic<std::uint64_t> next_check_hint_{0};
+  std::atomic<bool> dormant_{false};
+
   DriftCadence cadence_;
   ScopedAnalyzer analyzer_;
+  /// Candidate pool cached across drift checks: the pool's skeleton and
+  /// unit costs depend on the catalog statistics and the path set, not the
+  /// drifting load, so models are re-evaluated only when
+  /// ScopedAnalyzer::Refresh re-collects a class
+  /// (pathix_advisor_pool_cache_hits_total counts the reuses).
+  CandidatePoolBuilder pool_builder_;
 
   BoundedEventLog<JointReconfigurationEvent> events_;
   BoundedEventLog<DecisionRecord> decisions_;

@@ -4,44 +4,8 @@
 
 namespace pathix {
 
-TraceReplayer::TraceReplayer(SimDatabase* db, const TraceSpec& spec)
-    : db_(db), spec_(&spec), rng_(spec.seed) {
-  for (const TracePath& tp : spec.paths) {
-    const Status registered = db_->RegisterPath(tp.id, tp.path);
-    PATHIX_DCHECK(registered.ok());
-    (void)registered;
-  }
-}
-
-void TraceReplayer::Populate() {
-  std::vector<ClassGenSpec> specs;
-  specs.reserve(spec_->populate.size());
-  for (const TracePopulate& p : spec_->populate) {
-    specs.push_back(ClassGenSpec{p.cls, p.count, p.distinct_values, p.nin});
-  }
-  std::vector<const Path*> paths;
-  paths.reserve(spec_->paths.size());
-  for (const TracePath& tp : spec_->paths) paths.push_back(&tp.path);
-  PathDataGenerator gen(spec_->seed);
-  live_ = gen.Populate(db_, paths, specs);
-}
-
-const TracePopulate* TraceReplayer::PopulateSpecFor(ClassId cls) const {
-  for (const TracePopulate& p : spec_->populate) {
-    if (p.cls == cls) return &p;
-  }
-  return nullptr;
-}
-
-PhaseReport TraceReplayer::RunPhaseOps(std::size_t phase_index) {
-  const TracePhase& phase = spec_->phases[phase_index];
-  PhaseReport report;
-  report.name = phase.name;
-  report.ops = phase.ops;
-
-  // Flatten the mix into (path, class, kind) sampling weights, sorted for a
-  // deterministic mapping into the discrete distribution (by class, then
-  // kind, then path — the order the single-path format always had).
+std::vector<TraceOpExecutor::MixEntry> TraceOpExecutor::FlattenMix(
+    const TracePhase& phase) {
   std::vector<MixEntry> entries;
   for (std::size_t p = 0; p < phase.queries.size(); ++p) {
     for (const auto& [cls, weight] : phase.queries[p]) {
@@ -63,21 +27,10 @@ PhaseReport TraceReplayer::RunPhaseOps(std::size_t phase_index) {
               if (a.kind != b.kind) return a.kind < b.kind;
               return a.path_index < b.path_index;
             });
-  if (entries.empty()) return report;
-  std::vector<double> weights;
-  weights.reserve(entries.size());
-  for (const MixEntry& e : entries) weights.push_back(e.weight);
-  std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
-
-  const AccessProbe probe(db_->pager());
-  for (std::uint64_t i = 0; i < phase.ops; ++i) {
-    RunOne(entries[pick(rng_)], &report);
-  }
-  report.pages = probe.Delta().total();
-  return report;
+  return entries;
 }
 
-void TraceReplayer::RunOne(const MixEntry& op, PhaseReport* report) {
+void TraceOpExecutor::RunOne(const MixEntry& op, PhaseReport* report) {
   switch (op.kind) {
     case DbOpKind::kQuery:
       DoQuery(op.path_index, op.cls, report);
@@ -91,8 +44,15 @@ void TraceReplayer::RunOne(const MixEntry& op, PhaseReport* report) {
   }
 }
 
-void TraceReplayer::DoQuery(int path_index, ClassId cls,
-                            PhaseReport* report) {
+const TracePopulate* TraceOpExecutor::PopulateSpecFor(ClassId cls) const {
+  for (const TracePopulate& p : spec_->populate) {
+    if (p.cls == cls) return &p;
+  }
+  return nullptr;
+}
+
+void TraceOpExecutor::DoQuery(int path_index, ClassId cls,
+                              PhaseReport* report) {
   const TracePath& tp = spec_->paths[static_cast<std::size_t>(path_index)];
   // Query values are drawn from the ending-level value pool the population
   // (and the inserts) draw from.
@@ -103,19 +63,21 @@ void TraceReplayer::DoQuery(int path_index, ClassId cls,
     if (p != nullptr) distinct = std::max(distinct, p->distinct_values);
   }
   std::uniform_int_distribution<int> value(0, distinct - 1);
-  const Key key = Key::FromString(EndingValue(value(rng_)));
+  const Key key = Key::FromString(EndingValue(value(*rng_)));
   // Tallied on success only, mirroring the database's op counters (failed
   // operations neither count nor notify) — the cross-check is exact.
-  if (db_->has_indexes(tp.id)) {
-    if (db_->Query(tp.id, key, cls).ok()) ++report->query_ops[tp.id];
-  } else {
-    if (db_->QueryNaive(tp.id, key, cls).ok()) {
+  const Result<SimDatabase::QueryOutcome> outcome = db_->QueryAny(tp.id, key,
+                                                                  cls);
+  if (outcome.ok()) {
+    if (outcome.value().naive) {
       ++report->naive_query_ops[tp.id];
+    } else {
+      ++report->query_ops[tp.id];
     }
   }
 }
 
-void TraceReplayer::DoInsert(ClassId cls, PhaseReport* report) {
+void TraceOpExecutor::DoInsert(ClassId cls, PhaseReport* report) {
   const TracePopulate* p = PopulateSpecFor(cls);
   const double nin = p != nullptr ? p->nin : 1.0;
   std::uniform_real_distribution<double> frac(0.0, 1.0);
@@ -138,7 +100,7 @@ void TraceReplayer::DoInsert(ClassId cls, PhaseReport* report) {
     if (attrs.count(attr) > 0) continue;  // shared subpath, already filled
 
     int nvals = static_cast<int>(nin);
-    if (frac(rng_) < nin - nvals) ++nvals;
+    if (frac(*rng_) < nin - nvals) ++nvals;
     nvals = std::max(1, nvals);
 
     std::vector<Value>& values = attrs[attr];
@@ -146,21 +108,21 @@ void TraceReplayer::DoInsert(ClassId cls, PhaseReport* report) {
       const int distinct = p != nullptr ? p->distinct_values : 1;
       std::uniform_int_distribution<int> value(0, distinct - 1);
       for (int v = 0; v < nvals; ++v) {
-        values.push_back(Value::Str(EndingValue(value(rng_))));
+        values.push_back(Value::Str(EndingValue(value(*rng_))));
       }
     } else {
       std::vector<Oid> pool;
       for (ClassId next :
            db_->schema().HierarchyOf(tp.path.class_at(level + 1))) {
-        const auto it = live_.find(next);
-        if (it != live_.end()) {
+        const auto it = live_->find(next);
+        if (it != live_->end()) {
           pool.insert(pool.end(), it->second.begin(), it->second.end());
         }
       }
       if (!pool.empty()) {
         std::uniform_int_distribution<std::size_t> ref(0, pool.size() - 1);
         for (int v = 0; v < nvals; ++v) {
-          values.push_back(Value::Ref(pool[ref(rng_)]));
+          values.push_back(Value::Ref(pool[ref(*rng_)]));
         }
       }
     }
@@ -168,18 +130,18 @@ void TraceReplayer::DoInsert(ClassId cls, PhaseReport* report) {
   PATHIX_DCHECK(on_some_path && "mix classes are validated against the "
                                 "declared paths' scopes");
   (void)on_some_path;
-  live_[cls].push_back(db_->Insert(cls, std::move(attrs)));
+  (*live_)[cls].push_back(db_->Insert(cls, std::move(attrs)));
   ++report->insert_ops;
 }
 
-void TraceReplayer::DoDelete(ClassId cls, PhaseReport* report) {
-  std::vector<Oid>& pool = live_[cls];
+void TraceOpExecutor::DoDelete(ClassId cls, PhaseReport* report) {
+  std::vector<Oid>& pool = (*live_)[cls];
   if (pool.empty()) {
     ++report->noop_ops;
     return;  // deterministic no-op across replays
   }
   std::uniform_int_distribution<std::size_t> victim(0, pool.size() - 1);
-  const std::size_t i = victim(rng_);
+  const std::size_t i = victim(*rng_);
   const Oid oid = pool[i];
   pool[i] = pool.back();
   pool.pop_back();
@@ -188,6 +150,53 @@ void TraceReplayer::DoDelete(ClassId cls, PhaseReport* report) {
   } else {
     ++report->noop_ops;
   }
+}
+
+TraceReplayer::TraceReplayer(SimDatabase* db, const TraceSpec& spec)
+    : db_(db), spec_(&spec), rng_(spec.seed) {
+  for (const TracePath& tp : spec.paths) {
+    const Status registered = db_->RegisterPath(tp.id, tp.path);
+    PATHIX_DCHECK(registered.ok());
+    (void)registered;
+  }
+}
+
+void TraceReplayer::Populate() {
+  std::vector<ClassGenSpec> specs;
+  specs.reserve(spec_->populate.size());
+  for (const TracePopulate& p : spec_->populate) {
+    specs.push_back(ClassGenSpec{p.cls, p.count, p.distinct_values, p.nin});
+  }
+  std::vector<const Path*> paths;
+  paths.reserve(spec_->paths.size());
+  for (const TracePath& tp : spec_->paths) paths.push_back(&tp.path);
+  PathDataGenerator gen(spec_->seed);
+  live_ = gen.Populate(db_, paths, specs);
+}
+
+PhaseReport TraceReplayer::RunPhaseOps(std::size_t phase_index) {
+  const TracePhase& phase = spec_->phases[phase_index];
+  PhaseReport report;
+  report.name = phase.name;
+  report.ops = phase.ops;
+
+  const std::vector<TraceOpExecutor::MixEntry> entries =
+      TraceOpExecutor::FlattenMix(phase);
+  if (entries.empty()) return report;
+  std::vector<double> weights;
+  weights.reserve(entries.size());
+  for (const TraceOpExecutor::MixEntry& e : entries) {
+    weights.push_back(e.weight);
+  }
+  std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+
+  TraceOpExecutor exec(db_, spec_, &rng_, &live_);
+  const AccessProbe probe(db_->pager());
+  for (std::uint64_t i = 0; i < phase.ops; ++i) {
+    exec.RunOne(entries[pick(rng_)], &report);
+  }
+  report.pages = probe.Delta().total();
+  return report;
 }
 
 }  // namespace pathix

@@ -67,6 +67,59 @@ struct PhaseReport {
   }
 };
 
+/// \brief Executes single sampled trace operations against a SimDatabase —
+/// the op-level core shared by the single-threaded TraceReplayer and the
+/// multi-threaded serve driver (serve/serve_driver.h).
+///
+/// The executor owns no state: it borrows the RNG it draws from and the
+/// live-oid pools it samples/mutates, so a replayer runs one of everything
+/// while the serve driver runs one executor per worker thread (each with
+/// its own RNG stream and pool shard — zero cross-thread coordination in
+/// the op path). Queries go through SimDatabase::QueryAny: the
+/// indexed-or-naive decision and the evaluation happen on one
+/// configuration epoch, so a reconfiguration landing mid-op can't split
+/// them.
+class TraceOpExecutor {
+ public:
+  /// One (path, class, kind) sampling entry of a flattened phase mix.
+  struct MixEntry {
+    int path_index = -1;  ///< queried path; -1 for updates
+    ClassId cls = kInvalidClass;
+    DbOpKind kind = DbOpKind::kQuery;
+    double weight = 0;
+  };
+
+  /// All pointees must outlive the executor. \p rng is the caller's stream
+  /// (advanced by every op); \p live the pool the caller's deletes claim
+  /// from and its inserts grow.
+  TraceOpExecutor(SimDatabase* db, const TraceSpec* spec, std::mt19937* rng,
+                  std::map<ClassId, std::vector<Oid>>* live)
+      : db_(db), spec_(spec), rng_(rng), live_(live) {}
+
+  /// Flattens a phase's mix into sampling entries, deterministically
+  /// ordered (by class, then kind, then path — the order the single-path
+  /// format always had). Entries with zero weight are dropped.
+  static std::vector<MixEntry> FlattenMix(const TracePhase& phase);
+
+  /// Executes one sampled op, tallying into \p report (successful ops only,
+  /// mirroring the database's counters; a delete on an empty pool is the
+  /// deterministic no-op).
+  void RunOne(const MixEntry& op, PhaseReport* report);
+
+ private:
+  void DoQuery(int path_index, ClassId cls, PhaseReport* report);
+  void DoInsert(ClassId cls, PhaseReport* report);
+  void DoDelete(ClassId cls, PhaseReport* report);
+
+  /// Generation parameters for \p cls (ending-value pool, fan-out).
+  const TracePopulate* PopulateSpecFor(ClassId cls) const;
+
+  SimDatabase* db_;
+  const TraceSpec* spec_;
+  std::mt19937* rng_;
+  std::map<ClassId, std::vector<Oid>>* live_;
+};
+
 /// \brief Replays the phases of one trace spec.
 class TraceReplayer {
  public:
@@ -97,13 +150,6 @@ class TraceReplayer {
   const std::map<ClassId, std::vector<Oid>>& live() const { return live_; }
 
  private:
-  struct MixEntry {
-    int path_index = -1;  ///< queried path; -1 for updates
-    ClassId cls = kInvalidClass;
-    DbOpKind kind = DbOpKind::kQuery;
-    double weight = 0;
-  };
-
   /// The shared replay: runs the phase's ops under the access probe; the
   /// public overloads wrap it to capture controller charges (both
   /// controller types expose the same accessors).
@@ -151,14 +197,6 @@ class TraceReplayer {
   }
 
   PhaseReport RunPhaseOps(std::size_t phase_index);
-
-  void RunOne(const MixEntry& op, PhaseReport* report);
-  void DoQuery(int path_index, ClassId cls, PhaseReport* report);
-  void DoInsert(ClassId cls, PhaseReport* report);
-  void DoDelete(ClassId cls, PhaseReport* report);
-
-  /// Generation parameters for \p cls (ending-value pool, fan-out).
-  const TracePopulate* PopulateSpecFor(ClassId cls) const;
 
   SimDatabase* db_;
   const TraceSpec* spec_;

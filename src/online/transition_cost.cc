@@ -1,9 +1,11 @@
 #include "online/transition_cost.h"
 
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/math.h"
+#include "common/mutex.h"
 #include "core/structural_key.h"
 #include "costmodel/org_model.h"
 
@@ -45,8 +47,12 @@ TransitionCost EstimateJointTransitionCost(
       const StructuralKey key = StructuralKey::ForSubpath(
           path, parts[i].subpath.start, parts[i].subpath.end, parts[i].org);
       if (target_keys.count(key) > 0) continue;
-      const SubpathIndex* index = pt.current->part(i)->index.get();
+      const std::shared_ptr<PhysicalPart>& part = pt.current->part(i);
+      const SubpathIndex* index = part->index.get();
       if (!dropped.insert(index).second) continue;
+      // Size the structure under its reader latch: the part is live, and
+      // concurrent maintenance mutates its trees under the writer side.
+      ReaderMutexLock latch(&part->latch);
       cost.drop_pages += static_cast<double>(index->total_pages());
     }
   }

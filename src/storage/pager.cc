@@ -24,6 +24,7 @@ const char* ToString(PageOpKind kind) {
 void Pager::EnableBuffer(std::size_t capacity_pages) {
   MutexLock lock(&mu_);
   buffer_capacity_ = capacity_pages;
+  buffered_.store(capacity_pages > 0, std::memory_order_relaxed);
   lru_.clear();
   lru_index_.clear();
 }
@@ -52,11 +53,12 @@ void Pager::ResetTallies() {
   label_tallies_.clear();
 }
 
-void Pager::FoldTally(PageOpKind kind, const std::string& label,
-                      const AccessStats& delta) {
+void Pager::CloseFrame(PageOpKind kind, const std::string& label,
+                       const AccessFrame& frame) {
   MutexLock lock(&mu_);
-  kind_tallies_[static_cast<std::size_t>(kind)] += delta;
-  if (!label.empty()) label_tallies_[label] += delta;
+  if (!frame.exclude) stats_ += frame.deferred;
+  kind_tallies_[static_cast<std::size_t>(kind)] += frame.local;
+  if (!label.empty()) label_tallies_[label] += frame.local;
 }
 
 void Pager::ExportMetrics(obs::MetricsRegistry* registry) const {
@@ -96,43 +98,26 @@ void Pager::ExportMetrics(obs::MetricsRegistry* registry) const {
       .Set(static_cast<double>(allocated));
 }
 
-AccessStats* Pager::ExchangeSideSink(AccessStats* sink) {
-  MutexLock lock(&mu_);
-  AccessStats* prev = side_sink_;
-  side_sink_ = sink;
-  return prev;
-}
-
 ScopedAccessProbe::ScopedAccessProbe(Pager* pager, PageOpKind kind,
                                      std::string label, bool exclude)
-    : pager_(pager),
-      kind_(kind),
-      label_(std::move(label)),
-      exclude_(exclude) {
-  if (exclude_) {
-    prev_sink_ = pager_->ExchangeSideSink(&local_);
-  } else {
-    start_ = pager_->stats();
+    : pager_(pager), kind_(kind), label_(std::move(label)) {
+  frame_.pager = pager;
+  frame_.exclude = exclude;
+  frame_.prev = internal::tls_frame_top;
+  // The frame this one's *counting* traffic should land on: the nearest
+  // enclosing excluded frame of the same pager on this thread (directly,
+  // or inherited through an enclosing counting frame).
+  if (AccessFrame* outer = internal::FrameFor(pager)) {
+    frame_.redirect = outer->exclude ? outer : outer->redirect;
   }
+  internal::tls_frame_top = &frame_;
 }
 
 ScopedAccessProbe::~ScopedAccessProbe() {
-  if (exclude_) {
-    AccessStats* expected = pager_->ExchangeSideSink(prev_sink_);
-    PATHIX_DCHECK(expected == &local_ &&
-                  "excluded probes must unwind in LIFO order");
-    (void)expected;
-    // No writer can reach local_ after the exchange (Note* holds the same
-    // mutex the exchange took), so the unlocked read below is race-free.
-    pager_->FoldTally(kind_, label_, local_);
-  } else {
-    pager_->FoldTally(kind_, label_, pager_->stats() - start_);
-  }
-}
-
-AccessStats ScopedAccessProbe::Delta() const {
-  if (exclude_) return pager_->SnapshotSink(local_);
-  return pager_->stats() - start_;
+  PATHIX_DCHECK(internal::tls_frame_top == &frame_ &&
+                "probes must unwind in LIFO order on their own thread");
+  internal::tls_frame_top = frame_.prev;
+  pager_->CloseFrame(kind_, label_, frame_);
 }
 
 }  // namespace pathix

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -27,12 +28,17 @@
 /// their traffic through the same counting paths while keeping it out of
 /// the main stats — the mechanism behind pager-accounted index builds.
 ///
-/// Thread safety: every counter lives behind mu_, so concurrent Note*/
-/// stats()/Allocate() calls are safe (the pager is the leaf of the lock
-/// hierarchy in common/mutex.h). Scoped frames are the exception: counting
-/// frames must not *nest* (see ScopedAccessProbe) and excluded frames
-/// unwind LIFO through one shared redirect slot, so frames themselves are
-/// single-threaded protocol — only the counting they capture is not.
+/// Thread safety: the global counters live behind mu_, so concurrent
+/// Note*/stats()/Allocate() calls are safe (the pager is the leaf of the
+/// lock hierarchy in common/mutex.h). Scoped frames are *thread-local*: a
+/// ScopedAccessProbe pushes a frame onto its own thread's frame stack, and
+/// Note* calls from that thread accumulate into the frame without touching
+/// mu_ (unless the buffer pool is on — the LRU is shared state). The frame
+/// folds its tally into the global counters once, when it closes, so N
+/// serving threads doing framed page traffic contend on one mutex
+/// acquisition per *operation* instead of one per *page touch*. Counting
+/// frames still must not nest per thread (see ScopedAccessProbe); frames
+/// of different threads are entirely independent.
 
 namespace pathix {
 
@@ -85,6 +91,34 @@ inline constexpr std::size_t kPageOpKindCount = 5;
 
 const char* ToString(PageOpKind kind);
 
+class Pager;
+
+/// One open ScopedAccessProbe, linked into the owning thread's frame
+/// stack. Thread-private: Note* reaches a frame only through the calling
+/// thread's own stack, so only the owning thread ever touches the
+/// counters and accumulation needs no lock.
+struct AccessFrame {
+  Pager* pager = nullptr;
+  bool exclude = false;
+  AccessStats local;     ///< everything this frame observed
+  AccessStats deferred;  ///< observed but not yet folded into the globals
+  AccessFrame* prev = nullptr;      ///< next outer frame (any pager)
+  AccessFrame* redirect = nullptr;  ///< enclosing excluded frame, same pager
+};
+
+namespace internal {
+/// Top of the calling thread's open-frame stack.
+inline thread_local AccessFrame* tls_frame_top = nullptr;
+
+/// The innermost open frame of \p pager on the calling thread, if any.
+inline AccessFrame* FrameFor(const Pager* pager) {
+  for (AccessFrame* f = tls_frame_top; f != nullptr; f = f->prev) {
+    if (f->pager == pager) return f;
+  }
+  return nullptr;
+}
+}  // namespace internal
+
 /// \brief Allocates page ids and counts accesses.
 ///
 /// Optionally emulates an LRU buffer pool (an ablation the paper's cold
@@ -100,21 +134,44 @@ class Pager {
 
   /// Allocates a fresh page id (allocation itself is not counted; the
   /// first write to the page is).
-  PageId Allocate() EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return next_page_++;
-  }
+  PageId Allocate() { return next_page_.fetch_add(1); }
 
   /// Enables an LRU buffer pool of \p capacity_pages (0 disables — the
   /// default, matching the cost model's cold assumption).
   void EnableBuffer(std::size_t capacity_pages) EXCLUDES(mu_);
 
+  // Note* route each page touch to the calling thread's innermost open
+  // frame when one exists: excluded scopes absorb the touch (measured, not
+  // charged, buffer bypassed), counting scopes accumulate it lock-free and
+  // defer the global-stats fold to frame close — unless the buffer pool is
+  // on, where the shared LRU forces the locked path. Unframed touches (the
+  // concurrent smoke tests, ad-hoc tooling) take the locked path directly,
+  // so the global stats stay exact without any frame protocol.
+
   void NoteRead(PageId page) EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    if (side_sink_ != nullptr) {  // excluded scope: measured, not charged
-      ++side_sink_->reads;
+    if (AccessFrame* f = internal::FrameFor(this)) {
+      AccessFrame* sink = f->exclude ? f : f->redirect;
+      if (sink != nullptr) {  // excluded scope: measured, not charged
+        ++sink->local.reads;
+        return;
+      }
+      if (!buffered_.load(std::memory_order_relaxed)) {
+        ++f->local.reads;
+        ++f->deferred.reads;
+        return;
+      }
+      MutexLock lock(&mu_);
+      if (buffer_capacity_ > 0 && Touch(page)) {
+        ++stats_.buffer_hits;
+        ++f->local.buffer_hits;
+        return;
+      }
+      ++stats_.reads;
+      ++f->local.reads;
+      Admit(page);
       return;
     }
+    MutexLock lock(&mu_);
     if (buffer_capacity_ > 0 && Touch(page)) {
       ++stats_.buffer_hits;
       return;
@@ -123,30 +180,56 @@ class Pager {
     Admit(page);
   }
   void NoteWrite(PageId page) EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    if (side_sink_ != nullptr) {
-      ++side_sink_->writes;
+    if (AccessFrame* f = internal::FrameFor(this)) {
+      AccessFrame* sink = f->exclude ? f : f->redirect;
+      if (sink != nullptr) {
+        ++sink->local.writes;
+        return;
+      }
+      if (!buffered_.load(std::memory_order_relaxed)) {
+        ++f->local.writes;
+        ++f->deferred.writes;
+        return;
+      }
+      MutexLock lock(&mu_);
+      ++stats_.writes;
+      ++f->local.writes;
+      Admit(page);
       return;
     }
+    MutexLock lock(&mu_);
     ++stats_.writes;
     Admit(page);
   }
   /// Convenience for counting n sequential page reads (scans / chains).
+  /// Bulk traffic always bypasses the buffer pool.
   void NoteReads(std::uint64_t n) EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    if (side_sink_ != nullptr) {
-      side_sink_->reads += n;
+    if (AccessFrame* f = internal::FrameFor(this)) {
+      AccessFrame* sink = f->exclude ? f : f->redirect;
+      if (sink != nullptr) {
+        sink->local.reads += n;
+        return;
+      }
+      f->local.reads += n;
+      f->deferred.reads += n;
       return;
     }
+    MutexLock lock(&mu_);
     stats_.reads += n;
   }
   /// Convenience for counting n sequential page writes (bulk write-out).
   void NoteWrites(std::uint64_t n) EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    if (side_sink_ != nullptr) {
-      side_sink_->writes += n;
+    if (AccessFrame* f = internal::FrameFor(this)) {
+      AccessFrame* sink = f->exclude ? f : f->redirect;
+      if (sink != nullptr) {
+        sink->local.writes += n;
+        return;
+      }
+      f->local.writes += n;
+      f->deferred.writes += n;
       return;
     }
+    MutexLock lock(&mu_);
     stats_.writes += n;
   }
 
@@ -177,10 +260,7 @@ class Pager {
   void ResetTallies() EXCLUDES(mu_);
 
   /// Pages allocated so far (storage footprint proxy).
-  std::uint64_t allocated_pages() const EXCLUDES(mu_) {
-    ReaderMutexLock lock(&mu_);
-    return next_page_;
-  }
+  std::uint64_t allocated_pages() const { return next_page_.load(); }
 
   /// Mirrors the pager's counters into \p registry (obs/metrics.h):
   /// pathix_pager_io_total{io}, pathix_pager_pages_total{op,io},
@@ -198,33 +278,23 @@ class Pager {
   bool Touch(PageId page) REQUIRES(mu_);
   void Admit(PageId page) REQUIRES(mu_);
 
-  void FoldTally(PageOpKind kind, const std::string& label,
-                 const AccessStats& delta) EXCLUDES(mu_);
-
-  /// Installs \p sink as the excluded-scope redirect target and returns
-  /// the previous one (ScopedAccessProbe's open/close handshake).
-  AccessStats* ExchangeSideSink(AccessStats* sink) EXCLUDES(mu_);
-
-  /// Reads a frame-owned counter under mu_, so an open excluded frame's
-  /// Delta() synchronizes with Note* writers redirecting into it.
-  AccessStats SnapshotSink(const AccessStats& sink) const EXCLUDES(mu_) {
-    ReaderMutexLock lock(&mu_);
-    return sink;
-  }
+  /// Folds a closing frame into the globals under one lock: deferred
+  /// counts into the main stats, the frame's full tally into the
+  /// (kind, label) tallies.
+  void CloseFrame(PageOpKind kind, const std::string& label,
+                  const AccessFrame& frame) EXCLUDES(mu_);
 
   std::size_t page_size_;
   mutable Mutex mu_;
-  PageId next_page_ GUARDED_BY(mu_) = 0;
+  std::atomic<PageId> next_page_{0};
   AccessStats stats_ GUARDED_BY(mu_);
 
-  /// When non-null, Note* redirect here (excluded scope) and bypass the
-  /// buffer pool, so builds neither pollute the stats nor warm the LRU.
-  /// The pointee (a ScopedAccessProbe's local counter) is only written
-  /// through this slot, i.e. under mu_ as well.
-  AccessStats* side_sink_ GUARDED_BY(mu_) PT_GUARDED_BY(mu_) = nullptr;
   std::array<AccessStats, kPageOpKindCount> kind_tallies_ GUARDED_BY(mu_){};
   std::map<std::string, AccessStats> label_tallies_ GUARDED_BY(mu_);
 
+  /// Mirrors buffer_capacity_ > 0 so framed Note* can pick the lock-free
+  /// path without taking mu_ first.
+  std::atomic<bool> buffered_{false};
   std::size_t buffer_capacity_ GUARDED_BY(mu_) = 0;
   std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recent
   std::unordered_map<PageId, std::list<PageId>::iterator> lru_index_
@@ -260,14 +330,18 @@ class AccessProbe {
 /// through the pager without becoming part of a replay's measured pages;
 /// its price enters experiments through the transition accounting instead.
 ///
-/// Frames may nest, but every frame folds its own delta into the tallies
+/// Frames are per-thread: each probe pushes an AccessFrame onto the calling
+/// thread's stack and captures only that thread's traffic, accumulated
+/// lock-free and folded into the pager's globals once at close. Frames may
+/// nest per thread, but every frame folds its own delta into the tallies
 /// when it closes — so the "kind tallies decompose stats()" invariant holds
-/// only while *counting* frames do not nest (SimDatabase opens exactly one
-/// per operation and closes it before observers run, which guarantees
-/// this). Excluded frames nest freely (LIFO): a counting frame inside an
-/// excluded one observes no traffic, since the main stats are frozen there
-/// by design. Frames are a single-threaded protocol (one redirect slot,
-/// LIFO unwind); only the Note* traffic they capture may be concurrent.
+/// only while *counting* frames do not nest on one thread (SimDatabase
+/// opens exactly one per operation and closes it before observers run,
+/// which guarantees this). Excluded frames nest freely (LIFO per thread):
+/// a counting frame inside an excluded one observes no traffic, since its
+/// thread's touches all land on the enclosing excluded frame by design.
+/// Destruction must happen on the constructing thread (RAII makes this
+/// automatic).
 class ScopedAccessProbe {
  public:
   explicit ScopedAccessProbe(Pager* pager, PageOpKind kind,
@@ -277,17 +351,15 @@ class ScopedAccessProbe {
   ScopedAccessProbe(const ScopedAccessProbe&) = delete;
   ScopedAccessProbe& operator=(const ScopedAccessProbe&) = delete;
 
-  /// The accesses observed by this frame so far.
-  AccessStats Delta() const;
+  /// The accesses observed by this frame so far (this thread's traffic
+  /// only; thread-private, so the read is race-free even mid-scope).
+  AccessStats Delta() const { return frame_.local; }
 
  private:
   Pager* pager_;
   PageOpKind kind_;
   std::string label_;
-  bool exclude_;
-  AccessStats start_;             ///< main-stats snapshot (counting frame)
-  AccessStats local_;             ///< redirected counts (excluded frame)
-  AccessStats* prev_sink_ = nullptr;
+  AccessFrame frame_;
 };
 
 }  // namespace pathix

@@ -3,7 +3,9 @@
 // the scoped tallies and the ledger's workload snapshots, which must not
 // leak unordered-container iteration order (or wall-clock values) into
 // anything observable (the probe plumbing runs on every operation; the
-// ledger is captured at every drift check).
+// ledger is captured at every drift check). The serving engine rides the
+// same pin: ServeDriver with --threads=1 is the replayer's exact op
+// sequence, so its run must reproduce the identical bytes.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +15,7 @@
 #include "obs/decision_log.h"
 #include "online/decision_record.h"
 #include "online/joint_experiment.h"
+#include "serve/serve_driver.h"
 
 namespace pathix {
 namespace {
@@ -33,13 +36,14 @@ std::string Fmt(const TransitionCost& t) {
          Fmt(t.write_pages);
 }
 
-/// One replay of the shipped joint trace: online controller only (the
-/// costly baselines add nothing to a determinism check). Returns the
-/// serialized event log plus every pager counter.
-std::string ReplayOnce(const TraceSpec& spec) {
-  SimDatabase db(spec.schema, spec.catalog.params());
-  TraceReplayer replayer(&db, spec);
-  replayer.Populate();
+/// One run of the shipped joint trace: online controller only (the costly
+/// baselines add nothing to a determinism check). \p run_phase executes
+/// phase i against the attached controller and returns its PhaseReport —
+/// the replayer and the single-threaded serve driver plug in here.
+/// Returns the serialized event log plus every pager counter.
+template <typename RunPhaseFn>
+std::string LogRun(SimDatabase& db, const TraceSpec& spec,
+                   RunPhaseFn&& run_phase) {
   ControllerOptions options;
   options.orgs = spec.options.orgs;
   options.physical_params = spec.catalog.params();
@@ -48,7 +52,7 @@ std::string ReplayOnce(const TraceSpec& spec) {
   db.SetObserver(&controller);
   std::string log;
   for (std::size_t i = 0; i < spec.phases.size(); ++i) {
-    const PhaseReport report = replayer.RunPhase(i, &controller);
+    const PhaseReport report = run_phase(i, &controller);
     log += "phase " + report.name + " ops " + std::to_string(report.ops) +
            " pages " + std::to_string(report.pages) + " transition " +
            Fmt(report.transition_pages) + " measured " +
@@ -89,6 +93,30 @@ std::string ReplayOnce(const TraceSpec& spec) {
   return log;
 }
 
+std::string ReplayOnce(const TraceSpec& spec) {
+  SimDatabase db(spec.schema, spec.catalog.params());
+  TraceReplayer replayer(&db, spec);
+  replayer.Populate();
+  return LogRun(db, spec,
+                [&](std::size_t i, JointReconfigurationController* c) {
+                  return replayer.RunPhase(i, c);
+                });
+}
+
+/// The serving engine on one worker thread: per the determinism contract
+/// (serve/serve_driver.h), worker 0's RNG is the replayer's stream and the
+/// single shard is the replayer's pool, so this must reproduce ReplayOnce
+/// byte for byte.
+std::string ServeOnce(const TraceSpec& spec, int threads) {
+  SimDatabase db(spec.schema, spec.catalog.params());
+  ServeDriver driver(&db, spec, ServeOptions{threads});
+  driver.Populate();
+  return LogRun(db, spec,
+                [&](std::size_t i, JointReconfigurationController* c) {
+                  return driver.RunPhase(i, c).phase;
+                });
+}
+
 TEST(ReplayDeterminismTest, SameTraceTwiceIsByteIdentical) {
   Result<TraceSpec> parsed = ParseTraceSpecFile(
       std::string(PATHIX_SOURCE_DIR) +
@@ -109,6 +137,20 @@ TEST(ReplayDeterminismTest, SameTraceTwiceIsByteIdentical) {
       "/examples/specs/vehicle_joint_trace.pix");
   ASSERT_TRUE(reparsed.ok());
   EXPECT_EQ(first, ReplayOnce(reparsed.value()));
+}
+
+TEST(ReplayDeterminismTest, SingleThreadedServeDriverMatchesReplayer) {
+  Result<TraceSpec> parsed = ParseTraceSpecFile(
+      std::string(PATHIX_SOURCE_DIR) +
+      "/examples/specs/vehicle_joint_trace.pix");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TraceSpec& spec = parsed.value();
+
+  // Event log, decision ledger, every pager counter: identical bytes.
+  const std::string replayed = ReplayOnce(spec);
+  const std::string served = ServeOnce(spec, /*threads=*/1);
+  EXPECT_FALSE(replayed.empty());
+  EXPECT_EQ(replayed, served);
 }
 
 }  // namespace
