@@ -15,6 +15,15 @@
 //   $ ./examples/pathix_online ../examples/specs/vehicle_joint_trace.pix
 //   $ ./examples/pathix_online     # runs the embedded demo trace
 //
+// Serving flags:
+//   --buffer-pages=N     serve every run through a buffer pool of N frames
+//                        (enabled after population, so each replay starts
+//                        cold). Default 0: the paper's cold-buffer cost
+//                        model, where every touch is a charged page access.
+//                        Buffered runs are a hot/cold ablation: the
+//                        acceptance envelope is printed but not enforced
+//                        (the envelope is a cold-model contract).
+//
 // Observability flags (any mix, before or after the spec file):
 //   --metrics            print an online-run metrics summary to stdout
 //   --metrics-out=FILE   Prometheus text exposition of the online run's
@@ -43,6 +52,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -457,9 +467,11 @@ bool EmitObservability(const pathix::TraceSpec& s, const Report& r,
   return true;
 }
 
-int RunSinglePath(const pathix::TraceSpec& s, const ObsFlags& flags) {
+int RunSinglePath(const pathix::TraceSpec& s, const ObsFlags& flags,
+                  std::size_t buffer_pages) {
   using namespace pathix;
-  Result<ExperimentReport> result = RunOnlineExperiment(s, ControllerOptions{});
+  Result<ExperimentReport> result =
+      RunOnlineExperiment(s, ControllerOptions{}, buffer_pages);
   if (!result.ok()) {
     std::cerr << "error: " << result.status().ToString() << "\n";
     return 1;
@@ -516,14 +528,20 @@ int RunSinglePath(const pathix::TraceSpec& s, const ObsFlags& flags) {
   if (!EmitObservability(s, r, "single", flags)) return 1;
   if (s.measure && PrintMeasuredVsModeled(s) != 0) return 1;
 
-  const bool ok = r.online_vs_best_static() < 1 && r.online_vs_oracle() <= 2;
+  // The acceptance envelope is a property of the paper's cold cost model:
+  // a warm pool shrinks every measured total while the modeled transition
+  // charges stay fixed, so buffered (ablation) runs report the ratios
+  // without gating the exit code on them.
+  const bool ok = buffer_pages > 0 ||
+                  (r.online_vs_best_static() < 1 && r.online_vs_oracle() <= 2);
   return ok ? 0 : 2;
 }
 
-int RunJoint(const pathix::TraceSpec& s, const ObsFlags& flags) {
+int RunJoint(const pathix::TraceSpec& s, const ObsFlags& flags,
+             std::size_t buffer_pages) {
   using namespace pathix;
   Result<JointExperimentReport> result =
-      RunJointOnlineExperiment(s, ControllerOptions{});
+      RunJointOnlineExperiment(s, ControllerOptions{}, buffer_pages);
   if (!result.ok()) {
     std::cerr << "error: " << result.status().ToString() << "\n";
     return 1;
@@ -599,8 +617,10 @@ int RunJoint(const pathix::TraceSpec& s, const ObsFlags& flags) {
   if (!EmitObservability(s, r, "joint", flags)) return 1;
   if (s.measure && PrintMeasuredVsModeled(s) != 0) return 1;
 
+  // Cold-model envelope only — see RunSinglePath.
   const bool ok =
-      r.online_vs_best_static_joint() < 1 && r.online_vs_oracle() <= 2;
+      buffer_pages > 0 ||
+      (r.online_vs_best_static_joint() < 1 && r.online_vs_oracle() <= 2);
   return ok ? 0 : 2;
 }
 
@@ -611,6 +631,7 @@ int main(int argc, char** argv) {
 
   ObsFlags flags;
   std::string spec_file;
+  std::size_t buffer_pages = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto flag_value = [&](const char* prefix) -> const char* {
@@ -627,9 +648,16 @@ int main(int argc, char** argv) {
       flags.trace_out = trace_file;
     } else if (const char* ledger_file = flag_value("--decisions-out=")) {
       flags.decisions_out = ledger_file;
+    } else if (const char* pages = flag_value("--buffer-pages=")) {
+      const long parsed = std::atol(pages);
+      if (parsed < 0) {
+        std::cerr << "error: --buffer-pages wants a non-negative integer\n";
+        return 1;
+      }
+      buffer_pages = static_cast<std::size_t>(parsed);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "error: unknown flag " << arg
-                << " (known: --metrics, --metrics-out=FILE, "
+                << " (known: --buffer-pages=N, --metrics, --metrics-out=FILE, "
                    "--metrics-json=FILE, --trace-out=FILE, "
                    "--decisions-out=FILE)\n";
       return 1;
@@ -662,6 +690,7 @@ int main(int argc, char** argv) {
   // The joint pipeline is also the only one that enforces a storage
   // budget, so a budgeted single-path trace routes through it rather than
   // silently ignoring the directive.
-  return s.paths.size() > 1 || s.has_budget ? RunJoint(s, flags)
-                                            : RunSinglePath(s, flags);
+  return s.paths.size() > 1 || s.has_budget
+             ? RunJoint(s, flags, buffer_pages)
+             : RunSinglePath(s, flags, buffer_pages);
 }

@@ -9,8 +9,16 @@
 //   $ ./examples/pathix_serve --threads=8 ../examples/specs/vehicle_joint_trace.pix
 //   $ ./examples/pathix_serve                # embedded demo trace, 1 thread
 //
-// With --threads=1 the op sequence is byte-identical to the single-threaded
-// TraceReplayer's (see serve/serve_driver.h for the determinism contract).
+// With --threads=1 and --buffer-pages=0 (the defaults) the op sequence is
+// byte-identical to the single-threaded TraceReplayer's (see
+// serve/serve_driver.h for the determinism contract).
+//
+// --buffer-pages=N serves through a real buffer pool of N frames (CLOCK
+// eviction, pinned descent paths, dirty write-back), enabled after
+// population so serving starts cold. The final `pager:` line reports the
+// honest accounting — every read touch is exactly one charged read or one
+// buffer hit, so across runs hits + reads equals the unbuffered read count
+// (the invariant scripts/obs_smoke.py asserts).
 //
 // Per phase the rollup reports serving-side throughput and tail latency
 // (ops/sec, p50/p99 from the merged per-thread histograms) alongside the
@@ -129,6 +137,18 @@ int ServeLoop(const pathix::TraceSpec& s, int threads, pathix::SimDatabase& db,
               all_latency.Percentile(0.50), all_latency.Percentile(0.99),
               static_cast<unsigned long long>(total_pages),
               static_cast<unsigned long long>(total_epochs));
+  // Machine-parseable accounting line (scripts/obs_smoke.py greps it):
+  // cumulative pager counters since construction, plus the pool's view.
+  const AccessStats pstats = db.pager().stats();
+  const BufferPoolStats bstats = db.pager().buffer_pool().GetStats();
+  std::printf("  pager: reads=%llu writes=%llu buffer_hits=%llu "
+              "evictions=%llu writebacks=%llu buffer_pages=%zu\n",
+              static_cast<unsigned long long>(pstats.reads),
+              static_cast<unsigned long long>(pstats.writes),
+              static_cast<unsigned long long>(pstats.buffer_hits),
+              static_cast<unsigned long long>(bstats.evictions),
+              static_cast<unsigned long long>(bstats.writebacks),
+              db.pager().buffer_pool().capacity());
   return ok ? 0 : 1;
 }
 
@@ -139,21 +159,25 @@ pathix::ControllerOptions OptionsFor(const pathix::TraceSpec& s) {
   return copts;
 }
 
-int ServeSingle(const pathix::TraceSpec& s, int threads) {
+int ServeSingle(const pathix::TraceSpec& s, int threads,
+                std::size_t buffer_pages) {
   using namespace pathix;
   SimDatabase db(s.schema, s.catalog.params());
   ServeDriver driver(&db, s, ServeOptions{threads});
   driver.Populate();
+  if (buffer_pages > 0) db.pager().EnableBuffer(buffer_pages);
   ReconfigurationController controller(&db, s.paths.front().path,
                                        OptionsFor(s), s.paths.front().id);
   return ServeLoop(s, threads, db, driver, controller);
 }
 
-int ServeJoint(const pathix::TraceSpec& s, int threads) {
+int ServeJoint(const pathix::TraceSpec& s, int threads,
+               std::size_t buffer_pages) {
   using namespace pathix;
   SimDatabase db(s.schema, s.catalog.params());
   ServeDriver driver(&db, s, ServeOptions{threads});
   driver.Populate();
+  if (buffer_pages > 0) db.pager().EnableBuffer(buffer_pages);
   JointReconfigurationController controller(&db, OptionsFor(s));
   return ServeLoop(s, threads, db, driver, controller);
 }
@@ -164,6 +188,7 @@ int main(int argc, char** argv) {
   using namespace pathix;
 
   int threads = 1;
+  std::size_t buffer_pages = 0;
   std::string spec_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -177,8 +202,16 @@ int main(int argc, char** argv) {
         std::cerr << "error: --threads wants a positive integer\n";
         return 1;
       }
+    } else if (const char* pages = flag_value("--buffer-pages=")) {
+      const long parsed = std::atol(pages);
+      if (parsed < 0) {
+        std::cerr << "error: --buffer-pages wants a non-negative integer\n";
+        return 1;
+      }
+      buffer_pages = static_cast<std::size_t>(parsed);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "error: unknown flag " << arg << " (known: --threads=N)\n";
+      std::cerr << "error: unknown flag " << arg
+                << " (known: --threads=N, --buffer-pages=N)\n";
       return 1;
     } else if (spec_file.empty()) {
       spec_file = arg;
@@ -203,6 +236,7 @@ int main(int argc, char** argv) {
   }
   // Same routing as pathix_online: multi-path or budgeted traces serve
   // under the joint controller.
-  return s.paths.size() > 1 || s.has_budget ? ServeJoint(s, threads)
-                                            : ServeSingle(s, threads);
+  return s.paths.size() > 1 || s.has_budget
+             ? ServeJoint(s, threads, buffer_pages)
+             : ServeSingle(s, threads, buffer_pages);
 }

@@ -17,9 +17,14 @@ Runs the binary on a trace spec with every export flag, then checks:
     versioned meta record, every decision record carries the full audit
     schema (workload, search stats, candidates, both hysteresis sides),
     and its install/switch verdict count equals both the metrics-JSON
-    event list and pathix_controller_reconfigurations_total.
+    event list and pathix_controller_reconfigurations_total;
+  * (when a pathix_serve binary is supplied) the buffer pool's accounting
+    is honest: serving the same trace single-threaded with and without
+    --buffer-pages, the buffered run's `pager:` line must reconcile
+    hits + reads == the unbuffered run's reads — the pool may absorb
+    read touches as hits, but it may never lose or invent one.
 
-Usage: obs_smoke.py <pathix_online-binary> <trace.pix>
+Usage: obs_smoke.py <pathix_online-binary> <trace.pix> [<pathix_serve-binary>]
 """
 
 import json
@@ -246,10 +251,66 @@ def check_ledger(path, metrics_doc, prom_samples):
     return decisions
 
 
+PAGER_LINE = re.compile(
+    r"pager: reads=(\d+) writes=(\d+) buffer_hits=(\d+) "
+    r"evictions=(\d+) writebacks=(\d+) buffer_pages=(\d+)"
+)
+
+SERVE_BUFFER_PAGES = 256
+
+
+def serve_pager_counters(serve_binary, spec, buffer_pages):
+    args = [serve_binary, "--threads=1"]
+    if buffer_pages:
+        args.append(f"--buffer-pages={buffer_pages}")
+    args.append(spec)
+    proc = subprocess.run(args, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        fail(f"pathix_serve {' '.join(args[1:])} exited {proc.returncode}")
+    match = PAGER_LINE.search(proc.stdout)
+    if not match:
+        fail(f"no pager accounting line in pathix_serve output "
+             f"(buffer_pages={buffer_pages})")
+    reads, writes, hits, evictions, writebacks, pages = map(
+        int, match.groups())
+    if pages != buffer_pages:
+        fail(f"pathix_serve reports buffer_pages={pages}, "
+             f"expected {buffer_pages}")
+    return {"reads": reads, "writes": writes, "hits": hits,
+            "evictions": evictions, "writebacks": writebacks}
+
+
+def check_buffered_serving(serve_binary, spec):
+    """Buffered serving must account every read touch exactly once.
+
+    The op stream is deterministic and independent of the buffer capacity
+    (selection prices workloads with cold-model logical touches), so the
+    buffered run sees the identical read-touch sequence: each touch is
+    either one charged read or one buffer hit, never both, never neither.
+    """
+    cold = serve_pager_counters(serve_binary, spec, 0)
+    warm = serve_pager_counters(serve_binary, spec, SERVE_BUFFER_PAGES)
+    if cold["hits"] != 0:
+        fail(f"unbuffered serve reports {cold['hits']} buffer hits")
+    if warm["hits"] + warm["reads"] != cold["reads"]:
+        fail(f"buffered serve lost read touches: hits {warm['hits']} + "
+             f"reads {warm['reads']} != unbuffered reads {cold['reads']}")
+    if warm["hits"] == 0:
+        fail("buffered serve recorded no buffer hits at all")
+    # Write-back may only collapse repeated writes, never add any.
+    if warm["writes"] > cold["writes"]:
+        fail(f"buffered serve charged more writes ({warm['writes']}) than "
+             f"the unbuffered run ({cold['writes']})")
+    return cold, warm
+
+
 def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <pathix_online> <trace.pix>")
+    if len(sys.argv) not in (3, 4):
+        fail(f"usage: {sys.argv[0]} <pathix_online> <trace.pix> "
+             "[<pathix_serve>]")
     binary, spec = sys.argv[1], sys.argv[2]
+    serve_binary = sys.argv[3] if len(sys.argv) == 4 else None
     with tempfile.TemporaryDirectory(prefix="obs_smoke.") as tmp:
         metrics_out = str(Path(tmp) / "metrics.prom")
         metrics_json = str(Path(tmp) / "metrics.json")
@@ -276,9 +337,15 @@ def main():
         doc = check_metrics_json(metrics_json, prom)
         names = check_trace(trace_out)
         decisions = check_ledger(decisions_out, doc, prom)
+    serve_note = ""
+    if serve_binary is not None:
+        cold, warm = check_buffered_serving(serve_binary, spec)
+        serve_note = (f", buffered serving reconciled: {warm['hits']} hits"
+                      f" + {warm['reads']} reads == {cold['reads']} cold"
+                      " reads")
     print(f"obs_smoke: ok ({len(prom)} Prometheus series, "
           f"{decisions} ledgered decisions, "
-          f"span names: {', '.join(sorted(names))})")
+          f"span names: {', '.join(sorted(names))}{serve_note})")
 
 
 if __name__ == "__main__":

@@ -33,6 +33,13 @@
 /// (e.g. from index code back into the registry) while holding a
 /// downstream mutex.
 ///
+/// The buffer pool's sharded frame-table latches (storage/buffer_pool.h)
+/// are leaves beside the Pager's mutex: a buffered page touch takes one
+/// shard latch, releases it, and only then (if unframed) takes the pager
+/// mutex for the stats — the two are never held together. Pool-wide
+/// operations (Resize/FlushAll/GetStats) take every shard latch in index
+/// order and call nothing while holding them.
+///
 /// The observability layer (obs/metrics.h, obs/trace.h) sits below the
 /// whole hierarchy: every per-metric mutex, the registry map mutex and the
 /// tracer's event mutex are *leaves* — their methods never call out — so

@@ -108,7 +108,8 @@ class BTree {
   /// whole overflow chain of a multi-page record. nullptr if absent.
   /// \p batch deduplicates page charges across a batched operation.
   const Record* Lookup(const Key& key, BatchCharge* batch = nullptr) {
-    Node* leaf = DescendCounted(key, batch);
+    PinSet pins;
+    Node* leaf = DescendCounted(key, batch, &pins);
     Record* rec = FindInLeaf(leaf, key);
     if (rec != nullptr) {
       CountChainReads(*rec, ChainPages(*rec), batch);
@@ -129,7 +130,8 @@ class BTree {
   template <typename NeedFn>
   const Record* LookupPartialFn(const Key& key, NeedFn&& needed_bytes_fn,
                                 BatchCharge* batch = nullptr) {
-    Node* leaf = DescendCounted(key, batch);
+    PinSet pins;
+    Node* leaf = DescendCounted(key, batch, &pins);
     Record* rec = FindInLeaf(leaf, key);
     if (rec != nullptr) {
       const std::size_t chain = ChainPages(*rec);
@@ -153,7 +155,8 @@ class BTree {
   void Upsert(const Key& key, Make&& make, Fn&& fn,
               std::size_t touched_chain_pages = 1,
               BatchCharge* batch = nullptr) {
-    Node* leaf = DescendCounted(key, batch);
+    PinSet pins;
+    Node* leaf = DescendCounted(key, batch, &pins);
     Record* rec = FindInLeaf(leaf, key);
     if (rec == nullptr) {
       Record fresh = make();
@@ -175,7 +178,8 @@ class BTree {
   template <typename Fn>
   bool Mutate(const Key& key, Fn&& fn, std::size_t touched_chain_pages = 1,
               BatchCharge* batch = nullptr) {
-    Node* leaf = DescendCounted(key, batch);
+    PinSet pins;
+    Node* leaf = DescendCounted(key, batch, &pins);
     Record* rec = FindInLeaf(leaf, key);
     if (rec == nullptr) return false;
     fn(rec);
@@ -191,7 +195,8 @@ class BTree {
   template <typename Fn, typename TouchFn>
   bool MutateWithTouch(const Key& key, Fn&& fn, TouchFn&& touched_fn,
                        BatchCharge* batch = nullptr) {
-    Node* leaf = DescendCounted(key, batch);
+    PinSet pins;
+    Node* leaf = DescendCounted(key, batch, &pins);
     Record* rec = FindInLeaf(leaf, key);
     if (rec == nullptr) return false;
     fn(rec);
@@ -204,7 +209,8 @@ class BTree {
 
   /// Removes the record for \p key (counting descent, chain, leaf write).
   bool Remove(const Key& key) {
-    Node* leaf = DescendCounted(key);
+    PinSet pins;
+    Node* leaf = DescendCounted(key, nullptr, &pins);
     auto it = LowerBound(leaf->records, key);
     if (it == leaf->records.end() || !(it->key() == key)) return false;
     const std::size_t chain = ChainPages(*it);
@@ -229,11 +235,15 @@ class BTree {
 
   /// Uncounted insert-or-modify used while building an index from a
   /// populated store (index creation cost is not part of any experiment).
+  /// An excluded frame absorbs the descent's traffic — measured into the
+  /// kBuild tally, charged nowhere, buffer pool bypassed. (The previous
+  /// charge-then-rewind scheme would wipe concurrent serving threads'
+  /// folds and leave build pages resident in the pool behind counters
+  /// the pager never saw.)
   template <typename Make, typename Fn>
   void UpsertUncounted(const Key& key, Make&& make, Fn&& fn) {
-    const AccessStats before = pager_->stats();
+    ScopedAccessProbe probe(pager_, PageOpKind::kBuild, {}, /*exclude=*/true);
     Upsert(key, std::forward<Make>(make), std::forward<Fn>(fn));
-    RewindStats(before);  // builds are free
   }
 
   /// Visits every record in key order (uncounted).
@@ -323,18 +333,27 @@ class BTree {
     return node->children[it - node->seps.begin()].get();
   }
 
-  Node* DescendCounted(const Key& key, BatchCharge* batch = nullptr) {
+  /// Root-to-leaf descent, one charged read per node. \p pins keeps every
+  /// node page of the path pinned in the buffer pool until the caller's
+  /// operation completes (guards released when the PinSet unwinds), so
+  /// CLOCK cannot evict the descent path out from under a multi-touch op.
+  Node* DescendCounted(const Key& key, BatchCharge* batch, PinSet* pins) {
     Node* node = root_.get();
-    ChargeRead(node->page, batch);
+    ChargeRead(node->page, batch, pins);
     while (!node->leaf) {
       node = const_cast<Node*>(Child(node, key));
-      ChargeRead(node->page, batch);
+      ChargeRead(node->page, batch, pins);
     }
     return node;
   }
 
-  void ChargeRead(PageId page, BatchCharge* batch) {
+  void ChargeRead(PageId page, BatchCharge* batch, PinSet* pins = nullptr) {
     if (batch != nullptr && !batch->reads.insert(page).second) return;
+    if (pins != nullptr) {
+      PageGuard guard = pager_->PinRead(page);
+      if (guard.pinned()) pins->push_back(std::move(guard));
+      return;
+    }
     pager_->NoteRead(page);
   }
 
@@ -386,15 +405,6 @@ class BTree {
         pager_->NoteWrite(leaf->page);
       }
     }
-  }
-
-  void RewindStats(const AccessStats& to) {
-    // Builds run through the counted paths; reset to the captured snapshot.
-    PATHIX_DCHECK(pager_->stats().reads >= to.reads &&
-                  pager_->stats().writes >= to.writes);
-    pager_->ResetStats();
-    pager_->NoteReads(to.reads);
-    for (std::uint64_t i = 0; i < to.writes; ++i) pager_->NoteWrite(0);
   }
 
   // --------------------------------------------------------------- insert

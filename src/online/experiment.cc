@@ -8,11 +8,14 @@ namespace pathix {
 
 namespace {
 
-/// A freshly populated database ready to replay the trace.
+/// A freshly populated database ready to replay the trace. A nonzero
+/// \p buffer_pages enables the buffer pool *after* population, so every
+/// replay starts from an identically cold pool.
 struct Instance {
-  explicit Instance(const TraceSpec& spec)
+  explicit Instance(const TraceSpec& spec, std::size_t buffer_pages = 0)
       : db(spec.schema, spec.catalog.params()), replayer(&db, spec) {
     replayer.Populate();
+    if (buffer_pages > 0) db.pager().EnableBuffer(buffer_pages);
   }
   SimDatabase db;
   TraceReplayer replayer;
@@ -81,7 +84,8 @@ Result<OptimizeResult> OfflineOptimum(const SimDatabase& db, const Path& path,
 }
 
 Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
-                                             const ControllerOptions& options) {
+                                             const ControllerOptions& options,
+                                             std::size_t buffer_pages) {
   for (IndexOrg org : spec.options.orgs) {
     if (org == IndexOrg::kNX || org == IndexOrg::kPX) {
       return Status::FailedPrecondition(
@@ -103,7 +107,7 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
 
   // ----------------------------------------------------------- online run
   {
-    Instance inst(spec);
+    Instance inst(spec, buffer_pages);
     ReconfigurationController controller(&inst.db, tp.path, copts, tp.id);
     inst.db.SetObserver(&controller);
     report.online_metrics_baseline = inst.db.SnapshotMetrics();
@@ -123,7 +127,7 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
 
   // ----------------------------------------------------------- oracle run
   {
-    Instance inst(spec);
+    Instance inst(spec, buffer_pages);
     report.oracle.label = "oracle";
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
       Result<OptimizeResult> best =
@@ -168,7 +172,7 @@ Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
     }
 
     for (StaticCandidate& c : candidates) {
-      Instance inst(spec);
+      Instance inst(spec, buffer_pages);
       PATHIX_RETURN_IF_ERROR(inst.db.ConfigureIndexes(tp.id, c.config));
       c.run.label = "static:" + c.label;
       for (std::size_t i = 0; i < spec.phases.size(); ++i) {

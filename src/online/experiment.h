@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -105,8 +106,14 @@ struct ExperimentReport {
 /// report. Deterministic for a fixed spec (including its seed).
 /// Single-path traces only; multi-path traces run RunJointOnlineExperiment
 /// (joint_experiment.h).
+///
+/// \p buffer_pages > 0 serves every run (online, oracle, statics) through a
+/// buffer pool of that capacity, enabled after Populate() so each replay
+/// starts from the same cold pool. 0 (the default) keeps the cost-model's
+/// cold-buffer assumption: every touch is a charged page access.
 Result<ExperimentReport> RunOnlineExperiment(const TraceSpec& spec,
-                                             const ControllerOptions& options);
+                                             const ControllerOptions& options,
+                                             std::size_t buffer_pages = 0);
 
 /// The ops-weighted average of the trace's phase mixes for one path — the
 /// load a one-shot offline advisor would be handed if the drift were

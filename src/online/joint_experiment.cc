@@ -10,11 +10,13 @@ namespace pathix {
 namespace {
 
 /// A freshly populated database with every path registered, ready to
-/// replay the trace.
+/// replay the trace. A nonzero \p buffer_pages enables the buffer pool
+/// *after* population, so every replay starts from an identically cold pool.
 struct Instance {
-  explicit Instance(const TraceSpec& spec)
+  explicit Instance(const TraceSpec& spec, std::size_t buffer_pages = 0)
       : db(spec.schema, spec.catalog.params()), replayer(&db, spec) {
     replayer.Populate();
+    if (buffer_pages > 0) db.pager().EnableBuffer(buffer_pages);
   }
   SimDatabase db;
   TraceReplayer replayer;
@@ -85,7 +87,8 @@ Status InstallAll(Instance* inst, const TraceSpec& spec,
 }  // namespace
 
 Result<JointExperimentReport> RunJointOnlineExperiment(
-    const TraceSpec& spec, const ControllerOptions& options) {
+    const TraceSpec& spec, const ControllerOptions& options,
+    std::size_t buffer_pages) {
   for (IndexOrg org : spec.options.orgs) {
     if (org == IndexOrg::kNX || org == IndexOrg::kPX) {
       return Status::FailedPrecondition(
@@ -105,7 +108,7 @@ Result<JointExperimentReport> RunJointOnlineExperiment(
 
   // ----------------------------------------------------------- online run
   {
-    Instance inst(spec);
+    Instance inst(spec, buffer_pages);
     JointReconfigurationController controller(&inst.db, copts);
     inst.db.SetObserver(&controller);
     report.online_metrics_baseline = inst.db.SnapshotMetrics();
@@ -125,7 +128,7 @@ Result<JointExperimentReport> RunJointOnlineExperiment(
 
   // ----------------------------------------------------- joint oracle run
   {
-    Instance inst(spec);
+    Instance inst(spec, buffer_pages);
     report.oracle.label = "oracle-joint";
     for (std::size_t i = 0; i < spec.phases.size(); ++i) {
       // The replay mutates the store between phases, so the oracle
@@ -198,7 +201,7 @@ Result<JointExperimentReport> RunJointOnlineExperiment(
     }
 
     for (JointStaticCandidate& c : candidates) {
-      Instance inst(spec);
+      Instance inst(spec, buffer_pages);
       PATHIX_RETURN_IF_ERROR(InstallAll(&inst, spec, c.configs));
       c.run.label = "static:" + c.label;
       for (std::size_t i = 0; i < spec.phases.size(); ++i) {

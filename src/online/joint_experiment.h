@@ -91,7 +91,12 @@ struct JointExperimentReport {
 /// seed). Works for single-path specs too (the degenerate case), but the
 /// single-path pipeline in experiment.h reports richer per-candidate
 /// statics there.
+///
+/// \p buffer_pages > 0 serves every run through a buffer pool of that
+/// capacity, enabled after Populate() so each replay starts from the same
+/// cold pool (see RunOnlineExperiment).
 Result<JointExperimentReport> RunJointOnlineExperiment(
-    const TraceSpec& spec, const ControllerOptions& options);
+    const TraceSpec& spec, const ControllerOptions& options,
+    std::size_t buffer_pages = 0);
 
 }  // namespace pathix

@@ -25,7 +25,10 @@ void WorkloadMonitor::Observe(const DbOpEvent& ev) {
   if (ev.kind == DbOpKind::kQuery && ev.naive) {
     Entry* pages = &naive_pages_[PathId(ev.path)];
     FoldTo(pages, ops_);
-    pages->count += static_cast<double>(ev.pages.total());
+    // Cold-model touches (hits included): the selection signal must price
+    // the workload identically at every buffer capacity, or a warm pool
+    // would talk the controller out of ever indexing.
+    pages->count += static_cast<double>(ev.pages.logical_total());
   }
   Entry* entry = nullptr;
   switch (ev.kind) {

@@ -1,0 +1,282 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+namespace pathix {
+
+/// RAII lock on the shard currently responsible for one page. Acquiring
+/// any shard mutex blocks a concurrent Resize (which needs them all), so
+/// re-validating the shard count under the lock pins the page->shard
+/// mapping for the critical section.
+class BufferPool::LockedShard {
+ public:
+  LockedShard(const BufferPool* pool, PageId page) NO_THREAD_SAFETY_ANALYSIS {
+    for (;;) {
+      const std::size_t count =
+          pool->shard_count_.load(std::memory_order_acquire);
+      Shard& s = pool->shards_[ShardIndex(page, count)];
+      s.mu.Lock();
+      if (count == pool->shard_count_.load(std::memory_order_relaxed)) {
+        shard_ = &s;
+        return;
+      }
+      s.mu.Unlock();  // resized between the load and the lock: re-route
+    }
+  }
+  ~LockedShard() NO_THREAD_SAFETY_ANALYSIS { shard_->mu.Unlock(); }
+
+  LockedShard(const LockedShard&) = delete;
+  LockedShard& operator=(const LockedShard&) = delete;
+
+  Shard& shard() const { return *shard_; }
+
+ private:
+  Shard* shard_ = nullptr;
+};
+
+std::size_t BufferPool::ShardCountFor(std::size_t capacity) {
+  std::size_t shards = 1;
+  while (shards < kMaxShards &&
+         capacity / (shards * 2) >= kShardingThreshold) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+void BufferPool::LockAllShards() const {
+  for (Shard& s : shards_) s.mu.Lock();
+}
+
+void BufferPool::UnlockAllShards() const {
+  for (std::size_t i = shards_.size(); i > 0; --i) {
+    shards_[i - 1].mu.Unlock();
+  }
+}
+
+BufferTouchResult BufferPool::TouchRead(PageId page, bool pin) {
+  LockedShard locked(this, page);
+  Shard& s = locked.shard();
+  s.mu.AssertHeld();
+  return TouchLocked(s, page, /*write=*/false, pin);
+}
+
+BufferTouchResult BufferPool::TouchWrite(PageId page, bool pin) {
+  LockedShard locked(this, page);
+  Shard& s = locked.shard();
+  s.mu.AssertHeld();
+  return TouchLocked(s, page, /*write=*/true, pin);
+}
+
+BufferTouchResult BufferPool::TouchLocked(Shard& s, PageId page, bool write,
+                                          bool pin) {
+  BufferTouchResult r;
+  auto it = s.table.find(page);
+  if (it != s.table.end()) {
+    Frame& f = s.frames[it->second];
+    f.ref = true;  // second chance
+    if (write) {
+      f.dirty = true;
+      ++s.stats.write_hits;
+    } else {
+      ++s.stats.read_hits;
+    }
+    if (pin) ++f.pins;
+    r.hit = true;
+    r.admitted = true;
+    return r;
+  }
+  if (write) {
+    ++s.stats.write_misses;
+  } else {
+    ++s.stats.read_misses;
+  }
+  if (s.capacity == 0) return r;  // shard holds nothing: pass through
+  while (s.table.size() >= s.capacity) {
+    bool wrote_back = false;
+    if (!EvictOne(s, &wrote_back)) {
+      ++s.stats.pin_bypasses;  // every frame pinned: pass through
+      return r;
+    }
+    if (wrote_back) ++r.writebacks;
+  }
+  std::size_t slot;
+  if (!s.free_slots.empty()) {
+    slot = s.free_slots.back();
+    s.free_slots.pop_back();
+  } else {
+    slot = s.frames.size();
+    s.frames.emplace_back();
+  }
+  Frame& f = s.frames[slot];
+  f.page = page;
+  f.ref = true;
+  f.dirty = write;
+  f.pins = pin ? 1 : 0;
+  s.table.emplace(page, slot);
+  r.admitted = true;
+  return r;
+}
+
+bool BufferPool::EvictOne(Shard& s, bool* wrote_back) {
+  const std::size_t n = s.frames.size();
+  if (n == 0) return false;
+  // One full sweep may only clear reference bits; the second then finds a
+  // victim. Only pinned frames survive 2n probes.
+  for (std::size_t step = 0; step < 2 * n + 1; ++step) {
+    const std::size_t here = s.hand;
+    s.hand = (s.hand + 1) % n;
+    Frame& f = s.frames[here];
+    if (f.page == kInvalidPage) continue;  // free slot
+    if (f.pins > 0) continue;              // pinned frames never leave
+    if (f.ref) {
+      f.ref = false;  // spend the second chance
+      continue;
+    }
+    *wrote_back = f.dirty;
+    if (f.dirty) ++s.stats.writebacks;
+    ++s.stats.evictions;
+    s.table.erase(f.page);
+    f = Frame{};
+    s.free_slots.push_back(here);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t BufferPool::Unpin(PageId page) {
+  LockedShard locked(this, page);
+  Shard& s = locked.shard();
+  s.mu.AssertHeld();
+  auto it = s.table.find(page);
+  if (it == s.table.end()) return 0;
+  Frame& f = s.frames[it->second];
+  if (f.pins > 0) --f.pins;
+  if (f.pins > 0 || s.table.size() <= s.capacity) return 0;
+  // The pin was the only thing holding this frame above a shrunken
+  // capacity: retire it now.
+  const std::uint64_t writebacks = f.dirty ? 1 : 0;
+  if (f.dirty) ++s.stats.writebacks;
+  ++s.stats.evictions;
+  const std::size_t slot = it->second;
+  s.table.erase(it);
+  s.frames[slot] = Frame{};
+  s.free_slots.push_back(slot);
+  return writebacks;
+}
+
+std::uint64_t BufferPool::Resize(std::size_t capacity_pages)
+    NO_THREAD_SAFETY_ANALYSIS {
+  if (capacity_.load(std::memory_order_relaxed) == capacity_pages) {
+    return 0;  // same capacity: warm state untouched
+  }
+  LockAllShards();
+  std::uint64_t writebacks = 0;
+  const std::size_t old_count = shard_count_.load(std::memory_order_relaxed);
+  const std::size_t new_count = ShardCountFor(capacity_pages);
+
+  // Gather every resident frame in global victim order: per shard, clock
+  // order starting at the hand — the frames an eviction sweep would reach
+  // first come first ("the cold end").
+  std::vector<Frame> resident;
+  for (std::size_t i = 0; i < old_count; ++i) {
+    Shard& s = shards_[i];
+    const std::size_t n = s.frames.size();
+    for (std::size_t step = 0; step < n; ++step) {
+      const Frame& f = s.frames[(s.hand + step) % n];
+      if (f.page != kInvalidPage) resident.push_back(f);
+    }
+    s.frames.clear();
+    s.table.clear();
+    s.free_slots.clear();
+    s.hand = 0;
+  }
+  // Within the victim order, reference-bit-clear frames are colder than
+  // reference-bit-set ones (a sweep evicts them a pass earlier).
+  std::stable_partition(resident.begin(), resident.end(),
+                        [](const Frame& f) { return !f.ref; });
+
+  const std::size_t base = capacity_pages / new_count;
+  const std::size_t rem = capacity_pages % new_count;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].capacity = i < new_count ? base + (i < rem ? 1 : 0) : 0;
+  }
+
+  // Route each frame to its new shard. Warmest frames are inserted last;
+  // a shard over its new capacity drops from the cold front — except
+  // pinned frames, which are always kept (Unpin retires the overflow).
+  for (auto keep = resident.rbegin(); keep != resident.rend(); ++keep) {
+    Shard& s = shards_[ShardIndex(keep->page, new_count)];
+    if (keep->pins == 0 && s.table.size() >= s.capacity) {
+      if (keep->dirty) {
+        ++writebacks;
+        ++s.stats.writebacks;
+      }
+      ++s.stats.evictions;
+      continue;
+    }
+    s.table.emplace(keep->page, s.frames.size());
+    s.frames.push_back(*keep);
+  }
+  // The insertion loop ran warmest-first; reverse so the hand (index 0)
+  // points at the coldest surviving frame, preserving victim order.
+  for (std::size_t i = 0; i < new_count; ++i) {
+    Shard& s = shards_[i];
+    std::reverse(s.frames.begin(), s.frames.end());
+    for (std::size_t slot = 0; slot < s.frames.size(); ++slot) {
+      s.table[s.frames[slot].page] = slot;
+    }
+  }
+
+  capacity_.store(capacity_pages, std::memory_order_relaxed);
+  shard_count_.store(new_count, std::memory_order_release);
+  UnlockAllShards();
+  return writebacks;
+}
+
+std::uint64_t BufferPool::FlushAll() NO_THREAD_SAFETY_ANALYSIS {
+  LockAllShards();
+  std::uint64_t flushed = 0;
+  for (Shard& s : shards_) {
+    for (Frame& f : s.frames) {
+      if (f.page == kInvalidPage || !f.dirty) continue;
+      f.dirty = false;
+      ++s.stats.writebacks;
+      ++flushed;
+    }
+  }
+  UnlockAllShards();
+  return flushed;
+}
+
+BufferPoolStats BufferPool::GetStats() const NO_THREAD_SAFETY_ANALYSIS {
+  LockAllShards();
+  BufferPoolStats out;
+  for (const Shard& s : shards_) out += s.stats;
+  UnlockAllShards();
+  return out;
+}
+
+std::size_t BufferPool::ResidentPages() const NO_THREAD_SAFETY_ANALYSIS {
+  LockAllShards();
+  std::size_t n = 0;
+  for (const Shard& s : shards_) n += s.table.size();
+  UnlockAllShards();
+  return n;
+}
+
+bool BufferPool::Resident(PageId page) const {
+  LockedShard locked(this, page);
+  Shard& s = locked.shard();
+  s.mu.AssertHeld();
+  return s.table.find(page) != s.table.end();
+}
+
+bool BufferPool::Dirty(PageId page) const {
+  LockedShard locked(this, page);
+  Shard& s = locked.shard();
+  s.mu.AssertHeld();
+  auto it = s.table.find(page);
+  return it != s.table.end() && s.frames[it->second].dirty;
+}
+
+}  // namespace pathix

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/types.h"
+
+/// \file buffer_pool.h
+/// \brief Fixed-capacity buffer pool: frame table, pins, CLOCK eviction.
+///
+/// The pool is a passive page table — it knows which pages are resident,
+/// which are pinned, and which are dirty, and reports per-touch outcomes so
+/// its owner (the Pager) can do the access accounting. It performs no I/O
+/// itself: "writing back" a dirty page is an accounting event surfaced
+/// through TouchResult/Resize return values and the stats counters.
+///
+/// Replacement is CLOCK (second chance): every frame carries a reference
+/// bit, set on admission and on every hit; the eviction hand sweeps the
+/// frame array clearing reference bits and evicts the first unpinned frame
+/// found clear. Pinned frames are skipped entirely — a page pinned through
+/// a PageGuard (pager.h) cannot leave the pool until unpinned. If every
+/// frame is pinned, the touch bypasses the pool (the caller charges a real
+/// access), keeping the accounting exact instead of blocking.
+///
+/// Writes are write-back: a write touch marks the frame dirty and is
+/// otherwise free; the deferred cost surfaces as one write-back when the
+/// dirty frame is evicted or flushed. A write touch that cannot be admitted
+/// (zero capacity, or all frames pinned) is charged through immediately.
+///
+/// Thread safety: the frame table is sharded by page id. Small pools
+/// (< 2 * kShardingThreshold pages) run a single shard so tiny-capacity
+/// eviction sequences stay deterministic; larger pools stripe pages across
+/// up to kMaxShards shards, each behind its own Mutex, so concurrent
+/// serving threads touching disjoint pages rarely contend. Shard mutexes
+/// are leaves of the lock hierarchy (common/mutex.h): no pool method calls
+/// out while holding one. Resize()/FlushAll()/Stats() take every shard
+/// mutex (in index order) to act on a consistent snapshot.
+namespace pathix {
+
+/// Outcome of one page touch against the pool.
+struct BufferTouchResult {
+  bool hit = false;       ///< the page was resident before the touch
+  bool admitted = false;  ///< the page is resident after the touch
+  /// Dirty frames evicted by this touch to make room; the caller owes one
+  /// page write per write-back.
+  std::uint32_t writebacks = 0;
+};
+
+/// Monotone counters of everything the pool did since construction.
+struct BufferPoolStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t evictions = 0;     ///< frames evicted (clean or dirty)
+  std::uint64_t writebacks = 0;    ///< dirty frames evicted or flushed
+  std::uint64_t pin_bypasses = 0;  ///< touches that found every frame pinned
+
+  BufferPoolStats& operator+=(const BufferPoolStats& o) {
+    read_hits += o.read_hits;
+    read_misses += o.read_misses;
+    write_hits += o.write_hits;
+    write_misses += o.write_misses;
+    evictions += o.evictions;
+    writebacks += o.writebacks;
+    pin_bypasses += o.pin_bypasses;
+    return *this;
+  }
+};
+
+/// \brief The pool.
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Read touch. A hit sets the reference bit; a miss admits the page
+  /// (evicting if full). With \p pin the frame's pin count is raised when
+  /// the page is resident after the touch (admitted == true) — balance
+  /// with Unpin().
+  BufferTouchResult TouchRead(PageId page, bool pin);
+
+  /// Write touch (write-back): marks the frame dirty; misses admit. Same
+  /// pin contract as TouchRead. When admitted is false the caller must
+  /// charge the write through immediately.
+  BufferTouchResult TouchWrite(PageId page, bool pin);
+
+  /// Drops one pin from \p page's frame. A frame only the pin was keeping
+  /// above capacity (a shrink raced an outstanding PageGuard) is evicted on
+  /// its last unpin; as everywhere, the returned write-back count is owed
+  /// one page write each by the caller. No-op if the page is not resident.
+  std::uint64_t Unpin(PageId page);
+
+  /// Sets the pool capacity, preserving warm state: the same capacity is a
+  /// no-op, growing keeps every resident frame, shrinking evicts from the
+  /// cold end (CLOCK victim order) until the new capacity fits — skipping
+  /// pinned frames, which are kept even above capacity and absorbed as
+  /// they unpin. Returns the number of dirty pages written back; the
+  /// caller owes one page write each.
+  std::uint64_t Resize(std::size_t capacity_pages);
+
+  /// Writes back every dirty frame (frames stay resident, now clean).
+  /// Returns the number of write-backs; the caller owes one write each.
+  std::uint64_t FlushAll();
+
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregated counters across all shards.
+  BufferPoolStats GetStats() const;
+
+  /// Number of resident frames (diagnostics; takes every shard mutex).
+  std::size_t ResidentPages() const;
+
+  /// True when \p page is resident (test hook).
+  bool Resident(PageId page) const;
+
+  /// True when \p page is resident and dirty (test hook).
+  bool Dirty(PageId page) const;
+
+ private:
+  /// Above this many pages per shard the pool stripes across more shards.
+  static constexpr std::size_t kShardingThreshold = 64;
+  static constexpr std::size_t kMaxShards = 8;
+
+  struct Frame {
+    PageId page = kInvalidPage;
+    bool ref = false;    ///< CLOCK second-chance bit
+    bool dirty = false;  ///< pending write-back
+    std::uint32_t pins = 0;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::vector<Frame> frames GUARDED_BY(mu);
+    std::unordered_map<PageId, std::size_t> table GUARDED_BY(mu);
+    std::vector<std::size_t> free_slots GUARDED_BY(mu);
+    std::size_t hand GUARDED_BY(mu) = 0;
+    std::size_t capacity GUARDED_BY(mu) = 0;
+    BufferPoolStats stats GUARDED_BY(mu);
+  };
+
+  /// Power-of-two shard count for \p capacity (1 for small pools).
+  static std::size_t ShardCountFor(std::size_t capacity);
+  static std::size_t ShardIndex(PageId page, std::size_t shard_count) {
+    return static_cast<std::size_t>(page) & (shard_count - 1);
+  }
+
+  BufferTouchResult TouchLocked(Shard& s, PageId page, bool write, bool pin)
+      REQUIRES(s.mu);
+  /// Evicts one unpinned frame in CLOCK order; false if all are pinned.
+  /// \p wrote_back reports whether the victim was dirty.
+  bool EvictOne(Shard& s, bool* wrote_back) REQUIRES(s.mu);
+
+  /// The shard currently responsible for \p page, locked. Loops to absorb
+  /// a concurrent Resize changing the shard count: holding any shard mutex
+  /// blocks Resize from completing, so once the count is re-validated
+  /// under the lock it cannot change until release.
+  class LockedShard;
+  void LockAllShards() const NO_THREAD_SAFETY_ANALYSIS;
+  void UnlockAllShards() const NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Total capacity (0 = pool off). Relaxed mirror for capacity(); the
+  /// authoritative per-shard splits live behind the shard mutexes.
+  std::atomic<std::size_t> capacity_{0};
+  /// Current shard fan-out; changes only inside Resize with every shard
+  /// mutex held.
+  std::atomic<std::size_t> shard_count_{1};
+  mutable std::array<Shard, kMaxShards> shards_;
+};
+
+}  // namespace pathix

@@ -54,7 +54,9 @@ std::shared_ptr<const Object> ObjectStore::InsertAndGet(Object obj) {
     SegmentPage& page = shard.pages.back();
     page.used_bytes += need;
     page.oids.push_back(stored->oid);
-    pager_->NoteWrite(page.page);
+    // Pin the slot page while the object lands on it (shard mutex > pager
+    // and pool latches, both leaves — see common/mutex.h).
+    PageGuard slot_pin = pager_->PinWrite(page.page);
     loc.page_index = shard.pages.size() - 1;
     loc.page = page.page;
     shard.objects.emplace(stored->oid, stored);
@@ -89,7 +91,7 @@ std::shared_ptr<const Object> ObjectStore::Take(Oid oid) {
     claimed = std::move(it->second);
     shard->objects.erase(it);
     SegmentPage& page = shard->pages[loc.page_index];
-    pager_->NoteRead(page.page);
+    PageGuard slot_pin = pager_->PinRead(page.page);
     page.used_bytes -= std::min(page.used_bytes, claimed->bytes());
     page.oids.erase(std::remove(page.oids.begin(), page.oids.end(), oid),
                     page.oids.end());
@@ -110,7 +112,7 @@ const Object* ObjectStore::Get(Oid oid) {
   ReaderMutexLock lock(&shard->mu);
   auto it = shard->objects.find(oid);
   if (it == shard->objects.end()) return nullptr;
-  pager_->NoteRead(loc.page);
+  PageGuard slot_pin = pager_->PinRead(loc.page);
   return it->second.get();
 }
 
@@ -122,7 +124,7 @@ std::shared_ptr<const Object> ObjectStore::GetRef(Oid oid) {
   ReaderMutexLock lock(&shard->mu);
   auto it = shard->objects.find(oid);
   if (it == shard->objects.end()) return nullptr;
-  pager_->NoteRead(loc.page);
+  PageGuard slot_pin = pager_->PinRead(loc.page);
   return it->second;
 }
 

@@ -22,29 +22,76 @@ const char* ToString(PageOpKind kind) {
 }
 
 void Pager::EnableBuffer(std::size_t capacity_pages) {
-  MutexLock lock(&mu_);
-  buffer_capacity_ = capacity_pages;
+  const std::uint64_t writebacks = pool_.Resize(capacity_pages);
   buffered_.store(capacity_pages > 0, std::memory_order_relaxed);
-  lru_.clear();
-  lru_index_.clear();
-}
-
-bool Pager::Touch(PageId page) {
-  auto it = lru_index_.find(page);
-  if (it == lru_index_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return true;
-}
-
-void Pager::Admit(PageId page) {
-  if (buffer_capacity_ == 0) return;
-  if (Touch(page)) return;
-  lru_.push_front(page);
-  lru_index_[page] = lru_.begin();
-  while (lru_.size() > buffer_capacity_) {
-    lru_index_.erase(lru_.back());
-    lru_.pop_back();
+  if (writebacks > 0) {
+    // Dirty frames evicted by the shrink (or disable's flush-everything)
+    // become real page writes now.
+    AccessStats d;
+    d.writes = writebacks;
+    Charge(d);
   }
+}
+
+void Pager::Charge(const AccessStats& d) {
+  if (AccessFrame* f = internal::FrameFor(this)) {
+    AccessFrame* sink = f->exclude ? f : f->redirect;
+    if (sink != nullptr) {
+      sink->local += d;
+      return;
+    }
+    f->local += d;
+    f->deferred += d;
+    return;
+  }
+  MutexLock lock(&mu_);
+  stats_ += d;
+}
+
+bool Pager::BufferedRead(PageId page, AccessFrame* f, bool pin) {
+  const BufferTouchResult r = pool_.TouchRead(page, pin);
+  AccessStats d;
+  if (r.hit) {
+    d.buffer_hits = 1;
+  } else {
+    d.reads = 1;  // miss (admitted or bypassed): a real page fetch
+  }
+  d.writes = r.writebacks;
+  if (f != nullptr) {
+    f->local += d;
+    f->deferred += d;
+  } else {
+    MutexLock lock(&mu_);
+    stats_ += d;
+  }
+  return r.admitted;
+}
+
+bool Pager::BufferedWrite(PageId page, AccessFrame* f, bool pin) {
+  const BufferTouchResult r = pool_.TouchWrite(page, pin);
+  AccessStats d;
+  // Write-back: an admitted write only dirties the frame — its charge
+  // lands when the frame is written back. A bypassed write (zero-capacity
+  // shard, or every frame pinned) is charged through immediately.
+  d.writes = (r.admitted ? 0 : 1) + r.writebacks;
+  if (d.writes != 0) {
+    if (f != nullptr) {
+      f->local.writes += d.writes;
+      f->deferred.writes += d.writes;
+    } else {
+      MutexLock lock(&mu_);
+      stats_.writes += d.writes;
+    }
+  }
+  return r.admitted;
+}
+
+void Pager::UnpinPage(PageId page) {
+  const std::uint64_t writebacks = pool_.Unpin(page);
+  if (writebacks == 0) return;
+  AccessStats d;
+  d.writes = writebacks;
+  Charge(d);
 }
 
 void Pager::ResetTallies() {
@@ -62,9 +109,9 @@ void Pager::CloseFrame(PageOpKind kind, const std::string& label,
 }
 
 void Pager::ExportMetrics(obs::MetricsRegistry* registry) const {
-  // Copy everything out first (each accessor takes mu_ briefly); the
-  // registry and metric mutexes are only touched after, keeping both sides
-  // leaves of the lock hierarchy.
+  // Copy everything out first (each accessor takes mu_ or a pool latch
+  // briefly); the registry and metric mutexes are only touched after,
+  // keeping both sides leaves of the lock hierarchy.
   const AccessStats stats = this->stats();
   std::array<AccessStats, kPageOpKindCount> kinds;
   for (std::size_t k = 0; k < kPageOpKindCount; ++k) {
@@ -72,6 +119,7 @@ void Pager::ExportMetrics(obs::MetricsRegistry* registry) const {
   }
   const std::map<std::string, AccessStats> labels = label_tallies();
   const std::uint64_t allocated = allocated_pages();
+  const BufferPoolStats pool = pool_.GetStats();
 
   auto mirror = [registry](std::string_view name, obs::MetricLabels l,
                            std::uint64_t value) {
@@ -81,18 +129,24 @@ void Pager::ExportMetrics(obs::MetricsRegistry* registry) const {
   mirror("pathix_pager_io_total", {{"io", "read"}}, stats.reads);
   mirror("pathix_pager_io_total", {{"io", "write"}}, stats.writes);
   mirror("pathix_pager_buffer_hits_total", {}, stats.buffer_hits);
+  mirror("pathix_pager_buffer_evictions_total", {}, pool.evictions);
+  mirror("pathix_pager_buffer_writebacks_total", {}, pool.writebacks);
   for (std::size_t k = 0; k < kPageOpKindCount; ++k) {
     const std::string op = ToString(static_cast<PageOpKind>(k));
     mirror("pathix_pager_pages_total", {{"op", op}, {"io", "read"}},
            kinds[k].reads);
     mirror("pathix_pager_pages_total", {{"op", op}, {"io", "write"}},
            kinds[k].writes);
+    mirror("pathix_pager_pages_total", {{"op", op}, {"io", "hit"}},
+           kinds[k].buffer_hits);
   }
   for (const auto& [label, tally] : labels) {
     mirror("pathix_pager_path_pages_total", {{"path", label}, {"io", "read"}},
            tally.reads);
     mirror("pathix_pager_path_pages_total", {{"path", label}, {"io", "write"}},
            tally.writes);
+    mirror("pathix_pager_path_pages_total", {{"path", label}, {"io", "hit"}},
+           tally.buffer_hits);
   }
   registry->GaugeAt("pathix_pager_allocated_pages")
       .Set(static_cast<double>(allocated));

@@ -3,16 +3,16 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/types.h"
+#include "storage/buffer_pool.h"
 
 /// \file pager.h
-/// \brief Logical page manager with access counting.
+/// \brief Logical page manager with access counting and a real buffer pool.
 ///
 /// The simulator's only cost metric is page accesses — exactly the paper's.
 /// Structures own their content in memory; the Pager allocates page
@@ -28,17 +28,31 @@
 /// their traffic through the same counting paths while keeping it out of
 /// the main stats — the mechanism behind pager-accounted index builds.
 ///
+/// The buffer pool (EnableBuffer) is a real fixed-capacity pool
+/// (storage/buffer_pool.h): frames, CLOCK eviction, pins, dirty-page
+/// write-back. Capacity 0 — the default — is the cost model's cold
+/// assumption: every touch is charged. With capacity N, a read of a
+/// resident page counts as a buffer hit instead of a read, a re-read after
+/// eviction is charged again (eviction is observable), writes mark frames
+/// dirty and are charged as write-backs when the dirty frame is evicted or
+/// flushed, and PinRead/PinWrite return a PageGuard that keeps the frame
+/// in the pool for the guard's lifetime. Anonymous bulk reads (record
+/// overflow chains) and bulk writes bypass the pool.
+///
 /// Thread safety: the global counters live behind mu_, so concurrent
 /// Note*/stats()/Allocate() calls are safe (the pager is the leaf of the
 /// lock hierarchy in common/mutex.h). Scoped frames are *thread-local*: a
 /// ScopedAccessProbe pushes a frame onto its own thread's frame stack, and
 /// Note* calls from that thread accumulate into the frame without touching
-/// mu_ (unless the buffer pool is on — the LRU is shared state). The frame
-/// folds its tally into the global counters once, when it closes, so N
-/// serving threads doing framed page traffic contend on one mutex
-/// acquisition per *operation* instead of one per *page touch*. Counting
-/// frames still must not nest per thread (see ScopedAccessProbe); frames
-/// of different threads are entirely independent.
+/// mu_. The frame folds its tally into the global counters once, when it
+/// closes, so N serving threads doing framed page traffic contend on one
+/// mutex acquisition per *operation* instead of one per *page touch*.
+/// Buffered touches preserve that design: they take only the pool's
+/// *sharded* frame-table latches (leaves, like mu_; the two are never held
+/// together) and defer the stats fold to frame close exactly like the
+/// unbuffered fast path — mu_ stays one-acquisition-per-operation however
+/// large the pool. Counting frames still must not nest per thread (see
+/// ScopedAccessProbe); frames of different threads are independent.
 
 namespace pathix {
 
@@ -53,6 +67,11 @@ struct AccessStats {
   std::uint64_t buffer_hits = 0;  ///< reads absorbed by the buffer pool
 
   std::uint64_t total() const { return reads + writes; }
+  /// Page touches under the paper's cold-buffer cost model: what total()
+  /// would have been with no pool. The index-selection layer prices
+  /// workloads with this so its decisions don't depend on the buffer
+  /// capacity it happens to be serving through.
+  std::uint64_t logical_total() const { return reads + writes + buffer_hits; }
 
   AccessStats& operator+=(const AccessStats& o) {
     reads += o.reads;
@@ -119,13 +138,54 @@ inline AccessFrame* FrameFor(const Pager* pager) {
 }
 }  // namespace internal
 
-/// \brief Allocates page ids and counts accesses.
+/// \brief RAII pin on one buffer-pool frame.
 ///
-/// Optionally emulates an LRU buffer pool (an ablation the paper's cold
-/// model does not have: every node access there is a page access). Reads of
-/// buffered pages count as hits, not accesses; writes are write-through
-/// (always counted) and admit the page. Anonymous bulk reads (record
-/// overflow chains) and bulk writes bypass the buffer.
+/// Returned by Pager::PinRead / Pager::PinWrite. While a guard is live the
+/// pinned page cannot be evicted — CLOCK skips pinned frames — so a
+/// multi-touch operation (a B-tree descent, an object-slot access) keeps
+/// its working set resident for the operation's duration. Guards are
+/// move-only and unpin on destruction. When the pool is off (capacity 0),
+/// the page was not admitted (all frames pinned), or the touch landed in
+/// an excluded scope, the guard is empty (pinned() == false) and
+/// destruction is a no-op — pin/unpin has zero cost in the cold default.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& o) noexcept : pager_(o.pager_), page_(o.page_) {
+    o.pager_ = nullptr;
+  }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pager_ = o.pager_;
+      page_ = o.page_;
+      o.pager_ = nullptr;
+    }
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool pinned() const { return pager_ != nullptr; }
+  PageId page() const { return page_; }
+
+  /// Drops the pin early (idempotent).
+  inline void Release();
+
+ private:
+  friend class Pager;
+  PageGuard(Pager* pager, PageId page) : pager_(pager), page_(page) {}
+
+  Pager* pager_ = nullptr;
+  PageId page_ = kInvalidPage;
+};
+
+/// The pins one operation holds (e.g. a root-to-leaf descent path).
+using PinSet = std::vector<PageGuard>;
+
+/// \brief Allocates page ids, counts accesses, owns the buffer pool.
 class Pager {
  public:
   explicit Pager(std::size_t page_size) : page_size_(page_size) {}
@@ -136,17 +196,22 @@ class Pager {
   /// first write to the page is).
   PageId Allocate() { return next_page_.fetch_add(1); }
 
-  /// Enables an LRU buffer pool of \p capacity_pages (0 disables — the
-  /// default, matching the cost model's cold assumption).
+  /// Sets the buffer pool capacity to \p capacity_pages (0 disables — the
+  /// default, matching the cost model's cold assumption). Warm state is
+  /// preserved: the same capacity is a no-op, growing keeps every resident
+  /// frame, shrinking evicts from the cold end. Dirty frames that leave
+  /// the pool (shrink, or disable's flush) are charged as page writes.
   void EnableBuffer(std::size_t capacity_pages) EXCLUDES(mu_);
 
   // Note* route each page touch to the calling thread's innermost open
   // frame when one exists: excluded scopes absorb the touch (measured, not
   // charged, buffer bypassed), counting scopes accumulate it lock-free and
-  // defer the global-stats fold to frame close — unless the buffer pool is
-  // on, where the shared LRU forces the locked path. Unframed touches (the
-  // concurrent smoke tests, ad-hoc tooling) take the locked path directly,
-  // so the global stats stay exact without any frame protocol.
+  // defer the global-stats fold to frame close. With the buffer pool on,
+  // the touch goes through the pool's sharded latches first and the
+  // resulting charge (hit, read, or write-backs) is deferred the same way
+  // — mu_ is never taken per touch on a framed path. Unframed touches
+  // (the concurrent smoke tests, ad-hoc tooling) take the locked path
+  // directly, so the global stats stay exact without any frame protocol.
 
   void NoteRead(PageId page) EXCLUDES(mu_) {
     if (AccessFrame* f = internal::FrameFor(this)) {
@@ -160,24 +225,15 @@ class Pager {
         ++f->deferred.reads;
         return;
       }
-      MutexLock lock(&mu_);
-      if (buffer_capacity_ > 0 && Touch(page)) {
-        ++stats_.buffer_hits;
-        ++f->local.buffer_hits;
-        return;
-      }
-      ++stats_.reads;
-      ++f->local.reads;
-      Admit(page);
+      BufferedRead(page, f);
+      return;
+    }
+    if (buffered_.load(std::memory_order_relaxed)) {
+      BufferedRead(page, nullptr);
       return;
     }
     MutexLock lock(&mu_);
-    if (buffer_capacity_ > 0 && Touch(page)) {
-      ++stats_.buffer_hits;
-      return;
-    }
     ++stats_.reads;
-    Admit(page);
   }
   void NoteWrite(PageId page) EXCLUDES(mu_) {
     if (AccessFrame* f = internal::FrameFor(this)) {
@@ -191,16 +247,69 @@ class Pager {
         ++f->deferred.writes;
         return;
       }
-      MutexLock lock(&mu_);
-      ++stats_.writes;
-      ++f->local.writes;
-      Admit(page);
+      BufferedWrite(page, f);
+      return;
+    }
+    if (buffered_.load(std::memory_order_relaxed)) {
+      BufferedWrite(page, nullptr);
       return;
     }
     MutexLock lock(&mu_);
     ++stats_.writes;
-    Admit(page);
   }
+
+  /// As NoteRead, additionally pinning the page's frame for the returned
+  /// guard's lifetime (empty guard when nothing was admitted — pool off,
+  /// excluded scope, or every frame pinned).
+  PageGuard PinRead(PageId page) EXCLUDES(mu_) {
+    if (AccessFrame* f = internal::FrameFor(this)) {
+      AccessFrame* sink = f->exclude ? f : f->redirect;
+      if (sink != nullptr) {
+        ++sink->local.reads;
+        return PageGuard();
+      }
+      if (!buffered_.load(std::memory_order_relaxed)) {
+        ++f->local.reads;
+        ++f->deferred.reads;
+        return PageGuard();
+      }
+      return BufferedRead(page, f, /*pin=*/true) ? PageGuard(this, page)
+                                                 : PageGuard();
+    }
+    if (buffered_.load(std::memory_order_relaxed)) {
+      return BufferedRead(page, nullptr, /*pin=*/true) ? PageGuard(this, page)
+                                                       : PageGuard();
+    }
+    MutexLock lock(&mu_);
+    ++stats_.reads;
+    return PageGuard();
+  }
+  /// As NoteWrite, with the PinRead pin contract.
+  PageGuard PinWrite(PageId page) EXCLUDES(mu_) {
+    if (AccessFrame* f = internal::FrameFor(this)) {
+      AccessFrame* sink = f->exclude ? f : f->redirect;
+      if (sink != nullptr) {
+        ++sink->local.writes;
+        return PageGuard();
+      }
+      if (!buffered_.load(std::memory_order_relaxed)) {
+        ++f->local.writes;
+        ++f->deferred.writes;
+        return PageGuard();
+      }
+      return BufferedWrite(page, f, /*pin=*/true) ? PageGuard(this, page)
+                                                  : PageGuard();
+    }
+    if (buffered_.load(std::memory_order_relaxed)) {
+      return BufferedWrite(page, nullptr, /*pin=*/true)
+                 ? PageGuard(this, page)
+                 : PageGuard();
+    }
+    MutexLock lock(&mu_);
+    ++stats_.writes;
+    return PageGuard();
+  }
+
   /// Convenience for counting n sequential page reads (scans / chains).
   /// Bulk traffic always bypasses the buffer pool.
   void NoteReads(std::uint64_t n) EXCLUDES(mu_) {
@@ -262,21 +371,43 @@ class Pager {
   /// Pages allocated so far (storage footprint proxy).
   std::uint64_t allocated_pages() const { return next_page_.load(); }
 
+  /// The buffer pool, for capacity/residency introspection (tests, bench
+  /// reporting). Its counters are monotone across EnableBuffer calls.
+  const BufferPool& buffer_pool() const { return pool_; }
+
   /// Mirrors the pager's counters into \p registry (obs/metrics.h):
   /// pathix_pager_io_total{io}, pathix_pager_pages_total{op,io},
-  /// pathix_pager_path_pages_total{path,io}, pathix_pager_buffer_hits_total
-  /// and the pathix_pager_allocated_pages gauge. Counters are mirrored
-  /// (MirrorTo) from the pager's own monotone tallies, so repeated exports
-  /// converge to the same values. Never called with mu_ held: the pager and
-  /// the metric mutexes are both leaves and must not nest.
+  /// pathix_pager_path_pages_total{path,io} (io = read|write|hit),
+  /// pathix_pager_buffer_hits_total, the pool's
+  /// pathix_pager_buffer_{evictions,writebacks}_total and the
+  /// pathix_pager_allocated_pages gauge. Counters are mirrored (MirrorTo)
+  /// from the pager's own monotone tallies, so repeated exports converge
+  /// to the same values. Never called with mu_ held: the pager and the
+  /// metric mutexes are both leaves and must not nest.
   void ExportMetrics(obs::MetricsRegistry* registry) const EXCLUDES(mu_);
 
  private:
   friend class ScopedAccessProbe;
+  friend class PageGuard;
 
-  /// Moves \p page to the LRU front; false if absent.
-  bool Touch(PageId page) REQUIRES(mu_);
-  void Admit(PageId page) REQUIRES(mu_);
+  /// Buffered touch + charge: routes \p page through the pool (its sharded
+  /// latches only — never mu_ on a framed path) and books the outcome
+  /// (hit / read / write-backs) on frame \p f, or on the global stats when
+  /// \p f is null. Returns true when the page is resident-and-pinned
+  /// (\p pin) after the touch. Out of line: the unbuffered fast path above
+  /// stays small enough to inline.
+  bool BufferedRead(PageId page, AccessFrame* f, bool pin = false)
+      EXCLUDES(mu_);
+  bool BufferedWrite(PageId page, AccessFrame* f, bool pin = false)
+      EXCLUDES(mu_);
+
+  /// Books \p d wherever the calling thread's accounting currently lands:
+  /// the enclosing excluded frame, the open counting frame (deferred), or
+  /// the global stats.
+  void Charge(const AccessStats& d) EXCLUDES(mu_);
+
+  /// PageGuard's unpin hook; charges any write-back the unpin triggered.
+  void UnpinPage(PageId page) EXCLUDES(mu_);
 
   /// Folds a closing frame into the globals under one lock: deferred
   /// counts into the main stats, the frame's full tally into the
@@ -292,14 +423,20 @@ class Pager {
   std::array<AccessStats, kPageOpKindCount> kind_tallies_ GUARDED_BY(mu_){};
   std::map<std::string, AccessStats> label_tallies_ GUARDED_BY(mu_);
 
-  /// Mirrors buffer_capacity_ > 0 so framed Note* can pick the lock-free
-  /// path without taking mu_ first.
+  /// Mirrors pool capacity > 0 so Note*/Pin* pick the lock-free cold path
+  /// without taking any lock first.
   std::atomic<bool> buffered_{false};
-  std::size_t buffer_capacity_ GUARDED_BY(mu_) = 0;
-  std::list<PageId> lru_ GUARDED_BY(mu_);  // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> lru_index_
-      GUARDED_BY(mu_);
+  /// The pool synchronizes itself (sharded latches, leaves like mu_; the
+  /// two are never held together).
+  BufferPool pool_;
 };
+
+inline void PageGuard::Release() {
+  if (pager_ != nullptr) {
+    pager_->UnpinPage(page_);
+    pager_ = nullptr;
+  }
+}
 
 /// \brief RAII probe: captures the access delta over a scope.
 class AccessProbe {
@@ -307,13 +444,7 @@ class AccessProbe {
   explicit AccessProbe(const Pager& pager)
       : pager_(pager), start_(pager.stats()) {}
 
-  AccessStats Delta() const {
-    const AccessStats now = pager_.stats();
-    AccessStats d;
-    d.reads = now.reads - start_.reads;
-    d.writes = now.writes - start_.writes;
-    return d;
-  }
+  AccessStats Delta() const { return pager_.stats() - start_; }
 
  private:
   const Pager& pager_;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -74,6 +75,65 @@ TEST(ConcurrentSmokeTest, PagerBufferPoolUnderContention) {
   const AccessStats stats = pager.stats();
   EXPECT_EQ(stats.reads + stats.buffer_hits, kThreads * kOpsPerThread);
   EXPECT_GT(stats.buffer_hits, 0u);
+}
+
+TEST(ConcurrentSmokeTest, BufferPoolHammerReconcilesExactly) {
+  // Four threads drive a sharded pool (512 frames -> 8 latched shards)
+  // through the full frame life cycle at once: hot hits, cold misses that
+  // force CLOCK sweeps, dirty frames, pins held across cross-traffic, and
+  // a final flush. Accounting must reconcile exactly — a lost or
+  // double-counted touch anywhere in the latched fast path shows up here.
+  constexpr std::uint64_t kOpsPerThread = 4000;
+  constexpr PageId kPageSpan = 2048;
+  Pager pager(4096);
+  pager.EnableBuffer(512);
+  std::atomic<std::uint64_t> read_touches{0};
+  std::atomic<std::uint64_t> write_touches{0};
+  RunInParallel(kThreads, [&](int t) {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+      // Skewed page choice: a small hot set yields hits, the wide tail
+      // forces evictions through every shard.
+      const PageId page = static_cast<PageId>(
+          (i % 8 == 0) ? (i * 37 + static_cast<std::uint64_t>(t) * 911) %
+                             kPageSpan
+                       : (i * 13 + static_cast<std::uint64_t>(t)) % 64);
+      if (i % 5 == 4) {
+        pager.NoteWrite(page);
+        ++writes;
+      } else if (i % 7 == 3) {
+        PageGuard guard = pager.PinRead(page);
+        ++reads;
+        pager.NoteRead((page + 1) % kPageSpan);  // traffic while pinned
+        ++reads;
+        guard.Release();
+      } else {
+        pager.NoteRead(page);
+        ++reads;
+      }
+      if (i % 512 == 0) (void)pager.stats();  // concurrent snapshots
+    }
+    read_touches += reads;
+    write_touches += writes;
+  });
+  pager.EnableBuffer(0);  // surface every remaining dirty frame
+  const AccessStats stats = pager.stats();
+  const BufferPoolStats pool = pager.buffer_pool().GetStats();
+  // Honest read accounting: every touch is exactly one hit or one charged
+  // read, and the pager's view agrees with the pool's.
+  EXPECT_EQ(stats.reads + stats.buffer_hits, read_touches.load());
+  EXPECT_EQ(stats.buffer_hits, pool.read_hits);
+  EXPECT_EQ(stats.reads, pool.read_misses);
+  EXPECT_EQ(pool.read_hits + pool.read_misses, read_touches.load());
+  EXPECT_EQ(pool.write_hits + pool.write_misses, write_touches.load());
+  // Write-back collapses repeats but never invents writes: after the
+  // flush, total charged writes cannot exceed the write touches.
+  EXPECT_LE(stats.writes, write_touches.load());
+  EXPECT_GT(stats.writes, 0u);
+  EXPECT_GT(stats.buffer_hits, 0u);
+  EXPECT_GT(pool.evictions, 0u);
+  EXPECT_GT(pool.writebacks, 0u);
 }
 
 /// A populated Example 5.1 database (small) whose store backs concurrent

@@ -196,5 +196,86 @@ mix Submission 0.04 0.58 0.38
   CheckOk(db.ValidateIndexesDeep());
 }
 
+TEST(ServeStressTest, BufferedServingReconcilesUnderFourWorkers) {
+  // The full serving stack again, now through a deliberately small buffer
+  // pool (evictions guaranteed): four workers replay both phases with the
+  // controller live, and the pager's view must reconcile exactly with the
+  // pool's — every buffer hit the workers were credited is a read hit the
+  // pool recorded, with no op lost along the way. This is the TSan job's
+  // end-to-end pass over the latched buffered fast path.
+  constexpr const char* kSpec = R"(
+class Submission 80000 8000 1
+class Forum      400 400 1
+
+ref Submission forum Forum
+attr Forum name string
+
+path Submission forum name
+orgs MX MIX NIX NONE
+
+populate Submission 1200 0 1.0
+populate Forum      40 40 1.0
+trace_seed 11
+
+phase search 2500
+mix Submission 0.9 0.06 0.04
+
+phase ingest 2500
+mix Submission 0.04 0.58 0.38
+)";
+  Result<TraceSpec> spec = ParseTraceSpec(kSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const TraceSpec& s = spec.value();
+
+  SimDatabase db(s.schema, s.catalog.params());
+  ServeDriver driver(&db, s, ServeOptions{kWorkers});
+  driver.Populate();
+  // A handful of frames, far below the working set: CLOCK must evict (and
+  // write back dirty slot pages) while all four workers are serving.
+  db.pager().EnableBuffer(8);
+
+  ControllerOptions copts;
+  copts.orgs = s.options.orgs;
+  copts.physical_params = s.catalog.params();
+  ReconfigurationController controller(&db, s.paths.front().path, copts,
+                                       s.paths.front().id);
+  db.SetObserver(&controller);
+
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    const ServePhaseReport r = driver.RunPhase(i, &controller);
+    std::uint64_t executed = r.phase.insert_ops + r.phase.delete_ops +
+                             r.phase.noop_ops;
+    for (const auto& [id, n] : r.phase.query_ops) executed += n;
+    for (const auto& [id, n] : r.phase.naive_query_ops) executed += n;
+    // Zero lost ops, buffered exactly as unbuffered.
+    EXPECT_EQ(executed, r.phase.ops) << s.phases[i].name;
+  }
+  db.SetObserver(nullptr);
+  CheckOk(controller.status());
+
+  const AccessStats stats = db.pager().stats();
+  const BufferPoolStats pool = db.pager().buffer_pool().GetStats();
+  // Exact hit accounting: a buffer hit is credited if and only if the pool
+  // recorded a read hit — the charge never detaches from the frame table.
+  EXPECT_EQ(stats.buffer_hits, pool.read_hits);
+  EXPECT_GT(stats.buffer_hits, 0u);
+  // Every pool read miss was charged as a real read (bulk scans bypass the
+  // pool, so the pager may have charged more reads — never fewer).
+  EXPECT_GE(stats.reads, pool.read_misses);
+  EXPECT_GT(pool.read_misses, 0u);
+  // The undersized pool actually cycled, and only dirty frames wrote back.
+  EXPECT_GT(pool.evictions, 0u);
+  EXPECT_LE(pool.writebacks, pool.evictions);
+  EXPECT_LE(db.pager().buffer_pool().ResidentPages(), 8u);
+
+  // Disabling flushes every remaining dirty frame into the write counters
+  // and drains the pool completely.
+  const std::uint64_t writes_before = stats.writes;
+  db.pager().EnableBuffer(0);
+  EXPECT_EQ(db.pager().buffer_pool().ResidentPages(), 0u);
+  EXPECT_GE(db.pager().stats().writes, writes_before);
+  CheckOk(db.ValidateIndexesDeep());
+}
+
 }  // namespace
 }  // namespace pathix

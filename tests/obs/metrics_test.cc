@@ -10,6 +10,7 @@
 #include "obs/export.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "storage/pager.h"
 
 namespace pathix::obs {
 namespace {
@@ -205,6 +206,52 @@ TEST(DeltaSinceTest, SnapshotCountersSubtractGaugesStay) {
   ASSERT_NE(lat, nullptr);
   EXPECT_EQ(lat->histogram.count, 1u);
   EXPECT_DOUBLE_EQ(lat->histogram.sum, 70);
+}
+
+TEST(PagerExportTest, MirrorsBufferHitsPerOpAndPath) {
+  // Regression: ExportMetrics used to mirror buffer_hits only globally —
+  // the per-op-kind and per-path series omitted the hits field, so
+  // buffered runs under-reported per-path traffic in Prometheus/JSON.
+  Pager pager(4096);
+  pager.EnableBuffer(4);
+  {
+    ScopedAccessProbe probe(&pager, PageOpKind::kQuery, "people");
+    pager.NoteRead(1);   // miss
+    pager.NoteRead(1);   // hit
+    pager.NoteRead(1);   // hit
+    pager.NoteWrite(2);  // absorbed into the dirty frame
+  }
+  MetricsRegistry reg;
+  pager.ExportMetrics(&reg);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Value("pathix_pager_buffer_hits_total"), 2);
+  EXPECT_DOUBLE_EQ(snap.Value("pathix_pager_pages_total",
+                              {{"op", "query"}, {"io", "hit"}}),
+                   2);
+  EXPECT_DOUBLE_EQ(snap.Value("pathix_pager_pages_total",
+                              {{"op", "query"}, {"io", "read"}}),
+                   1);
+  EXPECT_DOUBLE_EQ(snap.Value("pathix_pager_path_pages_total",
+                              {{"path", "people"}, {"io", "hit"}}),
+                   2);
+  EXPECT_DOUBLE_EQ(snap.Value("pathix_pager_path_pages_total",
+                              {{"path", "people"}, {"io", "read"}}),
+                   1);
+  // The absorbed write is not charged anywhere yet (write-back).
+  EXPECT_DOUBLE_EQ(snap.Value("pathix_pager_pages_total",
+                              {{"op", "query"}, {"io", "write"}}),
+                   0);
+  EXPECT_DOUBLE_EQ(snap.Value("pathix_pager_io_total", {{"io", "write"}}), 0);
+
+  // Disabling flushes the pool: the dirty frame surfaces as a write-back
+  // and every resident frame as an eviction; re-export converges.
+  pager.EnableBuffer(0);
+  pager.ExportMetrics(&reg);
+  const MetricsSnapshot after = reg.Snapshot();
+  EXPECT_DOUBLE_EQ(after.Value("pathix_pager_buffer_writebacks_total"), 1);
+  EXPECT_DOUBLE_EQ(after.Value("pathix_pager_buffer_evictions_total"), 2);
+  EXPECT_DOUBLE_EQ(after.Value("pathix_pager_io_total", {{"io", "write"}}),
+                   1);
 }
 
 }  // namespace

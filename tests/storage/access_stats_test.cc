@@ -144,5 +144,35 @@ TEST(ScopedAccessProbeNestingTest, AccessProbeSpansScopedFrames) {
   EXPECT_EQ(outer.Delta().reads, 0u);
 }
 
+TEST(AccessProbeDeltaTest, DeltaPreservesBufferHits) {
+  // Regression: Delta() used to hand-copy reads and writes and silently
+  // drop buffer_hits, so every replayer/serve-driver phase delta lost its
+  // hit counts whenever the buffer pool was on.
+  Pager pager(4096);
+  pager.EnableBuffer(2);
+  pager.NoteRead(1);  // miss before the probe opens
+  AccessProbe probe(pager);
+  pager.NoteRead(1);  // hit
+  pager.NoteRead(2);  // miss
+  const AccessStats d = probe.Delta();
+  EXPECT_EQ(d.buffer_hits, 1u);
+  EXPECT_EQ(d.reads, 1u);
+  EXPECT_EQ(d.writes, 0u);
+  // total() stays reads+writes: hits are the traffic the pool absorbed.
+  EXPECT_EQ(d.total(), 1u);
+}
+
+TEST(AccessProbeDeltaTest, DeltaSeesWritebacksAsWrites) {
+  Pager pager(4096);
+  pager.EnableBuffer(1);
+  AccessProbe probe(pager);
+  pager.NoteWrite(1);  // absorbed: dirties the only frame
+  EXPECT_EQ(probe.Delta().writes, 0u);
+  pager.NoteRead(2);  // evicts dirty 1 -> one write-back
+  const AccessStats d = probe.Delta();
+  EXPECT_EQ(d.reads, 1u);
+  EXPECT_EQ(d.writes, 1u);
+}
+
 }  // namespace
 }  // namespace pathix

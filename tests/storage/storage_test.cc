@@ -40,27 +40,64 @@ TEST(PagerBufferTest, RepeatedReadsHitTheBuffer) {
   EXPECT_EQ(pager.stats().buffer_hits, 2u);
 }
 
-TEST(PagerBufferTest, LruEvictsColdestPage) {
+TEST(PagerBufferTest, ClockEvictionChargesReEnteringPages) {
   Pager pager(4096);
   pager.EnableBuffer(2);
-  pager.NoteRead(1);  // miss, {1}
-  pager.NoteRead(2);  // miss, {2,1}
-  pager.NoteRead(1);  // hit,  {1,2}
-  pager.NoteRead(3);  // miss, evicts 2 -> {3,1}
-  pager.NoteRead(2);  // miss again
+  pager.NoteRead(1);  // miss, admits {1}
+  pager.NoteRead(2);  // miss, admits {1,2}
+  pager.NoteRead(1);  // hit (reference bit set)
+  // CLOCK sweep: both frames spend their second chance, 1 (first in sweep
+  // order) is evicted — re-reading it later would be a real read again.
+  pager.NoteRead(3);  // miss, evicts 1 -> {3,2}
+  pager.NoteRead(2);  // hit: 2 survived the sweep
+  EXPECT_EQ(pager.stats().reads, 3u);
+  EXPECT_EQ(pager.stats().buffer_hits, 2u);
+  EXPECT_FALSE(pager.buffer_pool().Resident(1));
+  pager.NoteRead(1);  // the evicted page charges a real read
   EXPECT_EQ(pager.stats().reads, 4u);
-  EXPECT_EQ(pager.stats().buffer_hits, 1u);
 }
 
-TEST(PagerBufferTest, WritesAreWriteThroughAndAdmit) {
+TEST(PagerBufferTest, WritesAreWriteBackAndAdmit) {
   Pager pager(4096);
   pager.EnableBuffer(4);
   pager.NoteWrite(7);
   pager.NoteWrite(7);
-  EXPECT_EQ(pager.stats().writes, 2u);  // write-through: always counted
-  pager.NoteRead(7);                    // admitted by the writes
+  // Write-back: both writes are absorbed into the dirty frame.
+  EXPECT_EQ(pager.stats().writes, 0u);
+  EXPECT_TRUE(pager.buffer_pool().Dirty(7));
+  pager.NoteRead(7);  // admitted by the writes
   EXPECT_EQ(pager.stats().reads, 0u);
   EXPECT_EQ(pager.stats().buffer_hits, 1u);
+  // Disabling flushes the pool: the dirty page surfaces as one real write,
+  // however many times it was dirtied.
+  pager.EnableBuffer(0);
+  EXPECT_EQ(pager.stats().writes, 1u);
+}
+
+TEST(PagerBufferTest, ResizePreservesWarmState) {
+  Pager pager(4096);
+  pager.EnableBuffer(4);
+  pager.NoteRead(1);
+  pager.NoteRead(2);
+  // Re-enabling at the same capacity is a no-op: the warm frames survive.
+  pager.EnableBuffer(4);
+  pager.NoteRead(1);
+  EXPECT_EQ(pager.stats().buffer_hits, 1u);
+  // Growing keeps every resident frame.
+  pager.EnableBuffer(8);
+  pager.NoteRead(2);
+  EXPECT_EQ(pager.stats().buffer_hits, 2u);
+  // Shrinking evicts from the cold end: in CLOCK victim order (no sweep
+  // has run) 1 and 2 sit in front of the hand, so they go first and the
+  // youngest admissions survive.
+  pager.NoteRead(3);
+  pager.NoteRead(4);
+  pager.EnableBuffer(2);
+  EXPECT_FALSE(pager.buffer_pool().Resident(1));
+  EXPECT_FALSE(pager.buffer_pool().Resident(2));
+  EXPECT_TRUE(pager.buffer_pool().Resident(3));
+  EXPECT_TRUE(pager.buffer_pool().Resident(4));
+  EXPECT_EQ(pager.stats().reads, 4u);  // resizes charged nothing new
 }
 
 TEST(PagerBufferTest, DisablingRestoresColdCounting) {
